@@ -1,0 +1,414 @@
+// Command nrbench carries out the systematic performance study the paper
+// calls for in section 6: "there are a number of aspects to
+// non-repudiation that impact on performance, including the computational
+// overhead of cryptographic algorithms; the space overhead of evidence
+// generated and the communication overhead of additional messages to
+// execute protocols."
+//
+// It prints one table per experiment of the EXPERIMENTS.md index:
+// signature-scheme costs (E5), evidence space (E6), protocol message and
+// latency comparison across trust-domain configurations (E1/E3/E7/E8),
+// recovery behaviour under misbehaviour and loss (E9), roll-up
+// amortisation (E10) and sharing group scaling (E11).
+//
+// Usage:
+//
+//	nrbench [-n iterations] [-quick]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"nonrep/internal/canon"
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/invoke"
+	"nonrep/internal/sharing"
+	"nonrep/internal/sig"
+	"nonrep/internal/testpki"
+	"nonrep/internal/transport"
+)
+
+const (
+	client = id.Party("urn:org:client")
+	server = id.Party("urn:org:server")
+	ttpA   = id.Party("urn:ttp:a")
+	ttpB   = id.Party("urn:ttp:b")
+)
+
+func main() {
+	n := flag.Int("n", 200, "iterations per measurement")
+	quick := flag.Bool("quick", false, "reduce iterations for a fast pass")
+	flag.Parse()
+	if *quick {
+		*n = 25
+	}
+
+	benchSignatures(*n)
+	benchEvidenceSpace()
+	benchProtocols(*n)
+	benchRecovery(*n)
+	benchLossTolerance()
+	benchRollup(*n)
+	benchGroupSize(*n)
+}
+
+// benchSignatures is E5: computational overhead per signature scheme.
+func benchSignatures(n int) {
+	fmt.Println("## E5 — signature scheme cost (sign/verify one evidence digest)")
+	fmt.Println()
+	fmt.Println("| scheme | sign | verify | signature bytes |")
+	fmt.Println("|---|---|---|---|")
+	d := sig.Sum([]byte("representative evidence digest"))
+	for _, alg := range []sig.Algorithm{sig.AlgEd25519, sig.AlgECDSAP256, sig.AlgRSAPSS2048, sig.AlgForwardSecure} {
+		signer, err := sig.Generate(alg, "bench")
+		if err != nil {
+			log.Fatal(err)
+		}
+		iters := n
+		if alg == sig.AlgRSAPSS2048 {
+			iters = max(n/10, 5) // RSA signing is an order slower
+		}
+		start := time.Now()
+		var s sig.Signature
+		for i := 0; i < iters; i++ {
+			s, err = signer.Sign(d)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		signTime := time.Since(start) / time.Duration(iters)
+		pub := signer.PublicKey()
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			if err := pub.Verify(d, s); err != nil {
+				log.Fatal(err)
+			}
+		}
+		verifyTime := time.Since(start) / time.Duration(iters)
+		size := len(s.Bytes) + len(s.PublicHint)
+		for _, p := range s.Path {
+			size += len(p)
+		}
+		fmt.Printf("| %s | %v | %v | %d |\n", alg, signTime.Round(time.Microsecond), verifyTime.Round(time.Microsecond), size)
+	}
+	fmt.Println()
+}
+
+// benchEvidenceSpace is E6: space overhead of evidence vs payload size.
+func benchEvidenceSpace() {
+	fmt.Println("## E6 — evidence space overhead vs payload size (direct protocol)")
+	fmt.Println()
+	fmt.Println("| payload bytes | token bytes | evidence bytes per run (4 tokens) | overhead vs payload |")
+	fmt.Println("|---|---|---|---|")
+	realm := testpki.MustRealm(client)
+	for _, payload := range []int{64, 1024, 16 * 1024, 256 * 1024} {
+		body := make([]byte, payload)
+		tok, err := realm.Party(client).Issuer.Issue(evidence.KindNRO, id.NewRun(), 1, sig.Sum(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		raw, err := canon.Marshal(tok)
+		if err != nil {
+			log.Fatal(err)
+		}
+		perRun := 4 * len(raw)
+		fmt.Printf("| %d | %d | %d | %.2f%% |\n", payload, len(raw), perRun, 100*float64(perRun)/float64(payload))
+	}
+	fmt.Println()
+}
+
+// protocolCase is one trust-domain configuration measured by
+// benchProtocols.
+type protocolCase struct {
+	name  string
+	setup func(d *testpki.Domain) (*invoke.Client, []*invoke.Server)
+}
+
+// benchProtocols is E1/E3/E7/E8: latency, messages and bytes per protocol
+// and trust-domain configuration.
+func benchProtocols(n int) {
+	fmt.Println("## E1/E3/E7/E8 — invocation cost per protocol and trust domain")
+	fmt.Println()
+	fmt.Println("| configuration | latency/op | messages/op | wire bytes/op | client tokens |")
+	fmt.Println("|---|---|---|---|---|")
+
+	exec := invoke.ExecutorFunc(func(_ context.Context, req *evidence.RequestSnapshot) ([]evidence.Param, error) {
+		p, err := evidence.ValueParam("echo", req.Operation)
+		return []evidence.Param{p}, err
+	})
+	request := func() invoke.Request {
+		p, err := evidence.ValueParam("order", map[string]any{"model": "roadster", "qty": 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return invoke.Request{Service: "urn:org:server/orders", Operation: "Place", Params: []evidence.Param{p}}
+	}
+
+	// Plain baseline: the same executor invoked locally, no middleware.
+	start := time.Now()
+	reqSnap := &evidence.RequestSnapshot{Service: "urn:org:server/orders", Operation: "Place"}
+	for i := 0; i < n; i++ {
+		if _, err := exec.Execute(context.Background(), reqSnap); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("| plain local call (no NR) | %v | 0 | 0 | 0 |\n",
+		(time.Since(start) / time.Duration(n)).Round(time.Microsecond))
+
+	cases := []protocolCase{
+		{"voluntary (Wichert baseline)", func(d *testpki.Domain) (*invoke.Client, []*invoke.Server) {
+			s := invoke.NewServer(d.Node(server).Coordinator(), exec, invoke.ForProtocol(invoke.ProtocolVoluntary))
+			return invoke.NewClient(d.Node(client).Coordinator(), invoke.WithProtocol(invoke.ProtocolVoluntary)), []*invoke.Server{s}
+		}},
+		{"direct (Fig. 3c)", func(d *testpki.Domain) (*invoke.Client, []*invoke.Server) {
+			s := invoke.NewServer(d.Node(server).Coordinator(), exec)
+			return invoke.NewClient(d.Node(client).Coordinator()), []*invoke.Server{s}
+		}},
+		{"fair, offline TTP, happy path", func(d *testpki.Domain) (*invoke.Client, []*invoke.Server) {
+			s := invoke.NewServer(d.Node(server).Coordinator(), exec,
+				invoke.ForProtocol(invoke.ProtocolFair), invoke.WithRecovery(ttpA, time.Minute))
+			invoke.NewResolveService(d.Node(ttpA).Coordinator())
+			return invoke.NewClient(d.Node(client).Coordinator(), invoke.WithOfflineTTP(ttpA)), []*invoke.Server{s}
+		}},
+		{"inline TTP (Fig. 3a)", func(d *testpki.Domain) (*invoke.Client, []*invoke.Server) {
+			s := invoke.NewServer(d.Node(server).Coordinator(), exec)
+			invoke.NewRelay(d.Node(ttpA).Coordinator(), invoke.RouteToServer())
+			return invoke.NewClient(d.Node(client).Coordinator(), invoke.Via(ttpA)), []*invoke.Server{s}
+		}},
+		{"distributed inline TTPs (Fig. 3b)", func(d *testpki.Domain) (*invoke.Client, []*invoke.Server) {
+			s := invoke.NewServer(d.Node(server).Coordinator(), exec)
+			invoke.NewRelay(d.Node(ttpA).Coordinator(), invoke.RouteVia(ttpB))
+			invoke.NewRelay(d.Node(ttpB).Coordinator(), invoke.RouteToServer())
+			return invoke.NewClient(d.Node(client).Coordinator(), invoke.Via(ttpA)), []*invoke.Server{s}
+		}},
+	}
+	for _, tc := range cases {
+		d := testpki.MustDomainWith([]id.Party{client, server, ttpA, ttpB}, testpki.WithMetering())
+		cli, servers := tc.setup(d)
+		// Warm-up run excluded from counters.
+		if _, err := cli.Invoke(context.Background(), server, request()); err != nil {
+			log.Fatalf("%s: %v", tc.name, err)
+		}
+		d.Meter.Reset()
+		start := time.Now()
+		var lastRun id.Run
+		for i := 0; i < n; i++ {
+			res, err := cli.Invoke(context.Background(), server, request())
+			if err != nil {
+				log.Fatalf("%s: %v", tc.name, err)
+			}
+			lastRun = res.Run
+		}
+		elapsed := time.Since(start)
+		// Let asynchronous receipts drain before reading counters.
+		waitReceipts(servers, lastRun)
+		res, err := cli.Invoke(context.Background(), server, request())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("| %s | %v | %.1f | %d | %d |\n",
+			tc.name,
+			(elapsed / time.Duration(n)).Round(time.Microsecond),
+			float64(d.Meter.Messages())/float64(n+1),
+			d.Meter.Bytes()/int64(n+1),
+			len(res.Evidence))
+		for _, s := range servers {
+			_ = s.Close()
+		}
+		d.Close()
+	}
+	fmt.Println()
+}
+
+func waitReceipts(servers []*invoke.Server, run id.Run) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	for _, s := range servers {
+		_ = s.WaitReceipt(ctx, run)
+	}
+}
+
+// benchRecovery is E9 (misbehaviour): cost of a TTP resolve after a
+// withheld receipt.
+func benchRecovery(n int) {
+	fmt.Println("## E9a — recovery from a withheld receipt (fair protocol)")
+	fmt.Println()
+	fmt.Println("| path | latency to complete evidence | TTP involved |")
+	fmt.Println("|---|---|---|")
+	exec := invoke.ExecutorFunc(func(context.Context, *evidence.RequestSnapshot) ([]evidence.Param, error) {
+		return nil, nil
+	})
+	iters := max(n/5, 10)
+
+	for _, withhold := range []bool{false, true} {
+		d := testpki.MustDomain(client, server, ttpA)
+		srv := invoke.NewServer(d.Node(server).Coordinator(), exec,
+			invoke.ForProtocol(invoke.ProtocolFair), invoke.WithRecovery(ttpA, time.Minute))
+		invoke.NewResolveService(d.Node(ttpA).Coordinator())
+		opts := []invoke.ClientOption{invoke.WithOfflineTTP(ttpA)}
+		name := "honest client (receipt sent)"
+		if withhold {
+			opts = append(opts, invoke.WithholdReceipt())
+			name = "misbehaving client (TTP resolve)"
+		}
+		cli := invoke.NewClient(d.Node(client).Coordinator(), opts...)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			res, err := cli.Invoke(context.Background(), server, invoke.Request{
+				Service: "urn:org:server/svc", Operation: "Do",
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if withhold {
+				if err := srv.ResolveNow(context.Background(), res.Run); err != nil {
+					log.Fatal(err)
+				}
+			} else {
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				if err := srv.WaitReceipt(ctx, res.Run); err != nil {
+					log.Fatal(err)
+				}
+				cancel()
+			}
+		}
+		fmt.Printf("| %s | %v | %v |\n", name,
+			(time.Since(start) / time.Duration(iters)).Round(time.Microsecond), withhold)
+		_ = srv.Close()
+		d.Close()
+	}
+	fmt.Println()
+}
+
+// benchLossTolerance is E9 (transient loss): completion under injected
+// drop rates, masked by retransmission (assumption 2).
+func benchLossTolerance() {
+	fmt.Println("## E9b — completion under transient message loss (direct protocol)")
+	fmt.Println()
+	fmt.Println("| drop rate | completed | of runs | mean latency |")
+	fmt.Println("|---|---|---|---|")
+	exec := invoke.ExecutorFunc(func(context.Context, *evidence.RequestSnapshot) ([]evidence.Param, error) {
+		return nil, nil
+	})
+	const runs = 60
+	for _, rate := range []float64{0, 0.1, 0.3} {
+		d := testpki.MustDomainWith([]id.Party{client, server},
+			testpki.WithFaults(transport.FaultPlan{Seed: 7, DropRate: rate}))
+		srv := invoke.NewServer(d.Node(server).Coordinator(), exec)
+		cli := invoke.NewClient(d.Node(client).Coordinator())
+		completed := 0
+		start := time.Now()
+		for i := 0; i < runs; i++ {
+			if _, err := cli.Invoke(context.Background(), server, invoke.Request{
+				Service: "urn:org:server/svc", Operation: "Do",
+			}); err == nil {
+				completed++
+			}
+		}
+		fmt.Printf("| %.0f%% | %d | %d | %v |\n",
+			rate*100, completed, runs, (time.Since(start) / runs).Round(time.Microsecond))
+		_ = srv.Close()
+		d.Close()
+	}
+	fmt.Println()
+}
+
+// benchRollup is E10: coordination events with and without roll-up.
+func benchRollup(n int) {
+	fmt.Println("## E10 — roll-up of operations into one coordination event")
+	fmt.Println()
+	fmt.Println("| strategy | ops | coordination rounds | latency total |")
+	fmt.Println("|---|---|---|---|")
+	const ops = 10
+	iters := max(n/20, 3)
+	for _, rollup := range []bool{false, true} {
+		d := testpki.MustDomain(client, server)
+		ctlA := sharing.NewController(d.Node(client).Coordinator())
+		ctlB := sharing.NewController(d.Node(server).Coordinator())
+		group := []id.Party{client, server}
+		if err := ctlA.Create("doc", []byte("0"), group); err != nil {
+			log.Fatal(err)
+		}
+		if err := ctlB.Create("doc", []byte("0"), group); err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		rounds := 0
+		for it := 0; it < iters; it++ {
+			if rollup {
+				for i := 0; i < ops; i++ {
+					if err := ctlA.Stage("doc", []byte(fmt.Sprintf("it%d-op%d", it, i))); err != nil {
+						log.Fatal(err)
+					}
+				}
+				if _, err := ctlA.Commit(context.Background(), "doc"); err != nil {
+					log.Fatal(err)
+				}
+				rounds++
+			} else {
+				for i := 0; i < ops; i++ {
+					if _, err := ctlA.Propose(context.Background(), "doc", []byte(fmt.Sprintf("it%d-op%d", it, i))); err != nil {
+						log.Fatal(err)
+					}
+					rounds++
+				}
+			}
+		}
+		name := "one round per op"
+		if rollup {
+			name = "rolled up (section 4.3)"
+		}
+		fmt.Printf("| %s | %d | %d | %v |\n", name, ops*iters, rounds,
+			(time.Since(start) / time.Duration(iters)).Round(time.Microsecond))
+		d.Close()
+	}
+	fmt.Println()
+}
+
+// benchGroupSize is E2/E11: sharing round cost vs group size.
+func benchGroupSize(n int) {
+	fmt.Println("## E2/E11 — sharing coordination cost vs group size")
+	fmt.Println()
+	fmt.Println("| members | latency/round | messages/round | wire bytes/round |")
+	fmt.Println("|---|---|---|---|")
+	iters := max(n/10, 5)
+	for _, size := range []int{2, 3, 4, 6, 8} {
+		parties := make([]id.Party, size)
+		for i := range parties {
+			parties[i] = id.Party(fmt.Sprintf("urn:org:m%d", i))
+		}
+		d := testpki.MustDomainWith(parties, testpki.WithMetering())
+		ctls := make([]*sharing.Controller, size)
+		for i, p := range parties {
+			ctls[i] = sharing.NewController(d.Node(p).Coordinator())
+		}
+		for _, ctl := range ctls {
+			if err := ctl.Create("doc", []byte("0"), parties); err != nil {
+				log.Fatal(err)
+			}
+		}
+		d.Meter.Reset()
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			res, err := ctls[0].Propose(context.Background(), "doc", []byte(fmt.Sprintf("state-%d", i)))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !res.Agreed {
+				log.Fatalf("round %d rejected: %+v", i, res.Rejections)
+			}
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("| %d | %v | %.1f | %d |\n", size,
+			(elapsed / time.Duration(iters)).Round(time.Microsecond),
+			float64(d.Meter.Messages())/float64(iters),
+			d.Meter.Bytes()/int64(iters))
+		d.Close()
+	}
+	fmt.Println()
+}

@@ -1,0 +1,176 @@
+// Command nrdemo runs the paper's virtual-enterprise scenario (Figure 1)
+// end to end over real TCP sockets: non-repudiable quoting, shared
+// specification negotiation with validators, a fair exchange recovered
+// through a TTP, and finally exports a portable evidence bundle that
+// cmd/nrverify can audit offline.
+//
+// Usage:
+//
+//	nrdemo [-out DIR] [-inproc]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"nonrep"
+)
+
+const (
+	dealer       = nonrep.Party("urn:ve:dealer")
+	manufacturer = nonrep.Party("urn:ve:manufacturer")
+	supplierA    = nonrep.Party("urn:ve:supplier-a")
+	supplierB    = nonrep.Party("urn:ve:supplier-b")
+	resolverTTP  = nonrep.Party("urn:ttp:resolver")
+)
+
+// Catalog is a supplier component.
+type Catalog struct {
+	prices map[string]int
+}
+
+// Quote prices a part.
+func (c *Catalog) Quote(_ context.Context, part string) (int, error) {
+	price, ok := c.prices[part]
+	if !ok {
+		return 0, fmt.Errorf("part %s not stocked", part)
+	}
+	return price, nil
+}
+
+// Spec is the shared car specification.
+type Spec struct {
+	Model string   `json:"model"`
+	Parts []string `json:"parts"`
+	Cost  int      `json:"cost"`
+}
+
+func main() {
+	out := flag.String("out", "", "directory to export the evidence bundle to")
+	inproc := flag.Bool("inproc", false, "use the in-process transport instead of TCP")
+	flag.Parse()
+
+	ctx := context.Background()
+	var opts []nonrep.DomainOption
+	if !*inproc {
+		opts = append(opts, nonrep.WithTCP())
+	}
+	domain, err := nonrep.NewDomain(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer domain.Close()
+
+	orgs := map[nonrep.Party]*nonrep.Org{}
+	for _, p := range []nonrep.Party{dealer, manufacturer, supplierA, supplierB, resolverTTP} {
+		org, err := domain.AddOrg(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		orgs[p] = org
+		fmt.Printf("started %-22s at %s\n", p, org.Addr())
+	}
+	resolver := orgs[resolverTTP].EnableResolve()
+	_ = resolver
+
+	// Suppliers serve non-repudiable part catalogues.
+	for supplier, prices := range map[nonrep.Party]map[string]int{
+		supplierA: {"gearbox-g5": 4000, "chassis-x1": 12000},
+		supplierB: {"gearbox-g5": 4100, "engine-v8": 22000},
+	} {
+		desc := nonrep.Descriptor{
+			Service: nonrep.Service(string(supplier) + "/parts"),
+			Methods: map[string]nonrep.MethodPolicy{
+				"Quote": {NonRepudiation: true},
+			},
+		}
+		if err := orgs[supplier].Deploy(desc, &Catalog{prices: prices}); err != nil {
+			log.Fatal(err)
+		}
+		orgs[supplier].Serve()
+		orgs[supplier].Serve(
+			nonrep.ForProtocol(nonrep.ProtocolFair),
+			nonrep.WithRecovery(resolverTTP, 100*time.Millisecond),
+		)
+	}
+
+	// Scene 1: the manufacturer gathers binding quotes over TCP.
+	fmt.Println("\n== scene 1: non-repudiable quoting ==")
+	for _, supplier := range []nonrep.Party{supplierA, supplierB} {
+		proxy := orgs[manufacturer].Proxy(supplier, nonrep.Service(string(supplier)+"/parts"), nil)
+		var price int
+		if _, err := proxy.CallValue(ctx, &price, "Quote", "gearbox-g5"); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s quotes gearbox-g5 at %d (evidence logged)\n", supplier, price)
+	}
+
+	// Scene 2: shared specification with supplier validation.
+	fmt.Println("\n== scene 2: shared specification ==")
+	group := []nonrep.Party{manufacturer, supplierA, supplierB}
+	initial, _ := json.Marshal(Spec{Model: "roadster"})
+	for _, p := range group {
+		if err := orgs[p].Share("car-spec", initial, group); err != nil {
+			log.Fatal(err)
+		}
+	}
+	orgs[supplierA].Sharing().AddValidator("car-spec", nonrep.ValidatorFunc(
+		func(_ context.Context, ch *nonrep.Change) nonrep.Verdict {
+			var s Spec
+			if json.Unmarshal(ch.NewState, &s) != nil || s.Cost > 50000 {
+				return nonrep.Reject("cost cap exceeded")
+			}
+			return nonrep.Accept()
+		}))
+	rich, _ := json.Marshal(Spec{Model: "roadster", Parts: []string{"engine-v8", "gold-trim"}, Cost: 90000})
+	res, err := orgs[manufacturer].Sharing().Propose(ctx, "car-spec", rich)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  over-budget proposal agreed=%v (%v)\n", res.Agreed, res.Rejections)
+	sane, _ := json.Marshal(Spec{Model: "roadster", Parts: []string{"engine-v8", "gearbox-g5"}, Cost: 26100})
+	res, err = orgs[manufacturer].Sharing().Propose(ctx, "car-spec", sane)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  compliant proposal agreed=%v version=%d\n", res.Agreed, res.Version.Number)
+
+	// Scene 3: a misbehaving client, recovered through the TTP.
+	fmt.Println("\n== scene 3: fair exchange with recovery ==")
+	p, _ := nonrep.ValueParam("part", "chassis-x1")
+	res3, err := orgs[manufacturer].Invoke(ctx, supplierA, nonrep.Request{
+		Service:   nonrep.Service(string(supplierA) + "/parts"),
+		Operation: "Quote",
+		Params:    []nonrep.Param{p},
+	}, nonrep.WithOfflineTTP(resolverTTP), nonrep.WithholdReceipt())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  manufacturer consumed supplier A's answer (%s) and withheld its receipt\n", res3.Status)
+	time.Sleep(300 * time.Millisecond) // let the supplier's watchdog resolve
+	report := domain.Adjudicator().AuditRun(orgs[supplierA].Log().Records(), res3.Run)
+	fmt.Printf("  supplier A's evidence: complete=%v via TTP substitute=%v\n",
+		report.Complete(), report.Substituted)
+
+	// Audit + export.
+	fmt.Println("\n== audit ==")
+	adj := domain.Adjudicator()
+	for party, org := range orgs {
+		rep := adj.AuditLog(org.Log().Records())
+		fmt.Printf("  %-22s %2d records, clean=%v\n", party, rep.Records, rep.Clean())
+		if !rep.Clean() {
+			os.Exit(1)
+		}
+	}
+	if *out != "" {
+		if err := domain.ExportBundle(*out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nevidence bundle exported to %s (audit it with: nrverify -bundle %s)\n", *out, *out)
+	}
+}

@@ -1,0 +1,457 @@
+package nonrep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"nonrep/internal/access"
+	"nonrep/internal/bundle"
+	"nonrep/internal/clock"
+	"nonrep/internal/container"
+	"nonrep/internal/core"
+	"nonrep/internal/credential"
+	"nonrep/internal/invoke"
+	"nonrep/internal/protocol"
+	"nonrep/internal/sharing"
+	"nonrep/internal/sig"
+	"nonrep/internal/stamp"
+	"nonrep/internal/store"
+	"nonrep/internal/transport"
+	"nonrep/internal/ttp"
+)
+
+// Domain assembles organisations into a trust domain (paper section 3.1):
+// a shared certificate authority, a directory, a transport, and one
+// trusted interceptor (Org) per organisation. All three Figure 3
+// configurations are expressible: direct (the default), single inline TTP
+// (an Org with EnableRelay and clients using Via), distributed inline
+// TTPs, and direct-with-offline-TTP (EnableResolve plus WithOfflineTTP).
+type Domain struct {
+	clk     clock.Clock
+	network transport.Network
+	inproc  *transport.InprocNetwork
+	tcp     bool
+	dir     *protocol.Directory
+	ca      *credential.Authority
+	creds   *credential.Store
+	tsa     *stamp.Authority
+	alg     sig.Algorithm
+
+	mu   sync.Mutex
+	orgs map[Party]*Org
+}
+
+// DomainOption configures a Domain.
+type DomainOption func(*domainConfig)
+
+type domainConfig struct {
+	clk       clock.Clock
+	tcp       bool
+	timestamp bool
+	alg       sig.Algorithm
+}
+
+// WithTCP runs every organisation's coordinator on a local TCP socket
+// instead of the in-process transport.
+func WithTCP() DomainOption {
+	return func(c *domainConfig) { c.tcp = true }
+}
+
+// WithClock substitutes the domain's time source (tests use manual
+// clocks).
+func WithClock(clk clock.Clock) DomainOption {
+	return func(c *domainConfig) { c.clk = clk }
+}
+
+// WithTimestamping runs a domain time-stamping authority and stamps all
+// issued evidence (paper section 3.5).
+func WithTimestamping() DomainOption {
+	return func(c *domainConfig) { c.timestamp = true }
+}
+
+// WithAlgorithm selects the signature scheme for organisation keys
+// (default Ed25519).
+func WithAlgorithm(alg sig.Algorithm) DomainOption {
+	return func(c *domainConfig) { c.alg = alg }
+}
+
+// Signature algorithms selectable with WithAlgorithm.
+const (
+	AlgEd25519       = sig.AlgEd25519
+	AlgECDSAP256     = sig.AlgECDSAP256
+	AlgRSAPSS2048    = sig.AlgRSAPSS2048
+	AlgForwardSecure = sig.AlgForwardSecure
+)
+
+// NewDomain creates an empty trust domain.
+func NewDomain(opts ...DomainOption) (*Domain, error) {
+	cfg := domainConfig{clk: clock.Real{}, alg: sig.AlgEd25519}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	caKey, err := sig.Generate(cfg.alg, "domain-ca")
+	if err != nil {
+		return nil, err
+	}
+	ca, err := credential.NewRootAuthority("urn:nonrep:ca", caKey, cfg.clk)
+	if err != nil {
+		return nil, err
+	}
+	creds := credential.NewStore(cfg.clk)
+	if err := creds.AddRoot(ca.Certificate()); err != nil {
+		return nil, err
+	}
+	d := &Domain{
+		clk:   cfg.clk,
+		dir:   protocol.NewDirectory(),
+		ca:    ca,
+		creds: creds,
+		alg:   cfg.alg,
+		orgs:  make(map[Party]*Org),
+	}
+	if cfg.tcp {
+		d.tcp = true
+		d.network = transport.NewTCPNetwork()
+	} else {
+		d.inproc = transport.NewInprocNetwork()
+		d.network = d.inproc
+	}
+	if cfg.timestamp {
+		tsaKey, err := sig.Generate(cfg.alg, "domain-tsa")
+		if err != nil {
+			return nil, err
+		}
+		cert, err := ca.Issue("urn:nonrep:tsa", tsaKey.KeyID(), tsaKey.PublicKey())
+		if err != nil {
+			return nil, err
+		}
+		if err := creds.Add(cert); err != nil {
+			return nil, err
+		}
+		d.tsa = stamp.NewAuthority("urn:nonrep:tsa", tsaKey, cfg.clk)
+	}
+	return d, nil
+}
+
+// Credentials exposes the domain's credential store, e.g. for building an
+// Adjudicator over exported evidence.
+func (d *Domain) Credentials() *credential.Store { return d.creds }
+
+// CACertificate returns the domain root certificate.
+func (d *Domain) CACertificate() *credential.Certificate { return d.ca.Certificate() }
+
+// Adjudicator returns a dispute adjudicator trusting this domain's
+// certificates.
+func (d *Domain) Adjudicator() *Adjudicator { return core.NewAdjudicator(d.creds) }
+
+// OrgOption configures an organisation.
+type OrgOption func(*orgConfig)
+
+type orgConfig struct {
+	addr    string
+	logPath string
+	roles   []string
+}
+
+// WithAddr fixes the organisation's coordinator address (host:port under
+// WithTCP).
+func WithAddr(addr string) OrgOption {
+	return func(c *orgConfig) { c.addr = addr }
+}
+
+// WithFileLog persists the organisation's evidence log at path.
+func WithFileLog(path string) OrgOption {
+	return func(c *orgConfig) { c.logPath = path }
+}
+
+// WithCertRoles embeds role names in the organisation's certificate; peers
+// can activate them through their access managers.
+func WithCertRoles(roles ...string) OrgOption {
+	return func(c *orgConfig) { c.roles = roles }
+}
+
+// AddOrg enrols an organisation: generates its signing key, certifies it
+// under the domain CA, and starts its trusted interceptor.
+func (d *Domain) AddOrg(p Party, opts ...OrgOption) (*Org, error) {
+	cfg := orgConfig{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	d.mu.Lock()
+	if _, exists := d.orgs[p]; exists {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("nonrep: organisation %s already enrolled", p)
+	}
+	d.mu.Unlock()
+
+	signer, err := sig.Generate(d.alg, string(p)+"#key")
+	if err != nil {
+		return nil, err
+	}
+	var issueOpts []credential.IssueOption
+	if len(cfg.roles) > 0 {
+		issueOpts = append(issueOpts, credential.WithRoles(cfg.roles...))
+	}
+	cert, err := d.ca.Issue(p, signer.KeyID(), signer.PublicKey(), issueOpts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.creds.Add(cert); err != nil {
+		return nil, err
+	}
+
+	addr := cfg.addr
+	if addr == "" {
+		if d.tcp {
+			addr = "127.0.0.1:0"
+		} else {
+			addr = string(p)
+		}
+	}
+	var log store.Log
+	if cfg.logPath != "" {
+		log, err = store.OpenFileLog(cfg.logPath, d.clk)
+		if err != nil {
+			return nil, err
+		}
+	}
+	node, err := core.NewNode(core.NodeConfig{
+		Party:     p,
+		Signer:    signer,
+		Creds:     d.creds,
+		Clock:     d.clk,
+		Network:   d.network,
+		Addr:      addr,
+		Directory: d.dir,
+		Log:       log,
+		TSA:       d.tsa,
+	})
+	if err != nil {
+		return nil, err
+	}
+	org := &Org{domain: d, node: node, cert: cert, acl: access.NewManager()}
+	// Register the sharing controller eagerly so the organisation can be
+	// admitted to sharing groups (receive welcome transfers) before it
+	// first touches shared information itself.
+	org.ctl = sharing.NewController(node.Coordinator())
+	d.mu.Lock()
+	d.orgs[p] = org
+	d.mu.Unlock()
+	return org, nil
+}
+
+// Org returns an enrolled organisation.
+func (d *Domain) Org(p Party) (*Org, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	org, ok := d.orgs[p]
+	if !ok {
+		return nil, fmt.Errorf("nonrep: organisation %s not enrolled", p)
+	}
+	return org, nil
+}
+
+// ExportBundle writes a portable evidence bundle — root certificate, all
+// party certificates and every organisation's evidence log — to dir, for
+// offline verification with an Adjudicator (for example via cmd/nrverify).
+func (d *Domain) ExportBundle(dir string) error {
+	d.mu.Lock()
+	b := &bundle.Bundle{
+		CA:   d.ca.Certificate(),
+		Logs: make(map[Party][]*store.Record, len(d.orgs)),
+	}
+	for p, org := range d.orgs {
+		b.Certs = append(b.Certs, org.cert)
+		b.Logs[p] = org.node.Log().Records()
+	}
+	d.mu.Unlock()
+	return bundle.Write(dir, b)
+}
+
+// Close stops every organisation and the transport.
+func (d *Domain) Close() error {
+	d.mu.Lock()
+	orgs := make([]*Org, 0, len(d.orgs))
+	for _, o := range d.orgs {
+		orgs = append(orgs, o)
+	}
+	d.mu.Unlock()
+	var firstErr error
+	for _, o := range orgs {
+		if err := o.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if d.inproc != nil {
+		if err := d.inproc.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Org is one organisation's trusted interceptor plus its hosted
+// application runtime: component container, access manager, sharing
+// controller and invocation servers.
+type Org struct {
+	domain *Domain
+	node   *core.Node
+	cert   *credential.Certificate
+	acl    *access.Manager
+
+	mu      sync.Mutex
+	cont    *container.Container
+	ctl     *sharing.Controller
+	servers []*invoke.Server
+}
+
+// Party returns the organisation's identifier.
+func (o *Org) Party() Party { return o.node.Party() }
+
+// Addr returns the organisation's coordinator address.
+func (o *Org) Addr() string { return o.node.Coordinator().Addr() }
+
+// Certificate returns the organisation's domain certificate.
+func (o *Org) Certificate() *credential.Certificate { return o.cert }
+
+// AccessControl returns the organisation's access manager.
+func (o *Org) AccessControl() *access.Manager { return o.acl }
+
+// Log returns the organisation's evidence log.
+func (o *Org) Log() store.Log { return o.node.Log() }
+
+// Container returns (creating on first use) the organisation's component
+// container.
+func (o *Org) Container() *container.Container {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.cont == nil {
+		o.cont = container.New(o.acl)
+	}
+	return o.cont
+}
+
+// Deploy installs a component in the organisation's container.
+func (o *Org) Deploy(desc Descriptor, component any) error {
+	return o.Container().Deploy(desc, component)
+}
+
+// Serve starts invocation servers for the given protocols (default:
+// direct) executing requests through the container.
+func (o *Org) Serve(opts ...ServerOption) *invoke.Server {
+	srv := invoke.NewServer(o.node.Coordinator(), o.Container(), opts...)
+	o.mu.Lock()
+	o.servers = append(o.servers, srv)
+	o.mu.Unlock()
+	return srv
+}
+
+// ServeExecutor starts an invocation server with a custom executor
+// instead of the container.
+func (o *Org) ServeExecutor(exec Executor, opts ...ServerOption) *invoke.Server {
+	srv := invoke.NewServer(o.node.Coordinator(), exec, opts...)
+	o.mu.Lock()
+	o.servers = append(o.servers, srv)
+	o.mu.Unlock()
+	return srv
+}
+
+// Client creates an invocation client.
+func (o *Org) Client(opts ...ClientOption) *invoke.Client {
+	return invoke.NewClient(o.node.Coordinator(), opts...)
+}
+
+// Proxy creates a client-side dynamic proxy for a remote component.
+func (o *Org) Proxy(server Party, service Service, clientOpts []ClientOption, proxyOpts ...container.ProxyOption) *Proxy {
+	return container.NewProxy(o.Client(clientOpts...), server, service, proxyOpts...)
+}
+
+// Sharing returns (creating on first use) the organisation's B2BObject
+// controller.
+func (o *Org) Sharing() *sharing.Controller {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.ctl == nil {
+		o.ctl = sharing.NewController(o.node.Coordinator())
+	}
+	return o.ctl
+}
+
+// Share installs a local replica of a shared object (every founding
+// member calls Share with identical arguments).
+func (o *Org) Share(object string, initial []byte, group []Party) error {
+	return o.Sharing().Create(object, initial, group)
+}
+
+// EnableRelay makes this organisation an inline TTP relay (Figure 3a/3b).
+// Route nil relays straight to each request's server.
+func (o *Org) EnableRelay(route invoke.RelayRoute) *invoke.Relay {
+	if route == nil {
+		route = invoke.RouteToServer()
+	}
+	return invoke.NewRelay(o.node.Coordinator(), route)
+}
+
+// RouteToServer is the final-hop relay route.
+func RouteToServer() invoke.RelayRoute { return invoke.RouteToServer() }
+
+// RouteVia chains relays (the distributed inline TTP of Figure 3b).
+func RouteVia(peer Party) invoke.RelayRoute { return invoke.RouteVia(peer) }
+
+// EnableResolve makes this organisation an offline TTP for fair-protocol
+// abort/resolve recovery.
+func (o *Org) EnableResolve() *invoke.ResolveService {
+	return invoke.NewResolveService(o.node.Coordinator())
+}
+
+// EnableEPM makes this organisation an Electronic-Postmark service
+// (paper section 5).
+func (o *Org) EnableEPM() *ttp.EPM {
+	return ttp.NewEPM(o.node.Coordinator())
+}
+
+// EPMClient creates a client of a postmark service hosted at epm.
+func (o *Org) EPMClient(epm Party) *ttp.Client {
+	return ttp.NewClient(o.node.Coordinator(), epm)
+}
+
+// ActivatePeerRoles activates the roles embedded in a peer's certificate
+// with this organisation's access manager — the credential-exchange hook
+// of paper section 3.5.
+func (o *Org) ActivatePeerRoles(peer Party) error {
+	org, err := o.domain.Org(peer)
+	if err != nil {
+		return err
+	}
+	o.acl.ActivateFromCertificate(org.cert)
+	return nil
+}
+
+// Invoke performs a one-shot non-repudiable invocation without a proxy.
+func (o *Org) Invoke(ctx context.Context, server Party, req Request, opts ...ClientOption) (*Result, error) {
+	return o.Client(opts...).Invoke(ctx, server, req)
+}
+
+func (o *Org) close() error {
+	o.mu.Lock()
+	servers := o.servers
+	o.mu.Unlock()
+	var firstErr error
+	for _, s := range servers {
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := o.node.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := o.node.Log().Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// ErrNotEnrolled is returned for operations naming unknown organisations.
+var ErrNotEnrolled = errors.New("nonrep: organisation not enrolled")

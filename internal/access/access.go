@@ -1,0 +1,164 @@
+// Package access implements the access-control service of section 3.5:
+// mapping credentials to roles between organisations, in the style of the
+// event-based model the paper cites (Bacon, Moody and Yao, reference [2])
+// "where roles are activated, based on credentials presented, and
+// de-activated in response to events in the system or changes in the
+// environment".
+package access
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"nonrep/internal/credential"
+	"nonrep/internal/id"
+)
+
+// Role names a virtual-enterprise role ("supplier", "manufacturer",
+// "dealer", ...).
+type Role string
+
+// ErrDenied is returned when a party holds no active role permitting an
+// operation.
+var ErrDenied = errors.New("access: denied")
+
+// EventKind classifies role-management events.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventCredentialPresented activates the roles carried by a
+	// presented (verified) credential — the exchange-of-credentials hook
+	// of section 3.5.
+	EventCredentialPresented EventKind = iota + 1
+	// EventRevoked deactivates all of a party's roles after credential
+	// revocation.
+	EventRevoked
+	// EventDisconnected deactivates all of a party's roles after the
+	// party leaves the virtual enterprise.
+	EventDisconnected
+)
+
+// Event is a role-management event.
+type Event struct {
+	Kind  EventKind
+	Party id.Party
+	Roles []Role
+}
+
+// Manager holds the role requirements of local services and each remote
+// party's currently active roles. It is safe for concurrent use.
+type Manager struct {
+	mu       sync.RWMutex
+	required map[string][]Role
+	active   map[id.Party]map[Role]bool
+}
+
+// NewManager creates an empty access-control manager.
+func NewManager() *Manager {
+	return &Manager{
+		required: make(map[string][]Role),
+		active:   make(map[id.Party]map[Role]bool),
+	}
+}
+
+func ruleKey(service id.Service, operation string) string {
+	return string(service) + "#" + operation
+}
+
+// Require declares that an operation needs one of the given roles. An
+// empty operation sets the default for all operations on the service.
+func (m *Manager) Require(service id.Service, operation string, roles ...Role) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.required[ruleKey(service, operation)] = roles
+}
+
+// Activate grants roles to a party.
+func (m *Manager) Activate(party id.Party, roles ...Role) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	set, ok := m.active[party]
+	if !ok {
+		set = make(map[Role]bool)
+		m.active[party] = set
+	}
+	for _, r := range roles {
+		set[r] = true
+	}
+}
+
+// Deactivate withdraws roles from a party.
+func (m *Manager) Deactivate(party id.Party, roles ...Role) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	set, ok := m.active[party]
+	if !ok {
+		return
+	}
+	for _, r := range roles {
+		delete(set, r)
+	}
+}
+
+// DeactivateAll withdraws every role from a party.
+func (m *Manager) DeactivateAll(party id.Party) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.active, party)
+}
+
+// Roles lists a party's active roles.
+func (m *Manager) Roles(party id.Party) []Role {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	set := m.active[party]
+	out := make([]Role, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Apply processes a role-management event.
+func (m *Manager) Apply(ev Event) {
+	switch ev.Kind {
+	case EventCredentialPresented:
+		m.Activate(ev.Party, ev.Roles...)
+	case EventRevoked, EventDisconnected:
+		m.DeactivateAll(ev.Party)
+	}
+}
+
+// ActivateFromCertificate maps a verified certificate's embedded roles to
+// active roles for its subject.
+func (m *Manager) ActivateFromCertificate(cert *credential.Certificate) {
+	roles := make([]Role, 0, len(cert.Roles))
+	for _, r := range cert.Roles {
+		roles = append(roles, Role(r))
+	}
+	m.Apply(Event{Kind: EventCredentialPresented, Party: cert.Subject, Roles: roles})
+}
+
+// Authorize checks that the party holds an active role permitting the
+// operation. Operations with no declared requirement (neither specific nor
+// service-wide) are open.
+func (m *Manager) Authorize(party id.Party, service id.Service, operation string) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	roles, ok := m.required[ruleKey(service, operation)]
+	if !ok {
+		roles, ok = m.required[ruleKey(service, "")]
+	}
+	if !ok {
+		return nil
+	}
+	active := m.active[party]
+	for _, r := range roles {
+		if active[r] {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s needs one of %v for %s/%s", ErrDenied, party, roles, service, operation)
+}

@@ -1,0 +1,147 @@
+package bundle_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nonrep/internal/bundle"
+	"nonrep/internal/core"
+	"nonrep/internal/credential"
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/sig"
+	"nonrep/internal/store"
+	"nonrep/internal/testpki"
+)
+
+const (
+	orgA = id.Party("urn:org:a")
+	orgB = id.Party("urn:org:b")
+)
+
+func buildBundle(t *testing.T) (*bundle.Bundle, *testpki.Realm) {
+	t.Helper()
+	realm := testpki.MustRealm(orgA, orgB)
+	logA := store.NewMemLog(realm.Clock)
+	logB := store.NewMemLog(realm.Clock)
+	run := id.NewRun()
+	tokA, err := realm.Party(orgA).Issuer.Issue(evidence.KindNRO, run, 1, sig.Sum([]byte("req")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokB, err := realm.Party(orgB).Issuer.Issue(evidence.KindNRR, run, 1, sig.Sum([]byte("req")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := logA.Append(store.Generated, tokA, "sent"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := logA.Append(store.Received, tokB, "recv"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := logB.Append(store.Received, tokA, "recv"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := logB.Append(store.Generated, tokB, "sent"); err != nil {
+		t.Fatal(err)
+	}
+	return &bundle.Bundle{
+		CA:    realm.CA.Certificate(),
+		Certs: []*credential.Certificate{realm.Party(orgA).Cert, realm.Party(orgB).Cert},
+		Logs: map[id.Party][]*store.Record{
+			orgA: logA.Records(),
+			orgB: logB.Records(),
+		},
+	}, realm
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	t.Parallel()
+	b, realm := buildBundle(t)
+	dir := t.TempDir()
+	if err := bundle.Write(dir, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bundle.Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CA.Serial != b.CA.Serial {
+		t.Errorf("CA serial = %s", got.CA.Serial)
+	}
+	if len(got.Certs) != 2 {
+		t.Errorf("certs = %d", len(got.Certs))
+	}
+	if len(got.Logs) != 2 {
+		t.Fatalf("logs = %d", len(got.Logs))
+	}
+	for p, records := range got.Logs {
+		if len(records) != 2 {
+			t.Errorf("%s log = %d records", p, len(records))
+		}
+		if err := store.VerifyRecords(records); err != nil {
+			t.Errorf("%s chain after round trip: %v", p, err)
+		}
+	}
+
+	// The round-tripped bundle supports full adjudication.
+	creds, err := got.CredentialStore(realm.Clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := core.NewAdjudicator(creds)
+	for p, records := range got.Logs {
+		if report := adj.AuditLog(records); !report.Clean() {
+			t.Errorf("%s audit after round trip: %+v", p, report)
+		}
+	}
+}
+
+func TestReadMissingDir(t *testing.T) {
+	t.Parallel()
+	if _, err := bundle.Read(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("Read(absent) succeeded")
+	}
+}
+
+func TestReadCorruptLog(t *testing.T) {
+	t.Parallel()
+	b, _ := buildBundle(t)
+	dir := t.TempDir()
+	if err := bundle.Write(dir, b); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "logs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "logs", entries[0].Name()), []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bundle.Read(dir); err == nil {
+		t.Fatal("Read accepted corrupt log")
+	}
+}
+
+func TestTamperedBundleDetectedByAdjudicator(t *testing.T) {
+	t.Parallel()
+	b, realm := buildBundle(t)
+	dir := t.TempDir()
+	if err := bundle.Write(dir, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bundle.Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doctor a record post-export: the chain audit must flag it.
+	got.Logs[orgA][0].Note = "doctored"
+	creds, err := got.CredentialStore(realm.Clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report := core.NewAdjudicator(creds).AuditLog(got.Logs[orgA]); report.Clean() {
+		t.Fatal("adjudicator accepted doctored bundle")
+	}
+}

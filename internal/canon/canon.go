@@ -1,0 +1,50 @@
+// Package canon provides the canonical byte encoding used whenever a value
+// is signed or digested. Non-repudiation evidence is only meaningful if all
+// parties derive identical bytes from identical values (paper section 3.4:
+// parameters and results "must be resolved to an agreed representation").
+//
+// The encoding is JSON with two rules that make it deterministic:
+//
+//   - only struct types with fixed field order, slices, strings, integers
+//     and booleans appear in signed material (encoding/json emits struct
+//     fields in declaration order and sorts map keys, so map use is safe
+//     but discouraged in signed payloads);
+//   - floating-point values must not appear in signed material.
+package canon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Marshal returns the canonical encoding of v.
+func Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, fmt.Errorf("canon: marshal %T: %w", v, err)
+	}
+	// Encoder appends a newline; the canonical form excludes it.
+	return bytes.TrimSuffix(buf.Bytes(), []byte{'\n'}), nil
+}
+
+// MustMarshal is Marshal for values that are known to be encodable
+// (typically middleware-defined struct types). It panics on failure, which
+// indicates a programming error, not an input error.
+func MustMarshal(v any) []byte {
+	data, err := Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// Unmarshal decodes canonical bytes into v.
+func Unmarshal(data []byte, v any) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("canon: unmarshal into %T: %w", v, err)
+	}
+	return nil
+}

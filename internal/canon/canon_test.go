@@ -1,0 +1,122 @@
+package canon
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+type sample struct {
+	Name  string            `json:"name"`
+	Count int               `json:"count"`
+	Tags  []string          `json:"tags,omitempty"`
+	Meta  map[string]string `json:"meta,omitempty"`
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	t.Parallel()
+	v := sample{
+		Name:  "order-42",
+		Count: 3,
+		Tags:  []string{"b", "a"},
+		Meta:  map[string]string{"z": "1", "a": "2", "m": "3"},
+	}
+	first, err := Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		again, err := Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("encoding %d differs:\n%s\n%s", i, first, again)
+		}
+	}
+}
+
+func TestMarshalSortsMapKeys(t *testing.T) {
+	t.Parallel()
+	a, err := Marshal(map[string]int{"x": 1, "a": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != `{"a":2,"x":1}` {
+		t.Fatalf("map encoding = %s", a)
+	}
+}
+
+func TestMarshalNoTrailingNewline(t *testing.T) {
+	t.Parallel()
+	data, err := Marshal("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.HasSuffix(data, []byte{'\n'}) {
+		t.Fatal("canonical encoding has trailing newline")
+	}
+}
+
+func TestMarshalNoHTMLEscaping(t *testing.T) {
+	t.Parallel()
+	data, err := Marshal("a<b>&c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `"a<b>&c"` {
+		t.Fatalf("encoding = %s, want unescaped", data)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := func(name string, count int, tags []string) bool {
+		in := sample{Name: name, Count: count, Tags: tags}
+		data, err := Marshal(in)
+		if err != nil {
+			return false
+		}
+		var out sample
+		if err := Unmarshal(data, &out); err != nil {
+			return false
+		}
+		if out.Name != in.Name || out.Count != in.Count || len(out.Tags) != len(in.Tags) {
+			return false
+		}
+		for i := range in.Tags {
+			if out.Tags[i] != in.Tags[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalUnencodable(t *testing.T) {
+	t.Parallel()
+	if _, err := Marshal(make(chan int)); err == nil {
+		t.Fatal("Marshal(chan) succeeded")
+	}
+}
+
+func TestMustMarshalPanicsOnUnencodable(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustMarshal(chan) did not panic")
+		}
+	}()
+	MustMarshal(make(chan int))
+}
+
+func TestUnmarshalError(t *testing.T) {
+	t.Parallel()
+	var v sample
+	if err := Unmarshal([]byte("{not json"), &v); err == nil {
+		t.Fatal("Unmarshal accepted invalid input")
+	}
+}

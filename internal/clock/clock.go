@@ -1,0 +1,57 @@
+// Package clock abstracts time so that protocol timeouts, evidence
+// timestamps and certificate validity can be tested deterministically.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time.
+type Clock interface {
+	Now() time.Time
+}
+
+// Real reads the system clock. The zero value is ready to use.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now returns the current system time.
+func (Real) Now() time.Time { return time.Now() }
+
+// Manual is a test clock that only moves when told to. It is safe for
+// concurrent use.
+type Manual struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+var _ Clock = (*Manual)(nil)
+
+// NewManual returns a manual clock initialised to start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+// Now returns the clock's current reading.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Advance moves the clock forward by d and returns the new reading.
+func (m *Manual) Advance(d time.Duration) time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = m.now.Add(d)
+	return m.now
+}
+
+// Set moves the clock to t.
+func (m *Manual) Set(t time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = t
+}

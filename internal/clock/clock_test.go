@@ -1,0 +1,54 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealNow(t *testing.T) {
+	t.Parallel()
+	before := time.Now()
+	got := Real{}.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestManual(t *testing.T) {
+	t.Parallel()
+	start := time.Date(2004, time.March, 25, 12, 0, 0, 0, time.UTC)
+	m := NewManual(start)
+	if !m.Now().Equal(start) {
+		t.Fatalf("Now() = %v, want %v", m.Now(), start)
+	}
+	got := m.Advance(90 * time.Second)
+	want := start.Add(90 * time.Second)
+	if !got.Equal(want) || !m.Now().Equal(want) {
+		t.Fatalf("Advance → %v, want %v", got, want)
+	}
+	later := start.Add(time.Hour)
+	m.Set(later)
+	if !m.Now().Equal(later) {
+		t.Fatalf("Set → %v, want %v", m.Now(), later)
+	}
+}
+
+func TestManualConcurrent(t *testing.T) {
+	t.Parallel()
+	m := NewManual(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			m.Advance(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		_ = m.Now()
+	}
+	<-done
+	if got := m.Now(); !got.Equal(time.Unix(0, 0).Add(time.Second)) {
+		t.Fatalf("final time %v, want %v", got, time.Unix(1, 0))
+	}
+}

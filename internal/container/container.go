@@ -1,0 +1,310 @@
+// Package container is the component-middleware substrate of section 4 —
+// the Go analogue of the paper's J2EE/JBoss prototype. Components
+// (business-logic objects) are deployed into a container with a deployment
+// descriptor; the container intercepts invocations and runs them through a
+// chain of interceptors providing non-functional services (access control,
+// transactions, persistence, shared-object coordination), exactly as
+// "an application-level invocation passes through a chain of interceptors,
+// each interceptor completing some task before passing the invocation to
+// the next interceptor in the chain" (section 4).
+//
+// Reflection gives the container "access to the application-level method
+// called, the method parameters, the target bean and its deployment
+// descriptor", mirroring JBoss (section 4). Remote invocations arrive
+// through the non-repudiation middleware (package invoke), for which the
+// container is the Executor: the request reaches the component only after
+// the NR interceptor has verified the client's evidence.
+package container
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"nonrep/internal/access"
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/invoke"
+)
+
+// Errors reported by the container.
+var (
+	// ErrUnknownService is returned for invocations on undeployed
+	// services.
+	ErrUnknownService = errors.New("container: unknown service")
+	// ErrUnknownMethod is returned for invocations of undeclared
+	// methods.
+	ErrUnknownMethod = errors.New("container: unknown method")
+	// ErrBadSignature is returned when a component method has an
+	// unsupported signature.
+	ErrBadSignature = errors.New("container: unsupported method signature")
+	// ErrArgumentMismatch is returned when invocation arguments do not
+	// match the method parameters.
+	ErrArgumentMismatch = errors.New("container: argument mismatch")
+)
+
+// MethodPolicy is the per-method part of a deployment descriptor: "the
+// application programmer on the server side is responsible for
+// identifying, in a bean's deployment descriptor, when non-repudiation is
+// required and for identifying the platform and protocol" (section 4.2).
+type MethodPolicy struct {
+	// NonRepudiation requires the invocation to arrive through an NR
+	// protocol.
+	NonRepudiation bool
+	// Protocol names the required NR protocol (default: direct).
+	Protocol string
+	// Roles lists roles permitted to invoke the method (any-of); empty
+	// means open.
+	Roles []access.Role
+	// Timeout overrides the agreed execution timeout.
+	Timeout time.Duration
+}
+
+// Descriptor is a component's deployment descriptor.
+type Descriptor struct {
+	// Service is the URI the component is deployed at.
+	Service id.Service
+	// Methods maps exported method names to their policies. Methods not
+	// listed are not invocable remotely.
+	Methods map[string]MethodPolicy
+}
+
+// Invocation is the container-level view of a call (the JBoss Invocation
+// object analogue).
+type Invocation struct {
+	Caller  id.Party
+	Service id.Service
+	Method  string
+	// Args carry the canonical encodings of the arguments.
+	Args []json.RawMessage
+	// Meta carries propagated context.
+	Meta map[string]string
+}
+
+// Invoker is the downstream target of an interceptor.
+type Invoker interface {
+	Invoke(ctx context.Context, inv *Invocation) (any, error)
+}
+
+// InvokerFunc adapts a function to the Invoker interface.
+type InvokerFunc func(ctx context.Context, inv *Invocation) (any, error)
+
+// Invoke implements Invoker.
+func (f InvokerFunc) Invoke(ctx context.Context, inv *Invocation) (any, error) {
+	return f(ctx, inv)
+}
+
+// Interceptor is one element of an invocation-path chain.
+type Interceptor interface {
+	// Name identifies the interceptor in diagnostics.
+	Name() string
+	// Invoke processes the invocation and (usually) delegates to next.
+	Invoke(ctx context.Context, inv *Invocation, next Invoker) (any, error)
+}
+
+// Chain composes interceptors around a terminal invoker.
+func Chain(terminal Invoker, interceptors ...Interceptor) Invoker {
+	next := terminal
+	for i := len(interceptors) - 1; i >= 0; i-- {
+		ic := interceptors[i]
+		downstream := next
+		next = InvokerFunc(func(ctx context.Context, inv *Invocation) (any, error) {
+			return ic.Invoke(ctx, inv, downstream)
+		})
+	}
+	return next
+}
+
+// hosted is a deployed component.
+type hosted struct {
+	desc    Descriptor
+	recv    reflect.Value
+	methods map[string]reflect.Method
+}
+
+// Container hosts components and dispatches verified invocations to them.
+type Container struct {
+	acl          *access.Manager
+	interceptors []Interceptor
+
+	mu         sync.RWMutex
+	components map[id.Service]*hosted
+}
+
+var _ invoke.Executor = (*Container)(nil)
+
+// Option configures a container.
+type Option func(*Container)
+
+// WithInterceptors installs additional server-side interceptors, run in
+// order after the container's built-in access-control interceptor.
+func WithInterceptors(ics ...Interceptor) Option {
+	return func(c *Container) { c.interceptors = append(c.interceptors, ics...) }
+}
+
+// New creates a container enforcing the given access policy.
+func New(acl *access.Manager, opts ...Option) *Container {
+	c := &Container{acl: acl, components: make(map[id.Service]*hosted)}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+var (
+	ctxType = reflect.TypeOf((*context.Context)(nil)).Elem()
+	errType = reflect.TypeOf((*error)(nil)).Elem()
+)
+
+// Deploy installs a component at its descriptor's service URI. Every
+// declared method must exist on the component with signature
+// func(ctx context.Context, args...) (results..., error).
+func (c *Container) Deploy(desc Descriptor, component any) error {
+	recv := reflect.ValueOf(component)
+	t := recv.Type()
+	methods := make(map[string]reflect.Method, len(desc.Methods))
+	for name := range desc.Methods {
+		m, ok := t.MethodByName(name)
+		if !ok {
+			return fmt.Errorf("%w: %s has no method %s", ErrUnknownMethod, t, name)
+		}
+		mt := m.Type
+		if mt.NumIn() < 2 || mt.In(1) != ctxType {
+			return fmt.Errorf("%w: %s.%s must take context.Context first", ErrBadSignature, t, name)
+		}
+		if mt.NumOut() < 1 || mt.Out(mt.NumOut()-1) != errType {
+			return fmt.Errorf("%w: %s.%s must return error last", ErrBadSignature, t, name)
+		}
+		methods[name] = m
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.components[desc.Service]; ok {
+		return fmt.Errorf("container: service %s already deployed", desc.Service)
+	}
+	c.components[desc.Service] = &hosted{desc: desc, recv: recv, methods: methods}
+	return nil
+}
+
+// Policy returns the deployed policy for a service method.
+func (c *Container) Policy(service id.Service, method string) (MethodPolicy, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	h, ok := c.components[service]
+	if !ok {
+		return MethodPolicy{}, fmt.Errorf("%w: %s", ErrUnknownService, service)
+	}
+	p, ok := h.desc.Methods[method]
+	if !ok {
+		return MethodPolicy{}, fmt.Errorf("%w: %s on %s", ErrUnknownMethod, method, service)
+	}
+	return p, nil
+}
+
+// Execute implements invoke.Executor: it is the point where "the client's
+// request is actually passed through the interceptor chain to the EJB
+// component for execution" (section 4.2).
+func (c *Container) Execute(ctx context.Context, req *evidence.RequestSnapshot) ([]evidence.Param, error) {
+	inv := &Invocation{
+		Caller:  req.Client,
+		Service: req.Service,
+		Method:  req.Operation,
+		Meta:    map[string]string{"run": string(req.Run), "protocol": req.Protocol},
+	}
+	for _, p := range req.Params {
+		switch p.Kind {
+		case evidence.ParamValue:
+			inv.Args = append(inv.Args, p.Value)
+		case evidence.ParamServiceRef:
+			raw, err := json.Marshal(p.URI)
+			if err != nil {
+				return nil, err
+			}
+			inv.Args = append(inv.Args, raw)
+		case evidence.ParamSharedRef:
+			raw, err := json.Marshal(p.Ref)
+			if err != nil {
+				return nil, err
+			}
+			inv.Args = append(inv.Args, raw)
+		default:
+			return nil, fmt.Errorf("%w: parameter kind %q", ErrArgumentMismatch, p.Kind)
+		}
+	}
+	chain := Chain(InvokerFunc(c.dispatch), append([]Interceptor{&aclInterceptor{acl: c.acl}}, c.interceptors...)...)
+	out, err := chain.Invoke(ctx, inv)
+	if err != nil {
+		return nil, err
+	}
+	params, ok := out.([]evidence.Param)
+	if !ok {
+		return nil, fmt.Errorf("container: dispatch returned %T", out)
+	}
+	return params, nil
+}
+
+// dispatch is the terminal invoker: reflective method invocation on the
+// deployed component.
+func (c *Container) dispatch(ctx context.Context, inv *Invocation) (any, error) {
+	c.mu.RLock()
+	h, ok := c.components[inv.Service]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownService, inv.Service)
+	}
+	m, ok := h.methods[inv.Method]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s on %s", ErrUnknownMethod, inv.Method, inv.Service)
+	}
+	mt := m.Type
+	wantArgs := mt.NumIn() - 2 // receiver + ctx
+	if len(inv.Args) != wantArgs {
+		return nil, fmt.Errorf("%w: %s.%s takes %d args, got %d",
+			ErrArgumentMismatch, inv.Service, inv.Method, wantArgs, len(inv.Args))
+	}
+	callArgs := make([]reflect.Value, 0, mt.NumIn())
+	callArgs = append(callArgs, h.recv, reflect.ValueOf(ctx))
+	for i := 0; i < wantArgs; i++ {
+		pv := reflect.New(mt.In(i + 2))
+		if err := json.Unmarshal(inv.Args[i], pv.Interface()); err != nil {
+			return nil, fmt.Errorf("%w: arg %d of %s.%s: %v", ErrArgumentMismatch, i, inv.Service, inv.Method, err)
+		}
+		callArgs = append(callArgs, pv.Elem())
+	}
+	outs := m.Func.Call(callArgs)
+	if errV := outs[len(outs)-1]; !errV.IsNil() {
+		return nil, errV.Interface().(error)
+	}
+	results := make([]evidence.Param, 0, len(outs)-1)
+	for i, o := range outs[:len(outs)-1] {
+		p, err := evidence.ValueParam(fmt.Sprintf("result%d", i), o.Interface())
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, p)
+	}
+	return results, nil
+}
+
+// aclInterceptor enforces method role policies, turning denials into
+// received-but-not-executed evidence upstream (section 3.2).
+type aclInterceptor struct {
+	acl *access.Manager
+}
+
+// Name implements Interceptor.
+func (a *aclInterceptor) Name() string { return "access-control" }
+
+// Invoke implements Interceptor.
+func (a *aclInterceptor) Invoke(ctx context.Context, inv *Invocation, next Invoker) (any, error) {
+	if a.acl != nil {
+		if err := a.acl.Authorize(inv.Caller, inv.Service, inv.Method); err != nil {
+			return nil, fmt.Errorf("%w: %v", invoke.ErrNotExecuted, err)
+		}
+	}
+	return next.Invoke(ctx, inv)
+}

@@ -1,0 +1,233 @@
+package container
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"nonrep/internal/sharing"
+	"nonrep/internal/store"
+)
+
+func jsonUnmarshal(data []byte, v any) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("container: decode result: %w", err)
+	}
+	return nil
+}
+
+// LogFunc receives interceptor diagnostics.
+type LogFunc func(format string, args ...any)
+
+// LoggingInterceptor traces invocations through the chain.
+type LoggingInterceptor struct {
+	Log LogFunc
+}
+
+// Name implements Interceptor.
+func (l *LoggingInterceptor) Name() string { return "logging" }
+
+// Invoke implements Interceptor.
+func (l *LoggingInterceptor) Invoke(ctx context.Context, inv *Invocation, next Invoker) (any, error) {
+	out, err := next.Invoke(ctx, inv)
+	if l.Log != nil {
+		if err != nil {
+			l.Log("invoke %s.%s by %s: %v", inv.Service, inv.Method, inv.Caller, err)
+		} else {
+			l.Log("invoke %s.%s by %s: ok", inv.Service, inv.Method, inv.Caller)
+		}
+	}
+	return out, err
+}
+
+// MetaInterceptor propagates fixed context entries with every invocation
+// (the role client-side JBoss interceptors typically play, section 4.2).
+type MetaInterceptor struct {
+	Entries map[string]string
+}
+
+// Name implements Interceptor.
+func (m *MetaInterceptor) Name() string { return "context-propagation" }
+
+// Invoke implements Interceptor.
+func (m *MetaInterceptor) Invoke(ctx context.Context, inv *Invocation, next Invoker) (any, error) {
+	if inv.Meta == nil {
+		inv.Meta = make(map[string]string, len(m.Entries))
+	}
+	for k, v := range m.Entries {
+		inv.Meta[k] = v
+	}
+	return next.Invoke(ctx, inv)
+}
+
+// Transactional is implemented by components that take part in local
+// transactions demarcated by the TxInterceptor (the transaction-management
+// container service of Figure 6).
+type Transactional interface {
+	Begin() error
+	Commit() error
+	Rollback() error
+}
+
+// TxInterceptor demarcates a local transaction around each invocation of a
+// Transactional component.
+type TxInterceptor struct {
+	Target Transactional
+}
+
+// Name implements Interceptor.
+func (t *TxInterceptor) Name() string { return "transaction" }
+
+// Invoke implements Interceptor.
+func (t *TxInterceptor) Invoke(ctx context.Context, inv *Invocation, next Invoker) (any, error) {
+	if t.Target == nil {
+		return next.Invoke(ctx, inv)
+	}
+	if err := t.Target.Begin(); err != nil {
+		return nil, fmt.Errorf("container: begin transaction: %w", err)
+	}
+	out, err := next.Invoke(ctx, inv)
+	if err != nil {
+		if rbErr := t.Target.Rollback(); rbErr != nil {
+			return nil, fmt.Errorf("container: rollback after %v: %w", err, rbErr)
+		}
+		return nil, err
+	}
+	if err := t.Target.Commit(); err != nil {
+		return nil, fmt.Errorf("container: commit transaction: %w", err)
+	}
+	return out, nil
+}
+
+// Persistent is implemented by components whose state the container
+// persists after successful invocations (the persistence container service
+// of Figure 6).
+type Persistent interface {
+	MarshalState() ([]byte, error)
+}
+
+// PersistenceInterceptor stores the component's state in a state store
+// after every successful invocation.
+type PersistenceInterceptor struct {
+	Target Persistent
+	States store.StateStore
+}
+
+// Name implements Interceptor.
+func (p *PersistenceInterceptor) Name() string { return "persistence" }
+
+// Invoke implements Interceptor.
+func (p *PersistenceInterceptor) Invoke(ctx context.Context, inv *Invocation, next Invoker) (any, error) {
+	out, err := next.Invoke(ctx, inv)
+	if err != nil {
+		return nil, err
+	}
+	if p.Target != nil && p.States != nil {
+		state, mErr := p.Target.MarshalState()
+		if mErr != nil {
+			return nil, fmt.Errorf("container: marshal component state: %w", mErr)
+		}
+		if _, mErr := p.States.Put(state); mErr != nil {
+			return nil, fmt.Errorf("container: persist component state: %w", mErr)
+		}
+	}
+	return out, err
+}
+
+// SharedEntity is implemented by entity components identified as
+// B2BObjects in their deployment (section 4.3): the container coordinates
+// their state with remote replicas.
+type SharedEntity interface {
+	// SharedObjectID names the coordinated object.
+	SharedObjectID() string
+	// MarshalState returns the entity's current state.
+	MarshalState() ([]byte, error)
+	// RestoreState installs (agreed or rolled-back) state.
+	RestoreState(state []byte) error
+}
+
+// ErrUpdateRejected is returned when the sharing group vetoes an entity
+// update; the entity is rolled back to the prior agreed state.
+var ErrUpdateRejected = fmt.Errorf("container: shared-object update rejected by group")
+
+// B2BObjectInterceptor is the middleware-provided interceptor of
+// Figure 8: it "traps invocations on the entity bean to ensure that a
+// B2BObjectController controls access and update to the bean". After the
+// method runs, any state change is proposed to the sharing group; the
+// update is kept only on unanimous agreement, otherwise the entity is
+// rolled back — "from the application viewpoint, the update to shared
+// information is an atomic action that succeeds or fails dependent on the
+// agreement of the parties" (section 3.3).
+type B2BObjectInterceptor struct {
+	Controller *sharing.Controller
+	Entity     SharedEntity
+
+	mu        sync.Mutex
+	proposing atomic.Bool
+
+	bindOnce sync.Once
+}
+
+// Name implements Interceptor.
+func (b *B2BObjectInterceptor) Name() string { return "b2b-object" }
+
+// Bind subscribes the entity to remotely agreed updates so every replica's
+// entity converges. It is called automatically on first invocation but may
+// be called earlier.
+func (b *B2BObjectInterceptor) Bind() {
+	b.bindOnce.Do(func() {
+		b.Controller.OnApply(b.Entity.SharedObjectID(), func(state []byte, _ sharing.Version) {
+			// An apply notification raised by this interceptor's own
+			// in-flight proposal is redundant (the entity already holds
+			// the proposed state) and re-entering the mutex would
+			// deadlock.
+			if b.proposing.Load() {
+				return
+			}
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			_ = b.Entity.RestoreState(state)
+		})
+	})
+}
+
+// Invoke implements Interceptor.
+func (b *B2BObjectInterceptor) Invoke(ctx context.Context, inv *Invocation, next Invoker) (any, error) {
+	b.Bind()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	before, err := b.Entity.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	out, err := next.Invoke(ctx, inv)
+	if err != nil {
+		return nil, err
+	}
+	after, err := b.Entity.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	if string(after) == string(before) {
+		return out, nil
+	}
+	b.proposing.Store(true)
+	res, err := b.Controller.Propose(ctx, b.Entity.SharedObjectID(), after)
+	b.proposing.Store(false)
+	if err != nil {
+		if rErr := b.Entity.RestoreState(before); rErr != nil {
+			return nil, fmt.Errorf("container: restore after failed coordination (%v): %w", err, rErr)
+		}
+		return nil, err
+	}
+	if !res.Agreed {
+		if rErr := b.Entity.RestoreState(before); rErr != nil {
+			return nil, fmt.Errorf("container: restore after veto: %w", rErr)
+		}
+		return nil, fmt.Errorf("%w: %v", ErrUpdateRejected, res.Rejections)
+	}
+	return out, nil
+}

@@ -1,0 +1,245 @@
+// Package contract implements the run-time contract monitoring the paper
+// plans to integrate (section 6, after Molina-Jimenez et al., reference
+// [16]): "contracts are represented as executable finite state machines
+// that can be verified using model-checking tools. We will ... use
+// implementations of the verified state machines to validate changes to
+// shared information for contract compliance."
+//
+// A Contract is a deterministic finite state machine; Verify performs the
+// (small-scale) model check — reachability, determinism and deadlock
+// analysis; a Monitor executes the machine; and ShareValidator plugs a
+// monitor into the NR-Sharing validation hook.
+package contract
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"nonrep/internal/sharing"
+)
+
+// State names a contract state.
+type State string
+
+// Errors reported by contracts and monitors.
+var (
+	// ErrViolation is returned when an event has no transition from the
+	// current state.
+	ErrViolation = errors.New("contract: event violates contract")
+	// ErrNondeterministic is returned when two transitions share a
+	// (from, event) pair.
+	ErrNondeterministic = errors.New("contract: nondeterministic transitions")
+	// ErrUnreachable is returned when declared accepting states cannot
+	// be reached.
+	ErrUnreachable = errors.New("contract: unreachable accepting state")
+	// ErrDeadlock is returned when a reachable non-accepting state has
+	// no outgoing transitions.
+	ErrDeadlock = errors.New("contract: reachable dead-end state")
+)
+
+// Transition is one edge of the contract machine.
+type Transition struct {
+	From  State  `json:"from"`
+	Event string `json:"event"`
+	To    State  `json:"to"`
+}
+
+// Contract is an executable finite-state contract.
+type Contract struct {
+	Name        string       `json:"name"`
+	Initial     State        `json:"initial"`
+	Transitions []Transition `json:"transitions"`
+	// Accepting lists the states in which the interaction may
+	// legitimately terminate.
+	Accepting []State `json:"accepting,omitempty"`
+}
+
+// States returns all states mentioned by the contract, sorted.
+func (c *Contract) States() []State {
+	set := map[State]bool{c.Initial: true}
+	for _, t := range c.Transitions {
+		set[t.From] = true
+		set[t.To] = true
+	}
+	for _, s := range c.Accepting {
+		set[s] = true
+	}
+	out := make([]State, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Reachable computes the states reachable from the initial state.
+func (c *Contract) Reachable() map[State]bool {
+	adj := make(map[State][]State)
+	for _, t := range c.Transitions {
+		adj[t.From] = append(adj[t.From], t.To)
+	}
+	seen := map[State]bool{c.Initial: true}
+	frontier := []State{c.Initial}
+	for len(frontier) > 0 {
+		s := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, n := range adj[s] {
+			if !seen[n] {
+				seen[n] = true
+				frontier = append(frontier, n)
+			}
+		}
+	}
+	return seen
+}
+
+// Verify model-checks the contract: transitions must be deterministic,
+// every accepting state reachable, and no reachable non-accepting state
+// may be a dead end.
+func (c *Contract) Verify() error {
+	if c.Initial == "" {
+		return fmt.Errorf("contract: %q has no initial state", c.Name)
+	}
+	seen := make(map[string]bool, len(c.Transitions))
+	outgoing := make(map[State]int)
+	for _, t := range c.Transitions {
+		key := string(t.From) + "\x00" + t.Event
+		if seen[key] {
+			return fmt.Errorf("%w: (%s, %s)", ErrNondeterministic, t.From, t.Event)
+		}
+		seen[key] = true
+		outgoing[t.From]++
+	}
+	reachable := c.Reachable()
+	accepting := make(map[State]bool, len(c.Accepting))
+	for _, s := range c.Accepting {
+		accepting[s] = true
+		if !reachable[s] {
+			return fmt.Errorf("%w: %s", ErrUnreachable, s)
+		}
+	}
+	if len(accepting) > 0 {
+		for s := range reachable {
+			if !accepting[s] && outgoing[s] == 0 {
+				return fmt.Errorf("%w: %s", ErrDeadlock, s)
+			}
+		}
+	}
+	return nil
+}
+
+// Monitor executes a contract against a stream of events. It is safe for
+// concurrent use.
+type Monitor struct {
+	contract *Contract
+	next     map[State]map[string]State
+
+	mu      sync.Mutex
+	current State
+	trace   []string
+}
+
+// NewMonitor verifies the contract and starts a monitor in its initial
+// state.
+func NewMonitor(c *Contract) (*Monitor, error) {
+	if err := c.Verify(); err != nil {
+		return nil, err
+	}
+	next := make(map[State]map[string]State)
+	for _, t := range c.Transitions {
+		m, ok := next[t.From]
+		if !ok {
+			m = make(map[string]State)
+			next[t.From] = m
+		}
+		m[t.Event] = t.To
+	}
+	return &Monitor{contract: c, next: next, current: c.Initial}, nil
+}
+
+// Current returns the monitor's current state.
+func (m *Monitor) Current() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.current
+}
+
+// Trace returns the events accepted so far.
+func (m *Monitor) Trace() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.trace...)
+}
+
+// CanStep reports whether an event is currently contract-compliant.
+func (m *Monitor) CanStep(event string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.next[m.current][event]
+	return ok
+}
+
+// Step advances the machine by one event, returning ErrViolation if the
+// event is not permitted in the current state.
+func (m *Monitor) Step(event string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	to, ok := m.next[m.current][event]
+	if !ok {
+		return fmt.Errorf("%w: %q in state %s of %s", ErrViolation, event, m.current, m.contract.Name)
+	}
+	m.current = to
+	m.trace = append(m.trace, event)
+	return nil
+}
+
+// Accepting reports whether the monitor is in an accepting state.
+func (m *Monitor) Accepting() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.contract.Accepting {
+		if s == m.current {
+			return true
+		}
+	}
+	return false
+}
+
+// EventFunc maps a proposed sharing change to a contract event.
+type EventFunc func(change *sharing.Change) string
+
+// ShareValidator adapts a contract monitor into an NR-Sharing validator:
+// proposals mapping to non-compliant events are vetoed, and accepted
+// proposals advance the machine when the agreed change is applied. Wire
+// the returned apply hook with sharing.Controller.OnApply.
+func ShareValidator(m *Monitor, eventOf EventFunc) (sharing.Validator, sharing.ApplyFunc) {
+	// pending remembers the event judged for the in-flight proposal so
+	// the apply hook advances by exactly that event.
+	var (
+		mu      sync.Mutex
+		pending string
+	)
+	validator := sharing.ValidatorFunc(func(_ context.Context, ch *sharing.Change) sharing.Verdict {
+		ev := eventOf(ch)
+		if !m.CanStep(ev) {
+			return sharing.Reject(fmt.Sprintf("contract %s forbids %q in state %s", m.contract.Name, ev, m.Current()))
+		}
+		mu.Lock()
+		pending = ev
+		mu.Unlock()
+		return sharing.Accept()
+	})
+	apply := func([]byte, sharing.Version) {
+		mu.Lock()
+		ev := pending
+		pending = ""
+		mu.Unlock()
+		if ev != "" {
+			_ = m.Step(ev)
+		}
+	}
+	return validator, apply
+}

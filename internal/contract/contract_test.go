@@ -1,0 +1,168 @@
+package contract_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"nonrep/internal/contract"
+	"nonrep/internal/id"
+	"nonrep/internal/sharing"
+	"nonrep/internal/testpki"
+)
+
+// orderContract models a simple negotiation: draft → quoted → agreed, with
+// rejection back to draft.
+func orderContract() *contract.Contract {
+	return &contract.Contract{
+		Name:    "order-negotiation",
+		Initial: "draft",
+		Transitions: []contract.Transition{
+			{From: "draft", Event: "quote", To: "quoted"},
+			{From: "quoted", Event: "accept", To: "agreed"},
+			{From: "quoted", Event: "reject", To: "draft"},
+			{From: "quoted", Event: "revise", To: "quoted"},
+		},
+		Accepting: []contract.State{"agreed"},
+	}
+}
+
+func TestMonitorAcceptsCompliantTrace(t *testing.T) {
+	t.Parallel()
+	m, err := contract.NewMonitor(orderContract())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range []string{"quote", "revise", "accept"} {
+		if err := m.Step(ev); err != nil {
+			t.Fatalf("Step(%s): %v", ev, err)
+		}
+	}
+	if m.Current() != "agreed" || !m.Accepting() {
+		t.Fatalf("final state = %s", m.Current())
+	}
+	if got := m.Trace(); len(got) != 3 {
+		t.Fatalf("trace = %v", got)
+	}
+}
+
+func TestMonitorRejectsViolation(t *testing.T) {
+	t.Parallel()
+	m, err := contract.NewMonitor(orderContract())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Step("accept"); !errors.Is(err, contract.ErrViolation) {
+		t.Fatalf("Step = %v, want ErrViolation", err)
+	}
+	if m.Current() != "draft" {
+		t.Fatal("violating step moved the machine")
+	}
+	if m.CanStep("accept") {
+		t.Fatal("CanStep(accept) in draft")
+	}
+	if !m.CanStep("quote") {
+		t.Fatal("!CanStep(quote) in draft")
+	}
+}
+
+func TestVerifyNondeterminism(t *testing.T) {
+	t.Parallel()
+	c := orderContract()
+	c.Transitions = append(c.Transitions, contract.Transition{From: "draft", Event: "quote", To: "agreed"})
+	if err := c.Verify(); !errors.Is(err, contract.ErrNondeterministic) {
+		t.Fatalf("Verify = %v, want ErrNondeterministic", err)
+	}
+}
+
+func TestVerifyUnreachableAccepting(t *testing.T) {
+	t.Parallel()
+	c := orderContract()
+	c.Accepting = append(c.Accepting, "shangri-la")
+	if err := c.Verify(); !errors.Is(err, contract.ErrUnreachable) {
+		t.Fatalf("Verify = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestVerifyDeadlock(t *testing.T) {
+	t.Parallel()
+	c := orderContract()
+	c.Transitions = append(c.Transitions, contract.Transition{From: "draft", Event: "stall", To: "limbo"})
+	if err := c.Verify(); !errors.Is(err, contract.ErrDeadlock) {
+		t.Fatalf("Verify = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestReachableAndStates(t *testing.T) {
+	t.Parallel()
+	c := orderContract()
+	reach := c.Reachable()
+	for _, s := range []contract.State{"draft", "quoted", "agreed"} {
+		if !reach[s] {
+			t.Errorf("%s not reachable", s)
+		}
+	}
+	if got := c.States(); len(got) != 3 {
+		t.Fatalf("States = %v", got)
+	}
+}
+
+const (
+	orgA = id.Party("urn:org:a")
+	orgB = id.Party("urn:org:b")
+)
+
+func TestShareValidatorEnforcesContract(t *testing.T) {
+	t.Parallel()
+	d := testpki.MustDomain(orgA, orgB)
+	t.Cleanup(d.Close)
+	ctlA := sharing.NewController(d.Node(orgA).Coordinator())
+	ctlB := sharing.NewController(d.Node(orgB).Coordinator())
+	group := []id.Party{orgA, orgB}
+	if err := ctlA.Create("negotiation", []byte(`draft:`), group); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctlB.Create("negotiation", []byte(`draft:`), group); err != nil {
+		t.Fatal(err)
+	}
+
+	// B enforces the contract: updates map to events by their prefix.
+	m, err := contract.NewMonitor(orderContract())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventOf := func(ch *sharing.Change) string {
+		for i, b := range ch.NewState {
+			if b == ':' {
+				return string(ch.NewState[:i])
+			}
+		}
+		return ""
+	}
+	validator, apply := contract.ShareValidator(m, eventOf)
+	ctlB.AddValidator("negotiation", validator)
+	ctlB.OnApply("negotiation", apply)
+
+	// Out-of-order event vetoed.
+	res, err := ctlA.Propose(context.Background(), "negotiation", []byte(`accept:too-early`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Agreed {
+		t.Fatal("contract-violating update was agreed")
+	}
+
+	// Compliant sequence accepted and the machine advances.
+	for _, update := range []string{"quote:100k", "accept:done"} {
+		res, err := ctlA.Propose(context.Background(), "negotiation", []byte(update))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Agreed {
+			t.Fatalf("compliant update %q rejected: %+v", update, res.Rejections)
+		}
+	}
+	if m.Current() != "agreed" {
+		t.Fatalf("monitor state = %s, want agreed", m.Current())
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/sharing"
+	"nonrep/internal/store"
+)
+
+// Adjudicator evaluates evidence logs in dispute resolution: "to support
+// dispute resolution, the fact that trusted interceptors mediated the
+// interaction provides any honest party with irrefutable evidence of their
+// own actions within the domain and of the observed actions of other
+// parties" (section 3.1). It works from records alone — no live parties —
+// verifying hash chains, token signatures and run bindings.
+type Adjudicator struct {
+	verifier *evidence.Verifier
+}
+
+// NewAdjudicator creates an adjudicator resolving keys (and hence
+// identities) through the given resolver, typically a credential store
+// holding the domain's certificates.
+func NewAdjudicator(keys evidence.KeyResolver) *Adjudicator {
+	return &Adjudicator{verifier: &evidence.Verifier{Keys: keys}}
+}
+
+// Fault describes a problem found in presented evidence.
+type Fault struct {
+	Seq    uint64
+	Reason string
+}
+
+// LogReport is the result of auditing a full evidence log.
+type LogReport struct {
+	Records int
+	// ChainOK reports that the log's hash chain is intact (no records
+	// were altered, inserted or removed after the fact).
+	ChainOK    bool
+	ChainError string
+	// Faults lists records whose tokens fail verification.
+	Faults []Fault
+}
+
+// Clean reports whether the audit found no problems.
+func (r *LogReport) Clean() bool { return r.ChainOK && len(r.Faults) == 0 }
+
+// AuditLog verifies a log's chain and every token in it.
+func (a *Adjudicator) AuditLog(records []*store.Record) *LogReport {
+	report := &LogReport{Records: len(records), ChainOK: true}
+	if err := store.VerifyRecords(records); err != nil {
+		report.ChainOK = false
+		report.ChainError = err.Error()
+	}
+	for _, rec := range records {
+		if err := a.verifier.Verify(rec.Token); err != nil {
+			report.Faults = append(report.Faults, Fault{Seq: rec.Seq, Reason: err.Error()})
+		}
+	}
+	return report
+}
+
+// RunReport reconstructs what a set of evidence records proves about one
+// invocation run.
+type RunReport struct {
+	Run id.Run
+	// Client and Server as attested by the evidence.
+	Client id.Party
+	Server id.Party
+	// RequestProven: a valid NRO binds the request to the client — the
+	// client cannot "disavow the request" (section 2).
+	RequestProven bool
+	// ReceiptProven: a valid NRR binds receipt of the request to the
+	// server.
+	ReceiptProven bool
+	// ResponseProven: a valid NROResp binds the response to the server —
+	// the server cannot "deny having delivered a service" (section 2).
+	ResponseProven bool
+	// ResponseReceiptProven: a valid NRRResp (or TTP substitute) binds
+	// receipt of the response to the client.
+	ResponseReceiptProven bool
+	// Substituted reports that the response receipt is a TTP substitute.
+	Substituted bool
+	// Aborted reports a TTP abort affidavit for the run.
+	Aborted bool
+	// Faults lists tokens that failed verification.
+	Faults []Fault
+}
+
+// AuditRun examines the records for one run (from any party's log) and
+// reports which facts the valid evidence establishes.
+func (a *Adjudicator) AuditRun(records []*store.Record, run id.Run) *RunReport {
+	report := &RunReport{Run: run}
+	for _, rec := range records {
+		tok := rec.Token
+		if tok.Run != run {
+			continue
+		}
+		if err := a.verifier.Verify(tok); err != nil {
+			report.Faults = append(report.Faults, Fault{Seq: rec.Seq, Reason: err.Error()})
+			continue
+		}
+		switch tok.Kind {
+		case evidence.KindNRO:
+			report.RequestProven = true
+			report.Client = tok.Issuer
+		case evidence.KindNRR:
+			report.ReceiptProven = true
+			report.Server = tok.Issuer
+		case evidence.KindNROResp:
+			report.ResponseProven = true
+			report.Server = tok.Issuer
+		case evidence.KindNRRResp:
+			report.ResponseReceiptProven = true
+			report.Client = tok.Issuer
+		case evidence.KindSubstitute:
+			report.ResponseReceiptProven = true
+			report.Substituted = true
+		case evidence.KindAbort:
+			report.Aborted = true
+		}
+	}
+	return report
+}
+
+// Complete reports whether the run's evidence forms the full exchange of
+// section 3.2 — both parties bound to both request and response.
+func (r *RunReport) Complete() bool {
+	return r.RequestProven && r.ReceiptProven && r.ResponseProven && r.ResponseReceiptProven
+}
+
+// AuditSharedHistory verifies a shared object's version history chain and
+// that the presented outcome tokens cover its post-genesis versions. It
+// returns an error describing the first inconsistency: an honest party can
+// thereby "irrefutably assert the validity of the (agreed) state of shared
+// information" (section 3.1).
+func (a *Adjudicator) AuditSharedHistory(history []sharing.Version, records []*store.Record) error {
+	if err := sharing.VerifyHistory(history); err != nil {
+		return err
+	}
+	outcomes := make(map[id.Run]*evidence.Token)
+	for _, rec := range records {
+		if rec.Token.Kind == evidence.KindOutcome {
+			if err := a.verifier.Verify(rec.Token); err != nil {
+				return fmt.Errorf("core: outcome for %s: %w", rec.Token.Run, err)
+			}
+			outcomes[rec.Token.Run] = rec.Token
+		}
+	}
+	for _, v := range history[1:] {
+		if _, ok := outcomes[v.Run]; !ok {
+			return fmt.Errorf("core: version %d (run %s) has no outcome evidence", v.Number, v.Run)
+		}
+	}
+	return nil
+}

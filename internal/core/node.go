@@ -1,0 +1,113 @@
+// Package core assembles the paper's trusted interceptor (section 3.1): a
+// party's signing identity, credential store, evidence log, state store and
+// B2BCoordinator, combined into a Node that mediates the party's
+// interactions. It also provides trust-domain construction (Figure 3) and
+// the dispute adjudicator that evaluates evidence logs.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"nonrep/internal/clock"
+	"nonrep/internal/credential"
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/protocol"
+	"nonrep/internal/sig"
+	"nonrep/internal/stamp"
+	"nonrep/internal/store"
+	"nonrep/internal/transport"
+)
+
+// NodeConfig assembles a trusted interceptor for one party.
+type NodeConfig struct {
+	// Party is the organisation this interceptor acts for.
+	Party id.Party
+	// Signer signs the party's evidence.
+	Signer sig.Signer
+	// Creds verifies counterparty evidence (certificates, revocation).
+	Creds *credential.Store
+	// Clock supplies evidence timestamps and timeout bases.
+	Clock clock.Clock
+	// Network is the transport to register the coordinator on.
+	Network transport.Network
+	// Addr is the coordinator's address on the network.
+	Addr string
+	// Directory resolves parties to coordinator addresses; it is shared
+	// by the parties of a trust domain.
+	Directory *protocol.Directory
+	// Log stores the party's evidence; defaults to an in-memory log.
+	Log store.Log
+	// States stores shared-information state; defaults to in-memory.
+	States store.StateStore
+	// TSA, when set, time-stamps all issued evidence.
+	TSA *stamp.Authority
+	// Retry overrides the coordinator's retransmission policy.
+	Retry *transport.RetryPolicy
+}
+
+// Node is a running trusted interceptor: "conceptually, each party has a
+// trusted interceptor that acts on its behalf" (section 3.1).
+type Node struct {
+	cfg NodeConfig
+	co  *protocol.Coordinator
+}
+
+// NewNode assembles and starts a trusted interceptor.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Party == "" {
+		return nil, errors.New("core: node needs a party")
+	}
+	if cfg.Signer == nil || cfg.Creds == nil || cfg.Network == nil || cfg.Directory == nil {
+		return nil, fmt.Errorf("core: node for %s missing signer, credentials, network or directory", cfg.Party)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Log == nil {
+		cfg.Log = store.NewMemLog(cfg.Clock)
+	}
+	if cfg.States == nil {
+		cfg.States = store.NewMemStateStore()
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = string(cfg.Party)
+	}
+	svc := &protocol.Services{
+		Party:     cfg.Party,
+		Issuer:    &evidence.Issuer{Party: cfg.Party, Signer: cfg.Signer, Clock: cfg.Clock, TSA: cfg.TSA},
+		Verifier:  &evidence.Verifier{Keys: cfg.Creds},
+		Log:       cfg.Log,
+		States:    cfg.States,
+		Clock:     cfg.Clock,
+		Directory: cfg.Directory,
+	}
+	var opts []protocol.Option
+	if cfg.Retry != nil {
+		opts = append(opts, protocol.WithRetryPolicy(*cfg.Retry))
+	}
+	co, err := protocol.New(cfg.Network, cfg.Addr, svc, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("core: start coordinator for %s: %w", cfg.Party, err)
+	}
+	return &Node{cfg: cfg, co: co}, nil
+}
+
+// Party returns the party this node acts for.
+func (n *Node) Party() id.Party { return n.cfg.Party }
+
+// Coordinator returns the node's B2BCoordinator.
+func (n *Node) Coordinator() *protocol.Coordinator { return n.co }
+
+// Services returns the node's local services.
+func (n *Node) Services() *protocol.Services { return n.co.Services() }
+
+// Log returns the node's evidence log.
+func (n *Node) Log() store.Log { return n.cfg.Log }
+
+// States returns the node's state store.
+func (n *Node) States() store.StateStore { return n.cfg.States }
+
+// Close stops the node's coordinator.
+func (n *Node) Close() error { return n.co.Close() }

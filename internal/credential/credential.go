@@ -1,0 +1,281 @@
+// Package credential implements the certificate management service the
+// paper's trusted interceptors require (section 3.5): "a service to support
+// signature verification that stores certificates and certificate
+// revocation information, and can be used to verify certificate chains".
+//
+// Certificates are compact signed statements binding a party and key
+// identifier to a public key. An Authority issues certificates (and
+// subordinate authorities), and signs revocation lists. A Store holds trust
+// anchors, issued certificates and revocation state, and resolves a key
+// identifier to a verified public key — the operation every evidence
+// verification performs.
+package credential
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nonrep/internal/clock"
+	"nonrep/internal/id"
+	"nonrep/internal/sig"
+)
+
+// Errors reported by certificate verification.
+var (
+	// ErrUnknownKey is returned when no certificate is stored for a key.
+	ErrUnknownKey = errors.New("credential: unknown key")
+	// ErrRevoked is returned when a certificate in the chain is revoked.
+	ErrRevoked = errors.New("credential: certificate revoked")
+	// ErrExpired is returned when a certificate is outside its validity
+	// window.
+	ErrExpired = errors.New("credential: certificate outside validity window")
+	// ErrUntrusted is returned when a chain does not reach a trust
+	// anchor.
+	ErrUntrusted = errors.New("credential: chain does not reach a trust anchor")
+	// ErrNotCA is returned when a non-CA certificate issued another
+	// certificate.
+	ErrNotCA = errors.New("credential: issuer is not a certificate authority")
+)
+
+// maxChainDepth bounds certificate chain walks.
+const maxChainDepth = 8
+
+// Certificate binds a subject party and key identifier to a public key,
+// signed by an issuing authority.
+type Certificate struct {
+	Serial      string        `json:"serial"`
+	Subject     id.Party      `json:"subject"`
+	KeyID       string        `json:"kid"`
+	Algorithm   sig.Algorithm `json:"alg"`
+	PublicKey   []byte        `json:"pub"`
+	Issuer      id.Party      `json:"issuer"`
+	IssuerKeyID string        `json:"issuer_kid"`
+	NotBefore   time.Time     `json:"not_before"`
+	NotAfter    time.Time     `json:"not_after"`
+	IsCA        bool          `json:"ca,omitempty"`
+	Roles       []string      `json:"roles,omitempty"`
+	Signature   sig.Signature `json:"signature"`
+}
+
+// tbs is the to-be-signed portion of a certificate.
+type tbs struct {
+	Serial      string        `json:"serial"`
+	Subject     id.Party      `json:"subject"`
+	KeyID       string        `json:"kid"`
+	Algorithm   sig.Algorithm `json:"alg"`
+	PublicKey   []byte        `json:"pub"`
+	Issuer      id.Party      `json:"issuer"`
+	IssuerKeyID string        `json:"issuer_kid"`
+	NotBefore   time.Time     `json:"not_before"`
+	NotAfter    time.Time     `json:"not_after"`
+	IsCA        bool          `json:"ca,omitempty"`
+	Roles       []string      `json:"roles,omitempty"`
+}
+
+// Digest returns the digest of the to-be-signed portion of the
+// certificate.
+func (c *Certificate) Digest() (sig.Digest, error) {
+	return sig.SumCanonical(tbs{
+		Serial:      c.Serial,
+		Subject:     c.Subject,
+		KeyID:       c.KeyID,
+		Algorithm:   c.Algorithm,
+		PublicKey:   c.PublicKey,
+		Issuer:      c.Issuer,
+		IssuerKeyID: c.IssuerKeyID,
+		NotBefore:   c.NotBefore,
+		NotAfter:    c.NotAfter,
+		IsCA:        c.IsCA,
+		Roles:       c.Roles,
+	})
+}
+
+// Key parses the certified public key.
+func (c *Certificate) Key() (sig.PublicKey, error) {
+	return sig.ParsePublicKey(c.Algorithm, c.PublicKey)
+}
+
+// SelfSigned reports whether the certificate is its own issuer.
+func (c *Certificate) SelfSigned() bool {
+	return c.Issuer == c.Subject && c.IssuerKeyID == c.KeyID
+}
+
+// validAt reports whether t falls inside the validity window.
+func (c *Certificate) validAt(t time.Time) bool {
+	return !t.Before(c.NotBefore) && !t.After(c.NotAfter)
+}
+
+// CRL is a signed certificate revocation list. A newer CRL from the same
+// issuer replaces an older one.
+type CRL struct {
+	Issuer      id.Party      `json:"issuer"`
+	IssuerKeyID string        `json:"issuer_kid"`
+	IssuedAt    time.Time     `json:"issued_at"`
+	Serials     []string      `json:"serials"`
+	Signature   sig.Signature `json:"signature"`
+}
+
+type crlTBS struct {
+	Issuer      id.Party  `json:"issuer"`
+	IssuerKeyID string    `json:"issuer_kid"`
+	IssuedAt    time.Time `json:"issued_at"`
+	Serials     []string  `json:"serials"`
+}
+
+// Digest returns the digest of the to-be-signed portion of the CRL.
+func (l *CRL) Digest() (sig.Digest, error) {
+	return sig.SumCanonical(crlTBS{
+		Issuer:      l.Issuer,
+		IssuerKeyID: l.IssuerKeyID,
+		IssuedAt:    l.IssuedAt,
+		Serials:     l.Serials,
+	})
+}
+
+// Authority issues certificates and revocation lists.
+type Authority struct {
+	cert   *Certificate
+	signer sig.Signer
+	clk    clock.Clock
+
+	mu     sync.Mutex
+	serial uint64
+}
+
+// IssueOption configures certificate issuance.
+type IssueOption func(*tbs)
+
+// AsCA marks the issued certificate as a certificate authority.
+func AsCA() IssueOption {
+	return func(t *tbs) { t.IsCA = true }
+}
+
+// WithRoles embeds role names in the certificate; the access-control
+// service maps these to virtual-enterprise roles.
+func WithRoles(roles ...string) IssueOption {
+	return func(t *tbs) { t.Roles = roles }
+}
+
+// WithValidity overrides the validity window.
+func WithValidity(notBefore, notAfter time.Time) IssueOption {
+	return func(t *tbs) {
+		t.NotBefore = notBefore
+		t.NotAfter = notAfter
+	}
+}
+
+// defaultValidity is the certificate lifetime when WithValidity is not
+// given.
+const defaultValidity = 365 * 24 * time.Hour
+
+// NewRootAuthority creates a self-signed root authority for a party.
+func NewRootAuthority(party id.Party, signer sig.Signer, clk clock.Clock) (*Authority, error) {
+	now := clk.Now()
+	cert := &Certificate{
+		Serial:      fmt.Sprintf("%s-root", party),
+		Subject:     party,
+		KeyID:       signer.KeyID(),
+		Algorithm:   signer.Algorithm(),
+		PublicKey:   signer.PublicKey().Marshal(),
+		Issuer:      party,
+		IssuerKeyID: signer.KeyID(),
+		NotBefore:   now,
+		NotAfter:    now.Add(defaultValidity),
+		IsCA:        true,
+	}
+	d, err := cert.Digest()
+	if err != nil {
+		return nil, err
+	}
+	cert.Signature, err = signer.Sign(d)
+	if err != nil {
+		return nil, fmt.Errorf("credential: self-sign root: %w", err)
+	}
+	return &Authority{cert: cert, signer: signer, clk: clk}, nil
+}
+
+// NewAuthority wraps an issued CA certificate and its signing key as an
+// authority (a subordinate CA).
+func NewAuthority(cert *Certificate, signer sig.Signer, clk clock.Clock) (*Authority, error) {
+	if !cert.IsCA {
+		return nil, ErrNotCA
+	}
+	if cert.KeyID != signer.KeyID() {
+		return nil, fmt.Errorf("credential: certificate key %q does not match signer key %q", cert.KeyID, signer.KeyID())
+	}
+	return &Authority{cert: cert, signer: signer, clk: clk}, nil
+}
+
+// Certificate returns the authority's own certificate.
+func (a *Authority) Certificate() *Certificate { return a.cert }
+
+// Party returns the authority's party identifier.
+func (a *Authority) Party() id.Party { return a.cert.Subject }
+
+// Issue signs a certificate binding subject and keyID to pub.
+func (a *Authority) Issue(subject id.Party, keyID string, pub sig.PublicKey, opts ...IssueOption) (*Certificate, error) {
+	a.mu.Lock()
+	a.serial++
+	serial := fmt.Sprintf("%s-%d", a.cert.Subject, a.serial)
+	a.mu.Unlock()
+
+	now := a.clk.Now()
+	t := tbs{
+		Serial:      serial,
+		Subject:     subject,
+		KeyID:       keyID,
+		Algorithm:   pub.Algorithm(),
+		PublicKey:   pub.Marshal(),
+		Issuer:      a.cert.Subject,
+		IssuerKeyID: a.cert.KeyID,
+		NotBefore:   now,
+		NotAfter:    now.Add(defaultValidity),
+	}
+	for _, opt := range opts {
+		opt(&t)
+	}
+	cert := &Certificate{
+		Serial:      t.Serial,
+		Subject:     t.Subject,
+		KeyID:       t.KeyID,
+		Algorithm:   t.Algorithm,
+		PublicKey:   t.PublicKey,
+		Issuer:      t.Issuer,
+		IssuerKeyID: t.IssuerKeyID,
+		NotBefore:   t.NotBefore,
+		NotAfter:    t.NotAfter,
+		IsCA:        t.IsCA,
+		Roles:       t.Roles,
+	}
+	d, err := cert.Digest()
+	if err != nil {
+		return nil, err
+	}
+	cert.Signature, err = a.signer.Sign(d)
+	if err != nil {
+		return nil, fmt.Errorf("credential: sign certificate: %w", err)
+	}
+	return cert, nil
+}
+
+// Revoke produces a signed CRL listing the given serials. Callers merge it
+// into stores with Store.AddCRL.
+func (a *Authority) Revoke(serials ...string) (*CRL, error) {
+	l := &CRL{
+		Issuer:      a.cert.Subject,
+		IssuerKeyID: a.cert.KeyID,
+		IssuedAt:    a.clk.Now(),
+		Serials:     serials,
+	}
+	d, err := l.Digest()
+	if err != nil {
+		return nil, err
+	}
+	l.Signature, err = a.signer.Sign(d)
+	if err != nil {
+		return nil, fmt.Errorf("credential: sign crl: %w", err)
+	}
+	return l, nil
+}

@@ -1,0 +1,162 @@
+package evidence_test
+
+import (
+	"errors"
+	"testing"
+
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/sig"
+	"nonrep/internal/testpki"
+)
+
+const (
+	alice = id.Party("urn:org:alice")
+	bob   = id.Party("urn:org:bob")
+)
+
+func TestIssueAndVerify(t *testing.T) {
+	t.Parallel()
+	realm := testpki.MustRealm(alice, bob)
+	run := id.NewRun()
+	d := sig.Sum([]byte("request"))
+	tok, err := realm.Party(alice).Issuer.Issue(evidence.KindNRO, run, 1, d,
+		evidence.WithService("urn:org:bob/orders"),
+		evidence.WithRecipients(bob),
+		evidence.WithTxn("txn-1"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := realm.Verifier()
+	if err := v.Verify(tok); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if err := v.VerifyContent(tok, d); err != nil {
+		t.Fatalf("VerifyContent: %v", err)
+	}
+	if err := v.Expect(tok, evidence.KindNRO, run, alice); err != nil {
+		t.Fatalf("Expect: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedField(t *testing.T) {
+	t.Parallel()
+	realm := testpki.MustRealm(alice, bob)
+	run := id.NewRun()
+	tok, err := realm.Party(alice).Issuer.Issue(evidence.KindNRO, run, 1, sig.Sum([]byte("x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(*evidence.Token){
+		"kind":   func(tk *evidence.Token) { tk.Kind = evidence.KindNRR },
+		"run":    func(tk *evidence.Token) { tk.Run = "run-other" },
+		"step":   func(tk *evidence.Token) { tk.Step = 99 },
+		"digest": func(tk *evidence.Token) { tk.Digest = sig.Sum([]byte("forged")) },
+		"nonce":  func(tk *evidence.Token) { tk.Nonce = "forged" },
+		"time":   func(tk *evidence.Token) { tk.IssuedAt = tk.IssuedAt.Add(1) },
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			clone := *tok
+			mutate(&clone)
+			if err := realm.Verifier().Verify(&clone); err == nil {
+				t.Fatalf("Verify accepted token with tampered %s", name)
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsIssuerSpoofing(t *testing.T) {
+	t.Parallel()
+	realm := testpki.MustRealm(alice, bob)
+	tok, err := realm.Party(alice).Issuer.Issue(evidence.KindNRO, id.NewRun(), 1, sig.Sum([]byte("x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bob re-signs Alice's token content with his own key but keeps the
+	// Issuer field claiming Alice.
+	tbs, err := tok.TBSDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok.Signature, err = realm.Party(bob).Signer.Sign(tbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := realm.Verifier().Verify(tok); !errors.Is(err, evidence.ErrIssuerMismatch) {
+		t.Fatalf("Verify = %v, want ErrIssuerMismatch", err)
+	}
+}
+
+func TestVerifyContentMismatch(t *testing.T) {
+	t.Parallel()
+	realm := testpki.MustRealm(alice)
+	tok, err := realm.Party(alice).Issuer.Issue(evidence.KindNRO, id.NewRun(), 1, sig.Sum([]byte("x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = realm.Verifier().VerifyContent(tok, sig.Sum([]byte("y")))
+	if !errors.Is(err, evidence.ErrContentMismatch) {
+		t.Fatalf("VerifyContent = %v, want ErrContentMismatch", err)
+	}
+}
+
+func TestExpectChecksBinding(t *testing.T) {
+	t.Parallel()
+	realm := testpki.MustRealm(alice, bob)
+	run := id.NewRun()
+	tok, err := realm.Party(alice).Issuer.Issue(evidence.KindNRO, run, 1, sig.Sum([]byte("x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := realm.Verifier()
+	if err := v.Expect(tok, evidence.KindNRR, run, alice); !errors.Is(err, evidence.ErrKindMismatch) {
+		t.Errorf("wrong kind = %v, want ErrKindMismatch", err)
+	}
+	if err := v.Expect(tok, evidence.KindNRO, "run-other", alice); !errors.Is(err, evidence.ErrRunMismatch) {
+		t.Errorf("wrong run = %v, want ErrRunMismatch", err)
+	}
+	if err := v.Expect(tok, evidence.KindNRO, run, bob); !errors.Is(err, evidence.ErrIssuerMismatch) {
+		t.Errorf("wrong issuer = %v, want ErrIssuerMismatch", err)
+	}
+}
+
+func TestTimestampedToken(t *testing.T) {
+	t.Parallel()
+	realm := testpki.MustRealm(alice)
+	issuer := realm.StampedIssuer(alice)
+	tok, err := issuer.Issue(evidence.KindNRO, id.NewRun(), 1, sig.Sum([]byte("x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Timestamp == nil {
+		t.Fatal("token missing timestamp")
+	}
+	if err := realm.Verifier().Verify(tok); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// Tampering with the timestamp must be detected.
+	tok.Timestamp.Time = tok.Timestamp.Time.Add(1)
+	if err := realm.Verifier().Verify(tok); err == nil {
+		t.Fatal("Verify accepted tampered timestamp")
+	}
+}
+
+func TestNoncesDiffer(t *testing.T) {
+	t.Parallel()
+	realm := testpki.MustRealm(alice)
+	run := id.NewRun()
+	d := sig.Sum([]byte("x"))
+	a, err := realm.Party(alice).Issuer.Issue(evidence.KindNRO, run, 1, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := realm.Party(alice).Issuer.Issue(evidence.KindNRO, run, 1, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Nonce == b.Nonce {
+		t.Fatal("identical nonces on distinct tokens")
+	}
+}

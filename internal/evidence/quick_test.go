@@ -1,0 +1,111 @@
+package evidence_test
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/sig"
+	"nonrep/internal/testpki"
+)
+
+// tokenSeed drives property-based token generation.
+type tokenSeed struct {
+	KindIdx uint8
+	Step    int16
+	Txn     bool
+	Service string
+	Payload []byte
+}
+
+var quickKinds = []evidence.Kind{
+	evidence.KindNRO, evidence.KindNRR, evidence.KindNROResp, evidence.KindNRRResp,
+	evidence.KindProposal, evidence.KindDecision, evidence.KindOutcome, evidence.KindAck,
+}
+
+// TestQuickTokenJSONRoundTripVerifies: any issued token survives a JSON
+// round trip (the wire format) with its signature still verifying — the
+// serialisation layer can never invalidate evidence.
+func TestQuickTokenJSONRoundTripVerifies(t *testing.T) {
+	t.Parallel()
+	realm := testpki.MustRealm(alice)
+	issuer := realm.Party(alice).Issuer
+	verifier := realm.Verifier()
+	f := func(seed tokenSeed) bool {
+		kind := quickKinds[int(seed.KindIdx)%len(quickKinds)]
+		opts := []evidence.IssueOption{evidence.WithService(id.Service(seed.Service))}
+		if seed.Txn {
+			opts = append(opts, evidence.WithTxn(id.NewTxn()))
+		}
+		tok, err := issuer.Issue(kind, id.NewRun(), int(seed.Step), sig.Sum(seed.Payload), opts...)
+		if err != nil {
+			return false
+		}
+		data, err := json.Marshal(tok)
+		if err != nil {
+			return false
+		}
+		var back evidence.Token
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return verifier.Verify(&back) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTamperedTokenNeverVerifies: flipping any byte of the canonical
+// encoding (outside the signature itself) yields a token that fails
+// verification or fails to parse — there is no silent acceptance.
+func TestQuickTamperedTokenNeverVerifies(t *testing.T) {
+	t.Parallel()
+	realm := testpki.MustRealm(alice)
+	issuer := realm.Party(alice).Issuer
+	verifier := realm.Verifier()
+	rng := rand.New(rand.NewSource(42))
+	f := func(payload []byte) bool {
+		tok, err := issuer.Issue(evidence.KindNRO, id.NewRun(), 1, sig.Sum(payload))
+		if err != nil {
+			return false
+		}
+		clone := *tok
+		// Mutate one signed field at random.
+		switch rng.Intn(5) {
+		case 0:
+			clone.Step++
+		case 1:
+			clone.Run = clone.Run + "x"
+		case 2:
+			clone.Issuer = clone.Issuer + "x"
+		case 3:
+			clone.Nonce = clone.Nonce + "x"
+		case 4:
+			d := clone.Digest
+			d[0] ^= 0x01
+			clone.Digest = d
+		}
+		return verifier.Verify(&clone) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Generate implements quick.Generator for tokenSeed.
+func (tokenSeed) Generate(r *rand.Rand, size int) reflect.Value {
+	payload := make([]byte, r.Intn(size+1))
+	r.Read(payload)
+	return reflect.ValueOf(tokenSeed{
+		KindIdx: uint8(r.Intn(256)),
+		Step:    int16(r.Intn(100)),
+		Txn:     r.Intn(2) == 0,
+		Service: "urn:org:x/svc",
+		Payload: payload,
+	})
+}

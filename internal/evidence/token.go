@@ -1,0 +1,187 @@
+// Package evidence defines non-repudiation tokens and the snapshots of
+// service invocations and shared state they cover.
+//
+// Section 3.2: "Non-repudiation tokens include a unique request identifier,
+// to distinguish between protocol runs and to bind protocol steps to a run,
+// and a signature on a secure hash of the evidence generated." Tokens here
+// carry exactly that, plus an optional time-stamp token over the signature
+// (section 3.5) and an optional transaction identifier that links evidence
+// from related runs in the style of the UPU Electronic Postmark
+// (section 5).
+package evidence
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nonrep/internal/clock"
+	"nonrep/internal/id"
+	"nonrep/internal/sig"
+	"nonrep/internal/stamp"
+)
+
+// Kind classifies a non-repudiation token.
+type Kind string
+
+// Token kinds. The first four are the service-invocation evidence of
+// section 3.2; the proposal/decision/outcome/ack kinds are the
+// information-sharing evidence of section 3.3; substitute and abort tokens
+// are issued by a TTP resolving a fair-exchange run.
+const (
+	// KindNRO is non-repudiation of origin of a request.
+	KindNRO Kind = "nro-req"
+	// KindNRR is non-repudiation of receipt of a request.
+	KindNRR Kind = "nrr-req"
+	// KindNROResp is non-repudiation of origin of a response.
+	KindNROResp Kind = "nro-resp"
+	// KindNRRResp is non-repudiation of receipt of a response.
+	KindNRRResp Kind = "nrr-resp"
+
+	// KindProposal attributes a proposed update to shared information.
+	KindProposal Kind = "nr-proposal"
+	// KindDecision attributes a validation decision on a proposal.
+	KindDecision Kind = "nr-decision"
+	// KindOutcome attributes the collective decision on a proposal.
+	KindOutcome Kind = "nr-outcome"
+	// KindAck attributes receipt of an outcome.
+	KindAck Kind = "nr-ack"
+
+	// KindSubstitute is a TTP-issued substitute receipt (resolve).
+	KindSubstitute Kind = "nr-substitute"
+	// KindAbort is a TTP-issued abort affidavit.
+	KindAbort Kind = "nr-abort"
+	// KindPostmark is an EPM-style TTP postmark over submitted evidence.
+	KindPostmark Kind = "nr-postmark"
+)
+
+// Errors reported by token verification.
+var (
+	// ErrIssuerMismatch is returned when the signing key does not belong
+	// to the token's claimed issuer.
+	ErrIssuerMismatch = errors.New("evidence: signing key does not belong to claimed issuer")
+	// ErrContentMismatch is returned when presented content does not
+	// match the token's digest.
+	ErrContentMismatch = errors.New("evidence: content does not match token digest")
+	// ErrRunMismatch is returned when a token is bound to a different
+	// protocol run than expected.
+	ErrRunMismatch = errors.New("evidence: token bound to different run")
+	// ErrKindMismatch is returned when a token has an unexpected kind.
+	ErrKindMismatch = errors.New("evidence: unexpected token kind")
+)
+
+// Token is a signed, optionally time-stamped item of non-repudiation
+// evidence.
+type Token struct {
+	Kind       Kind       `json:"kind"`
+	Run        id.Run     `json:"run"`
+	Txn        id.Txn     `json:"txn,omitempty"`
+	Step       int        `json:"step"`
+	Issuer     id.Party   `json:"issuer"`
+	Recipients []id.Party `json:"recipients,omitempty"`
+	Service    id.Service `json:"service,omitempty"`
+	// Digest is the digest of the evidenced content (a canonical request
+	// or response snapshot, proposal, decision set, ...).
+	Digest   sig.Digest `json:"digest"`
+	IssuedAt time.Time  `json:"issued_at"`
+	// Nonce is a random authenticator distinguishing otherwise-identical
+	// tokens (section 3.5).
+	Nonce string `json:"nonce,omitempty"`
+
+	Signature sig.Signature `json:"signature"`
+	// Timestamp, when present, is a TSA countersignature over this
+	// token's signature, supporting the assertion that the signing key
+	// was not compromised at time of use (section 3.5).
+	Timestamp *stamp.Token `json:"timestamp,omitempty"`
+}
+
+// tokenTBS is the to-be-signed projection of a token.
+type tokenTBS struct {
+	Kind       Kind       `json:"kind"`
+	Run        id.Run     `json:"run"`
+	Txn        id.Txn     `json:"txn,omitempty"`
+	Step       int        `json:"step"`
+	Issuer     id.Party   `json:"issuer"`
+	Recipients []id.Party `json:"recipients,omitempty"`
+	Service    id.Service `json:"service,omitempty"`
+	Digest     sig.Digest `json:"digest"`
+	IssuedAt   time.Time  `json:"issued_at"`
+	Nonce      string     `json:"nonce,omitempty"`
+}
+
+// TBSDigest returns the digest of the token's signed fields.
+func (t *Token) TBSDigest() (sig.Digest, error) {
+	return sig.SumCanonical(tokenTBS{
+		Kind:       t.Kind,
+		Run:        t.Run,
+		Txn:        t.Txn,
+		Step:       t.Step,
+		Issuer:     t.Issuer,
+		Recipients: t.Recipients,
+		Service:    t.Service,
+		Digest:     t.Digest,
+		IssuedAt:   t.IssuedAt,
+		Nonce:      t.Nonce,
+	})
+}
+
+// Issuer generates signed tokens on behalf of a party. If TSA is non-nil
+// every issued token is time-stamped.
+type Issuer struct {
+	Party  id.Party
+	Signer sig.Signer
+	Clock  clock.Clock
+	TSA    *stamp.Authority
+}
+
+// IssueOption customises a token under construction.
+type IssueOption func(*Token)
+
+// WithTxn links the token to a business transaction.
+func WithTxn(txn id.Txn) IssueOption {
+	return func(t *Token) { t.Txn = txn }
+}
+
+// WithService records the invoked service.
+func WithService(svc id.Service) IssueOption {
+	return func(t *Token) { t.Service = svc }
+}
+
+// WithRecipients records the intended recipients of the evidenced content.
+func WithRecipients(parties ...id.Party) IssueOption {
+	return func(t *Token) { t.Recipients = parties }
+}
+
+// Issue creates and signs a token of the given kind binding (run, step) to
+// the content digest.
+func (i *Issuer) Issue(kind Kind, run id.Run, step int, digest sig.Digest, opts ...IssueOption) (*Token, error) {
+	tok := &Token{
+		Kind:     kind,
+		Run:      run,
+		Step:     step,
+		Issuer:   i.Party,
+		Digest:   digest,
+		IssuedAt: i.Clock.Now(),
+		Nonce:    sig.RandomHex(8),
+	}
+	for _, opt := range opts {
+		opt(tok)
+	}
+	tbs, err := tok.TBSDigest()
+	if err != nil {
+		return nil, err
+	}
+	tok.Signature, err = i.Signer.Sign(tbs)
+	if err != nil {
+		return nil, fmt.Errorf("evidence: sign %s token: %w", kind, err)
+	}
+	if i.TSA != nil {
+		// The TSA countersigns the signature itself, fixing the time at
+		// which the signature existed.
+		tok.Timestamp, err = i.TSA.Stamp(sig.Sum(tok.Signature.Bytes))
+		if err != nil {
+			return nil, fmt.Errorf("evidence: timestamp %s token: %w", kind, err)
+		}
+	}
+	return tok, nil
+}

@@ -1,0 +1,86 @@
+package evidence
+
+import (
+	"fmt"
+
+	"nonrep/internal/id"
+	"nonrep/internal/sig"
+	"nonrep/internal/stamp"
+)
+
+// KeyResolver resolves key identifiers to verified public keys and their
+// owning parties. *credential.Store satisfies it.
+type KeyResolver interface {
+	PublicKey(keyID string) (sig.PublicKey, error)
+	Party(keyID string) (id.Party, error)
+}
+
+// Verifier checks tokens against a credential store. Verification is the
+// responsibility of the trusted interceptors: evidence is verified before
+// it is persisted and before application data is passed on (section 3.2).
+type Verifier struct {
+	Keys KeyResolver
+}
+
+// Verify checks the token's signature, that the signing key belongs to the
+// claimed issuer, and — when a time-stamp is present — that it covers the
+// signature.
+func (v *Verifier) Verify(tok *Token) error {
+	tbs, err := tok.TBSDigest()
+	if err != nil {
+		return err
+	}
+	key, err := v.Keys.PublicKey(tok.Signature.KeyID)
+	if err != nil {
+		return fmt.Errorf("evidence: resolve %s signer: %w", tok.Kind, err)
+	}
+	if err := key.Verify(tbs, tok.Signature); err != nil {
+		return fmt.Errorf("evidence: %s token: %w", tok.Kind, err)
+	}
+	owner, err := v.Keys.Party(tok.Signature.KeyID)
+	if err != nil {
+		return err
+	}
+	if owner != tok.Issuer {
+		return fmt.Errorf("%w: key %q belongs to %q, token claims %q",
+			ErrIssuerMismatch, tok.Signature.KeyID, owner, tok.Issuer)
+	}
+	if tok.Timestamp != nil {
+		if err := stamp.Verify(tok.Timestamp, sig.Sum(tok.Signature.Bytes), keyOnly{v.Keys}); err != nil {
+			return fmt.Errorf("evidence: %s token timestamp: %w", tok.Kind, err)
+		}
+	}
+	return nil
+}
+
+// VerifyContent verifies the token and additionally checks that it covers
+// the given content digest.
+func (v *Verifier) VerifyContent(tok *Token, content sig.Digest) error {
+	if tok.Digest != content {
+		return ErrContentMismatch
+	}
+	return v.Verify(tok)
+}
+
+// Expect verifies the token and checks its binding to an expected kind,
+// run and issuer. It is the standard check a protocol handler applies to an
+// incoming token.
+func (v *Verifier) Expect(tok *Token, kind Kind, run id.Run, issuer id.Party) error {
+	if tok.Kind != kind {
+		return fmt.Errorf("%w: got %s, want %s", ErrKindMismatch, tok.Kind, kind)
+	}
+	if tok.Run != run {
+		return fmt.Errorf("%w: got %s, want %s", ErrRunMismatch, tok.Run, run)
+	}
+	if tok.Issuer != issuer {
+		return fmt.Errorf("%w: token issued by %s, want %s", ErrIssuerMismatch, tok.Issuer, issuer)
+	}
+	return v.Verify(tok)
+}
+
+// keyOnly adapts a KeyResolver to the stamp package's narrower interface.
+type keyOnly struct{ keys KeyResolver }
+
+func (k keyOnly) PublicKey(keyID string) (sig.PublicKey, error) {
+	return k.keys.PublicKey(keyID)
+}

@@ -1,0 +1,59 @@
+package id
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewRunUnique(t *testing.T) {
+	t.Parallel()
+	seen := make(map[Run]bool, 1000)
+	for i := 0; i < 1000; i++ {
+		r := NewRun()
+		if seen[r] {
+			t.Fatalf("duplicate run id %s", r)
+		}
+		seen[r] = true
+		if !strings.HasPrefix(string(r), "run-") {
+			t.Fatalf("run id %s missing prefix", r)
+		}
+	}
+}
+
+func TestNewMsgUnique(t *testing.T) {
+	t.Parallel()
+	seen := make(map[Msg]bool, 1000)
+	for i := 0; i < 1000; i++ {
+		m := NewMsg()
+		if seen[m] {
+			t.Fatalf("duplicate message id %s", m)
+		}
+		seen[m] = true
+	}
+}
+
+func TestNewTxnPrefix(t *testing.T) {
+	t.Parallel()
+	if !strings.HasPrefix(NewTxn().String(), "txn-") {
+		t.Fatal("txn id missing prefix")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	t.Parallel()
+	if Party("urn:org:a").String() != "urn:org:a" {
+		t.Error("Party.String")
+	}
+	if Service("urn:org:a/svc").String() != "urn:org:a/svc" {
+		t.Error("Service.String")
+	}
+	if Run("r").String() != "r" {
+		t.Error("Run.String")
+	}
+	if Msg("m").String() != "m" {
+		t.Error("Msg.String")
+	}
+	if Txn("t").String() != "t" {
+		t.Error("Txn.String")
+	}
+}

@@ -1,0 +1,288 @@
+package invoke
+
+import (
+	"context"
+	"fmt"
+
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/protocol"
+)
+
+// Client is the client-side B2BInvocationHandler (section 4.2): it obtains
+// the local coordinator, drives the chosen non-repudiation protocol, and
+// returns the outcome of protocol execution to the caller. Verification of
+// every server token happens before the response is released.
+type Client struct {
+	co              *protocol.Coordinator
+	proto           string
+	via             []id.Party
+	ttp             id.Party
+	consumption     evidence.Consumption
+	withholdReceipt bool
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithProtocol selects the invocation protocol (default ProtocolDirect).
+func WithProtocol(name string) ClientOption {
+	return func(c *Client) { c.proto = name }
+}
+
+// Via routes the exchange through inline TTP relays (Figure 3a with one
+// relay, Figure 3b with one per organisation). Implies ProtocolInline.
+func Via(relays ...id.Party) ClientOption {
+	return func(c *Client) {
+		c.via = relays
+		c.proto = ProtocolInline
+	}
+}
+
+// WithOfflineTTP names the TTP used for abort/resolve recovery. Implies
+// ProtocolFair.
+func WithOfflineTTP(ttp id.Party) ClientOption {
+	return func(c *Client) {
+		c.ttp = ttp
+		c.proto = ProtocolFair
+	}
+}
+
+// WithConsumption overrides the consumption report in the client's
+// response receipt; NotConsumed models an interceptor that received a
+// response the application never took up (section 3.2).
+func WithConsumption(con evidence.Consumption) ClientOption {
+	return func(c *Client) { c.consumption = con }
+}
+
+// WithholdReceipt makes the client misbehave by never sending its response
+// receipt. It exists to exercise and measure the recovery paths (TTP
+// resolve) in tests and benchmarks; honest deployments never set it.
+func WithholdReceipt() ClientOption {
+	return func(c *Client) { c.withholdReceipt = true }
+}
+
+// NewClient creates a client bound to its party's coordinator.
+func NewClient(co *protocol.Coordinator, opts ...ClientOption) *Client {
+	c := &Client{co: co, proto: ProtocolDirect, consumption: evidence.Consumed}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Invoke performs a non-repudiable invocation of req on server. The
+// returned Result carries the response (or interceptor-generated failure
+// evidence) and all run evidence; a non-nil error means the protocol
+// itself failed (transport gave up, or counterparty evidence did not
+// verify).
+func (c *Client) Invoke(ctx context.Context, server id.Party, req Request) (*Result, error) {
+	svc := c.co.Services()
+	run := id.NewRun()
+	snap := evidence.RequestSnapshot{
+		Run:       run,
+		Txn:       req.Txn,
+		Client:    svc.Party,
+		Server:    server,
+		Service:   req.Service,
+		Operation: req.Operation,
+		Params:    req.Params,
+		Protocol:  c.proto,
+	}
+	reqDigest, err := snap.Digest()
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 1: NRO(req), then req + NRO to the (first) counterparty.
+	nro, err := svc.Issuer.Issue(evidence.KindNRO, run, stepRequest, reqDigest,
+		evidence.WithService(req.Service), evidence.WithTxn(req.Txn), evidence.WithRecipients(server))
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.LogGenerated(nro, "request origin"); err != nil {
+		return nil, err
+	}
+	msg1 := &protocol.Message{
+		Protocol: c.proto,
+		Run:      run,
+		Txn:      req.Txn,
+		Step:     stepRequest,
+		Kind:     kindRequest,
+		Tokens:   []*evidence.Token{nro},
+	}
+	if err := msg1.SetBody(requestBody{Snapshot: snap}); err != nil {
+		return nil, err
+	}
+
+	dest := server
+	if len(c.via) > 0 {
+		dest = c.via[0]
+	}
+	reply, err := c.co.DeliverRequest(ctx, dest, msg1)
+	if err != nil {
+		// The submission failed: per section 3.2 the client knows the
+		// server did not (provably) receive the request. Under the fair
+		// protocol the client additionally aborts the run at the TTP so
+		// the server cannot later resolve it.
+		if c.proto == ProtocolFair && c.ttp != "" {
+			if abortErr := c.abort(ctx, snap, nro); abortErr != nil {
+				return nil, fmt.Errorf("invoke: submission failed (%v) and abort failed: %w", err, abortErr)
+			}
+			return nil, fmt.Errorf("%w: submission failed: %v", ErrAborted, err)
+		}
+		return nil, fmt.Errorf("invoke: submit request: %w", err)
+	}
+
+	// Step 2: verify resp, NRR(req), NRO(resp) before releasing anything.
+	var rb responseBody
+	if err := reply.Body(&rb); err != nil {
+		return nil, err
+	}
+	respSnap := rb.Snapshot
+	respDigest, err := respSnap.Digest()
+	if err != nil {
+		return nil, err
+	}
+	if respSnap.Run != run {
+		return nil, fmt.Errorf("%w: response for run %s, want %s", ErrEvidenceInvalid, respSnap.Run, run)
+	}
+	if respSnap.RequestDigest != reqDigest {
+		return nil, fmt.Errorf("%w: response bound to a different request", ErrEvidenceInvalid)
+	}
+
+	result := &Result{
+		Run:      run,
+		Status:   respSnap.Status,
+		Result:   respSnap.Result,
+		Err:      respSnap.Error,
+		Evidence: []*evidence.Token{nro},
+	}
+
+	if c.proto == ProtocolVoluntary {
+		// Baseline: any receipt is voluntary; verify it if present but
+		// demand nothing.
+		if nrr := reply.Token(evidence.KindNRR); nrr != nil {
+			if err := svc.Verifier.Expect(nrr, evidence.KindNRR, run, server); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrEvidenceInvalid, err)
+			}
+			if err := svc.LogReceived(nrr, "voluntary receipt"); err != nil {
+				return nil, err
+			}
+			result.Evidence = append(result.Evidence, nrr)
+		}
+		return result, nil
+	}
+
+	nrr := reply.Token(evidence.KindNRR)
+	nroResp := reply.Token(evidence.KindNROResp)
+	if nrr == nil || nroResp == nil {
+		return nil, fmt.Errorf("%w: response missing evidence tokens", ErrEvidenceInvalid)
+	}
+	if err := svc.Verifier.Expect(nrr, evidence.KindNRR, run, server); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEvidenceInvalid, err)
+	}
+	if nrr.Digest != reqDigest {
+		return nil, fmt.Errorf("%w: request receipt covers different request", ErrEvidenceInvalid)
+	}
+	if err := svc.Verifier.Expect(nroResp, evidence.KindNROResp, run, server); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEvidenceInvalid, err)
+	}
+	if nroResp.Digest != respDigest {
+		return nil, fmt.Errorf("%w: response origin covers different response", ErrEvidenceInvalid)
+	}
+	if err := svc.LogReceived(nrr, "request receipt"); err != nil {
+		return nil, err
+	}
+	if err := svc.LogReceived(nroResp, "response origin"); err != nil {
+		return nil, err
+	}
+	result.Evidence = append(result.Evidence, nrr, nroResp)
+
+	if c.withholdReceipt {
+		// Misbehaviour injection: keep the verified response but never
+		// acknowledge it. Under ProtocolFair the server recovers via the
+		// TTP; under ProtocolDirect the server is left with an
+		// incomplete exchange (the trade-off section 3.1 discusses).
+		return result, nil
+	}
+
+	// Step 3: NRR(resp) back to the counterparty.
+	note := evidence.ReceiptNote{
+		Run:            run,
+		Client:         svc.Party,
+		ResponseDigest: respDigest,
+		Consumption:    c.consumption,
+	}
+	noteDigest, err := note.Digest()
+	if err != nil {
+		return nil, err
+	}
+	nrrResp, err := svc.Issuer.Issue(evidence.KindNRRResp, run, stepReceipt, noteDigest,
+		evidence.WithTxn(req.Txn), evidence.WithRecipients(server))
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.LogGenerated(nrrResp, "response receipt ("+c.consumption.String()+")"); err != nil {
+		return nil, err
+	}
+	result.Evidence = append(result.Evidence, nrrResp)
+
+	msg3 := &protocol.Message{
+		Protocol: c.proto,
+		Run:      run,
+		Txn:      req.Txn,
+		Step:     stepReceipt,
+		Kind:     kindReceipt,
+		Tokens:   []*evidence.Token{nrrResp},
+	}
+	if err := msg3.SetBody(receiptBody{Note: note}); err != nil {
+		return nil, err
+	}
+	if err := c.co.Deliver(ctx, dest, msg3); err != nil {
+		// The response is already verified and released; a lost receipt
+		// is the server's recovery problem (fair protocol: TTP resolve).
+		return result, nil
+	}
+
+	if c.consumption == evidence.NotConsumed {
+		// The interceptor received and evidenced the response but must
+		// not release it to the application.
+		result.Result = nil
+	}
+	return result, nil
+}
+
+// abort asks the offline TTP to abort the run, logging its decision.
+func (c *Client) abort(ctx context.Context, snap evidence.RequestSnapshot, nro *evidence.Token) error {
+	svc := c.co.Services()
+	msg := &protocol.Message{
+		Protocol: ProtocolResolve,
+		Run:      snap.Run,
+		Step:     stepRequest,
+		Kind:     kindAbort,
+	}
+	if err := msg.SetBody(abortBody{Request: snap, NRO: nro}); err != nil {
+		return err
+	}
+	reply, err := c.co.DeliverRequest(ctx, c.ttp, msg)
+	if err != nil {
+		return err
+	}
+	var db decisionBody
+	if err := reply.Body(&db); err != nil {
+		return err
+	}
+	for _, tok := range reply.Tokens {
+		if err := svc.Verifier.Verify(tok); err != nil {
+			return fmt.Errorf("%w: %v", ErrEvidenceInvalid, err)
+		}
+		if err := svc.LogReceived(tok, "ttp decision"); err != nil {
+			return err
+		}
+	}
+	if db.Resolved {
+		return fmt.Errorf("invoke: run %s already resolved by TTP", snap.Run)
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package invoke
+
+import (
+	"context"
+
+	"nonrep/internal/evidence"
+)
+
+// Executor is the server-side hook through which the verified request is
+// "actually passed through the interceptor chain to the component for
+// execution" (section 4.2). The component container implements it;
+// standalone services may use ExecutorFunc.
+type Executor interface {
+	Execute(ctx context.Context, req *evidence.RequestSnapshot) ([]evidence.Param, error)
+}
+
+// ExecutorFunc adapts a function to the Executor interface.
+type ExecutorFunc func(ctx context.Context, req *evidence.RequestSnapshot) ([]evidence.Param, error)
+
+// Execute implements Executor.
+func (f ExecutorFunc) Execute(ctx context.Context, req *evidence.RequestSnapshot) ([]evidence.Param, error) {
+	return f(ctx, req)
+}

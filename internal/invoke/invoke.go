@@ -1,0 +1,172 @@
+// Package invoke implements non-repudiable service invocation
+// (sections 3.2 and 4.2). Trusted interceptors on the client and server
+// invocation paths execute a non-repudiation protocol around an
+// at-most-once RPC:
+//
+//	client interceptor → server interceptor : req,  NRO(req)
+//	server interceptor → client interceptor : resp, NRR(req), NRO(resp)
+//	client interceptor → server interceptor : NRR(resp)
+//
+// The package provides five protocol variants, reflecting the trust-domain
+// configurations of Figure 3 and the related-work baseline of section 5:
+//
+//   - ProtocolDirect: the three-message direct exchange above, organisation
+//     hosted interceptors, no TTP (Figure 3c).
+//   - ProtocolVoluntary: the asymmetric baseline after Wichert et al. — the
+//     server obtains NRO of the request; the client receives at most a
+//     voluntary receipt and no evidence exchange guarantee.
+//   - ProtocolInline: the direct exchange routed through one or more inline
+//     TTP relays (Figures 3a and 3b) which verify and log all evidence.
+//   - ProtocolFair: the direct exchange backed by an offline TTP that can
+//     resolve (substitute a withheld receipt) or abort a run, giving
+//     stronger fairness/liveness guarantees in the style of optimistic
+//     fair-exchange protocols (paper reference [7]).
+package invoke
+
+import (
+	"errors"
+	"time"
+
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/protocol"
+)
+
+// Protocol names as registered with coordinators.
+const (
+	// ProtocolDirect is the three-message direct exchange.
+	ProtocolDirect = "invoke-direct"
+	// ProtocolVoluntary is the asymmetric Wichert-style baseline.
+	ProtocolVoluntary = "invoke-voluntary"
+	// ProtocolInline is the direct exchange via inline TTP relays.
+	ProtocolInline = "invoke-inline"
+	// ProtocolFair is the direct exchange with offline-TTP recovery.
+	ProtocolFair = "invoke-fair"
+	// ProtocolResolve is the offline TTP's resolve/abort service.
+	ProtocolResolve = "invoke-resolve"
+)
+
+// Message kinds within an invocation run.
+const (
+	kindRequest  = "request"
+	kindResponse = "response"
+	kindReceipt  = "receipt"
+	kindResolve  = "resolve"
+	kindAbort    = "abort"
+	kindDecision = "decision"
+)
+
+// Protocol steps.
+const (
+	stepRequest  = 1
+	stepResponse = 2
+	stepReceipt  = 3
+)
+
+// Errors reported by the invocation protocols.
+var (
+	// ErrEvidenceInvalid is returned when a counterparty's evidence fails
+	// verification; application data guarded by it is not released.
+	ErrEvidenceInvalid = errors.New("invoke: counterparty evidence failed verification")
+	// ErrAborted is returned when a run was aborted through the TTP.
+	ErrAborted = errors.New("invoke: run aborted")
+	// ErrNoSuchRun is returned for receipts or resolutions referencing an
+	// unknown run.
+	ErrNoSuchRun = errors.New("invoke: no such run")
+)
+
+// Request is the application-level description of an invocation.
+type Request struct {
+	// Service is the target service URI.
+	Service id.Service
+	// Operation names the operation to invoke.
+	Operation string
+	// Params are the already-resolved invocation parameters
+	// (section 3.4).
+	Params []evidence.Param
+	// Txn optionally links the run's evidence to a business
+	// transaction.
+	Txn id.Txn
+}
+
+// Result is what an invocation returns to the client application, together
+// with the evidence gathered during the run.
+type Result struct {
+	Run    id.Run
+	Status evidence.Status
+	// Result is the invocation result in agreed representation when
+	// Status is StatusOK.
+	Result []evidence.Param
+	// Err describes the failure for non-OK statuses.
+	Err string
+	// Evidence is every token generated or received by the client's
+	// interceptor during the run.
+	Evidence []*evidence.Token
+}
+
+// wire bodies
+
+type requestBody struct {
+	Snapshot evidence.RequestSnapshot `json:"snapshot"`
+}
+
+type responseBody struct {
+	Snapshot evidence.ResponseSnapshot `json:"snapshot"`
+}
+
+type receiptBody struct {
+	Note evidence.ReceiptNote `json:"note"`
+}
+
+// resolveBody is a server's resolve request to the offline TTP: the full
+// evidence of steps 1 and 2, from which the TTP can issue a substitute
+// receipt.
+type resolveBody struct {
+	Request  evidence.RequestSnapshot  `json:"request"`
+	Response evidence.ResponseSnapshot `json:"response"`
+	NRO      *evidence.Token           `json:"nro"`
+	NRR      *evidence.Token           `json:"nrr"`
+	NROResp  *evidence.Token           `json:"nro_resp"`
+}
+
+// abortBody is a client's abort request to the offline TTP.
+type abortBody struct {
+	Request evidence.RequestSnapshot `json:"request"`
+	NRO     *evidence.Token          `json:"nro"`
+}
+
+// decisionBody is the TTP's answer to resolve or abort.
+type decisionBody struct {
+	// Resolved reports whether the run completed (substitute receipt)
+	// or was aborted.
+	Resolved bool `json:"resolved"`
+}
+
+// DefaultExecTimeout bounds server-side execution when no agreed timeout
+// is configured.
+const DefaultExecTimeout = 30 * time.Second
+
+// NewRequestMessage assembles the step-1 protocol message carrying a
+// request snapshot and its NRO token. It is exposed for interceptors,
+// tools and tests that drive the exchange directly (for example, to test
+// at-most-once semantics by retransmitting the same run).
+func NewRequestMessage(proto string, run id.Run, snap evidence.RequestSnapshot, nro *evidence.Token) *protocol.Message {
+	msg := &protocol.Message{
+		Protocol: proto,
+		Run:      run,
+		Txn:      snap.Txn,
+		Step:     stepRequest,
+		Kind:     kindRequest,
+		Tokens:   []*evidence.Token{nro},
+	}
+	if err := msg.SetBody(requestBody{Snapshot: snap}); err != nil {
+		// requestBody is always encodable; failure indicates memory
+		// corruption.
+		panic(err)
+	}
+	return msg
+}
+
+// DefaultReceiptTimeout is how long a fair-protocol server waits for the
+// client's receipt before resolving through the TTP.
+const DefaultReceiptTimeout = 5 * time.Second

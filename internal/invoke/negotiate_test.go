@@ -1,0 +1,84 @@
+package invoke_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"nonrep/internal/evidence"
+	"nonrep/internal/invoke"
+	"nonrep/internal/testpki"
+)
+
+func TestSupportedProtocols(t *testing.T) {
+	t.Parallel()
+	d := testpki.MustDomain(client, server)
+	defer d.Close()
+	exec, _ := echoExec()
+	srvDirect := invoke.NewServer(d.Node(server).Coordinator(), exec)
+	defer srvDirect.Close()
+	srvVol := invoke.NewServer(d.Node(server).Coordinator(), exec, invoke.ForProtocol(invoke.ProtocolVoluntary))
+	defer srvVol.Close()
+	invoke.NewHelloService(d.Node(server).Coordinator())
+
+	got, err := invoke.SupportedProtocols(context.Background(), d.Node(client).Coordinator(), server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != invoke.ProtocolDirect || got[1] != invoke.ProtocolVoluntary {
+		t.Fatalf("SupportedProtocols = %v", got)
+	}
+}
+
+func TestNegotiatePicksPreference(t *testing.T) {
+	t.Parallel()
+	d := testpki.MustDomain(client, server)
+	defer d.Close()
+	exec, _ := echoExec()
+	srv := invoke.NewServer(d.Node(server).Coordinator(), exec)
+	defer srv.Close()
+	invoke.NewHelloService(d.Node(server).Coordinator())
+
+	// Client prefers fair, but the server only offers direct: the
+	// negotiation falls back.
+	cli, chosen, err := invoke.Negotiate(context.Background(), d.Node(client).Coordinator(), server,
+		invoke.ProtocolFair, invoke.ProtocolDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen != invoke.ProtocolDirect {
+		t.Fatalf("chosen = %s", chosen)
+	}
+	res, err := cli.Invoke(context.Background(), server, orderRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != evidence.StatusOK {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestNegotiateDefaultsAndFailure(t *testing.T) {
+	t.Parallel()
+	d := testpki.MustDomain(client, server)
+	defer d.Close()
+	exec, _ := echoExec()
+	srv := invoke.NewServer(d.Node(server).Coordinator(), exec, invoke.ForProtocol(invoke.ProtocolVoluntary))
+	defer srv.Close()
+	invoke.NewHelloService(d.Node(server).Coordinator())
+
+	// With default preferences the voluntary baseline is acceptable as a
+	// last resort.
+	_, chosen, err := invoke.Negotiate(context.Background(), d.Node(client).Coordinator(), server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen != invoke.ProtocolVoluntary {
+		t.Fatalf("chosen = %s", chosen)
+	}
+	// A client that insists on the fair protocol cannot proceed.
+	_, _, err = invoke.Negotiate(context.Background(), d.Node(client).Coordinator(), server, invoke.ProtocolFair)
+	if !errors.Is(err, invoke.ErrNoCommonProtocol) {
+		t.Fatalf("Negotiate = %v, want ErrNoCommonProtocol", err)
+	}
+}

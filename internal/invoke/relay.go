@@ -1,0 +1,209 @@
+package invoke
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/protocol"
+	"nonrep/internal/sig"
+)
+
+// RelayRoute decides the next hop for a relayed invocation: given the
+// ultimate server party it returns the party to forward to and the
+// protocol name to forward under. A single inline TTP (Figure 3a) routes
+// straight to the server; the first of two distributed inline TTPs
+// (Figure 3b) routes to its peer TTP.
+type RelayRoute func(server id.Party) (next id.Party, proto string)
+
+// RouteToServer is the final-hop route: forward to the server under the
+// direct protocol.
+func RouteToServer() RelayRoute {
+	return func(server id.Party) (id.Party, string) { return server, ProtocolDirect }
+}
+
+// RouteVia always forwards to the given peer relay.
+func RouteVia(peer id.Party) RelayRoute {
+	return func(id.Party) (id.Party, string) { return peer, ProtocolInline }
+}
+
+// Relay is the inline-TTP interceptor of Figures 3a and 3b: "communication
+// between organisations A and B is routed via Trusted Third Parties" and
+// the inline TTP "is responsible for ensuring that agreed safety and
+// liveness guarantees are delivered to honest parties". The relay verifies
+// every token that passes through it and keeps its own evidence log — the
+// audit trail that makes the domain a trust domain.
+type Relay struct {
+	co    *protocol.Coordinator
+	route RelayRoute
+
+	mu   sync.Mutex
+	runs map[id.Run]*relayRun
+}
+
+type relayRun struct {
+	client     id.Party
+	server     id.Party
+	next       id.Party
+	nextProto  string
+	reqDigest  sig.Digest
+	respDigest sig.Digest
+}
+
+var _ protocol.Handler = (*Relay)(nil)
+
+// NewRelay creates a relay handler and registers it with the TTP's
+// coordinator.
+func NewRelay(co *protocol.Coordinator, route RelayRoute) *Relay {
+	r := &Relay{co: co, route: route, runs: make(map[id.Run]*relayRun)}
+	co.Register(r)
+	return r
+}
+
+// Protocol implements protocol.Handler.
+func (r *Relay) Protocol() string { return ProtocolInline }
+
+// ProcessRequest implements protocol.Handler: it polices and forwards the
+// request, then polices and returns the response.
+func (r *Relay) ProcessRequest(ctx context.Context, msg *protocol.Message) (*protocol.Message, error) {
+	if msg.Kind != kindRequest {
+		return nil, fmt.Errorf("invoke: relay: unexpected request kind %q", msg.Kind)
+	}
+	svc := r.co.Services()
+	var rb requestBody
+	if err := msg.Body(&rb); err != nil {
+		return nil, err
+	}
+	snap := rb.Snapshot
+	reqDigest, err := snap.Digest()
+	if err != nil {
+		return nil, err
+	}
+	// Police access to the trust domain: only well-evidenced requests
+	// pass (trusted-interceptor assumption 4).
+	nro := msg.Token(evidence.KindNRO)
+	if nro == nil {
+		return nil, fmt.Errorf("%w: relayed request missing NRO", ErrEvidenceInvalid)
+	}
+	if err := svc.Verifier.Expect(nro, evidence.KindNRO, msg.Run, snap.Client); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEvidenceInvalid, err)
+	}
+	if nro.Digest != reqDigest {
+		return nil, fmt.Errorf("%w: NRO covers a different request", ErrEvidenceInvalid)
+	}
+	if err := svc.LogReceived(nro, "relayed request origin"); err != nil {
+		return nil, err
+	}
+
+	next, nextProto := r.route(snap.Server)
+	forward := &protocol.Message{
+		Protocol: nextProto,
+		Run:      msg.Run,
+		Txn:      msg.Txn,
+		Step:     msg.Step,
+		Kind:     msg.Kind,
+		Tokens:   msg.Tokens,
+		Payload:  msg.Payload,
+	}
+	reply, err := r.co.DeliverRequest(ctx, next, forward)
+	if err != nil {
+		return nil, fmt.Errorf("invoke: relay forward: %w", err)
+	}
+
+	// Police the response path too.
+	var respB responseBody
+	if err := reply.Body(&respB); err != nil {
+		return nil, err
+	}
+	respDigest, err := respB.Snapshot.Digest()
+	if err != nil {
+		return nil, err
+	}
+	nrr := reply.Token(evidence.KindNRR)
+	nroResp := reply.Token(evidence.KindNROResp)
+	if nrr == nil || nroResp == nil {
+		return nil, fmt.Errorf("%w: relayed response missing evidence", ErrEvidenceInvalid)
+	}
+	if err := svc.Verifier.Expect(nrr, evidence.KindNRR, msg.Run, snap.Server); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEvidenceInvalid, err)
+	}
+	if err := svc.Verifier.Expect(nroResp, evidence.KindNROResp, msg.Run, snap.Server); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEvidenceInvalid, err)
+	}
+	if nroResp.Digest != respDigest {
+		return nil, fmt.Errorf("%w: response origin covers different response", ErrEvidenceInvalid)
+	}
+	if err := svc.LogReceived(nrr, "relayed request receipt"); err != nil {
+		return nil, err
+	}
+	if err := svc.LogReceived(nroResp, "relayed response origin"); err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	r.runs[msg.Run] = &relayRun{
+		client:     snap.Client,
+		server:     snap.Server,
+		next:       next,
+		nextProto:  nextProto,
+		reqDigest:  reqDigest,
+		respDigest: respDigest,
+	}
+	r.mu.Unlock()
+
+	// Hand the (verified) response back to the previous hop under this
+	// relay's protocol.
+	reply.Protocol = ProtocolInline
+	return reply, nil
+}
+
+// Process implements protocol.Handler: it polices and forwards the
+// client's response receipt.
+func (r *Relay) Process(ctx context.Context, msg *protocol.Message) error {
+	if msg.Kind != kindReceipt {
+		return fmt.Errorf("invoke: relay: unexpected one-way kind %q", msg.Kind)
+	}
+	svc := r.co.Services()
+	r.mu.Lock()
+	run, ok := r.runs[msg.Run]
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchRun, msg.Run)
+	}
+	var body receiptBody
+	if err := msg.Body(&body); err != nil {
+		return err
+	}
+	if body.Note.ResponseDigest != run.respDigest {
+		return fmt.Errorf("%w: receipt does not match relayed response", ErrEvidenceInvalid)
+	}
+	noteDigest, err := body.Note.Digest()
+	if err != nil {
+		return err
+	}
+	tok := msg.Token(evidence.KindNRRResp)
+	if tok == nil {
+		return fmt.Errorf("%w: relayed receipt missing NRR token", ErrEvidenceInvalid)
+	}
+	if err := svc.Verifier.Expect(tok, evidence.KindNRRResp, msg.Run, run.client); err != nil {
+		return fmt.Errorf("%w: %v", ErrEvidenceInvalid, err)
+	}
+	if tok.Digest != noteDigest {
+		return fmt.Errorf("%w: receipt token covers different note", ErrEvidenceInvalid)
+	}
+	if err := svc.LogReceived(tok, "relayed response receipt"); err != nil {
+		return err
+	}
+	forward := &protocol.Message{
+		Protocol: run.nextProto,
+		Run:      msg.Run,
+		Txn:      msg.Txn,
+		Step:     msg.Step,
+		Kind:     msg.Kind,
+		Tokens:   msg.Tokens,
+		Payload:  msg.Payload,
+	}
+	return r.co.Deliver(ctx, run.next, forward)
+}

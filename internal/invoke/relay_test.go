@@ -1,0 +1,166 @@
+package invoke_test
+
+import (
+	"context"
+	"testing"
+
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/invoke"
+	"nonrep/internal/protocol"
+	"nonrep/internal/testpki"
+)
+
+// TestRelayRejectsForgedRequest: the inline TTP polices access to the
+// trust domain — an unattributable request never reaches the server.
+func TestRelayRejectsForgedRequest(t *testing.T) {
+	t.Parallel()
+	d := testpki.MustDomain(client, server, ttp)
+	defer d.Close()
+	exec, calls := echoExec()
+	srv := invoke.NewServer(d.Node(server).Coordinator(), exec)
+	defer srv.Close()
+	invoke.NewRelay(d.Node(ttp).Coordinator(), invoke.RouteToServer())
+
+	// A request whose NRO covers a different request body.
+	run := id.NewRun()
+	snap := evidence.RequestSnapshot{
+		Run: run, Client: client, Server: server,
+		Service: "urn:org:manufacturer/orders", Operation: "PlaceOrder",
+		Protocol: invoke.ProtocolInline,
+	}
+	otherDigest, err := (&evidence.RequestSnapshot{Run: run, Operation: "Other"}).Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nro, err := d.Node(client).Services().Issuer.Issue(evidence.KindNRO, run, 1, otherDigest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := invoke.NewRequestMessage(invoke.ProtocolInline, run, snap, nro)
+	if _, err := d.Node(client).Coordinator().DeliverRequest(context.Background(), ttp, msg); err == nil {
+		t.Fatal("relay forwarded forged request")
+	}
+	if calls.Load() != 0 {
+		t.Fatal("forged request reached the component through the relay")
+	}
+}
+
+// TestRelayRejectsReceiptForUnknownRun: stray receipts are dropped, not
+// forwarded blind.
+func TestRelayRejectsReceiptForUnknownRun(t *testing.T) {
+	t.Parallel()
+	d := testpki.MustDomain(client, server, ttp)
+	defer d.Close()
+	relay := invoke.NewRelay(d.Node(ttp).Coordinator(), invoke.RouteToServer())
+	_ = relay
+	msg := &protocol.Message{
+		Protocol: invoke.ProtocolInline,
+		Run:      id.NewRun(),
+		Step:     3,
+		Kind:     "receipt",
+	}
+	if err := msg.SetBody(struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	// One-way delivery: the relay's Process must reject internally; we
+	// verify by confirming nothing was logged for the run.
+	if err := d.Node(client).Coordinator().Deliver(context.Background(), ttp, msg); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Node(ttp).Log().ByRun(msg.Run)); got != 0 {
+		t.Fatalf("relay logged %d records for unknown run", got)
+	}
+}
+
+// TestInlineTTPTamperedResponseCaught: if the server's response evidence
+// does not verify, the relay refuses to deliver it to the client.
+func TestRelayWrongKindRejected(t *testing.T) {
+	t.Parallel()
+	d := testpki.MustDomain(client, ttp)
+	defer d.Close()
+	invoke.NewRelay(d.Node(ttp).Coordinator(), invoke.RouteToServer())
+	msg := &protocol.Message{
+		Protocol: invoke.ProtocolInline,
+		Run:      id.NewRun(),
+		Kind:     "response", // not a kind the relay accepts as request
+	}
+	if err := msg.SetBody(struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Node(client).Coordinator().DeliverRequest(context.Background(), ttp, msg); err == nil {
+		t.Fatal("relay accepted unexpected kind")
+	}
+}
+
+// TestResolveServiceRejectsIncompleteEvidence: the TTP only substitutes a
+// receipt for a server that can prove the full first two steps.
+func TestResolveServiceRejectsIncompleteEvidence(t *testing.T) {
+	t.Parallel()
+	d := testpki.MustDomain(client, server, ttp)
+	defer d.Close()
+	invoke.NewResolveService(d.Node(ttp).Coordinator())
+
+	run := id.NewRun()
+	snap := evidence.RequestSnapshot{
+		Run: run, Client: client, Server: server,
+		Service: "urn:org:server/svc", Operation: "Do",
+		Protocol: invoke.ProtocolFair,
+	}
+	reqDigest, err := snap.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nro, err := d.Node(client).Services().Issuer.Issue(evidence.KindNRO, run, 1, reqDigest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Server presents only the NRO — no NRR, no NROResp: refused.
+	msg := &protocol.Message{Protocol: invoke.ProtocolResolve, Run: run, Kind: "resolve"}
+	type resolveWire struct {
+		Request  evidence.RequestSnapshot  `json:"request"`
+		Response evidence.ResponseSnapshot `json:"response"`
+		NRO      *evidence.Token           `json:"nro"`
+		NRR      *evidence.Token           `json:"nrr"`
+		NROResp  *evidence.Token           `json:"nro_resp"`
+	}
+	if err := msg.SetBody(resolveWire{
+		Request:  snap,
+		Response: evidence.ResponseSnapshot{Run: run, Server: server, RequestDigest: reqDigest},
+		NRO:      nro,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Node(server).Coordinator().DeliverRequest(context.Background(), ttp, msg); err == nil {
+		t.Fatal("resolve service accepted incomplete evidence")
+	}
+}
+
+// TestServerReceiptForUnknownRun: receipts for unknown runs are rejected.
+func TestServerReceiptForUnknownRun(t *testing.T) {
+	t.Parallel()
+	d := testpki.MustDomain(client, server)
+	defer d.Close()
+	exec, _ := echoExec()
+	srv := invoke.NewServer(d.Node(server).Coordinator(), exec)
+	defer srv.Close()
+	msg := &protocol.Message{
+		Protocol: invoke.ProtocolDirect,
+		Run:      id.NewRun(),
+		Step:     3,
+		Kind:     "receipt",
+	}
+	if err := msg.SetBody(struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Node(client).Coordinator().Deliver(context.Background(), server, msg); err != nil {
+		t.Fatal(err)
+	}
+	// The server logged nothing for the stray run.
+	if got := len(d.Node(server).Log().ByRun(msg.Run)); got != 0 {
+		t.Fatalf("server logged %d records for unknown run", got)
+	}
+	if _, _, err := srv.ReceiptState(msg.Run); err == nil {
+		t.Fatal("ReceiptState for unknown run succeeded")
+	}
+}

@@ -1,0 +1,442 @@
+package invoke
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/protocol"
+	"nonrep/internal/sig"
+)
+
+// Server is the server-side B2BInvocationHandler (section 4.2): it
+// verifies the client's evidence, passes the request to the component for
+// execution "at the appropriate point during execution of the
+// non-repudiation protocol", and completes the evidence exchange. One
+// Server instance is registered per protocol variant.
+type Server struct {
+	co    *protocol.Coordinator
+	exec  Executor
+	proto string
+
+	execTimeout      time.Duration
+	voluntaryReceipt bool
+	ttp              id.Party
+	receiptTimeout   time.Duration
+
+	replies *protocol.ReplyCache
+
+	mu   sync.Mutex
+	runs map[id.Run]*serverRun
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+var _ protocol.Handler = (*Server)(nil)
+
+// serverRun is the per-run state the server keeps between response and
+// receipt.
+type serverRun struct {
+	client     id.Party
+	reqSnap    evidence.RequestSnapshot
+	respSnap   evidence.ResponseSnapshot
+	respDigest sig.Digest
+	nro        *evidence.Token
+	nrr        *evidence.Token
+	nroResp    *evidence.Token
+
+	receiptOnce sync.Once
+	receipt     chan struct{}
+	resolveOnce sync.Once
+
+	mu       sync.Mutex
+	resolved bool
+	consumed *evidence.Consumption
+}
+
+// markReceipt records arrival of the client's receipt.
+func (r *serverRun) markReceipt(con evidence.Consumption) {
+	r.mu.Lock()
+	r.consumed = &con
+	r.mu.Unlock()
+	r.receiptOnce.Do(func() { close(r.receipt) })
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// ForProtocol selects the protocol variant the server executes (default
+// ProtocolDirect).
+func ForProtocol(name string) ServerOption {
+	return func(s *Server) { s.proto = name }
+}
+
+// WithExecTimeout sets the agreed execution timeout after which the
+// interceptor generates timeout evidence instead of a result
+// (section 3.2).
+func WithExecTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.execTimeout = d }
+}
+
+// WithVoluntaryReceipt makes a ProtocolVoluntary server return a signed
+// receipt for the request (the "voluntary non-repudiation" of the Web
+// Services proposal discussed in section 5).
+func WithVoluntaryReceipt() ServerOption {
+	return func(s *Server) { s.voluntaryReceipt = true }
+}
+
+// WithRecovery configures ProtocolFair recovery: if the client's receipt
+// does not arrive within d, the server asks the offline TTP for a
+// substitute receipt.
+func WithRecovery(ttp id.Party, d time.Duration) ServerOption {
+	return func(s *Server) {
+		s.ttp = ttp
+		s.receiptTimeout = d
+	}
+}
+
+// NewServer creates a server handler executing requests through exec and
+// registers it with the coordinator.
+func NewServer(co *protocol.Coordinator, exec Executor, opts ...ServerOption) *Server {
+	s := &Server{
+		co:          co,
+		exec:        exec,
+		proto:       ProtocolDirect,
+		execTimeout: DefaultExecTimeout,
+		replies:     protocol.NewReplyCache(),
+		runs:        make(map[id.Run]*serverRun),
+		closed:      make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	co.Register(s)
+	return s
+}
+
+// Protocol implements protocol.Handler.
+func (s *Server) Protocol() string { return s.proto }
+
+// ProcessRequest implements protocol.Handler: it executes steps 1 and 2 of
+// the exchange.
+func (s *Server) ProcessRequest(ctx context.Context, msg *protocol.Message) (*protocol.Message, error) {
+	if msg.Kind != kindRequest {
+		return nil, fmt.Errorf("invoke: unexpected request kind %q", msg.Kind)
+	}
+	// At-most-once: a retried request returns the original response.
+	if cached, ok := s.replies.Get(msg.Run, stepResponse); ok {
+		return cached, nil
+	}
+
+	svc := s.co.Services()
+	var rb requestBody
+	if err := msg.Body(&rb); err != nil {
+		return nil, err
+	}
+	snap := rb.Snapshot
+	if snap.Run != msg.Run {
+		return nil, fmt.Errorf("%w: snapshot run %s in message for run %s", ErrEvidenceInvalid, snap.Run, msg.Run)
+	}
+	reqDigest, err := snap.Digest()
+	if err != nil {
+		return nil, err
+	}
+
+	// The request is passed to the server only if the client provides
+	// valid NRO of the request (section 3.2).
+	nro := msg.Token(evidence.KindNRO)
+	if nro == nil {
+		return nil, fmt.Errorf("%w: request missing NRO token", ErrEvidenceInvalid)
+	}
+	if err := svc.Verifier.Expect(nro, evidence.KindNRO, msg.Run, snap.Client); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEvidenceInvalid, err)
+	}
+	if nro.Digest != reqDigest {
+		return nil, fmt.Errorf("%w: NRO covers a different request", ErrEvidenceInvalid)
+	}
+	if err := svc.LogReceived(nro, "request origin"); err != nil {
+		return nil, err
+	}
+
+	// NRR(req): evidence of receipt, generated whether or not execution
+	// succeeds. Under the voluntary baseline the receipt is only issued
+	// when the server volunteers one (section 5).
+	var nrr *evidence.Token
+	if s.proto != ProtocolVoluntary || s.voluntaryReceipt {
+		nrr, err = svc.Issuer.Issue(evidence.KindNRR, msg.Run, stepRequest, reqDigest,
+			evidence.WithService(snap.Service), evidence.WithTxn(msg.Txn), evidence.WithRecipients(snap.Client))
+		if err != nil {
+			return nil, err
+		}
+		if err := svc.LogGenerated(nrr, "request receipt"); err != nil {
+			return nil, err
+		}
+	}
+
+	// Execute the request under the agreed timeout; failures become
+	// interceptor-generated evidence rather than protocol errors.
+	respSnap := s.execute(ctx, &snap, reqDigest)
+	respDigest, err := respSnap.Digest()
+	if err != nil {
+		return nil, err
+	}
+
+	reply := &protocol.Message{
+		Protocol: msg.Protocol,
+		Run:      msg.Run,
+		Txn:      msg.Txn,
+		Step:     stepResponse,
+		Kind:     kindResponse,
+	}
+	if err := reply.SetBody(responseBody{Snapshot: respSnap}); err != nil {
+		return nil, err
+	}
+
+	rs := &serverRun{
+		client:     snap.Client,
+		reqSnap:    snap,
+		respSnap:   respSnap,
+		respDigest: respDigest,
+		nro:        nro,
+		nrr:        nrr,
+		receipt:    make(chan struct{}),
+	}
+
+	switch s.proto {
+	case ProtocolVoluntary:
+		if s.voluntaryReceipt {
+			reply.Tokens = []*evidence.Token{nrr}
+		}
+	default:
+		nroResp, err := svc.Issuer.Issue(evidence.KindNROResp, msg.Run, stepResponse, respDigest,
+			evidence.WithService(snap.Service), evidence.WithTxn(msg.Txn), evidence.WithRecipients(snap.Client))
+		if err != nil {
+			return nil, err
+		}
+		if err := svc.LogGenerated(nroResp, "response origin ("+respSnap.Status.String()+")"); err != nil {
+			return nil, err
+		}
+		rs.nroResp = nroResp
+		reply.Tokens = []*evidence.Token{nrr, nroResp}
+	}
+
+	s.mu.Lock()
+	s.runs[msg.Run] = rs
+	s.mu.Unlock()
+	s.replies.Put(msg.Run, stepResponse, reply)
+
+	if s.proto == ProtocolFair && s.receiptTimeout > 0 && s.ttp != "" {
+		s.watchReceipt(rs, msg.Run)
+	}
+	return reply, nil
+}
+
+// execute runs the request through the executor, mapping failures to the
+// response statuses of section 3.2.
+func (s *Server) execute(ctx context.Context, snap *evidence.RequestSnapshot, reqDigest sig.Digest) evidence.ResponseSnapshot {
+	svc := s.co.Services()
+	resp := evidence.ResponseSnapshot{
+		Run:           snap.Run,
+		Server:        svc.Party,
+		RequestDigest: reqDigest,
+	}
+	execCtx, cancel := context.WithTimeout(ctx, s.execTimeout)
+	defer cancel()
+	result, err := s.exec.Execute(execCtx, snap)
+	switch {
+	case err == nil:
+		resp.Status = evidence.StatusOK
+		resp.Result = result
+	case errors.Is(err, context.DeadlineExceeded):
+		resp.Status = evidence.StatusTimeout
+		resp.Error = fmt.Sprintf("no result within agreed timeout %v", s.execTimeout)
+	case errors.Is(err, context.Canceled):
+		resp.Status = evidence.StatusAborted
+		resp.Error = "client aborted the request before a result was available"
+	case errors.Is(err, ErrNotExecuted):
+		resp.Status = evidence.StatusNotExecuted
+		resp.Error = err.Error()
+	default:
+		resp.Status = evidence.StatusFailed
+		resp.Error = err.Error()
+	}
+	return resp
+}
+
+// ErrNotExecuted signals from an Executor that the request was received
+// but not executed (for example, denied by access control); the
+// interceptor evidences this instead of a result.
+var ErrNotExecuted = errors.New("invoke: request received but not executed")
+
+// Process implements protocol.Handler: it handles step 3, the client's
+// response receipt.
+func (s *Server) Process(_ context.Context, msg *protocol.Message) error {
+	if msg.Kind != kindReceipt {
+		return fmt.Errorf("invoke: unexpected one-way kind %q", msg.Kind)
+	}
+	svc := s.co.Services()
+	s.mu.Lock()
+	rs, ok := s.runs[msg.Run]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchRun, msg.Run)
+	}
+	var body receiptBody
+	if err := msg.Body(&body); err != nil {
+		return err
+	}
+	note := body.Note
+	if note.Run != msg.Run || note.ResponseDigest != rs.respDigest {
+		return fmt.Errorf("%w: receipt does not match response", ErrEvidenceInvalid)
+	}
+	noteDigest, err := note.Digest()
+	if err != nil {
+		return err
+	}
+	tok := msg.Token(evidence.KindNRRResp)
+	if tok == nil {
+		return fmt.Errorf("%w: receipt missing NRR token", ErrEvidenceInvalid)
+	}
+	if err := svc.Verifier.Expect(tok, evidence.KindNRRResp, msg.Run, rs.client); err != nil {
+		return fmt.Errorf("%w: %v", ErrEvidenceInvalid, err)
+	}
+	if tok.Digest != noteDigest {
+		return fmt.Errorf("%w: receipt token covers different note", ErrEvidenceInvalid)
+	}
+	if err := svc.LogReceived(tok, "response receipt ("+note.Consumption.String()+")"); err != nil {
+		return err
+	}
+	rs.markReceipt(note.Consumption)
+	return nil
+}
+
+// watchReceipt resolves through the TTP if the receipt does not arrive in
+// time.
+func (s *Server) watchReceipt(rs *serverRun, run id.Run) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		timer := time.NewTimer(s.receiptTimeout)
+		defer timer.Stop()
+		select {
+		case <-rs.receipt:
+		case <-s.closed:
+		case <-timer.C:
+			_ = s.resolve(context.Background(), rs, run)
+		}
+	}()
+}
+
+// resolve obtains a TTP substitute receipt for a withheld NRR(resp).
+func (s *Server) resolve(ctx context.Context, rs *serverRun, run id.Run) error {
+	var resolveErr error
+	rs.resolveOnce.Do(func() {
+		svc := s.co.Services()
+		msg := &protocol.Message{
+			Protocol: ProtocolResolve,
+			Run:      run,
+			Step:     stepReceipt,
+			Kind:     kindResolve,
+		}
+		if err := msg.SetBody(resolveBody{
+			Request:  rs.reqSnap,
+			Response: rs.respSnap,
+			NRO:      rs.nro,
+			NRR:      rs.nrr,
+			NROResp:  rs.nroResp,
+		}); err != nil {
+			resolveErr = err
+			return
+		}
+		reply, err := s.co.DeliverRequest(ctx, s.ttp, msg)
+		if err != nil {
+			resolveErr = fmt.Errorf("invoke: ttp resolve: %w", err)
+			return
+		}
+		var db decisionBody
+		if err := reply.Body(&db); err != nil {
+			resolveErr = err
+			return
+		}
+		for _, tok := range reply.Tokens {
+			if err := svc.Verifier.Verify(tok); err != nil {
+				resolveErr = fmt.Errorf("%w: %v", ErrEvidenceInvalid, err)
+				return
+			}
+			if err := svc.LogReceived(tok, "ttp decision"); err != nil {
+				resolveErr = err
+				return
+			}
+		}
+		if !db.Resolved {
+			resolveErr = fmt.Errorf("%w: %s", ErrAborted, run)
+			return
+		}
+		rs.mu.Lock()
+		rs.resolved = true
+		rs.mu.Unlock()
+	})
+	return resolveErr
+}
+
+// ResolveNow forces TTP resolution for a run, for tests and tools that do
+// not want to wait for the receipt timeout.
+func (s *Server) ResolveNow(ctx context.Context, run id.Run) error {
+	s.mu.Lock()
+	rs, ok := s.runs[run]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchRun, run)
+	}
+	return s.resolve(ctx, rs, run)
+}
+
+// ReceiptState reports the evidence state of a run: whether the client's
+// receipt arrived and whether a TTP substitute was obtained.
+func (s *Server) ReceiptState(run id.Run) (received, resolved bool, err error) {
+	s.mu.Lock()
+	rs, ok := s.runs[run]
+	s.mu.Unlock()
+	if !ok {
+		return false, false, fmt.Errorf("%w: %s", ErrNoSuchRun, run)
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.consumed != nil, rs.resolved, nil
+}
+
+// WaitReceipt blocks until the run's receipt arrives, the context ends, or
+// the server closes.
+func (s *Server) WaitReceipt(ctx context.Context, run id.Run) error {
+	s.mu.Lock()
+	rs, ok := s.runs[run]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchRun, run)
+	}
+	select {
+	case <-rs.receipt:
+		return nil
+	case <-s.closed:
+		return ErrNoSuchRun
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops background recovery watchers.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,126 @@
+// Package member implements the membership service of section 3.5: "for
+// information sharing, the membership of the group that shares information
+// must be identified. It must also be possible to map member identifiers
+// (for example, URIs) to credentials in the credential management
+// service."
+package member
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"nonrep/internal/id"
+)
+
+// Errors reported by the membership service.
+var (
+	// ErrUnknownGroup is returned for operations on unknown groups.
+	ErrUnknownGroup = errors.New("member: unknown group")
+	// ErrUnknownMember is returned when a party is not in a group.
+	ErrUnknownMember = errors.New("member: unknown member")
+)
+
+// Entry binds a member to its credential (key identifier in the
+// credential store).
+type Entry struct {
+	Party id.Party `json:"party"`
+	KeyID string   `json:"kid"`
+}
+
+// Service is a registry of sharing groups. It is safe for concurrent use.
+type Service struct {
+	mu     sync.RWMutex
+	groups map[string]map[id.Party]string
+}
+
+// NewService creates an empty membership service.
+func NewService() *Service {
+	return &Service{groups: make(map[string]map[id.Party]string)}
+}
+
+// Create registers a group with its founding members.
+func (s *Service) Create(group string, founders ...Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.groups[group]; ok {
+		return fmt.Errorf("member: group %q already exists", group)
+	}
+	m := make(map[id.Party]string, len(founders))
+	for _, f := range founders {
+		m[f.Party] = f.KeyID
+	}
+	s.groups[group] = m
+	return nil
+}
+
+// Join adds a member to a group.
+func (s *Service) Join(group string, entry Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.groups[group]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	}
+	m[entry.Party] = entry.KeyID
+	return nil
+}
+
+// Leave removes a member from a group.
+func (s *Service) Leave(group string, party id.Party) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.groups[group]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	}
+	if _, ok := m[party]; !ok {
+		return fmt.Errorf("%w: %s in %q", ErrUnknownMember, party, group)
+	}
+	delete(m, party)
+	return nil
+}
+
+// Members lists a group's members in stable order.
+func (s *Service) Members(group string) ([]id.Party, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.groups[group]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	}
+	out := make([]id.Party, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// IsMember reports whether a party belongs to a group.
+func (s *Service) IsMember(group string, party id.Party) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.groups[group]
+	if !ok {
+		return false
+	}
+	_, ok = m[party]
+	return ok
+}
+
+// KeyOf maps a member identifier to its credential key identifier.
+func (s *Service) KeyOf(group string, party id.Party) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.groups[group]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	}
+	kid, ok := m[party]
+	if !ok {
+		return "", fmt.Errorf("%w: %s in %q", ErrUnknownMember, party, group)
+	}
+	return kid, nil
+}

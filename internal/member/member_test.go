@@ -1,0 +1,75 @@
+package member
+
+import (
+	"errors"
+	"testing"
+
+	"nonrep/internal/id"
+)
+
+func TestGroupLifecycle(t *testing.T) {
+	t.Parallel()
+	s := NewService()
+	if err := s.Create("ve-1", Entry{Party: "urn:org:a", KeyID: "ka"}, Entry{Party: "urn:org:b", KeyID: "kb"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("ve-1"); err == nil {
+		t.Fatal("duplicate Create succeeded")
+	}
+	members, err := s.Members("ve-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 2 || members[0] != "urn:org:a" || members[1] != "urn:org:b" {
+		t.Fatalf("members = %v", members)
+	}
+	if !s.IsMember("ve-1", "urn:org:a") {
+		t.Fatal("IsMember = false for founder")
+	}
+	kid, err := s.KeyOf("ve-1", "urn:org:b")
+	if err != nil || kid != "kb" {
+		t.Fatalf("KeyOf = %q, %v", kid, err)
+	}
+
+	if err := s.Join("ve-1", Entry{Party: "urn:org:c", KeyID: "kc"}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsMember("ve-1", "urn:org:c") {
+		t.Fatal("joined member not present")
+	}
+	if err := s.Leave("ve-1", "urn:org:a"); err != nil {
+		t.Fatal(err)
+	}
+	if s.IsMember("ve-1", "urn:org:a") {
+		t.Fatal("left member still present")
+	}
+}
+
+func TestUnknownGroupAndMember(t *testing.T) {
+	t.Parallel()
+	s := NewService()
+	if _, err := s.Members("missing"); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatalf("Members = %v, want ErrUnknownGroup", err)
+	}
+	if err := s.Join("missing", Entry{}); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatalf("Join = %v, want ErrUnknownGroup", err)
+	}
+	if err := s.Leave("missing", "x"); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatalf("Leave = %v, want ErrUnknownGroup", err)
+	}
+	if _, err := s.KeyOf("missing", "x"); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatalf("KeyOf = %v, want ErrUnknownGroup", err)
+	}
+	if err := s.Create("g", Entry{Party: "urn:org:a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Leave("g", id.Party("urn:org:zz")); !errors.Is(err, ErrUnknownMember) {
+		t.Fatalf("Leave(non-member) = %v, want ErrUnknownMember", err)
+	}
+	if _, err := s.KeyOf("g", "urn:org:zz"); !errors.Is(err, ErrUnknownMember) {
+		t.Fatalf("KeyOf(non-member) = %v, want ErrUnknownMember", err)
+	}
+	if s.IsMember("missing", "x") {
+		t.Fatal("IsMember(missing group) = true")
+	}
+}

@@ -1,0 +1,226 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"nonrep/internal/canon"
+	"nonrep/internal/clock"
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/store"
+	"nonrep/internal/transport"
+)
+
+// Envelope kinds used on the wire between coordinators.
+const (
+	envDeliver        = "b2b-deliver"
+	envDeliverRequest = "b2b-deliver-request"
+	envReply          = "b2b-reply"
+)
+
+// ErrNoHandler is returned when a message names a protocol with no
+// registered handler.
+var ErrNoHandler = errors.New("protocol: no handler registered")
+
+// Services bundles the local, protocol-independent services the
+// coordinator provides to handlers (section 4.1: "the coordinator also
+// provides access to generic services that support execution of protocols
+// (such as credential management and state storage)").
+type Services struct {
+	Party     id.Party
+	Issuer    *evidence.Issuer
+	Verifier  *evidence.Verifier
+	Log       store.Log
+	States    store.StateStore
+	Clock     clock.Clock
+	Directory *Directory
+}
+
+// LogGenerated verifies-nothing and records evidence this party issued.
+func (s *Services) LogGenerated(tok *evidence.Token, note string) error {
+	_, err := s.Log.Append(store.Generated, tok, note)
+	return err
+}
+
+// LogReceived records evidence received from a counterparty. Callers must
+// have verified the token first.
+func (s *Services) LogReceived(tok *evidence.Token, note string) error {
+	_, err := s.Log.Append(store.Received, tok, note)
+	return err
+}
+
+// Coordinator is the B2BCoordinator: the remote entry point through which
+// other trusted interceptors deliver protocol messages, and the local
+// gateway through which handlers send them.
+type Coordinator struct {
+	svc *Services
+	ep  transport.Endpoint
+
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// Option configures a coordinator.
+type Option func(*config)
+
+type config struct {
+	retry transport.RetryPolicy
+}
+
+// WithRetryPolicy overrides the default retransmission policy.
+func WithRetryPolicy(p transport.RetryPolicy) Option {
+	return func(c *config) { c.retry = p }
+}
+
+// New registers a coordinator for svc.Party at addr on the network. The
+// endpoint is wrapped with retransmission and incoming traffic with replay
+// de-duplication, so coordinators see eventual delivery with exactly-once
+// processing (trusted-interceptor assumption 2).
+func New(network transport.Network, addr string, svc *Services, opts ...Option) (*Coordinator, error) {
+	cfg := config{retry: transport.DefaultRetryPolicy}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	c := &Coordinator{svc: svc, handlers: make(map[string]Handler)}
+	ep, err := network.Register(addr, transport.NewDedup(transport.HandlerFunc(c.handle)))
+	if err != nil {
+		return nil, err
+	}
+	c.ep = transport.NewReliable(ep, cfg.retry)
+	svc.Directory.Register(svc.Party, c.ep.Addr())
+	return c, nil
+}
+
+// Services returns the coordinator's local services.
+func (c *Coordinator) Services() *Services { return c.svc }
+
+// Party returns the party this coordinator acts for.
+func (c *Coordinator) Party() id.Party { return c.svc.Party }
+
+// Addr returns the coordinator's transport address.
+func (c *Coordinator) Addr() string { return c.ep.Addr() }
+
+// Register installs a protocol handler (section 4.1: "custom protocol
+// handlers are registered with the coordinator service").
+func (c *Coordinator) Register(h Handler) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.handlers[h.Protocol()] = h
+}
+
+// Protocols lists the protocol names with registered handlers.
+func (c *Coordinator) Protocols() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.handlers))
+	for name := range c.handlers {
+		out = append(out, name)
+	}
+	return out
+}
+
+// handler resolves the handler for a protocol.
+func (c *Coordinator) handler(protocol string) (Handler, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	h, ok := c.handlers[protocol]
+	if !ok {
+		return nil, fmt.Errorf("%w for protocol %q at %s", ErrNoHandler, protocol, c.svc.Party)
+	}
+	return h, nil
+}
+
+// handle is the transport-facing entry point.
+func (c *Coordinator) handle(ctx context.Context, env *transport.Envelope) (*transport.Envelope, error) {
+	var msg Message
+	if err := canon.Unmarshal(env.Body, &msg); err != nil {
+		return nil, err
+	}
+	h, err := c.handler(msg.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	switch env.Kind {
+	case envDeliver:
+		if err := h.Process(ctx, &msg); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	case envDeliverRequest:
+		reply, err := h.ProcessRequest(ctx, &msg)
+		if err != nil {
+			return nil, err
+		}
+		body, err := canon.Marshal(reply)
+		if err != nil {
+			return nil, err
+		}
+		out := transport.NewEnvelope(envReply, body)
+		return out, nil
+	default:
+		return nil, fmt.Errorf("protocol: unknown envelope kind %q", env.Kind)
+	}
+}
+
+// stampOutgoing fills sender fields.
+func (c *Coordinator) stampOutgoing(msg *Message) {
+	msg.Sender = c.svc.Party
+	msg.ReplyAddr = c.ep.Addr()
+}
+
+// Deliver sends a one-way protocol message to a party (the deliver
+// operation of the B2BCoordinatorRemote interface). Handlers replying to
+// an incoming message may instead use DeliverAddr with the message's
+// ReplyAddr, avoiding a directory lookup.
+func (c *Coordinator) Deliver(ctx context.Context, to id.Party, msg *Message) error {
+	addr, err := c.svc.Directory.Resolve(to)
+	if err != nil {
+		return err
+	}
+	return c.DeliverAddr(ctx, addr, msg)
+}
+
+// DeliverAddr is Deliver to an explicit coordinator address.
+func (c *Coordinator) DeliverAddr(ctx context.Context, addr string, msg *Message) error {
+	c.stampOutgoing(msg)
+	body, err := canon.Marshal(msg)
+	if err != nil {
+		return err
+	}
+	return c.ep.Send(ctx, addr, transport.NewEnvelope(envDeliver, body))
+}
+
+// DeliverRequest sends a protocol message and waits synchronously for the
+// counterparty handler's reply (the deliverRequest operation of the
+// B2BCoordinatorRemote interface).
+func (c *Coordinator) DeliverRequest(ctx context.Context, to id.Party, msg *Message) (*Message, error) {
+	addr, err := c.svc.Directory.Resolve(to)
+	if err != nil {
+		return nil, err
+	}
+	return c.DeliverRequestAddr(ctx, addr, msg)
+}
+
+// DeliverRequestAddr is DeliverRequest to an explicit coordinator address.
+func (c *Coordinator) DeliverRequestAddr(ctx context.Context, addr string, msg *Message) (*Message, error) {
+	c.stampOutgoing(msg)
+	body, err := canon.Marshal(msg)
+	if err != nil {
+		return nil, err
+	}
+	replyEnv, err := c.ep.Request(ctx, addr, transport.NewEnvelope(envDeliverRequest, body))
+	if err != nil {
+		return nil, err
+	}
+	var reply Message
+	if err := canon.Unmarshal(replyEnv.Body, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// Close deregisters the coordinator's endpoint.
+func (c *Coordinator) Close() error { return c.ep.Close() }

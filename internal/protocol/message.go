@@ -1,0 +1,156 @@
+// Package protocol implements the B2BCoordinator service of section 4.1:
+// "Each trusted interceptor provides a B2BCoordinator service for the
+// exchange of messages with other trusted interceptors... This service is
+// the external entry point for execution of non-repudiation protocols."
+// Custom protocol handlers register with the coordinator, which maps
+// incoming protocol messages to the appropriate handler and provides access
+// to local services (credential management, evidence logging, state
+// storage) that are not protocol specific.
+package protocol
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"nonrep/internal/canon"
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/sig"
+)
+
+// Message is the B2BProtocolMessage of section 4.1: "an interface to
+// information common to non-repudiation protocol messages — request
+// (protocol run) identifier, sender, protocol step, signed content,
+// payload etc." Protocol-specific bodies travel in Payload as canonical
+// bytes; signed evidence travels in Tokens.
+type Message struct {
+	Protocol string   `json:"protocol"`
+	Run      id.Run   `json:"run"`
+	Txn      id.Txn   `json:"txn,omitempty"`
+	Step     int      `json:"step"`
+	Kind     string   `json:"kind"`
+	Sender   id.Party `json:"sender"`
+	// ReplyAddr is the sender's coordinator address, letting handlers
+	// deliver follow-up messages without a directory lookup.
+	ReplyAddr string            `json:"reply_addr,omitempty"`
+	Tokens    []*evidence.Token `json:"tokens,omitempty"`
+	Payload   []byte            `json:"payload,omitempty"`
+}
+
+// Body decodes the canonical payload into v.
+func (m *Message) Body(v any) error {
+	if err := canon.Unmarshal(m.Payload, v); err != nil {
+		return fmt.Errorf("protocol: decode %s/%s payload: %w", m.Protocol, m.Kind, err)
+	}
+	return nil
+}
+
+// SetBody encodes v as the canonical payload.
+func (m *Message) SetBody(v any) error {
+	data, err := canon.Marshal(v)
+	if err != nil {
+		return err
+	}
+	m.Payload = data
+	return nil
+}
+
+// PayloadDigest returns the digest of the payload bytes.
+func (m *Message) PayloadDigest() sig.Digest { return sig.Sum(m.Payload) }
+
+// Token returns the first token of the given kind, or nil.
+func (m *Message) Token(kind evidence.Kind) *evidence.Token {
+	for _, t := range m.Tokens {
+		if t.Kind == kind {
+			return t
+		}
+	}
+	return nil
+}
+
+// Handler is the B2BProtocolHandler of section 4.1. Process handles
+// one-way deliveries; ProcessRequest handles request/response exchanges.
+type Handler interface {
+	// Protocol names the protocol this handler executes.
+	Protocol() string
+	// Process handles a one-way protocol message.
+	Process(ctx context.Context, msg *Message) error
+	// ProcessRequest handles a protocol message and returns the reply.
+	ProcessRequest(ctx context.Context, msg *Message) (*Message, error)
+}
+
+// Directory resolves parties to coordinator addresses. It stands in for
+// the naming component of the membership service (section 3.5). It is safe
+// for concurrent use.
+type Directory struct {
+	mu    sync.RWMutex
+	addrs map[id.Party]string
+}
+
+// NewDirectory creates an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{addrs: make(map[id.Party]string)}
+}
+
+// Register maps a party to a coordinator address.
+func (d *Directory) Register(p id.Party, addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.addrs[p] = addr
+}
+
+// Resolve returns the coordinator address of a party.
+func (d *Directory) Resolve(p id.Party) (string, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	addr, ok := d.addrs[p]
+	if !ok {
+		return "", fmt.Errorf("protocol: no coordinator address for %s", p)
+	}
+	return addr, nil
+}
+
+// Parties lists all registered parties.
+func (d *Directory) Parties() []id.Party {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]id.Party, 0, len(d.addrs))
+	for p := range d.addrs {
+		out = append(out, p)
+	}
+	return out
+}
+
+// ReplyCache remembers the reply produced for each (run, step), giving
+// protocol-level at-most-once semantics: a retried request returns the
+// original reply instead of re-executing. It is safe for concurrent use.
+type ReplyCache struct {
+	mu sync.Mutex
+	m  map[replyKey]*Message
+}
+
+type replyKey struct {
+	run  id.Run
+	step int
+}
+
+// NewReplyCache creates an empty reply cache.
+func NewReplyCache() *ReplyCache {
+	return &ReplyCache{m: make(map[replyKey]*Message)}
+}
+
+// Get returns the cached reply for (run, step).
+func (c *ReplyCache) Get(run id.Run, step int) (*Message, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	msg, ok := c.m[replyKey{run, step}]
+	return msg, ok
+}
+
+// Put caches the reply for (run, step).
+func (c *ReplyCache) Put(run id.Run, step int, msg *Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[replyKey{run, step}] = msg
+}

@@ -1,0 +1,307 @@
+package protocol_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/protocol"
+	"nonrep/internal/sig"
+	"nonrep/internal/store"
+	"nonrep/internal/testpki"
+	"nonrep/internal/transport"
+)
+
+const (
+	alice = id.Party("urn:org:alice")
+	bob   = id.Party("urn:org:bob")
+)
+
+// pingHandler acknowledges one-way pings and answers request pings.
+type pingHandler struct {
+	processed atomic.Int64
+	requests  atomic.Int64
+}
+
+func (h *pingHandler) Protocol() string { return "ping" }
+
+func (h *pingHandler) Process(_ context.Context, msg *protocol.Message) error {
+	h.processed.Add(1)
+	return nil
+}
+
+func (h *pingHandler) ProcessRequest(_ context.Context, msg *protocol.Message) (*protocol.Message, error) {
+	h.requests.Add(1)
+	reply := &protocol.Message{Protocol: "ping", Run: msg.Run, Step: msg.Step + 1, Kind: "pong"}
+	if err := reply.SetBody(map[string]string{"echo": string(msg.Payload)}); err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+type fixture struct {
+	realm *testpki.Realm
+	net   *transport.InprocNetwork
+	dir   *protocol.Directory
+	coA   *protocol.Coordinator
+	coB   *protocol.Coordinator
+	hB    *pingHandler
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	realm := testpki.MustRealm(alice, bob)
+	network := transport.NewInprocNetwork()
+	t.Cleanup(func() { _ = network.Close() })
+	dir := protocol.NewDirectory()
+
+	newCo := func(p id.Party) *protocol.Coordinator {
+		svc := &protocol.Services{
+			Party:     p,
+			Issuer:    realm.Party(p).Issuer,
+			Verifier:  realm.Verifier(),
+			Log:       store.NewMemLog(realm.Clock),
+			States:    store.NewMemStateStore(),
+			Clock:     realm.Clock,
+			Directory: dir,
+		}
+		co, err := protocol.New(network, string(p), svc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = co.Close() })
+		return co
+	}
+	f := &fixture{realm: realm, net: network, dir: dir, coA: newCo(alice), coB: newCo(bob), hB: &pingHandler{}}
+	f.coB.Register(f.hB)
+	return f
+}
+
+func TestDeliverRequestRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t)
+	msg := &protocol.Message{Protocol: "ping", Run: id.NewRun(), Step: 1, Kind: "ping", Payload: []byte("hi")}
+	reply, err := f.coA.DeliverRequest(context.Background(), bob, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Kind != "pong" || reply.Step != 2 {
+		t.Fatalf("reply = %+v", reply)
+	}
+	var body map[string]string
+	if err := reply.Body(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["echo"] != "hi" {
+		t.Fatalf("echo = %q", body["echo"])
+	}
+	if f.hB.requests.Load() != 1 {
+		t.Fatalf("requests = %d", f.hB.requests.Load())
+	}
+}
+
+func TestDeliverOneWay(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t)
+	msg := &protocol.Message{Protocol: "ping", Run: id.NewRun(), Step: 1, Kind: "ping"}
+	if err := f.coA.Deliver(context.Background(), bob, msg); err != nil {
+		t.Fatal(err)
+	}
+	// Delivery is asynchronous; poll briefly.
+	for i := 0; i < 100 && f.hB.processed.Load() == 0; i++ {
+		f.realm.Clock.Now() // no-op; just avoid a tight spin
+	}
+	if err := f.net.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if f.hB.processed.Load() != 1 {
+		t.Fatalf("processed = %d, want 1", f.hB.processed.Load())
+	}
+}
+
+func TestSenderStamped(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t)
+	var got *protocol.Message
+	f.coB.Register(&captureHandler{name: "capture", capture: &got})
+	msg := &protocol.Message{Protocol: "capture", Run: id.NewRun(), Step: 1}
+	if _, err := f.coA.DeliverRequest(context.Background(), bob, msg); err != nil {
+		t.Fatal(err)
+	}
+	if got.Sender != alice {
+		t.Fatalf("Sender = %s, want %s", got.Sender, alice)
+	}
+	if got.ReplyAddr != f.coA.Addr() {
+		t.Fatalf("ReplyAddr = %s, want %s", got.ReplyAddr, f.coA.Addr())
+	}
+}
+
+type captureHandler struct {
+	name    string
+	capture **protocol.Message
+}
+
+func (h *captureHandler) Protocol() string { return h.name }
+
+func (h *captureHandler) Process(_ context.Context, msg *protocol.Message) error {
+	*h.capture = msg
+	return nil
+}
+
+func (h *captureHandler) ProcessRequest(_ context.Context, msg *protocol.Message) (*protocol.Message, error) {
+	*h.capture = msg
+	return &protocol.Message{Protocol: h.name, Run: msg.Run, Kind: "ok"}, nil
+}
+
+func TestNoHandler(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t)
+	msg := &protocol.Message{Protocol: "unknown", Run: id.NewRun()}
+	_, err := f.coA.DeliverRequest(context.Background(), bob, msg)
+	if !errors.Is(err, protocol.ErrNoHandler) {
+		t.Fatalf("DeliverRequest = %v, want ErrNoHandler", err)
+	}
+}
+
+func TestUnknownParty(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t)
+	msg := &protocol.Message{Protocol: "ping", Run: id.NewRun()}
+	if err := f.coA.Deliver(context.Background(), "urn:org:nobody", msg); err == nil {
+		t.Fatal("Deliver to unknown party succeeded")
+	}
+}
+
+func TestMessageTokens(t *testing.T) {
+	t.Parallel()
+	realm := testpki.MustRealm(alice)
+	run := id.NewRun()
+	tok, err := realm.Party(alice).Issuer.Issue(evidence.KindNRO, run, 1, sig.Sum([]byte("x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := &protocol.Message{Protocol: "p", Run: run, Tokens: []*evidence.Token{tok}}
+	if got := msg.Token(evidence.KindNRO); got != tok {
+		t.Fatal("Token(KindNRO) did not return the token")
+	}
+	if got := msg.Token(evidence.KindNRR); got != nil {
+		t.Fatal("Token(KindNRR) returned a token")
+	}
+}
+
+func TestMessageBodyRoundTrip(t *testing.T) {
+	t.Parallel()
+	msg := &protocol.Message{Protocol: "p"}
+	type body struct {
+		N int    `json:"n"`
+		S string `json:"s"`
+	}
+	if err := msg.SetBody(body{N: 7, S: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	var got body
+	if err := msg.Body(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 7 || got.S != "x" {
+		t.Fatalf("Body = %+v", got)
+	}
+	if msg.PayloadDigest().IsZero() {
+		t.Fatal("PayloadDigest is zero")
+	}
+}
+
+func TestReplyCache(t *testing.T) {
+	t.Parallel()
+	cache := protocol.NewReplyCache()
+	run := id.NewRun()
+	if _, ok := cache.Get(run, 1); ok {
+		t.Fatal("Get on empty cache returned a message")
+	}
+	msg := &protocol.Message{Protocol: "p", Run: run}
+	cache.Put(run, 1, msg)
+	got, ok := cache.Get(run, 1)
+	if !ok || got != msg {
+		t.Fatal("Get did not return the cached message")
+	}
+	if _, ok := cache.Get(run, 2); ok {
+		t.Fatal("Get with different step returned a message")
+	}
+}
+
+func TestDirectory(t *testing.T) {
+	t.Parallel()
+	dir := protocol.NewDirectory()
+	dir.Register(alice, "addr-a")
+	addr, err := dir.Resolve(alice)
+	if err != nil || addr != "addr-a" {
+		t.Fatalf("Resolve = %q, %v", addr, err)
+	}
+	if _, err := dir.Resolve(bob); err == nil {
+		t.Fatal("Resolve(unregistered) succeeded")
+	}
+	if got := dir.Parties(); len(got) != 1 || got[0] != alice {
+		t.Fatalf("Parties = %v", got)
+	}
+}
+
+func TestServicesLogging(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t)
+	svc := f.coA.Services()
+	run := id.NewRun()
+	tok, err := svc.Issuer.Issue(evidence.KindNRO, run, 1, sig.Sum([]byte("x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.LogGenerated(tok, "sent request"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.LogReceived(tok, "loopback"); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Log.Len() != 2 {
+		t.Fatalf("log has %d records, want 2", svc.Log.Len())
+	}
+	if err := svc.Log.VerifyChain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordinatorOverTCP(t *testing.T) {
+	t.Parallel()
+	realm := testpki.MustRealm(alice, bob)
+	network := transport.NewTCPNetwork()
+	dir := protocol.NewDirectory()
+	newCo := func(p id.Party) *protocol.Coordinator {
+		svc := &protocol.Services{
+			Party:     p,
+			Issuer:    realm.Party(p).Issuer,
+			Verifier:  realm.Verifier(),
+			Log:       store.NewMemLog(realm.Clock),
+			States:    store.NewMemStateStore(),
+			Clock:     realm.Clock,
+			Directory: dir,
+		}
+		co, err := protocol.New(network, "127.0.0.1:0", svc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = co.Close() })
+		return co
+	}
+	coA := newCo(alice)
+	coB := newCo(bob)
+	coB.Register(&pingHandler{})
+	msg := &protocol.Message{Protocol: "ping", Run: id.NewRun(), Step: 1, Payload: []byte("over-tcp")}
+	reply, err := coA.DeliverRequest(context.Background(), bob, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Kind != "pong" {
+		t.Fatalf("reply = %+v", reply)
+	}
+}

@@ -1,0 +1,386 @@
+package sharing
+
+import (
+	"context"
+	"fmt"
+
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/protocol"
+	"nonrep/internal/sig"
+)
+
+// Process implements protocol.Handler; the coordination protocol is
+// request/response only.
+func (c *Controller) Process(context.Context, *protocol.Message) error {
+	return fmt.Errorf("sharing: coordination messages require request/response delivery")
+}
+
+// ProcessRequest implements protocol.Handler, dispatching the member-side
+// steps of the coordination protocol.
+func (c *Controller) ProcessRequest(ctx context.Context, msg *protocol.Message) (*protocol.Message, error) {
+	switch msg.Kind {
+	case kindPropose:
+		return c.handlePropose(ctx, msg)
+	case kindOutcome:
+		return c.handleOutcome(ctx, msg)
+	case kindWelcome:
+		return c.handleWelcome(ctx, msg)
+	default:
+		return nil, fmt.Errorf("sharing: unknown message kind %q", msg.Kind)
+	}
+}
+
+// handlePropose validates a remote proposal (Figure 8: the controller
+// "validat[es] A's proposed update by appealing to one or more state
+// validators") and returns this member's signed decision.
+func (c *Controller) handlePropose(ctx context.Context, msg *protocol.Message) (*protocol.Message, error) {
+	// Retransmissions get the original decision.
+	if cached, ok := c.replies.Get(msg.Run, stepPropose); ok {
+		return cached, nil
+	}
+	svc := c.co.Services()
+	var pb proposeBody
+	if err := msg.Body(&pb); err != nil {
+		return nil, err
+	}
+	prop := pb.Proposal
+	if prop.Run != msg.Run {
+		return nil, fmt.Errorf("%w: proposal run mismatch", ErrEvidenceInvalid)
+	}
+	propDigest, err := prop.Digest()
+	if err != nil {
+		return nil, err
+	}
+	// Evidence first: an unattributable proposal is not relayed to the
+	// application (assumption 4).
+	propTok := msg.Token(evidence.KindProposal)
+	if propTok == nil {
+		return nil, fmt.Errorf("%w: proposal missing token", ErrEvidenceInvalid)
+	}
+	if err := svc.Verifier.Expect(propTok, evidence.KindProposal, msg.Run, prop.Proposer); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEvidenceInvalid, err)
+	}
+	if propTok.Digest != propDigest {
+		return nil, fmt.Errorf("%w: proposal token covers different proposal", ErrEvidenceInvalid)
+	}
+	if err := svc.LogReceived(propTok, fmt.Sprintf("proposal from %s (%s %s)", prop.Proposer, prop.Kind, prop.Object)); err != nil {
+		return nil, err
+	}
+
+	verdict := c.judge(ctx, &prop, propDigest)
+
+	note := DecisionNote{
+		Run:            msg.Run,
+		Object:         prop.Object,
+		Decider:        svc.Party,
+		ProposalDigest: propDigest,
+		Accept:         verdict.Accept,
+		Reason:         verdict.Reason,
+	}
+	noteDigest, err := note.Digest()
+	if err != nil {
+		return nil, err
+	}
+	decTok, err := svc.Issuer.Issue(evidence.KindDecision, msg.Run, stepPropose, noteDigest,
+		evidence.WithTxn(msg.Txn), evidence.WithRecipients(prop.Proposer))
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.LogGenerated(decTok, fmt.Sprintf("decision (accept=%t)", verdict.Accept)); err != nil {
+		return nil, err
+	}
+
+	reply := &protocol.Message{
+		Protocol: ProtocolShare,
+		Run:      msg.Run,
+		Txn:      msg.Txn,
+		Step:     stepPropose,
+		Kind:     kindDecision,
+		Tokens:   []*evidence.Token{decTok},
+	}
+	if err := reply.SetBody(decisionBody{Note: note}); err != nil {
+		return nil, err
+	}
+	c.replies.Put(msg.Run, stepPropose, reply)
+	return reply, nil
+}
+
+// judge applies the local structural checks and application validators,
+// and on acceptance marks the proposal pending.
+func (c *Controller) judge(ctx context.Context, prop *Proposal, propDigest sig.Digest) Verdict {
+	if prop.Kind == ChangeAtomic {
+		return c.judgeAtomic(ctx, prop, propDigest)
+	}
+	svc := c.co.Services()
+	r, err := c.replica(prop.Object)
+	if err != nil {
+		return Reject("no local replica of " + prop.Object)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.detached {
+		return Reject("replica detached")
+	}
+	if !memberIn(r.group, prop.Proposer) {
+		return Reject(fmt.Sprintf("proposer %s is not a member", prop.Proposer))
+	}
+	if sig.Sum(prop.NewState) != prop.NewStateDigest {
+		return Reject("proposed state does not match its digest")
+	}
+	cur := r.current()
+	if prop.BaseVersion != cur.Number || prop.BaseChain != cur.Chain {
+		return Reject(fmt.Sprintf("stale proposal: base %d, current %d", prop.BaseVersion, cur.Number))
+	}
+	if r.pendingRun != "" && r.pendingRun != prop.Run {
+		return Reject("concurrent proposal in progress")
+	}
+	switch prop.Kind {
+	case ChangeConnect:
+		if memberIn(r.group, prop.Member) {
+			return Reject(fmt.Sprintf("%s is already a member", prop.Member))
+		}
+	case ChangeDisconnect:
+		if !memberIn(r.group, prop.Member) {
+			return Reject(fmt.Sprintf("%s is not a member", prop.Member))
+		}
+	case ChangeUpdate:
+		// No structural constraints beyond the base checks.
+	default:
+		return Reject(fmt.Sprintf("unknown change kind %q", prop.Kind))
+	}
+
+	change := &Change{
+		Object:       prop.Object,
+		Kind:         prop.Kind,
+		Proposer:     prop.Proposer,
+		BaseVersion:  prop.BaseVersion,
+		CurrentState: r.snapshotLocked(),
+		NewState:     append([]byte(nil), prop.NewState...),
+		Member:       prop.Member,
+	}
+	for _, v := range c.validatorsFor(prop.Object) {
+		if verdict := v.Validate(ctx, change); !verdict.Accept {
+			return verdict
+		}
+	}
+	_ = svc // services are used by callers for logging
+	r.pendingRun = prop.Run
+	r.pendingProposal = prop
+	r.pendingDigest = propDigest
+	return Accept()
+}
+
+// handleOutcome verifies the collective decision and applies or drops the
+// pending proposal.
+func (c *Controller) handleOutcome(_ context.Context, msg *protocol.Message) (*protocol.Message, error) {
+	if cached, ok := c.replies.Get(msg.Run, stepOutcome); ok {
+		return cached, nil
+	}
+	svc := c.co.Services()
+	var ob outcomeBody
+	if err := msg.Body(&ob); err != nil {
+		return nil, err
+	}
+	outcome := ob.Outcome
+	outDigest, err := outcome.Digest()
+	if err != nil {
+		return nil, err
+	}
+	outTok := msg.Token(evidence.KindOutcome)
+	if outTok == nil {
+		return nil, fmt.Errorf("%w: outcome missing token", ErrEvidenceInvalid)
+	}
+	if err := svc.Verifier.Expect(outTok, evidence.KindOutcome, msg.Run, outcome.Proposer); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEvidenceInvalid, err)
+	}
+	if outTok.Digest != outDigest {
+		return nil, fmt.Errorf("%w: outcome token covers different outcome", ErrEvidenceInvalid)
+	}
+	if err := svc.LogReceived(outTok, fmt.Sprintf("outcome from %s (agreed=%t)", outcome.Proposer, outcome.Agreed)); err != nil {
+		return nil, err
+	}
+
+	if outcome.Object == AtomicObject {
+		applied, err := c.applyAtomicOutcome(&outcome)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.rounds[msg.Run] = &roundEvidence{outcome: &outcome, outTok: outTok}
+		c.mu.Unlock()
+		reply, err := c.ackReply(msg, outcome.Object, outDigest, applied)
+		if err != nil {
+			return nil, err
+		}
+		c.replies.Put(msg.Run, stepOutcome, reply)
+		return reply, nil
+	}
+
+	r, err := c.replica(outcome.Object)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	applied := false
+	var appliedVersion Version
+	var appliedState []byte
+	if r.pendingRun == msg.Run && r.pendingDigest == outcome.ProposalDigest {
+		prop := r.pendingProposal
+		if outcome.Agreed {
+			// The outcome may only claim agreement if every other
+			// member's signed decision says so.
+			allAccept, verr := validateDecisionSet(svc.Verifier, &outcome, r.group)
+			if verr != nil {
+				r.mu.Unlock()
+				return nil, verr
+			}
+			if !allAccept {
+				r.mu.Unlock()
+				return nil, fmt.Errorf("%w: outcome claims agreement against rejecting decisions", ErrEvidenceInvalid)
+			}
+			if _, err := svc.States.Put(prop.NewState); err != nil {
+				r.mu.Unlock()
+				return nil, err
+			}
+			appliedVersion = r.applyLocked(prop, outcome.ProposalDigest)
+			appliedState = prop.NewState
+			applied = true
+			if prop.Kind == ChangeDisconnect && prop.Member == svc.Party {
+				r.detached = true
+			}
+		}
+		r.clearPendingLocked()
+	}
+	r.mu.Unlock()
+	if applied {
+		c.notifyApplied(outcome.Object, appliedState, appliedVersion)
+	}
+
+	c.mu.Lock()
+	c.rounds[msg.Run] = &roundEvidence{outcome: &outcome, outTok: outTok}
+	c.mu.Unlock()
+
+	reply, err := c.ackReply(msg, outcome.Object, outDigest, applied)
+	if err != nil {
+		return nil, err
+	}
+	c.replies.Put(msg.Run, stepOutcome, reply)
+	return reply, nil
+}
+
+// handleWelcome installs a replica transferred to this newly admitted
+// member after verifying the admission evidence and history chain.
+func (c *Controller) handleWelcome(_ context.Context, msg *protocol.Message) (*protocol.Message, error) {
+	if cached, ok := c.replies.Get(msg.Run, stepWelcome); ok {
+		return cached, nil
+	}
+	svc := c.co.Services()
+	var wb welcomeBody
+	if err := msg.Body(&wb); err != nil {
+		return nil, err
+	}
+	outcome := wb.Outcome
+	outDigest, err := outcome.Digest()
+	if err != nil {
+		return nil, err
+	}
+	if wb.OutcomeToken == nil {
+		return nil, fmt.Errorf("%w: welcome missing outcome token", ErrEvidenceInvalid)
+	}
+	if err := svc.Verifier.Expect(wb.OutcomeToken, evidence.KindOutcome, outcome.Run, outcome.Proposer); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEvidenceInvalid, err)
+	}
+	if wb.OutcomeToken.Digest != outDigest || !outcome.Agreed {
+		return nil, fmt.Errorf("%w: welcome outcome not an agreed outcome", ErrEvidenceInvalid)
+	}
+	propDigest, err := wb.Proposal.Digest()
+	if err != nil {
+		return nil, err
+	}
+	if propDigest != outcome.ProposalDigest || wb.Proposal.Kind != ChangeConnect || wb.Proposal.Member != svc.Party {
+		return nil, fmt.Errorf("%w: welcome proposal does not admit this party", ErrEvidenceInvalid)
+	}
+	// Decisions came from the pre-connect group (all members but us).
+	preGroup := without(wb.Group, svc.Party)
+	allAccept, err := validateDecisionSet(svc.Verifier, &outcome, preGroup)
+	if err != nil {
+		return nil, err
+	}
+	if !allAccept {
+		return nil, fmt.Errorf("%w: admission was not unanimous", ErrEvidenceInvalid)
+	}
+	if err := VerifyHistory(wb.Versions); err != nil {
+		return nil, err
+	}
+	last := wb.Versions[len(wb.Versions)-1]
+	if last.ProposalDigest != propDigest || last.StateDigest != sig.Sum(wb.State) {
+		return nil, fmt.Errorf("%w: transferred state does not match admitted history", ErrEvidenceInvalid)
+	}
+	if err := svc.LogReceived(wb.OutcomeToken, "admission outcome for "+wb.Object); err != nil {
+		return nil, err
+	}
+
+	if _, err := svc.States.Put(wb.State); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	installed := false
+	if _, exists := c.replicas[wb.Object]; !exists {
+		r := &replica{
+			object:   wb.Object,
+			group:    append([]id.Party(nil), wb.Group...),
+			state:    append([]byte(nil), wb.State...),
+			versions: append([]Version(nil), wb.Versions...),
+		}
+		c.replicas[wb.Object] = r
+		installed = true
+	}
+	c.mu.Unlock()
+	if installed {
+		c.notifyApplied(wb.Object, wb.State, last)
+	}
+
+	reply, err := c.ackReply(msg, wb.Object, outDigest, true)
+	if err != nil {
+		return nil, err
+	}
+	c.replies.Put(msg.Run, stepWelcome, reply)
+	return reply, nil
+}
+
+// ackReply builds a signed acknowledgement reply.
+func (c *Controller) ackReply(msg *protocol.Message, object string, outDigest sig.Digest, applied bool) (*protocol.Message, error) {
+	svc := c.co.Services()
+	note := AckNote{
+		Run:           msg.Run,
+		Object:        object,
+		Member:        svc.Party,
+		OutcomeDigest: outDigest,
+		Applied:       applied,
+	}
+	noteDigest, err := note.Digest()
+	if err != nil {
+		return nil, err
+	}
+	ackTok, err := svc.Issuer.Issue(evidence.KindAck, msg.Run, msg.Step, noteDigest)
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.LogGenerated(ackTok, fmt.Sprintf("ack (applied=%t)", applied)); err != nil {
+		return nil, err
+	}
+	reply := &protocol.Message{
+		Protocol: ProtocolShare,
+		Run:      msg.Run,
+		Txn:      msg.Txn,
+		Step:     msg.Step,
+		Kind:     kindAck,
+		Tokens:   []*evidence.Token{ackTok},
+	}
+	if err := reply.SetBody(ackBody{Note: note}); err != nil {
+		return nil, err
+	}
+	return reply, nil
+}

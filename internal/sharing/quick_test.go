@@ -1,0 +1,114 @@
+package sharing_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nonrep/internal/sharing"
+	"nonrep/internal/sig"
+)
+
+// buildHistory constructs a valid history of n post-genesis versions from
+// random proposal/state material.
+func buildHistory(rng *rand.Rand, n int) []sharing.Version {
+	genesisState := make([]byte, 8)
+	rng.Read(genesisState)
+	stateDigest := sig.Sum(genesisState)
+	history := []sharing.Version{{
+		Number:      0,
+		Run:         sharing.GenesisRun,
+		Kind:        sharing.ChangeUpdate,
+		StateDigest: stateDigest,
+		Chain:       sig.SumPair(sig.Digest{}, stateDigest),
+	}}
+	for i := 1; i <= n; i++ {
+		prop := make([]byte, 16)
+		rng.Read(prop)
+		state := make([]byte, 16)
+		rng.Read(state)
+		v := sharing.Version{
+			Number:         uint64(i),
+			Run:            "run-q",
+			Kind:           sharing.ChangeUpdate,
+			ProposalDigest: sig.Sum(prop),
+			StateDigest:    sig.Sum(state),
+			Chain:          sig.SumPair(history[i-1].Chain, sig.Sum(prop)),
+		}
+		history = append(history, v)
+	}
+	return history
+}
+
+// TestQuickValidHistoriesVerify: every correctly chained history verifies.
+func TestQuickValidHistoriesVerify(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed uint8) bool {
+		history := buildHistory(rng, int(seed)%12)
+		return sharing.VerifyHistory(history) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAnyHistoryMutationDetected: mutating any field of any
+// post-genesis version breaks verification.
+func TestQuickAnyHistoryMutationDetected(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed uint8) bool {
+		n := 1 + int(seed)%10
+		history := buildHistory(rng, n)
+		idx := 1 + rng.Intn(n)
+		switch rng.Intn(4) {
+		case 0:
+			history[idx].ProposalDigest = sig.Sum([]byte("forged proposal"))
+		case 1:
+			history[idx].Chain = sig.Sum([]byte("forged chain"))
+		case 2:
+			history[idx].Number += 1 + uint64(rng.Intn(3))
+		case 3:
+			// Splice: replace a middle version wholesale with a
+			// self-consistent forgery that does not chain from its
+			// predecessor.
+			forged := sig.Sum([]byte("spliced"))
+			history[idx].ProposalDigest = forged
+			history[idx].Chain = sig.SumPair(sig.Sum([]byte("wrong prev")), forged)
+		}
+		return sharing.VerifyHistory(history) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGenesisMutationsDetected: forged genesis versions never
+// verify.
+func TestQuickGenesisMutationsDetected(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed uint8) bool {
+		history := buildHistory(rng, 1+int(seed)%5)
+		switch seed % 3 {
+		case 0:
+			history[0].StateDigest = sig.Sum([]byte("forged genesis state"))
+		case 1:
+			history[0].Run = "run-not-genesis"
+		case 2:
+			history[0].Chain = sig.Sum([]byte("forged genesis chain"))
+		}
+		return sharing.VerifyHistory(history) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyHistoryEmpty(t *testing.T) {
+	t.Parallel()
+	if err := sharing.VerifyHistory(nil); err == nil {
+		t.Fatal("empty history verified")
+	}
+}

@@ -1,0 +1,89 @@
+package sig
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"fmt"
+)
+
+// ECDSASigner signs with an ECDSA P-256 private key.
+type ECDSASigner struct {
+	keyID string
+	priv  *ecdsa.PrivateKey
+}
+
+var _ Signer = (*ECDSASigner)(nil)
+
+// GenerateECDSA creates a fresh ECDSA P-256 signer.
+func GenerateECDSA(keyID string) (*ECDSASigner, error) {
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("sig: generate ecdsa: %w", err)
+	}
+	return &ECDSASigner{keyID: keyID, priv: priv}, nil
+}
+
+// KeyID implements Signer.
+func (s *ECDSASigner) KeyID() string { return s.keyID }
+
+// Algorithm implements Signer.
+func (s *ECDSASigner) Algorithm() Algorithm { return AlgECDSAP256 }
+
+// Sign implements Signer.
+func (s *ECDSASigner) Sign(d Digest) (Signature, error) {
+	raw, err := ecdsa.SignASN1(rand.Reader, s.priv, d[:])
+	if err != nil {
+		return Signature{}, fmt.Errorf("sig: ecdsa sign: %w", err)
+	}
+	return Signature{Algorithm: AlgECDSAP256, KeyID: s.keyID, Bytes: raw}, nil
+}
+
+// PublicKey implements Signer.
+func (s *ECDSASigner) PublicKey() PublicKey {
+	return ECDSAPublic{pub: &s.priv.PublicKey}
+}
+
+// ECDSAPublic verifies ECDSA P-256 signatures.
+type ECDSAPublic struct {
+	pub *ecdsa.PublicKey
+}
+
+var _ PublicKey = ECDSAPublic{}
+
+// Algorithm implements PublicKey.
+func (ECDSAPublic) Algorithm() Algorithm { return AlgECDSAP256 }
+
+// Verify implements PublicKey.
+func (p ECDSAPublic) Verify(d Digest, s Signature) error {
+	if s.Algorithm != AlgECDSAP256 {
+		return ErrAlgorithmMismatch
+	}
+	if !ecdsa.VerifyASN1(p.pub, d[:], s.Bytes) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Marshal implements PublicKey.
+func (p ECDSAPublic) Marshal() []byte {
+	der, err := x509.MarshalPKIXPublicKey(p.pub)
+	if err != nil {
+		// P-256 keys always marshal; failure indicates memory corruption.
+		panic(fmt.Sprintf("sig: marshal ecdsa public key: %v", err))
+	}
+	return der
+}
+
+func parseECDSAPublic(data []byte) (PublicKey, error) {
+	key, err := x509.ParsePKIXPublicKey(data)
+	if err != nil {
+		return nil, fmt.Errorf("sig: parse ecdsa public key: %w", err)
+	}
+	pub, ok := key.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("sig: expected ecdsa public key, got %T", key)
+	}
+	return ECDSAPublic{pub: pub}, nil
+}

@@ -1,0 +1,88 @@
+package sig
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+)
+
+// Ed25519Signer signs with an Ed25519 private key. It is the middleware
+// default: small keys, small signatures, fast verification.
+type Ed25519Signer struct {
+	keyID string
+	priv  ed25519.PrivateKey
+}
+
+var _ Signer = (*Ed25519Signer)(nil)
+
+// GenerateEd25519 creates a fresh Ed25519 signer.
+func GenerateEd25519(keyID string) (*Ed25519Signer, error) {
+	_, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("sig: generate ed25519: %w", err)
+	}
+	return &Ed25519Signer{keyID: keyID, priv: priv}, nil
+}
+
+// NewEd25519FromSeed derives a deterministic signer from a 32-byte seed.
+// It is used by the forward-secure scheme for per-period keys and by tests.
+func NewEd25519FromSeed(keyID string, seed [32]byte) *Ed25519Signer {
+	return &Ed25519Signer{keyID: keyID, priv: ed25519.NewKeyFromSeed(seed[:])}
+}
+
+// KeyID implements Signer.
+func (s *Ed25519Signer) KeyID() string { return s.keyID }
+
+// Algorithm implements Signer.
+func (s *Ed25519Signer) Algorithm() Algorithm { return AlgEd25519 }
+
+// Sign implements Signer.
+func (s *Ed25519Signer) Sign(d Digest) (Signature, error) {
+	return Signature{
+		Algorithm: AlgEd25519,
+		KeyID:     s.keyID,
+		Bytes:     ed25519.Sign(s.priv, d[:]),
+	}, nil
+}
+
+// PublicKey implements Signer.
+func (s *Ed25519Signer) PublicKey() PublicKey {
+	return Ed25519Public{pub: s.priv.Public().(ed25519.PublicKey)}
+}
+
+// Ed25519Public verifies Ed25519 signatures.
+type Ed25519Public struct {
+	pub ed25519.PublicKey
+}
+
+var _ PublicKey = Ed25519Public{}
+
+// Algorithm implements PublicKey.
+func (Ed25519Public) Algorithm() Algorithm { return AlgEd25519 }
+
+// Verify implements PublicKey.
+func (p Ed25519Public) Verify(d Digest, s Signature) error {
+	if s.Algorithm != AlgEd25519 {
+		return ErrAlgorithmMismatch
+	}
+	if !ed25519.Verify(p.pub, d[:], s.Bytes) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Marshal implements PublicKey.
+func (p Ed25519Public) Marshal() []byte {
+	out := make([]byte, len(p.pub))
+	copy(out, p.pub)
+	return out
+}
+
+func parseEd25519Public(data []byte) (PublicKey, error) {
+	if len(data) != ed25519.PublicKeySize {
+		return nil, fmt.Errorf("sig: bad ed25519 public key length %d", len(data))
+	}
+	pub := make(ed25519.PublicKey, ed25519.PublicKeySize)
+	copy(pub, data)
+	return Ed25519Public{pub: pub}, nil
+}

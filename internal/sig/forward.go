@@ -1,0 +1,258 @@
+package sig
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// DefaultPeriods is the number of signing periods for forward-secure
+// signers created via Generate.
+const DefaultPeriods = 64
+
+// ForwardSecure is a key-evolving signature scheme (paper reference [25]:
+// Zhou, Bao and Deng, "Validating digital signatures without TTP's
+// time-stamping and certificate revocation"). The signer's lifetime is
+// divided into numbered periods. The public key commits — via a Merkle
+// tree — to one Ed25519 verification key per period. Period seeds are
+// hash-chained; Evolve derives the next seed and destroys the current one,
+// so compromise of the signer after period p cannot forge signatures for
+// periods ≤ p. Evidence signed in period p therefore remains valid without
+// a third-party timestamp (section 3.5, "forward-secure signature schemes
+// ... obviate the need for a third party signature on time-stamps").
+type ForwardSecure struct {
+	keyID   string
+	periods uint32
+	current uint32
+	seed    [32]byte
+	tree    merkleTree
+}
+
+var _ Signer = (*ForwardSecure)(nil)
+
+// NewForwardSecure creates a forward-secure signer with the given number of
+// signing periods.
+func NewForwardSecure(keyID string, periods uint32) (*ForwardSecure, error) {
+	if periods == 0 {
+		return nil, fmt.Errorf("sig: forward-secure signer needs at least one period")
+	}
+	var seed [32]byte
+	if _, err := rand.Read(seed[:]); err != nil {
+		return nil, fmt.Errorf("sig: generate forward-secure seed: %w", err)
+	}
+	leaves := make([]Digest, periods)
+	s := seed
+	for i := uint32(0); i < periods; i++ {
+		pub := periodKey(s).Public().(ed25519.PublicKey)
+		leaves[i] = Sum(pub)
+		s = nextSeed(s)
+	}
+	return &ForwardSecure{
+		keyID:   keyID,
+		periods: periods,
+		seed:    seed,
+		tree:    buildMerkle(leaves),
+	}, nil
+}
+
+// KeyID implements Signer.
+func (f *ForwardSecure) KeyID() string { return f.keyID }
+
+// Algorithm implements Signer.
+func (f *ForwardSecure) Algorithm() Algorithm { return AlgForwardSecure }
+
+// Period returns the current signing period.
+func (f *ForwardSecure) Period() uint32 { return f.current }
+
+// Periods returns the total number of signing periods.
+func (f *ForwardSecure) Periods() uint32 { return f.periods }
+
+// Evolve advances to the next signing period, destroying the material
+// needed to sign in the current one.
+func (f *ForwardSecure) Evolve() error {
+	if f.current+1 >= f.periods {
+		// Exhaust the final period: zero the seed so no further
+		// signatures are possible.
+		f.seed = [32]byte{}
+		f.current = f.periods
+		return nil
+	}
+	f.seed = nextSeed(f.seed)
+	f.current++
+	return nil
+}
+
+// Sign implements Signer. The signature binds the current period and
+// carries the per-period verification key with its Merkle path.
+func (f *ForwardSecure) Sign(d Digest) (Signature, error) {
+	if f.current >= f.periods {
+		return Signature{}, ErrKeyExpired
+	}
+	priv := periodKey(f.seed)
+	path := f.tree.path(f.current)
+	raw := make([][]byte, len(path))
+	for i, p := range path {
+		raw[i] = append([]byte(nil), p[:]...)
+	}
+	return Signature{
+		Algorithm:  AlgForwardSecure,
+		KeyID:      f.keyID,
+		Bytes:      ed25519.Sign(priv, d[:]),
+		Period:     f.current,
+		PublicHint: append([]byte(nil), priv.Public().(ed25519.PublicKey)...),
+		Path:       raw,
+	}, nil
+}
+
+// PublicKey implements Signer.
+func (f *ForwardSecure) PublicKey() PublicKey {
+	return ForwardSecurePublic{root: f.tree.root(), periods: f.periods}
+}
+
+// ForwardSecurePublic verifies forward-secure signatures against the
+// committed Merkle root.
+type ForwardSecurePublic struct {
+	root    Digest
+	periods uint32
+}
+
+var _ PublicKey = ForwardSecurePublic{}
+
+// Algorithm implements PublicKey.
+func (ForwardSecurePublic) Algorithm() Algorithm { return AlgForwardSecure }
+
+// Verify implements PublicKey: it checks that the per-period key hashes to
+// a committed leaf and that the Ed25519 signature verifies under it.
+func (p ForwardSecurePublic) Verify(d Digest, s Signature) error {
+	if s.Algorithm != AlgForwardSecure {
+		return ErrAlgorithmMismatch
+	}
+	if s.Period >= p.periods {
+		return fmt.Errorf("%w: period %d outside key lifetime %d", ErrBadSignature, s.Period, p.periods)
+	}
+	if len(s.PublicHint) != ed25519.PublicKeySize {
+		return fmt.Errorf("%w: bad per-period key length", ErrBadSignature)
+	}
+	path := make([]Digest, len(s.Path))
+	for i, raw := range s.Path {
+		if len(raw) != DigestSize {
+			return fmt.Errorf("%w: bad authentication path element", ErrBadSignature)
+		}
+		copy(path[i][:], raw)
+	}
+	if !verifyMerklePath(Sum(s.PublicHint), s.Period, path, p.root, p.periods) {
+		return fmt.Errorf("%w: authentication path does not reach committed root", ErrBadSignature)
+	}
+	if !ed25519.Verify(ed25519.PublicKey(s.PublicHint), d[:], s.Bytes) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Marshal implements PublicKey: 4-byte big-endian period count followed by
+// the Merkle root.
+func (p ForwardSecurePublic) Marshal() []byte {
+	out := make([]byte, 4+DigestSize)
+	binary.BigEndian.PutUint32(out[:4], p.periods)
+	copy(out[4:], p.root[:])
+	return out
+}
+
+func parseForwardSecurePublic(data []byte) (PublicKey, error) {
+	if len(data) != 4+DigestSize {
+		return nil, fmt.Errorf("sig: bad forward-secure public key length %d", len(data))
+	}
+	p := ForwardSecurePublic{periods: binary.BigEndian.Uint32(data[:4])}
+	copy(p.root[:], data[4:])
+	return p, nil
+}
+
+// periodKey derives the Ed25519 key for a period seed.
+func periodKey(seed [32]byte) ed25519.PrivateKey {
+	h := sha256.New()
+	h.Write(seed[:])
+	h.Write([]byte("nonrep/fs-key"))
+	var ks [32]byte
+	copy(ks[:], h.Sum(nil))
+	return ed25519.NewKeyFromSeed(ks[:])
+}
+
+// nextSeed hash-chains the period seed forward; the chain cannot be
+// reversed, which is what grants forward security.
+func nextSeed(seed [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write(seed[:])
+	h.Write([]byte("nonrep/fs-next"))
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// merkleTree is a complete binary hash tree over period-key digests,
+// padded to a power of two with zero leaves.
+type merkleTree struct {
+	// levels[0] is the padded leaf level; levels[len-1] holds the root.
+	levels [][]Digest
+}
+
+func buildMerkle(leaves []Digest) merkleTree {
+	width := 1
+	for width < len(leaves) {
+		width *= 2
+	}
+	level := make([]Digest, width)
+	copy(level, leaves)
+	t := merkleTree{levels: [][]Digest{level}}
+	for len(level) > 1 {
+		next := make([]Digest, len(level)/2)
+		for i := range next {
+			next[i] = SumPair(level[2*i], level[2*i+1])
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t
+}
+
+func (t merkleTree) root() Digest {
+	return t.levels[len(t.levels)-1][0]
+}
+
+// path returns the sibling digests from leaf index up to (excluding) the
+// root.
+func (t merkleTree) path(index uint32) []Digest {
+	path := make([]Digest, 0, len(t.levels)-1)
+	i := index
+	for _, level := range t.levels[:len(t.levels)-1] {
+		path = append(path, level[i^1])
+		i /= 2
+	}
+	return path
+}
+
+// verifyMerklePath recomputes the root from a leaf and its authentication
+// path and compares it to the committed root.
+func verifyMerklePath(leaf Digest, index uint32, path []Digest, root Digest, periods uint32) bool {
+	width := uint32(1)
+	depth := 0
+	for width < periods {
+		width *= 2
+		depth++
+	}
+	if len(path) != depth {
+		return false
+	}
+	node := leaf
+	i := index
+	for _, sibling := range path {
+		if i%2 == 0 {
+			node = SumPair(node, sibling)
+		} else {
+			node = SumPair(sibling, node)
+		}
+		i /= 2
+	}
+	return node == root
+}

@@ -1,0 +1,22 @@
+package sig
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+)
+
+// RandomBytes returns n bytes from the secure pseudo-random generator
+// (section 3.5: "statistically random and unpredictable sequences of
+// bits"). Entropy exhaustion is unrecoverable, so failure panics.
+func RandomBytes(n int) []byte {
+	buf := make([]byte, n)
+	if _, err := rand.Read(buf); err != nil {
+		panic(fmt.Sprintf("sig: system entropy unavailable: %v", err))
+	}
+	return buf
+}
+
+// RandomHex returns n random bytes hex-encoded. It is used for random
+// authenticators in non-repudiation protocols.
+func RandomHex(n int) string { return hex.EncodeToString(RandomBytes(n)) }

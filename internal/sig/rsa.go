@@ -1,0 +1,93 @@
+package sig
+
+import (
+	"crypto"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/x509"
+	"fmt"
+)
+
+// rsaBits is the modulus size for generated RSA keys.
+const rsaBits = 2048
+
+// RSASigner signs with RSA-2048 PSS. It is included because 2004-era
+// deployments overwhelmingly used RSA; the benchmark suite contrasts its
+// cost with the elliptic-curve schemes.
+type RSASigner struct {
+	keyID string
+	priv  *rsa.PrivateKey
+}
+
+var _ Signer = (*RSASigner)(nil)
+
+// GenerateRSA creates a fresh RSA-2048 signer.
+func GenerateRSA(keyID string) (*RSASigner, error) {
+	priv, err := rsa.GenerateKey(rand.Reader, rsaBits)
+	if err != nil {
+		return nil, fmt.Errorf("sig: generate rsa: %w", err)
+	}
+	return &RSASigner{keyID: keyID, priv: priv}, nil
+}
+
+// KeyID implements Signer.
+func (s *RSASigner) KeyID() string { return s.keyID }
+
+// Algorithm implements Signer.
+func (s *RSASigner) Algorithm() Algorithm { return AlgRSAPSS2048 }
+
+// Sign implements Signer.
+func (s *RSASigner) Sign(d Digest) (Signature, error) {
+	raw, err := rsa.SignPSS(rand.Reader, s.priv, crypto.SHA256, d[:], nil)
+	if err != nil {
+		return Signature{}, fmt.Errorf("sig: rsa sign: %w", err)
+	}
+	return Signature{Algorithm: AlgRSAPSS2048, KeyID: s.keyID, Bytes: raw}, nil
+}
+
+// PublicKey implements Signer.
+func (s *RSASigner) PublicKey() PublicKey {
+	return RSAPublic{pub: &s.priv.PublicKey}
+}
+
+// RSAPublic verifies RSA PSS signatures.
+type RSAPublic struct {
+	pub *rsa.PublicKey
+}
+
+var _ PublicKey = RSAPublic{}
+
+// Algorithm implements PublicKey.
+func (RSAPublic) Algorithm() Algorithm { return AlgRSAPSS2048 }
+
+// Verify implements PublicKey.
+func (p RSAPublic) Verify(d Digest, s Signature) error {
+	if s.Algorithm != AlgRSAPSS2048 {
+		return ErrAlgorithmMismatch
+	}
+	if err := rsa.VerifyPSS(p.pub, crypto.SHA256, d[:], s.Bytes, nil); err != nil {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Marshal implements PublicKey.
+func (p RSAPublic) Marshal() []byte {
+	der, err := x509.MarshalPKIXPublicKey(p.pub)
+	if err != nil {
+		panic(fmt.Sprintf("sig: marshal rsa public key: %v", err))
+	}
+	return der
+}
+
+func parseRSAPublic(data []byte) (PublicKey, error) {
+	key, err := x509.ParsePKIXPublicKey(data)
+	if err != nil {
+		return nil, fmt.Errorf("sig: parse rsa public key: %w", err)
+	}
+	pub, ok := key.(*rsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("sig: expected rsa public key, got %T", key)
+	}
+	return RSAPublic{pub: pub}, nil
+}

@@ -1,0 +1,112 @@
+// Package stamp implements the time-stamping service of section 3.5:
+// "non-repudiation evidence should be time-stamped for logging and to
+// support the assertion that the signature used to sign evidence was not
+// compromised at time of use". An Authority (TSA) countersigns
+// (digest, time) pairs. Alternatively, parties signing with the
+// forward-secure scheme in package sig self-timestamp by period, which
+// "obviate[s] the need for a third party signature on time-stamps".
+package stamp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nonrep/internal/clock"
+	"nonrep/internal/id"
+	"nonrep/internal/sig"
+)
+
+// ErrDigestMismatch is returned when a token does not cover the expected
+// digest.
+var ErrDigestMismatch = errors.New("stamp: token covers a different digest")
+
+// Token is a signed statement that a digest existed at a point in time.
+type Token struct {
+	Digest    sig.Digest    `json:"digest"`
+	Time      time.Time     `json:"time"`
+	TSA       id.Party      `json:"tsa"`
+	Serial    uint64        `json:"serial"`
+	Signature sig.Signature `json:"signature"`
+}
+
+type tokenTBS struct {
+	Digest sig.Digest `json:"digest"`
+	Time   time.Time  `json:"time"`
+	TSA    id.Party   `json:"tsa"`
+	Serial uint64     `json:"serial"`
+}
+
+// tbsDigest returns the digest of the to-be-signed portion of the token.
+func (t *Token) tbsDigest() (sig.Digest, error) {
+	return sig.SumCanonical(tokenTBS{
+		Digest: t.Digest,
+		Time:   t.Time,
+		TSA:    t.TSA,
+		Serial: t.Serial,
+	})
+}
+
+// KeyResolver resolves a key identifier to a verified public key.
+// *credential.Store satisfies it.
+type KeyResolver interface {
+	PublicKey(keyID string) (sig.PublicKey, error)
+}
+
+// Authority is a time-stamping authority.
+type Authority struct {
+	party  id.Party
+	signer sig.Signer
+	clk    clock.Clock
+
+	mu     sync.Mutex
+	serial uint64
+}
+
+// NewAuthority creates a TSA for a party.
+func NewAuthority(party id.Party, signer sig.Signer, clk clock.Clock) *Authority {
+	return &Authority{party: party, signer: signer, clk: clk}
+}
+
+// Party returns the TSA's party identifier.
+func (a *Authority) Party() id.Party { return a.party }
+
+// Stamp countersigns a digest with the current time.
+func (a *Authority) Stamp(d sig.Digest) (*Token, error) {
+	a.mu.Lock()
+	a.serial++
+	serial := a.serial
+	a.mu.Unlock()
+
+	tok := &Token{Digest: d, Time: a.clk.Now(), TSA: a.party, Serial: serial}
+	td, err := tok.tbsDigest()
+	if err != nil {
+		return nil, err
+	}
+	tok.Signature, err = a.signer.Sign(td)
+	if err != nil {
+		return nil, fmt.Errorf("stamp: sign token: %w", err)
+	}
+	return tok, nil
+}
+
+// Verify checks that the token covers d and that its signature verifies
+// under a key resolved through keys.
+func Verify(tok *Token, d sig.Digest, keys KeyResolver) error {
+	if tok.Digest != d {
+		return ErrDigestMismatch
+	}
+	td, err := tok.tbsDigest()
+	if err != nil {
+		return err
+	}
+	key, err := keys.PublicKey(tok.Signature.KeyID)
+	if err != nil {
+		return fmt.Errorf("stamp: resolve tsa key: %w", err)
+	}
+	if err := key.Verify(td, tok.Signature); err != nil {
+		return fmt.Errorf("stamp: token signature: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+// Package store implements the persistence services of section 3.5:
+// trusted interceptors "have persistent storage for messages (or, more
+// precisely, evidence extracted from messages)", evidence is logged, and
+// "persistence services should support the mapping of the state digest to
+// the representation of state in the state store".
+//
+// The evidence log is an append-only hash chain: every record includes the
+// digest of its predecessor, so any later tampering with stored evidence is
+// detectable. Implementations: MemLog (volatile) and FileLog (JSON-lines
+// file, recoverable after a crash).
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nonrep/internal/clock"
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/sig"
+)
+
+// Direction records whether evidence was generated locally or received
+// from a remote party.
+type Direction string
+
+// Record directions.
+const (
+	// Generated marks evidence this party issued.
+	Generated Direction = "generated"
+	// Received marks evidence received from a counterparty.
+	Received Direction = "received"
+)
+
+// ErrChainBroken is returned when log verification finds a record whose
+// hash chain does not verify.
+var ErrChainBroken = errors.New("store: evidence log hash chain broken")
+
+// Record is one entry in an evidence log.
+type Record struct {
+	Seq       uint64          `json:"seq"`
+	Prev      sig.Digest      `json:"prev"`
+	At        time.Time       `json:"at"`
+	Direction Direction       `json:"direction"`
+	Note      string          `json:"note,omitempty"`
+	Token     *evidence.Token `json:"token"`
+	// Hash is the digest of the record's canonical encoding with Hash
+	// itself zeroed; it chains into the next record's Prev.
+	Hash sig.Digest `json:"hash"`
+}
+
+// computeHash returns the chained hash of a record.
+func (r *Record) computeHash() (sig.Digest, error) {
+	clone := *r
+	clone.Hash = sig.Digest{}
+	return sig.SumCanonical(&clone)
+}
+
+// Log is an append-only, tamper-evident store of non-repudiation evidence.
+type Log interface {
+	// Append records a token with a free-form note, returning the stored
+	// record.
+	Append(dir Direction, tok *evidence.Token, note string) (*Record, error)
+	// Records returns a copy of all records in order.
+	Records() []*Record
+	// ByRun returns records for a protocol run.
+	ByRun(run id.Run) []*Record
+	// ByTxn returns records linked under a transaction identifier.
+	ByTxn(txn id.Txn) []*Record
+	// Len reports the number of records.
+	Len() int
+	// VerifyChain re-derives the hash chain, returning ErrChainBroken on
+	// any mismatch.
+	VerifyChain() error
+	// Close releases resources.
+	Close() error
+}
+
+// MemLog is an in-memory Log. It is safe for concurrent use.
+type MemLog struct {
+	clk clock.Clock
+
+	mu      sync.RWMutex
+	records []*Record
+}
+
+var _ Log = (*MemLog)(nil)
+
+// NewMemLog creates an empty in-memory log.
+func NewMemLog(clk clock.Clock) *MemLog {
+	return &MemLog{clk: clk}
+}
+
+// Append implements Log.
+func (l *MemLog) Append(dir Direction, tok *evidence.Token, note string) (*Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec, err := chainRecord(l.records, l.clk.Now(), dir, tok, note)
+	if err != nil {
+		return nil, err
+	}
+	l.records = append(l.records, rec)
+	return rec, nil
+}
+
+// Records implements Log.
+func (l *MemLog) Records() []*Record {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]*Record, len(l.records))
+	copy(out, l.records)
+	return out
+}
+
+// ByRun implements Log.
+func (l *MemLog) ByRun(run id.Run) []*Record {
+	return filterRecords(l.Records(), func(r *Record) bool { return r.Token.Run == run })
+}
+
+// ByTxn implements Log.
+func (l *MemLog) ByTxn(txn id.Txn) []*Record {
+	return filterRecords(l.Records(), func(r *Record) bool { return r.Token.Txn == txn })
+}
+
+// Len implements Log.
+func (l *MemLog) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.records)
+}
+
+// VerifyChain implements Log.
+func (l *MemLog) VerifyChain() error { return verifyChain(l.Records()) }
+
+// Close implements Log.
+func (l *MemLog) Close() error { return nil }
+
+// chainRecord builds the next record in a chain.
+func chainRecord(records []*Record, at time.Time, dir Direction, tok *evidence.Token, note string) (*Record, error) {
+	if tok == nil {
+		return nil, errors.New("store: nil token")
+	}
+	rec := &Record{
+		Seq:       uint64(len(records) + 1),
+		At:        at,
+		Direction: dir,
+		Note:      note,
+		Token:     tok,
+	}
+	if n := len(records); n > 0 {
+		rec.Prev = records[n-1].Hash
+	}
+	h, err := rec.computeHash()
+	if err != nil {
+		return nil, err
+	}
+	rec.Hash = h
+	return rec, nil
+}
+
+// VerifyRecords re-derives the hash chain of records presented outside a
+// live log — the check an adjudicator applies to evidence submitted in a
+// dispute.
+func VerifyRecords(records []*Record) error { return verifyChain(records) }
+
+// verifyChain re-derives every record hash and checks the chain links.
+func verifyChain(records []*Record) error {
+	var prev sig.Digest
+	for i, rec := range records {
+		if rec.Prev != prev {
+			return fmt.Errorf("%w: record %d prev link", ErrChainBroken, i+1)
+		}
+		h, err := rec.computeHash()
+		if err != nil {
+			return err
+		}
+		if h != rec.Hash {
+			return fmt.Errorf("%w: record %d hash", ErrChainBroken, i+1)
+		}
+		if rec.Seq != uint64(i+1) {
+			return fmt.Errorf("%w: record %d sequence %d", ErrChainBroken, i+1, rec.Seq)
+		}
+		prev = rec.Hash
+	}
+	return nil
+}
+
+func filterRecords(records []*Record, keep func(*Record) bool) []*Record {
+	var out []*Record
+	for _, r := range records {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

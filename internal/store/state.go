@@ -1,0 +1,133 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"nonrep/internal/sig"
+)
+
+// ErrStateNotFound is returned when no state is stored under a digest.
+var ErrStateNotFound = errors.New("store: state not found")
+
+// StateStore maps state digests to state representations (section 3.5:
+// "persistence services should support the mapping of the state digest to
+// the representation of state in the state store"). Content addressing
+// makes the mapping irrefutable: the digest in signed evidence is the key.
+type StateStore interface {
+	// Put stores state and returns its digest.
+	Put(state []byte) (sig.Digest, error)
+	// Get retrieves state by digest.
+	Get(d sig.Digest) ([]byte, error)
+	// Has reports whether state is stored under the digest.
+	Has(d sig.Digest) bool
+}
+
+// MemStateStore is an in-memory StateStore safe for concurrent use.
+type MemStateStore struct {
+	mu     sync.RWMutex
+	states map[sig.Digest][]byte
+}
+
+var _ StateStore = (*MemStateStore)(nil)
+
+// NewMemStateStore creates an empty in-memory state store.
+func NewMemStateStore() *MemStateStore {
+	return &MemStateStore{states: make(map[sig.Digest][]byte)}
+}
+
+// Put implements StateStore.
+func (s *MemStateStore) Put(state []byte) (sig.Digest, error) {
+	d := sig.Sum(state)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.states[d]; !ok {
+		s.states[d] = append([]byte(nil), state...)
+	}
+	return d, nil
+}
+
+// Get implements StateStore.
+func (s *MemStateStore) Get(d sig.Digest) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	state, ok := s.states[d]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrStateNotFound, d)
+	}
+	return append([]byte(nil), state...), nil
+}
+
+// Has implements StateStore.
+func (s *MemStateStore) Has(d sig.Digest) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.states[d]
+	return ok
+}
+
+// FileStateStore is a StateStore keeping each state in a file named by its
+// digest.
+type FileStateStore struct {
+	dir string
+	mu  sync.Mutex
+}
+
+var _ StateStore = (*FileStateStore)(nil)
+
+// NewFileStateStore creates (if necessary) and opens a directory-backed
+// state store.
+func NewFileStateStore(dir string) (*FileStateStore, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("store: create state dir: %w", err)
+	}
+	return &FileStateStore{dir: dir}, nil
+}
+
+func (s *FileStateStore) pathFor(d sig.Digest) string {
+	return filepath.Join(s.dir, d.String())
+}
+
+// Put implements StateStore.
+func (s *FileStateStore) Put(state []byte) (sig.Digest, error) {
+	d := sig.Sum(state)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := s.pathFor(d)
+	if _, err := os.Stat(path); err == nil {
+		return d, nil
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, state, 0o600); err != nil {
+		return sig.Digest{}, fmt.Errorf("store: write state: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return sig.Digest{}, fmt.Errorf("store: commit state: %w", err)
+	}
+	return d, nil
+}
+
+// Get implements StateStore.
+func (s *FileStateStore) Get(d sig.Digest) ([]byte, error) {
+	state, err := os.ReadFile(s.pathFor(d))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%w: %s", ErrStateNotFound, d)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read state: %w", err)
+	}
+	// Content addressing lets us detect on-disk corruption for free.
+	if sig.Sum(state) != d {
+		return nil, fmt.Errorf("store: state %s corrupted on disk", d)
+	}
+	return state, nil
+}
+
+// Has implements StateStore.
+func (s *FileStateStore) Has(d sig.Digest) bool {
+	_, err := os.Stat(s.pathFor(d))
+	return err == nil
+}

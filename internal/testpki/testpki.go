@@ -1,0 +1,142 @@
+// Package testpki builds ready-made public-key infrastructure fixtures for
+// tests and benchmarks: a root authority, a time-stamping authority, a
+// shared credential store, and per-party signers with evidence issuers.
+package testpki
+
+import (
+	"fmt"
+	"time"
+
+	"nonrep/internal/clock"
+	"nonrep/internal/credential"
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/sig"
+	"nonrep/internal/stamp"
+)
+
+// PartyCreds bundles a party's signing material.
+type PartyCreds struct {
+	Party  id.Party
+	Signer sig.Signer
+	Cert   *credential.Certificate
+	Issuer *evidence.Issuer
+}
+
+// Realm is a complete PKI fixture: every named party holds an Ed25519 key
+// certified by a common root, all certificates are loaded into one shared
+// store, and a TSA is available.
+type Realm struct {
+	Clock *clock.Manual
+	CA    *credential.Authority
+	TSA   *stamp.Authority
+	Store *credential.Store
+
+	parties map[id.Party]*PartyCreds
+}
+
+// Epoch is the manual clock's start time in every realm.
+var Epoch = time.Date(2004, time.March, 25, 9, 0, 0, 0, time.UTC)
+
+// NewRealm builds a realm containing the given parties.
+func NewRealm(parties ...id.Party) (*Realm, error) {
+	clk := clock.NewManual(Epoch)
+	caKey, err := sig.GenerateEd25519("ca-key")
+	if err != nil {
+		return nil, err
+	}
+	ca, err := credential.NewRootAuthority("urn:ttp:ca", caKey, clk)
+	if err != nil {
+		return nil, err
+	}
+	store := credential.NewStore(clk)
+	if err := store.AddRoot(ca.Certificate()); err != nil {
+		return nil, err
+	}
+
+	tsaKey, err := sig.GenerateEd25519("tsa-key")
+	if err != nil {
+		return nil, err
+	}
+	tsaCert, err := ca.Issue("urn:ttp:tsa", tsaKey.KeyID(), tsaKey.PublicKey())
+	if err != nil {
+		return nil, err
+	}
+	if err := store.Add(tsaCert); err != nil {
+		return nil, err
+	}
+	tsa := stamp.NewAuthority("urn:ttp:tsa", tsaKey, clk)
+
+	r := &Realm{
+		Clock:   clk,
+		CA:      ca,
+		TSA:     tsa,
+		Store:   store,
+		parties: make(map[id.Party]*PartyCreds, len(parties)),
+	}
+	for _, p := range parties {
+		if _, err := r.AddParty(p); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// MustRealm is NewRealm for fixtures; it panics on failure, which in a
+// fixture indicates a broken test environment.
+func MustRealm(parties ...id.Party) *Realm {
+	r, err := NewRealm(parties...)
+	if err != nil {
+		panic(fmt.Sprintf("testpki: %v", err))
+	}
+	return r
+}
+
+// AddParty enrols a new party: generates a key, certifies it and registers
+// the certificate in the shared store.
+func (r *Realm) AddParty(p id.Party) (*PartyCreds, error) {
+	if _, ok := r.parties[p]; ok {
+		return nil, fmt.Errorf("testpki: party %s already enrolled", p)
+	}
+	key, err := sig.GenerateEd25519(string(p) + "#key")
+	if err != nil {
+		return nil, err
+	}
+	cert, err := r.CA.Issue(p, key.KeyID(), key.PublicKey())
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Store.Add(cert); err != nil {
+		return nil, err
+	}
+	creds := &PartyCreds{
+		Party:  p,
+		Signer: key,
+		Cert:   cert,
+		Issuer: &evidence.Issuer{Party: p, Signer: key, Clock: r.Clock},
+	}
+	r.parties[p] = creds
+	return creds, nil
+}
+
+// Party returns the credentials of an enrolled party; it panics on unknown
+// parties, which in a fixture indicates a test bug.
+func (r *Realm) Party(p id.Party) *PartyCreds {
+	creds, ok := r.parties[p]
+	if !ok {
+		panic(fmt.Sprintf("testpki: party %s not enrolled", p))
+	}
+	return creds
+}
+
+// Verifier returns an evidence verifier bound to the shared store.
+func (r *Realm) Verifier() *evidence.Verifier {
+	return &evidence.Verifier{Keys: r.Store}
+}
+
+// StampedIssuer returns an evidence issuer for p whose tokens carry TSA
+// time-stamps.
+func (r *Realm) StampedIssuer(p id.Party) *evidence.Issuer {
+	creds := r.Party(p)
+	return &evidence.Issuer{Party: p, Signer: creds.Signer, Clock: r.Clock, TSA: r.TSA}
+}

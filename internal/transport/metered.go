@@ -1,0 +1,78 @@
+package transport
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Metered wraps a Network and counts traffic: the measurement hook for the
+// paper's section 6 observation that non-repudiation costs include "the
+// communication overhead of additional messages to execute protocols".
+type Metered struct {
+	inner Network
+
+	messages atomic.Int64
+	bytes    atomic.Int64
+}
+
+var _ Network = (*Metered)(nil)
+
+// NewMetered wraps inner with traffic counters.
+func NewMetered(inner Network) *Metered {
+	return &Metered{inner: inner}
+}
+
+// Messages returns the number of envelopes sent (requests and one-way
+// sends; replies are not counted separately).
+func (m *Metered) Messages() int64 { return m.messages.Load() }
+
+// Bytes returns the payload bytes carried by counted envelopes and their
+// replies.
+func (m *Metered) Bytes() int64 { return m.bytes.Load() }
+
+// Reset zeroes the counters.
+func (m *Metered) Reset() {
+	m.messages.Store(0)
+	m.bytes.Store(0)
+}
+
+// Register implements Network.
+func (m *Metered) Register(addr string, h Handler) (Endpoint, error) {
+	ep, err := m.inner.Register(addr, h)
+	if err != nil {
+		return nil, err
+	}
+	return &meteredEndpoint{net: m, inner: ep}, nil
+}
+
+type meteredEndpoint struct {
+	net   *Metered
+	inner Endpoint
+}
+
+var _ Endpoint = (*meteredEndpoint)(nil)
+
+// Addr implements Endpoint.
+func (e *meteredEndpoint) Addr() string { return e.inner.Addr() }
+
+// Send implements Endpoint.
+func (e *meteredEndpoint) Send(ctx context.Context, to string, env *Envelope) error {
+	e.net.messages.Add(1)
+	e.net.bytes.Add(int64(len(env.Body)))
+	return e.inner.Send(ctx, to, env)
+}
+
+// Request implements Endpoint.
+func (e *meteredEndpoint) Request(ctx context.Context, to string, env *Envelope) (*Envelope, error) {
+	e.net.messages.Add(2) // request + reply
+	e.net.bytes.Add(int64(len(env.Body)))
+	reply, err := e.inner.Request(ctx, to, env)
+	if err != nil {
+		return nil, err
+	}
+	e.net.bytes.Add(int64(len(reply.Body)))
+	return reply, nil
+}
+
+// Close implements Endpoint.
+func (e *meteredEndpoint) Close() error { return e.inner.Close() }

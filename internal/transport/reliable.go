@@ -1,0 +1,161 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RetryPolicy controls retransmission.
+type RetryPolicy struct {
+	// Attempts is the maximum number of tries (not retries); minimum 1.
+	Attempts int
+	// Backoff is the delay between tries; it is multiplied by the
+	// attempt number (linear backoff).
+	Backoff time.Duration
+}
+
+// DefaultRetryPolicy retries enough to mask the bounded transient failures
+// of trusted-interceptor assumption 2.
+var DefaultRetryPolicy = RetryPolicy{Attempts: 8, Backoff: 5 * time.Millisecond}
+
+// Reliable wraps an endpoint with retransmission. Paired with Dedup on the
+// receiving side, it provides eventual delivery with exactly-once
+// processing over a network with a bounded number of transient failures.
+type Reliable struct {
+	inner  Endpoint
+	policy RetryPolicy
+}
+
+var _ Endpoint = (*Reliable)(nil)
+
+// NewReliable wraps inner with the given retry policy.
+func NewReliable(inner Endpoint, policy RetryPolicy) *Reliable {
+	if policy.Attempts < 1 {
+		policy.Attempts = 1
+	}
+	return &Reliable{inner: inner, policy: policy}
+}
+
+// Addr implements Endpoint.
+func (r *Reliable) Addr() string { return r.inner.Addr() }
+
+// Send implements Endpoint: it retransmits via Request-style confirmation
+// when the underlying transport supports it, falling back to repeated
+// sends.
+func (r *Reliable) Send(ctx context.Context, to string, env *Envelope) error {
+	var lastErr error
+	for attempt := 1; attempt <= r.policy.Attempts; attempt++ {
+		if err := r.inner.Send(ctx, to, env); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+		if err := r.sleep(ctx, attempt); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("transport: send to %s failed after %d attempts: %w", to, r.policy.Attempts, lastErr)
+}
+
+// Request implements Endpoint with retransmission. The envelope keeps its
+// message identifier across attempts so receivers can de-duplicate.
+func (r *Reliable) Request(ctx context.Context, to string, env *Envelope) (*Envelope, error) {
+	var lastErr error
+	for attempt := 1; attempt <= r.policy.Attempts; attempt++ {
+		reply, err := r.inner.Request(ctx, to, env)
+		if err == nil {
+			return reply, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if err := r.sleep(ctx, attempt); err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("transport: request to %s failed after %d attempts: %w", to, r.policy.Attempts, lastErr)
+}
+
+func (r *Reliable) sleep(ctx context.Context, attempt int) error {
+	if r.policy.Backoff <= 0 {
+		return nil
+	}
+	t := time.NewTimer(time.Duration(attempt) * r.policy.Backoff)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close implements Endpoint.
+func (r *Reliable) Close() error { return r.inner.Close() }
+
+// Dedup wraps a handler with idempotent replay: the first result for each
+// envelope identifier is cached and returned verbatim for retransmissions,
+// so retried requests are processed exactly once.
+type Dedup struct {
+	inner Handler
+
+	mu      sync.Mutex
+	results map[string]dedupResult
+	order   []string
+	limit   int
+}
+
+type dedupResult struct {
+	reply *Envelope
+	err   error
+	done  chan struct{}
+}
+
+var _ Handler = (*Dedup)(nil)
+
+// dedupCacheLimit bounds the replay cache.
+const dedupCacheLimit = 4096
+
+// NewDedup wraps inner with a replay cache.
+func NewDedup(inner Handler) *Dedup {
+	return &Dedup{inner: inner, results: make(map[string]dedupResult), limit: dedupCacheLimit}
+}
+
+// Handle implements Handler.
+func (d *Dedup) Handle(ctx context.Context, env *Envelope) (*Envelope, error) {
+	key := string(env.ID)
+	d.mu.Lock()
+	if res, ok := d.results[key]; ok {
+		d.mu.Unlock()
+		// A concurrent duplicate waits for the first delivery to finish.
+		select {
+		case <-res.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		d.mu.Lock()
+		res = d.results[key]
+		d.mu.Unlock()
+		return res.reply, res.err
+	}
+	res := dedupResult{done: make(chan struct{})}
+	d.results[key] = res
+	d.order = append(d.order, key)
+	if len(d.order) > d.limit {
+		oldest := d.order[0]
+		d.order = d.order[1:]
+		delete(d.results, oldest)
+	}
+	d.mu.Unlock()
+
+	reply, err := d.inner.Handle(ctx, env)
+
+	d.mu.Lock()
+	d.results[key] = dedupResult{reply: reply, err: err, done: res.done}
+	d.mu.Unlock()
+	close(res.done)
+	return reply, err
+}

@@ -1,0 +1,186 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"nonrep/internal/canon"
+)
+
+// maxFrame bounds a single wire frame (16 MiB).
+const maxFrame = 16 << 20
+
+// TCPNetwork is a Network whose endpoints listen on TCP addresses. Every
+// exchange is a single framed request followed by a single framed reply
+// (one-way sends receive an empty acknowledgement frame), which gives Send
+// confirmation that the envelope reached the peer process.
+type TCPNetwork struct{}
+
+var _ Network = TCPNetwork{}
+
+// NewTCPNetwork creates a TCP network.
+func NewTCPNetwork() TCPNetwork { return TCPNetwork{} }
+
+// Register implements Network: it starts a listener on addr
+// (host:port; use ":0" for an ephemeral port and read Addr()).
+func (TCPNetwork) Register(addr string, h Handler) (Endpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	ep := &tcpEndpoint{ln: ln, handler: h, done: make(chan struct{})}
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+type tcpEndpoint struct {
+	ln      net.Listener
+	handler Handler
+
+	closeOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+var _ Endpoint = (*tcpEndpoint)(nil)
+
+// Addr implements Endpoint.
+func (e *tcpEndpoint) Addr() string { return e.ln.Addr().String() }
+
+func (e *tcpEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			select {
+			case <-e.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		e.wg.Add(1)
+		go e.serve(conn)
+	}
+}
+
+// serve handles one inbound connection carrying one exchange.
+func (e *tcpEndpoint) serve(conn net.Conn) {
+	defer e.wg.Done()
+	defer conn.Close()
+	env, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	reply, err := e.handler.Handle(context.Background(), env)
+	if err != nil {
+		// Protocol errors travel as an error envelope so the caller
+		// does not block awaiting a frame.
+		reply = &Envelope{ID: env.ID, Kind: "error", Body: []byte(err.Error())}
+	}
+	if reply == nil {
+		reply = &Envelope{ID: env.ID, Kind: "ack"}
+	}
+	_ = writeFrame(conn, reply)
+}
+
+// Send implements Endpoint.
+func (e *tcpEndpoint) Send(ctx context.Context, to string, env *Envelope) error {
+	_, err := e.exchange(ctx, to, env)
+	return err
+}
+
+// Request implements Endpoint.
+func (e *tcpEndpoint) Request(ctx context.Context, to string, env *Envelope) (*Envelope, error) {
+	reply, err := e.exchange(ctx, to, env)
+	if err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+func (e *tcpEndpoint) exchange(ctx context.Context, to string, env *Envelope) (*Envelope, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", to)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnknownAddress, to, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	env.From = e.Addr()
+	env.To = to
+	if err := writeFrame(conn, env); err != nil {
+		return nil, err
+	}
+	reply, err := readFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Kind == "error" {
+		return nil, fmt.Errorf("transport: remote handler: %s", reply.Body)
+	}
+	return reply, nil
+}
+
+// Close implements Endpoint.
+func (e *tcpEndpoint) Close() error {
+	var err error
+	e.closeOnce.Do(func() {
+		close(e.done)
+		err = e.ln.Close()
+		e.wg.Wait()
+	})
+	return err
+}
+
+// writeFrame writes a length-prefixed JSON envelope.
+func writeFrame(w io.Writer, env *Envelope) error {
+	body, err := canon.Marshal(env)
+	if err != nil {
+		return err
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("transport: write frame body: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads a length-prefixed JSON envelope.
+func readFrame(r io.Reader) (*Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("transport: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("transport: read frame body: %w", err)
+	}
+	var env Envelope
+	if err := canon.Unmarshal(body, &env); err != nil {
+		return nil, err
+	}
+	return &env, nil
+}

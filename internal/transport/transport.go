@@ -1,0 +1,79 @@
+// Package transport carries protocol messages between trusted
+// interceptors. The paper's assumption 2 (section 3.1) is that "the
+// communication channel between trusted interceptors provides eventual
+// message delivery (there is a bounded number of temporary network and
+// computer related failures)". The package provides:
+//
+//   - an in-process network for tests and single-process deployments;
+//   - a TCP network with length-prefixed JSON frames;
+//   - a fault-injecting wrapper simulating the bounded temporary failures;
+//   - a retrying, de-duplicating layer that turns a lossy network into one
+//     with eventual-delivery and exactly-once processing semantics.
+package transport
+
+import (
+	"context"
+	"errors"
+
+	"nonrep/internal/id"
+)
+
+// Errors reported by transports.
+var (
+	// ErrUnknownAddress is returned when no endpoint is registered at the
+	// destination.
+	ErrUnknownAddress = errors.New("transport: unknown address")
+	// ErrDropped is returned by the fault-injecting network when a
+	// message is lost.
+	ErrDropped = errors.New("transport: message dropped")
+	// ErrClosed is returned after an endpoint or network is closed.
+	ErrClosed = errors.New("transport: closed")
+)
+
+// Envelope is the unit of transfer between endpoints.
+type Envelope struct {
+	ID   id.Msg `json:"id"`
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Kind distinguishes one-way deliveries from request/response
+	// exchanges and lets multiplexed handlers dispatch.
+	Kind string `json:"kind"`
+	Body []byte `json:"body,omitempty"`
+}
+
+// NewEnvelope creates an envelope with a fresh message identifier.
+func NewEnvelope(kind string, body []byte) *Envelope {
+	return &Envelope{ID: id.NewMsg(), Kind: kind, Body: body}
+}
+
+// Handler processes incoming envelopes. For request/response exchanges the
+// returned envelope is the reply; one-way deliveries may return nil.
+type Handler interface {
+	Handle(ctx context.Context, env *Envelope) (*Envelope, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ctx context.Context, env *Envelope) (*Envelope, error)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(ctx context.Context, env *Envelope) (*Envelope, error) {
+	return f(ctx, env)
+}
+
+// Endpoint is a registered address on a network.
+type Endpoint interface {
+	// Addr returns the endpoint's address.
+	Addr() string
+	// Send delivers an envelope one-way. A nil error means the envelope
+	// was handed to the network, not that it was processed.
+	Send(ctx context.Context, to string, env *Envelope) error
+	// Request delivers an envelope and waits for the handler's reply.
+	Request(ctx context.Context, to string, env *Envelope) (*Envelope, error)
+	// Close deregisters the endpoint.
+	Close() error
+}
+
+// Network registers endpoints by address.
+type Network interface {
+	Register(addr string, h Handler) (Endpoint, error)
+}

@@ -1,0 +1,257 @@
+// Package nonrep is component middleware for non-repudiable service
+// interactions — a Go implementation of Cook, Robinson and Shrivastava,
+// "Component Middleware to Support Non-repudiable Service Interactions"
+// (University of Newcastle CS-TR-834 / DSN 2004).
+//
+// The middleware realises the paper's trusted-interceptor abstraction:
+// each organisation runs a trusted interceptor (an Org in this API) that
+// mediates its interactions, producing and verifying signed
+// non-repudiation evidence. Two building blocks are provided:
+//
+//   - Non-repudiable service invocation: a three-message evidence exchange
+//     (NRO of the request, NRR of the request plus NRO of the response,
+//     NRR of the response) wrapped around an at-most-once RPC, with
+//     direct, voluntary-baseline, inline-TTP and fair (offline-TTP
+//     recovery) protocol variants.
+//
+//   - Non-repudiable information sharing: replicated objects whose every
+//     update is attributed to its proposer, unanimously validated by
+//     application-specific validators at every member, and applied
+//     atomically everywhere or nowhere, with a hash-chained agreed
+//     history.
+//
+// A Domain assembles organisations, their certificates and transport into
+// a trust domain:
+//
+//	domain, _ := nonrep.NewDomain()
+//	defer domain.Close()
+//	client, _ := domain.AddOrg("urn:org:dealer")
+//	server, _ := domain.AddOrg("urn:org:manufacturer")
+//	server.Deploy(desc, component)
+//	server.Serve()
+//	proxy := client.Proxy("urn:org:manufacturer", "urn:org:manufacturer/orders")
+//	res, err := proxy.Call(ctx, "PlaceOrder", spec)
+//
+// Every call yields four evidence tokens, persisted in both parties'
+// tamper-evident logs and checkable offline by an Adjudicator.
+package nonrep
+
+import (
+	"nonrep/internal/access"
+	"nonrep/internal/container"
+	"nonrep/internal/contract"
+	"nonrep/internal/core"
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/invoke"
+	"nonrep/internal/sharing"
+	"nonrep/internal/sig"
+	"nonrep/internal/store"
+)
+
+// Identity vocabulary.
+type (
+	// Party identifies an organisation by URI.
+	Party = id.Party
+	// Service identifies an invocable service endpoint by URI.
+	Service = id.Service
+	// Run identifies one protocol run.
+	Run = id.Run
+	// Txn links evidence of related runs into one business transaction.
+	Txn = id.Txn
+)
+
+// NewTxn returns a fresh transaction identifier.
+func NewTxn() Txn { return id.NewTxn() }
+
+// Evidence vocabulary.
+type (
+	// Token is a signed item of non-repudiation evidence.
+	Token = evidence.Token
+	// TokenKind classifies evidence tokens.
+	TokenKind = evidence.Kind
+	// Param is an invocation parameter or result in agreed
+	// representation (section 3.4 of the paper).
+	Param = evidence.Param
+	// SharedRef resolves shared information to a state digest and
+	// sharing mechanism.
+	SharedRef = evidence.SharedRef
+	// Status describes how a response was produced.
+	Status = evidence.Status
+	// Record is one entry of a tamper-evident evidence log.
+	Record = store.Record
+	// Digest is a SHA-256 digest of canonical content.
+	Digest = sig.Digest
+)
+
+// Response statuses.
+const (
+	StatusOK          = evidence.StatusOK
+	StatusFailed      = evidence.StatusFailed
+	StatusTimeout     = evidence.StatusTimeout
+	StatusAborted     = evidence.StatusAborted
+	StatusNotExecuted = evidence.StatusNotExecuted
+)
+
+// Token kinds.
+const (
+	KindNRO        = evidence.KindNRO
+	KindNRR        = evidence.KindNRR
+	KindNROResp    = evidence.KindNROResp
+	KindNRRResp    = evidence.KindNRRResp
+	KindProposal   = evidence.KindProposal
+	KindDecision   = evidence.KindDecision
+	KindOutcome    = evidence.KindOutcome
+	KindAck        = evidence.KindAck
+	KindSubstitute = evidence.KindSubstitute
+	KindAbort      = evidence.KindAbort
+	KindPostmark   = evidence.KindPostmark
+)
+
+// ValueParam resolves a value-typed argument to its agreed
+// representation.
+func ValueParam(name string, v any) (Param, error) { return evidence.ValueParam(name, v) }
+
+// ServiceRefParam resolves a service reference to its URI.
+func ServiceRefParam(name string, uri Service) Param { return evidence.ServiceRefParam(name, uri) }
+
+// SharedRefParam resolves shared information to its state digest and
+// sharing mechanism.
+func SharedRefParam(name string, ref SharedRef) Param { return evidence.SharedRefParam(name, ref) }
+
+// Invocation vocabulary.
+type (
+	// Request describes an invocation.
+	Request = invoke.Request
+	// Result is an invocation outcome with its evidence.
+	Result = invoke.Result
+	// Executor executes verified requests (implemented by Container).
+	Executor = invoke.Executor
+	// ExecutorFunc adapts a function to Executor.
+	ExecutorFunc = invoke.ExecutorFunc
+	// ClientOption configures an invocation client.
+	ClientOption = invoke.ClientOption
+	// ServerOption configures an invocation server.
+	ServerOption = invoke.ServerOption
+)
+
+// Invocation protocol names.
+const (
+	ProtocolDirect    = invoke.ProtocolDirect
+	ProtocolVoluntary = invoke.ProtocolVoluntary
+	ProtocolInline    = invoke.ProtocolInline
+	ProtocolFair      = invoke.ProtocolFair
+)
+
+// Client options re-exported from the invoke package.
+var (
+	// WithProtocol selects the invocation protocol.
+	WithProtocol = invoke.WithProtocol
+	// Via routes the exchange through inline TTP relays (Figure 3a/3b).
+	Via = invoke.Via
+	// WithOfflineTTP enables fair-protocol abort/resolve recovery.
+	WithOfflineTTP = invoke.WithOfflineTTP
+	// WithConsumption overrides the client's consumption report.
+	WithConsumption = invoke.WithConsumption
+	// ForProtocol selects the protocol a server executes.
+	ForProtocol = invoke.ForProtocol
+	// WithExecTimeout sets the server's agreed execution timeout.
+	WithExecTimeout = invoke.WithExecTimeout
+	// WithVoluntaryReceipt makes a voluntary-protocol server return a
+	// receipt.
+	WithVoluntaryReceipt = invoke.WithVoluntaryReceipt
+	// WithRecovery configures fair-protocol TTP recovery.
+	WithRecovery = invoke.WithRecovery
+	// WithholdReceipt injects client misbehaviour (never acknowledging
+	// the response) for tests and demonstrations of the recovery paths.
+	WithholdReceipt = invoke.WithholdReceipt
+)
+
+// Consumption reports.
+const (
+	Consumed    = evidence.Consumed
+	NotConsumed = evidence.NotConsumed
+)
+
+// Sharing vocabulary.
+type (
+	// Version is one entry of a shared object's agreed history.
+	Version = sharing.Version
+	// Validator validates proposed changes to shared information.
+	Validator = sharing.Validator
+	// ValidatorFunc adapts a function to Validator.
+	ValidatorFunc = sharing.ValidatorFunc
+	// Verdict is a validator's decision.
+	Verdict = sharing.Verdict
+	// Change is the application-facing view of a proposal.
+	Change = sharing.Change
+	// ShareResult is a coordination round's outcome.
+	ShareResult = sharing.Result
+	// SubUpdate is one object's part of an atomic multi-object update
+	// (Org.Sharing().ProposeAtomic — the transactional extension of
+	// paper section 6).
+	SubUpdate = sharing.SubUpdate
+)
+
+// Accept is the affirmative validator verdict.
+func Accept() Verdict { return sharing.Accept() }
+
+// Reject is a negative validator verdict with a reason.
+func Reject(reason string) Verdict { return sharing.Reject(reason) }
+
+// VerifyHistory checks a shared object's version hash chain.
+func VerifyHistory(history []Version) error { return sharing.VerifyHistory(history) }
+
+// Container vocabulary.
+type (
+	// Descriptor is a component deployment descriptor.
+	Descriptor = container.Descriptor
+	// MethodPolicy is the per-method deployment policy.
+	MethodPolicy = container.MethodPolicy
+	// Interceptor is one element of an invocation-path chain.
+	Interceptor = container.Interceptor
+	// Invoker is the downstream target of an interceptor.
+	Invoker = container.Invoker
+	// InvokerFunc adapts a function to Invoker.
+	InvokerFunc = container.InvokerFunc
+	// Invocation is the container-level view of a call.
+	Invocation = container.Invocation
+	// Proxy is a client-side dynamic proxy for a remote component.
+	Proxy = container.Proxy
+	// SharedEntity is an entity component coordinated as a B2BObject.
+	SharedEntity = container.SharedEntity
+	// Role names a virtual-enterprise role.
+	Role = access.Role
+)
+
+// Contract vocabulary (run-time contract monitoring, paper section 6).
+type (
+	// Contract is an executable finite-state contract.
+	Contract = contract.Contract
+	// ContractState names a contract state.
+	ContractState = contract.State
+	// Transition is one contract edge.
+	Transition = contract.Transition
+	// Monitor executes a contract.
+	Monitor = contract.Monitor
+)
+
+// NewMonitor verifies a contract and starts a monitor.
+func NewMonitor(c *Contract) (*Monitor, error) { return contract.NewMonitor(c) }
+
+// ContractValidator adapts a monitor into a sharing validator plus the
+// apply hook that advances the machine on agreed changes.
+func ContractValidator(m *Monitor, eventOf func(*Change) string) (Validator, func([]byte, Version)) {
+	v, apply := contract.ShareValidator(m, contract.EventFunc(eventOf))
+	return v, apply
+}
+
+// Adjudication vocabulary.
+type (
+	// Adjudicator evaluates evidence logs in dispute resolution.
+	Adjudicator = core.Adjudicator
+	// LogReport is a full-log audit result.
+	LogReport = core.LogReport
+	// RunReport reconstructs what evidence proves about one run.
+	RunReport = core.RunReport
+)

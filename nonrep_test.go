@@ -1,0 +1,316 @@
+package nonrep_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nonrep"
+)
+
+const (
+	dealer       = nonrep.Party("urn:org:dealer")
+	manufacturer = nonrep.Party("urn:org:manufacturer")
+	supplierA    = nonrep.Party("urn:org:supplier-a")
+	relayTTP     = nonrep.Party("urn:ttp:relay")
+	ordersURI    = nonrep.Service("urn:org:manufacturer/orders")
+)
+
+// Orders is a demo component.
+type Orders struct {
+	mu     sync.Mutex
+	placed []string
+}
+
+// Place records an order and returns a confirmation number.
+func (o *Orders) Place(_ context.Context, model string) (string, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.placed = append(o.placed, model)
+	return fmt.Sprintf("conf-%d", len(o.placed)), nil
+}
+
+func ordersDescriptor() nonrep.Descriptor {
+	return nonrep.Descriptor{
+		Service: ordersURI,
+		Methods: map[string]nonrep.MethodPolicy{
+			"Place": {NonRepudiation: true, Protocol: nonrep.ProtocolDirect},
+		},
+	}
+}
+
+func TestDomainEndToEnd(t *testing.T) {
+	t.Parallel()
+	domain, err := nonrep.NewDomain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer domain.Close()
+
+	client, err := domain.AddOrg(dealer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := domain.AddOrg(manufacturer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Deploy(ordersDescriptor(), &Orders{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.Serve()
+
+	proxy := client.Proxy(manufacturer, ordersURI, nil)
+	var conf string
+	res, err := proxy.CallValue(context.Background(), &conf, "Place", "roadster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf != "conf-1" {
+		t.Fatalf("confirmation = %q", conf)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.WaitReceipt(ctx, res.Run); err != nil {
+		t.Fatal(err)
+	}
+
+	// Adjudication from the server's log alone proves the full exchange.
+	adj := domain.Adjudicator()
+	report := adj.AuditRun(server.Log().Records(), res.Run)
+	if !report.Complete() {
+		t.Fatalf("run report incomplete: %+v", report)
+	}
+	logReport := adj.AuditLog(client.Log().Records())
+	if !logReport.Clean() {
+		t.Fatalf("client log audit: %+v", logReport)
+	}
+}
+
+func TestDomainOverTCP(t *testing.T) {
+	t.Parallel()
+	domain, err := nonrep.NewDomain(nonrep.WithTCP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer domain.Close()
+	client, err := domain.AddOrg(dealer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := domain.AddOrg(manufacturer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(server.Addr(), ":") {
+		t.Fatalf("server addr = %q, want TCP address", server.Addr())
+	}
+	if err := server.Deploy(ordersDescriptor(), &Orders{}); err != nil {
+		t.Fatal(err)
+	}
+	server.Serve()
+	res, err := client.Proxy(manufacturer, ordersURI, nil).Call(context.Background(), "Place", "gt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != nonrep.StatusOK {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestDomainWithTimestamping(t *testing.T) {
+	t.Parallel()
+	domain, err := nonrep.NewDomain(nonrep.WithTimestamping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer domain.Close()
+	client, err := domain.AddOrg(dealer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := domain.AddOrg(manufacturer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Deploy(ordersDescriptor(), &Orders{}); err != nil {
+		t.Fatal(err)
+	}
+	server.Serve()
+	res, err := client.Proxy(manufacturer, ordersURI, nil).Call(context.Background(), "Place", "gt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range res.Evidence {
+		if tok.Issuer == dealer && tok.Timestamp == nil {
+			t.Fatalf("token %s not timestamped", tok.Kind)
+		}
+	}
+}
+
+func TestDomainInlineTTPRoute(t *testing.T) {
+	t.Parallel()
+	domain, err := nonrep.NewDomain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer domain.Close()
+	client, err := domain.AddOrg(dealer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := domain.AddOrg(manufacturer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay, err := domain.AddOrg(relayTTP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay.EnableRelay(nil)
+	if err := server.Deploy(ordersDescriptor(), &Orders{}); err != nil {
+		t.Fatal(err)
+	}
+	server.Serve()
+
+	res, err := client.Invoke(context.Background(), manufacturer, nonrep.Request{
+		Service:   ordersURI,
+		Operation: "Place",
+		Params:    mustParam(t, "model", "roadster"),
+	}, nonrep.Via(relayTTP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != nonrep.StatusOK {
+		t.Fatalf("status = %v (%s)", res.Status, res.Err)
+	}
+	// The relay audited the exchange.
+	if relay.Log().Len() == 0 {
+		t.Fatal("relay log empty")
+	}
+}
+
+func TestSharedObjectThroughFacade(t *testing.T) {
+	t.Parallel()
+	domain, err := nonrep.NewDomain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer domain.Close()
+	a, err := domain.AddOrg(manufacturer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := domain.AddOrg(supplierA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := []nonrep.Party{manufacturer, supplierA}
+	if err := a.Share("spec", []byte(`v0`), group); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Share("spec", []byte(`v0`), group); err != nil {
+		t.Fatal(err)
+	}
+	b.Sharing().AddValidator("spec", nonrep.ValidatorFunc(
+		func(_ context.Context, ch *nonrep.Change) nonrep.Verdict {
+			if strings.Contains(string(ch.NewState), "forbidden") {
+				return nonrep.Reject("forbidden content")
+			}
+			return nonrep.Accept()
+		}))
+	res, err := a.Sharing().Propose(context.Background(), "spec", []byte(`v1`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreed {
+		t.Fatalf("rejected: %+v", res.Rejections)
+	}
+	res, err = a.Sharing().Propose(context.Background(), "spec", []byte(`forbidden`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Agreed {
+		t.Fatal("forbidden update agreed")
+	}
+	history, err := b.Sharing().History("spec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nonrep.VerifyHistory(history); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertRolesActivation(t *testing.T) {
+	t.Parallel()
+	domain, err := nonrep.NewDomain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer domain.Close()
+	client, err := domain.AddOrg(dealer, nonrep.WithCertRoles("dealer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := domain.AddOrg(manufacturer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.AccessControl().Require(ordersURI, "Place", "dealer")
+	if err := server.Deploy(ordersDescriptor(), &Orders{}); err != nil {
+		t.Fatal(err)
+	}
+	server.Serve()
+	proxy := client.Proxy(manufacturer, ordersURI, nil)
+
+	// Before credential exchange: received but not executed.
+	res, err := proxy.Call(context.Background(), "Place", "gt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != nonrep.StatusNotExecuted {
+		t.Fatalf("status before activation = %v", res.Status)
+	}
+	// The server activates the client's certificate roles.
+	if err := server.ActivatePeerRoles(dealer); err != nil {
+		t.Fatal(err)
+	}
+	res, err = proxy.Call(context.Background(), "Place", "gt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != nonrep.StatusOK {
+		t.Fatalf("status after activation = %v (%s)", res.Status, res.Err)
+	}
+}
+
+func TestDuplicateOrgRejected(t *testing.T) {
+	t.Parallel()
+	domain, err := nonrep.NewDomain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer domain.Close()
+	if _, err := domain.AddOrg(dealer); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := domain.AddOrg(dealer); err == nil {
+		t.Fatal("duplicate AddOrg succeeded")
+	}
+	if _, err := domain.Org("urn:org:nobody"); err == nil {
+		t.Fatal("Org(unknown) succeeded")
+	}
+}
+
+func mustParam(t *testing.T, name string, v any) []nonrep.Param {
+	t.Helper()
+	p, err := nonrep.ValueParam(name, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []nonrep.Param{p}
+}
