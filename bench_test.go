@@ -7,6 +7,9 @@ package nonrep_test
 import (
 	"context"
 	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -18,7 +21,9 @@ import (
 	"nonrep/internal/invoke"
 	"nonrep/internal/sharing"
 	"nonrep/internal/sig"
+	"nonrep/internal/store"
 	"nonrep/internal/testpki"
+	"nonrep/internal/vault"
 )
 
 const (
@@ -437,6 +442,129 @@ func BenchmarkGroupSize(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(d.Meter.Messages())/float64(b.N), "msgs/op")
+		})
+	}
+}
+
+// benchToken issues one representative evidence token to append
+// repeatedly; append cost is independent of token identity.
+func benchToken(b *testing.B, realm *testpki.Realm, opts ...evidence.IssueOption) *evidence.Token {
+	b.Helper()
+	tok, err := realm.Party(benchClient).Issuer.Issue(evidence.KindNRO, id.NewRun(), 1, sig.Sum([]byte("vault bench payload")), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tok
+}
+
+// benchConcurrentAppends drives b.N appends through the log from the
+// given number of concurrent appender goroutines.
+func benchConcurrentAppends(b *testing.B, log store.Log, tok *evidence.Token, workers int) {
+	b.Helper()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for int(next.Add(1)) <= b.N {
+				if _, err := log.Append(store.Generated, tok, ""); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+}
+
+// BenchmarkEvidenceDurableAppend is the vault throughput study: durable
+// appends from 32 concurrent protocol goroutines, comparing FileLog's
+// fsync-per-append against the vault's group commit (records batched into
+// one write+fsync). The paper's trusted interceptors must persist all
+// evidence (section 3.5); this is that hot path.
+func BenchmarkEvidenceDurableAppend(b *testing.B) {
+	const appenders = 32
+	realm := testpki.MustRealm(benchClient)
+	tok := benchToken(b, realm)
+
+	b.Run("FileLogSync/32appenders", func(b *testing.B) {
+		log, err := store.OpenFileLog(filepath.Join(b.TempDir(), "evidence.jsonl"), realm.Clock, store.WithSync())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer log.Close()
+		benchConcurrentAppends(b, log, tok, appenders)
+	})
+	b.Run("VaultGroupCommit/32appenders", func(b *testing.B) {
+		v, err := vault.Open(b.TempDir(), realm.Clock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer v.Close()
+		benchConcurrentAppends(b, v, tok, appenders)
+	})
+}
+
+// BenchmarkEvidenceByTxn is the vault lookup study: ByTxn against log
+// size. FileLog scans the whole log (O(log)); the vault intersects its
+// persistent posting lists and preads exactly the matching records
+// (O(result)), so its lookup time stays flat as the log grows 100-fold.
+// The transaction's ten records sit in one burst early in the log, as a
+// business transaction's runs do in practice.
+func BenchmarkEvidenceByTxn(b *testing.B) {
+	realm := testpki.MustRealm(benchClient)
+	const txnRecords = 10
+
+	fill := func(b *testing.B, log store.Log, size int) id.Txn {
+		b.Helper()
+		txn := id.NewTxn()
+		filler := benchToken(b, realm)
+		linked := benchToken(b, realm, evidence.WithTxn(txn))
+		for i := 0; i < size; i++ {
+			tok := filler
+			if i < 1000 && i%100 == 0 {
+				tok = linked
+			}
+			if _, err := log.Append(store.Generated, tok, ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return txn
+	}
+
+	for _, size := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("Vault/size%d", size), func(b *testing.B) {
+			v, err := vault.Open(b.TempDir(), realm.Clock, vault.WithoutSync(), vault.WithSegmentRecords(250))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer v.Close()
+			txn := fill(b, v, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := len(v.ByTxn(txn)); got != txnRecords {
+					b.Fatalf("ByTxn = %d records, want %d", got, txnRecords)
+				}
+			}
+		})
+	}
+	for _, size := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("FileLog/size%d", size), func(b *testing.B) {
+			log, err := store.OpenFileLog(filepath.Join(b.TempDir(), "evidence.jsonl"), realm.Clock)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer log.Close()
+			txn := fill(b, log, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := len(log.ByTxn(txn)); got != txnRecords {
+					b.Fatalf("ByTxn = %d records, want %d", got, txnRecords)
+				}
+			}
 		})
 	}
 }

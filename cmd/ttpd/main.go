@@ -38,8 +38,10 @@ import (
 	"nonrep/internal/protocol"
 	"nonrep/internal/sig"
 	"nonrep/internal/stamp"
+	"nonrep/internal/store"
 	"nonrep/internal/transport"
 	"nonrep/internal/ttp"
+	"nonrep/internal/vault"
 )
 
 // peerFlags collects repeated -peer party=addr flags.
@@ -60,6 +62,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:9000", "TCP address to listen on")
 	party := flag.String("party", "urn:ttp:main", "party URI of this TTP")
 	trust := flag.String("trust", "", "evidence bundle directory providing trusted certificates")
+	vaultDir := flag.String("vault", "", "persist evidence in a segmented vault at this directory")
 	peers := peerFlags{}
 	flag.Var(peers, "peer", "peer coordinator address as party=addr (repeatable)")
 	flag.Parse()
@@ -93,6 +96,18 @@ func main() {
 		log.Printf("trusting %d certificates from %s", len(b.Certs)+1, *trust)
 	}
 
+	var evidenceLog store.Log
+	if *vaultDir != "" {
+		v, err := vault.Open(*vaultDir, clk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer v.Close()
+		st := v.Stats()
+		log.Printf("vault %s: %d sealed segments, %d records", *vaultDir, st.Segments, st.LastSeq)
+		evidenceLog = v
+	}
+
 	directory := protocol.NewDirectory()
 	for p, a := range peers {
 		directory.Register(p, a)
@@ -105,6 +120,7 @@ func main() {
 		Network:   transport.NewTCPNetwork(),
 		Addr:      *addr,
 		Directory: directory,
+		Log:       evidenceLog,
 		TSA:       stamp.NewAuthority(id.Party(*party), key, clk),
 	})
 	if err != nil {

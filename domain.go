@@ -20,6 +20,7 @@ import (
 	"nonrep/internal/store"
 	"nonrep/internal/transport"
 	"nonrep/internal/ttp"
+	"nonrep/internal/vault"
 )
 
 // Domain assembles organisations into a trust domain (paper section 3.1):
@@ -150,9 +151,11 @@ func (d *Domain) Adjudicator() *Adjudicator { return core.NewAdjudicator(d.creds
 type OrgOption func(*orgConfig)
 
 type orgConfig struct {
-	addr    string
-	logPath string
-	roles   []string
+	addr      string
+	logPath   string
+	vaultDir  string
+	vaultOpts []vault.Option
+	roles     []string
 }
 
 // WithAddr fixes the organisation's coordinator address (host:port under
@@ -165,6 +168,27 @@ func WithAddr(addr string) OrgOption {
 func WithFileLog(path string) OrgOption {
 	return func(c *orgConfig) { c.logPath = path }
 }
+
+// WithVault persists the organisation's evidence in a segmented,
+// group-committed vault rooted at dir — the production-scale store whose
+// memory stays bounded regardless of log length and whose appends are
+// batched into one fsync per group. Takes precedence over WithFileLog.
+func WithVault(dir string, opts ...VaultOption) OrgOption {
+	return func(c *orgConfig) {
+		c.vaultDir = dir
+		c.vaultOpts = opts
+	}
+}
+
+// Vault tuning options usable with WithVault.
+var (
+	// VaultSegmentRecords sets the records per segment before sealing.
+	VaultSegmentRecords = vault.WithSegmentRecords
+	// VaultMaxBatch caps appends absorbed by one group commit.
+	VaultMaxBatch = vault.WithMaxBatch
+	// VaultWithoutSync trades machine-crash durability for throughput.
+	VaultWithoutSync = vault.WithoutSync
+)
 
 // WithCertRoles embeds role names in the organisation's certificate; peers
 // can activate them through their access managers.
@@ -211,7 +235,13 @@ func (d *Domain) AddOrg(p Party, opts ...OrgOption) (*Org, error) {
 		}
 	}
 	var log store.Log
-	if cfg.logPath != "" {
+	switch {
+	case cfg.vaultDir != "":
+		log, err = vault.Open(cfg.vaultDir, d.clk, cfg.vaultOpts...)
+		if err != nil {
+			return nil, err
+		}
+	case cfg.logPath != "":
 		log, err = store.OpenFileLog(cfg.logPath, d.clk)
 		if err != nil {
 			return nil, err
@@ -229,6 +259,12 @@ func (d *Domain) AddOrg(p Party, opts ...OrgOption) (*Org, error) {
 		TSA:       d.tsa,
 	})
 	if err != nil {
+		// Release the log we opened: a leaked vault would keep its
+		// committer goroutine and exclusive lock, blocking any retry of
+		// AddOrg against the same directory.
+		if log != nil {
+			log.Close()
+		}
 		return nil, err
 	}
 	org := &Org{domain: d, node: node, cert: cert, acl: access.NewManager()}
@@ -321,6 +357,15 @@ func (o *Org) AccessControl() *access.Manager { return o.acl }
 
 // Log returns the organisation's evidence log.
 func (o *Org) Log() store.Log { return o.node.Log() }
+
+// Vault returns the organisation's evidence vault, or nil when the
+// organisation was not enrolled with WithVault. The vault exposes the
+// audit query engine (Query, QueryAll, DeepVerify, Stats) beyond the
+// plain Log interface.
+func (o *Org) Vault() *vault.Vault {
+	v, _ := o.node.Log().(*vault.Vault)
+	return v
+}
 
 // Container returns (creating on first use) the organisation's component
 // container.

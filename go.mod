@@ -1,0 +1,3 @@
+module nonrep
+
+go 1.24

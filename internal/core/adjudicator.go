@@ -61,6 +61,48 @@ func (a *Adjudicator) AuditLog(records []*store.Record) *LogReport {
 	return report
 }
 
+// RecordSource is a stream of evidence records in log order, as produced
+// by vault.Iterator — the adjudicator's window onto logs too large to
+// load at once.
+type RecordSource interface {
+	// Next advances to the next record, reporting whether one is
+	// available.
+	Next() bool
+	// Record returns the record Next advanced to.
+	Record() *store.Record
+	// Err returns the first error the source hit.
+	Err() error
+}
+
+// AuditStream verifies a whole log presented as a stream: the hash chain
+// is re-derived incrementally and every token checked, with memory
+// bounded by one record. The stream must yield the complete log in order
+// (an unfiltered query) for the chain verdict to be meaningful.
+func (a *Adjudicator) AuditStream(src RecordSource) *LogReport {
+	report := &LogReport{ChainOK: true}
+	cv := &store.ChainVerifier{}
+	for src.Next() {
+		rec := src.Record()
+		report.Records++
+		if report.ChainOK {
+			if err := cv.Check(rec); err != nil {
+				report.ChainOK = false
+				report.ChainError = err.Error()
+			}
+		}
+		if err := a.verifier.Verify(rec.Token); err != nil {
+			report.Faults = append(report.Faults, Fault{Seq: rec.Seq, Reason: err.Error()})
+		}
+	}
+	if err := src.Err(); err != nil {
+		report.ChainOK = false
+		if report.ChainError == "" {
+			report.ChainError = err.Error()
+		}
+	}
+	return report
+}
+
 // RunReport reconstructs what a set of evidence records proves about one
 // invocation run.
 type RunReport struct {

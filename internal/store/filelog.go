@@ -3,6 +3,7 @@ package store
 import (
 	"bufio"
 	"fmt"
+	"log"
 	"os"
 	"sync"
 
@@ -57,35 +58,26 @@ func OpenFileLog(path string, clk clock.Clock, opts ...FileLogOption) (*FileLog,
 	return l, nil
 }
 
-// load replays existing records and verifies the chain.
+// load replays existing records and verifies the chain. A partial final
+// line — the footprint of a crash mid-append — is truncated away and the
+// verified prefix kept; a garbled line anywhere else is corruption and
+// refuses to open.
 func (l *FileLog) load() error {
-	f, err := os.Open(l.path)
-	if os.IsNotExist(err) {
+	offset, truncate, err := ReadJSONLines(l.path, func(rec *Record, _ int64) error {
+		l.records = append(l.records, rec)
 		return nil
-	}
+	})
 	if err != nil {
-		return fmt.Errorf("store: open evidence log: %w", err)
-	}
-	defer f.Close()
-
-	scanner := bufio.NewScanner(f)
-	scanner.Buffer(make([]byte, 0, 1024*1024), 16*1024*1024)
-	for scanner.Scan() {
-		line := scanner.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var rec Record
-		if err := canon.Unmarshal(line, &rec); err != nil {
-			return fmt.Errorf("store: corrupt evidence log %s: %w", l.path, err)
-		}
-		l.records = append(l.records, &rec)
-	}
-	if err := scanner.Err(); err != nil {
-		return fmt.Errorf("store: read evidence log: %w", err)
+		return err
 	}
 	if err := verifyChain(l.records); err != nil {
 		return fmt.Errorf("store: replay %s: %w", l.path, err)
+	}
+	if truncate {
+		log.Printf("store: evidence log %s: truncating partial final line at byte %d (crash recovery); %d records kept", l.path, offset, len(l.records))
+		if err := os.Truncate(l.path, offset); err != nil {
+			return fmt.Errorf("store: truncate partial tail of %s: %w", l.path, err)
+		}
 	}
 	return nil
 }
@@ -128,12 +120,16 @@ func (l *FileLog) Records() []*Record {
 
 // ByRun implements Log.
 func (l *FileLog) ByRun(run id.Run) []*Record {
-	return filterRecords(l.Records(), func(r *Record) bool { return r.Token.Run == run })
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return filterRecords(l.records, func(r *Record) bool { return r.Token.Run == run })
 }
 
 // ByTxn implements Log.
 func (l *FileLog) ByTxn(txn id.Txn) []*Record {
-	return filterRecords(l.Records(), func(r *Record) bool { return r.Token.Txn == txn })
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return filterRecords(l.records, func(r *Record) bool { return r.Token.Txn == txn })
 }
 
 // Len implements Log.

@@ -116,12 +116,16 @@ func (l *MemLog) Records() []*Record {
 
 // ByRun implements Log.
 func (l *MemLog) ByRun(run id.Run) []*Record {
-	return filterRecords(l.Records(), func(r *Record) bool { return r.Token.Run == run })
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return filterRecords(l.records, func(r *Record) bool { return r.Token.Run == run })
 }
 
 // ByTxn implements Log.
 func (l *MemLog) ByTxn(txn id.Txn) []*Record {
-	return filterRecords(l.Records(), func(r *Record) bool { return r.Token.Txn == txn })
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return filterRecords(l.records, func(r *Record) bool { return r.Token.Txn == txn })
 }
 
 // Len implements Log.
@@ -139,18 +143,29 @@ func (l *MemLog) Close() error { return nil }
 
 // chainRecord builds the next record in a chain.
 func chainRecord(records []*Record, at time.Time, dir Direction, tok *evidence.Token, note string) (*Record, error) {
+	var prev sig.Digest
+	var seq uint64
+	if n := len(records); n > 0 {
+		prev, seq = records[n-1].Hash, records[n-1].Seq
+	}
+	return NextRecord(seq, prev, at, dir, tok, note)
+}
+
+// NextRecord builds the record that follows the chain position given by
+// the last record's sequence number and hash. It is the chaining primitive
+// shared by the in-process logs and stores (such as the segmented vault)
+// that cannot afford to keep the full record slice in memory.
+func NextRecord(lastSeq uint64, prev sig.Digest, at time.Time, dir Direction, tok *evidence.Token, note string) (*Record, error) {
 	if tok == nil {
 		return nil, errors.New("store: nil token")
 	}
 	rec := &Record{
-		Seq:       uint64(len(records) + 1),
+		Seq:       lastSeq + 1,
+		Prev:      prev,
 		At:        at,
 		Direction: dir,
 		Note:      note,
 		Token:     tok,
-	}
-	if n := len(records); n > 0 {
-		rec.Prev = records[n-1].Hash
 	}
 	h, err := rec.computeHash()
 	if err != nil {
@@ -167,25 +182,53 @@ func VerifyRecords(records []*Record) error { return verifyChain(records) }
 
 // verifyChain re-derives every record hash and checks the chain links.
 func verifyChain(records []*Record) error {
-	var prev sig.Digest
-	for i, rec := range records {
-		if rec.Prev != prev {
-			return fmt.Errorf("%w: record %d prev link", ErrChainBroken, i+1)
-		}
-		h, err := rec.computeHash()
-		if err != nil {
+	cv := &ChainVerifier{}
+	for _, rec := range records {
+		if err := cv.Check(rec); err != nil {
 			return err
 		}
-		if h != rec.Hash {
-			return fmt.Errorf("%w: record %d hash", ErrChainBroken, i+1)
-		}
-		if rec.Seq != uint64(i+1) {
-			return fmt.Errorf("%w: record %d sequence %d", ErrChainBroken, i+1, rec.Seq)
-		}
-		prev = rec.Hash
 	}
 	return nil
 }
+
+// ChainVerifier incrementally re-derives a hash chain, one record at a
+// time, so logs too large to load at once can be verified as a stream.
+// The zero value starts at the head of a chain; ResumeChain positions a
+// verifier after an already-trusted prefix.
+type ChainVerifier struct {
+	prev sig.Digest
+	seq  uint64
+}
+
+// ResumeChain returns a verifier expecting the record that follows the
+// chain position (lastSeq, lastHash).
+func ResumeChain(lastSeq uint64, lastHash sig.Digest) *ChainVerifier {
+	return &ChainVerifier{prev: lastHash, seq: lastSeq}
+}
+
+// Check verifies that rec is the next record in the chain and advances the
+// verifier past it.
+func (v *ChainVerifier) Check(rec *Record) error {
+	if rec.Prev != v.prev {
+		return fmt.Errorf("%w: record %d prev link", ErrChainBroken, v.seq+1)
+	}
+	h, err := rec.computeHash()
+	if err != nil {
+		return err
+	}
+	if h != rec.Hash {
+		return fmt.Errorf("%w: record %d hash", ErrChainBroken, v.seq+1)
+	}
+	if rec.Seq != v.seq+1 {
+		return fmt.Errorf("%w: record %d sequence %d", ErrChainBroken, v.seq+1, rec.Seq)
+	}
+	v.prev, v.seq = rec.Hash, rec.Seq
+	return nil
+}
+
+// Position reports the sequence number and hash of the last verified
+// record.
+func (v *ChainVerifier) Position() (uint64, sig.Digest) { return v.seq, v.prev }
 
 func filterRecords(records []*Record, keep func(*Record) bool) []*Record {
 	var out []*Record

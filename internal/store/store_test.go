@@ -183,6 +183,119 @@ func TestFileLogDetectsOnDiskTampering(t *testing.T) {
 	}
 }
 
+func TestFileLogRecoversTruncatedTail(t *testing.T) {
+	t.Parallel()
+	realm := testpki.MustRealm(org)
+	path := filepath.Join(t.TempDir(), "evidence.jsonl")
+	log, err := store.OpenFileLog(path, realm.Clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := id.NewRun()
+	for i := 1; i <= 3; i++ {
+		if _, err := log.Append(store.Generated, newToken(t, realm, run, i), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash mid-append leaves a partial final line with no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":4,"prev":"beef`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	reopened, err := store.OpenFileLog(path, realm.Clock)
+	if err != nil {
+		t.Fatalf("OpenFileLog after torn write: %v", err)
+	}
+	defer reopened.Close()
+	if reopened.Len() != 3 {
+		t.Fatalf("recovered Len = %d, want 3", reopened.Len())
+	}
+	// The partial tail must be gone from disk, and appends continue the
+	// verified chain.
+	if _, err := reopened.Append(store.Generated, newToken(t, realm, run, 4), ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := reopened.Close(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := store.OpenFileLog(path, realm.Clock)
+	if err != nil {
+		t.Fatalf("reopen after recovered append: %v", err)
+	}
+	defer again.Close()
+	if again.Len() != 4 {
+		t.Fatalf("Len after recovered append = %d, want 4", again.Len())
+	}
+	if err := again.VerifyChain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileLogDropsUnterminatedFinalRecord(t *testing.T) {
+	t.Parallel()
+	realm := testpki.MustRealm(org)
+	path := filepath.Join(t.TempDir(), "evidence.jsonl")
+	log, err := store.OpenFileLog(path, realm.Clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := id.NewRun()
+	for i := 1; i <= 3; i++ {
+		if _, err := log.Append(store.Generated, newToken(t, realm, run, i), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strip the trailing newline: the last record's bytes are intact and
+	// parseable, but the write was torn before the terminator — it was
+	// never acknowledged, and keeping it would leave the file
+	// unterminated so the next append merges two records onto one line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-1], 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := store.OpenFileLog(path, realm.Clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Len() != 2 {
+		t.Fatalf("recovered Len = %d, want 2", reopened.Len())
+	}
+	if _, err := reopened.Append(store.Generated, newToken(t, realm, run, 3), ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := reopened.Close(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := store.OpenFileLog(path, realm.Clock)
+	if err != nil {
+		t.Fatalf("reopen after recovered append: %v", err)
+	}
+	defer again.Close()
+	if again.Len() != 3 {
+		t.Fatalf("Len after recovered append = %d, want 3", again.Len())
+	}
+	if err := again.VerifyChain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestFileLogWithSync(t *testing.T) {
 	t.Parallel()
 	realm := testpki.MustRealm(org)

@@ -1,0 +1,27 @@
+//go:build unix
+
+package vault
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes a non-blocking exclusive advisory lock on f. The
+// lock dies with the process, so a crashed vault never needs manual
+// cleanup.
+func flockExclusive(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}
+
+// flockShared takes a non-blocking shared advisory lock on f, so several
+// read-only audits can coexist while a live writer (holding the
+// exclusive lock) excludes them all.
+func flockShared(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_SH|syscall.LOCK_NB)
+}
+
+// funlock releases the advisory lock.
+func funlock(f *os.File) {
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

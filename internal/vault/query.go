@@ -1,0 +1,280 @@
+package vault
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"time"
+
+	"nonrep/internal/canon"
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/store"
+)
+
+// Query selects evidence records for adjudication. Zero-valued fields are
+// wildcards; a zero Query selects the whole log. Run, Txn, Party and Kind
+// are answered from the persistent indexes, so a selective query reads
+// only matching records; From/To prune whole segments by their sealed
+// time bounds.
+type Query struct {
+	// Run selects records of one protocol run.
+	Run id.Run
+	// Txn selects records linked under one transaction identifier.
+	Txn id.Txn
+	// Party selects records whose token was issued by the given party.
+	Party id.Party
+	// Kind selects one token kind.
+	Kind evidence.Kind
+	// From/To bound the record time, inclusive; zero means unbounded.
+	From, To time.Time
+	// Limit caps the number of records returned; 0 means unlimited.
+	Limit int
+}
+
+// indexed reports whether the query can be answered from posting lists.
+func (q Query) indexed() bool {
+	return q.Run != "" || q.Txn != "" || q.Party != "" || q.Kind != ""
+}
+
+// matches applies the full filter to one record.
+func (q Query) matches(r *store.Record) bool {
+	if q.Run != "" && r.Token.Run != q.Run {
+		return false
+	}
+	if q.Txn != "" && r.Token.Txn != q.Txn {
+		return false
+	}
+	if q.Party != "" && r.Token.Issuer != q.Party {
+		return false
+	}
+	if q.Kind != "" && r.Token.Kind != q.Kind {
+		return false
+	}
+	if !q.From.IsZero() && r.At.Before(q.From) {
+		return false
+	}
+	if !q.To.IsZero() && r.At.After(q.To) {
+		return false
+	}
+	return true
+}
+
+// inTimeBounds reports whether a segment's sealed time range can contain
+// matches.
+func (q Query) inTimeBounds(e manifestEntry) bool {
+	if !q.From.IsZero() && e.LastAt.Before(q.From) {
+		return false
+	}
+	if !q.To.IsZero() && e.FirstAt.After(q.To) {
+		return false
+	}
+	return true
+}
+
+// candidates returns the ascending sequence numbers a segment's indexes
+// nominate for the query, and whether the posting lists applied (false
+// means scan everything).
+func (q Query) candidates(idx *segmentIndex) ([]uint64, bool) {
+	if !q.indexed() {
+		return nil, false
+	}
+	var seqs []uint64
+	have := false
+	merge := func(list []uint64) {
+		if !have {
+			seqs, have = list, true
+			return
+		}
+		seqs = intersectSeqs(seqs, list)
+	}
+	if q.Run != "" {
+		merge(idx.Runs[q.Run])
+	}
+	if q.Txn != "" {
+		merge(idx.Txns[q.Txn])
+	}
+	if q.Party != "" {
+		merge(idx.Parties[q.Party])
+	}
+	if q.Kind != "" {
+		merge(idx.Kinds[q.Kind])
+	}
+	return seqs, true
+}
+
+// Iterator streams query results in log order without materialising the
+// log. It satisfies core's RecordSource.
+type Iterator struct {
+	q       Query
+	dir     string
+	sealed  []*segmentIndex
+	segPos  int
+	pending []*store.Record
+	pendPos int
+	tail    []*store.Record
+	tailPos int
+	emitted int
+	cur     *store.Record
+	err     error
+}
+
+// Query returns a streaming iterator over records matching q, in log
+// order: sealed segments first, then the in-memory tail as of the call.
+// A query keyed by run or transaction visits only the segments the
+// routing maps nominate, so its cost tracks the result, not the log.
+func (v *Vault) Query(q Query) *Iterator {
+	it := &Iterator{q: q, dir: v.dir}
+	v.mu.Lock()
+	switch {
+	case q.Run != "":
+		for _, pos := range v.runSegs[q.Run] {
+			it.sealed = append(it.sealed, v.sealed[pos])
+		}
+	case q.Txn != "":
+		for _, pos := range v.txnSegs[q.Txn] {
+			it.sealed = append(it.sealed, v.sealed[pos])
+		}
+	default:
+		it.sealed = make([]*segmentIndex, len(v.sealed))
+		copy(it.sealed, v.sealed)
+	}
+	for _, rec := range v.active.records {
+		if q.matches(rec) {
+			it.tail = append(it.tail, rec)
+		}
+	}
+	v.mu.Unlock()
+	return it
+}
+
+// QueryAll collects every matching record.
+func (v *Vault) QueryAll(q Query) ([]*store.Record, error) {
+	it := v.Query(q)
+	var out []*store.Record
+	for it.Next() {
+		out = append(out, it.Record())
+	}
+	return out, it.Err()
+}
+
+// Next advances to the next matching record, reporting whether one is
+// available. After Next returns false, consult Err.
+func (it *Iterator) Next() bool {
+	if it.err != nil {
+		return false
+	}
+	for {
+		if it.q.Limit > 0 && it.emitted >= it.q.Limit {
+			return false
+		}
+		if it.pendPos < len(it.pending) {
+			it.cur = it.pending[it.pendPos]
+			it.pendPos++
+			it.emitted++
+			return true
+		}
+		if it.segPos < len(it.sealed) {
+			idx := it.sealed[it.segPos]
+			it.segPos++
+			pending, err := it.loadSegment(idx)
+			if err != nil {
+				it.err = err
+				return false
+			}
+			it.pending, it.pendPos = pending, 0
+			continue
+		}
+		if it.tailPos < len(it.tail) {
+			it.cur = it.tail[it.tailPos]
+			it.tailPos++
+			it.emitted++
+			return true
+		}
+		return false
+	}
+}
+
+// Record returns the record Next advanced to.
+func (it *Iterator) Record() *store.Record { return it.cur }
+
+// Err returns the first error the iterator hit.
+func (it *Iterator) Err() error { return it.err }
+
+// loadSegment reads a sealed segment's matches: by direct offset reads
+// when the posting lists apply, by sequential scan otherwise. Every
+// record served from disk is verified against the seal — its hash is
+// re-derived and compared with the pinned hash list (keyed reads) or the
+// full record chain and content digest (scans) — so tampered sealed
+// evidence is reported as broken, never returned as authentic.
+func (it *Iterator) loadSegment(idx *segmentIndex) ([]*store.Record, error) {
+	if !it.q.inTimeBounds(idx.Entry) {
+		return nil, nil
+	}
+	seqs, usedIndex := it.q.candidates(idx)
+	if usedIndex && len(seqs) == 0 {
+		return nil, nil
+	}
+	path := segPath(it.dir, idx.Entry.Segment)
+	if !usedIndex {
+		var out []*store.Record
+		err := readSealedSegment(it.dir, idx.Entry, nil, func(rec *store.Record, _ int64) error {
+			if it.q.matches(rec) {
+				out = append(out, rec)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("vault: open segment %d: %w", idx.Entry.Segment, err)
+	}
+	defer f.Close()
+	size := idx.Size
+	if size == 0 {
+		fi, serr := f.Stat()
+		if serr != nil {
+			return nil, fmt.Errorf("vault: stat segment %d: %w", idx.Entry.Segment, serr)
+		}
+		size = fi.Size()
+	}
+	var out []*store.Record
+	for _, seq := range seqs {
+		i := seq - idx.Entry.FirstSeq
+		if i >= uint64(len(idx.Offsets)) || i >= uint64(len(idx.Hashes)) {
+			return nil, fmt.Errorf("%w: segment %d index out of range", ErrSealBroken, idx.Entry.Segment)
+		}
+		start := idx.Offsets[i]
+		end := size
+		if j := int(i) + 1; j < len(idx.Offsets) {
+			end = idx.Offsets[j]
+		}
+		buf := make([]byte, end-start)
+		if _, err := f.ReadAt(buf, start); err != nil {
+			return nil, fmt.Errorf("vault: read segment %d record %d: %w", idx.Entry.Segment, seq, err)
+		}
+		rec := &store.Record{}
+		if err := canon.Unmarshal(bytes.TrimRight(buf, "\r\n"), rec); err != nil {
+			return nil, fmt.Errorf("vault: decode segment %d record %d: %w", idx.Entry.Segment, seq, err)
+		}
+		// Authenticate before serving: the stored hash must match the
+		// hash pinned under the seal, and must re-derive from the
+		// record's own bytes (the pinned list alone would accept a record
+		// whose body was edited but whose hash field was left intact).
+		if rec.Hash != idx.Hashes[i] {
+			return nil, fmt.Errorf("%w: segment %d record %d hash differs from seal", ErrSealBroken, idx.Entry.Segment, seq)
+		}
+		if err := store.ResumeChain(rec.Seq-1, rec.Prev).Check(rec); err != nil {
+			return nil, fmt.Errorf("%w: segment %d record %d: %v", ErrSealBroken, idx.Entry.Segment, seq, err)
+		}
+		if it.q.matches(rec) {
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,201 @@
+package vault
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/sig"
+	"nonrep/internal/store"
+)
+
+const (
+	manifestName = "MANIFEST"
+	segFormat    = "seg-%08d.log"
+	idxFormat    = "seg-%08d.idx"
+)
+
+func segPath(dir string, n uint64) string { return filepath.Join(dir, fmt.Sprintf(segFormat, n)) }
+func idxPath(dir string, n uint64) string { return filepath.Join(dir, fmt.Sprintf(idxFormat, n)) }
+
+// manifestEntry seals one segment. Entries form their own hash chain
+// (Prev links to the preceding entry's Digest), so tamper evidence
+// survives segment rotation: a sealed segment cannot be rewritten, dropped
+// or reordered without breaking either the record chain, the entry chain
+// or the segment content digest.
+type manifestEntry struct {
+	Segment  uint64     `json:"segment"`
+	FirstSeq uint64     `json:"first_seq"`
+	LastSeq  uint64     `json:"last_seq"`
+	FirstAt  time.Time  `json:"first_at"`
+	LastAt   time.Time  `json:"last_at"`
+	LastHash sig.Digest `json:"last_hash"`
+	// Content is the running digest of the segment's record hashes.
+	Content sig.Digest `json:"content"`
+	// Index is the digest of the segment's persistent index payload, so a
+	// tampered index cannot silently hide evidence from keyed queries.
+	Index sig.Digest `json:"index"`
+	// Prev is the Digest of the preceding manifest entry.
+	Prev sig.Digest `json:"prev"`
+	// Digest seals the entry: the digest of its canonical encoding with
+	// Digest itself zeroed.
+	Digest sig.Digest `json:"digest"`
+}
+
+func (e *manifestEntry) computeDigest() (sig.Digest, error) {
+	clone := *e
+	clone.Digest = sig.Digest{}
+	return sig.SumCanonical(&clone)
+}
+
+// indexPayload is the authenticated body of a segment index: byte offsets
+// for direct record access plus posting lists by run, transaction, party
+// and kind. Its canonical digest is pinned in the manifest entry (Index),
+// breaking the cycle that would arise from digesting the whole index file
+// (which embeds the entry).
+type indexPayload struct {
+	Size    int64   `json:"size"`
+	Offsets []int64 `json:"offsets"`
+	// Hashes pins every record's chained hash, so a record served from a
+	// sealed segment is verified against the seal without reading the
+	// whole segment.
+	Hashes  []sig.Digest               `json:"hashes"`
+	Runs    map[id.Run][]uint64        `json:"runs,omitempty"`
+	Txns    map[id.Txn][]uint64        `json:"txns,omitempty"`
+	Parties map[id.Party][]uint64      `json:"parties,omitempty"`
+	Kinds   map[evidence.Kind][]uint64 `json:"kinds,omitempty"`
+}
+
+// digest returns the canonical digest pinned by manifestEntry.Index.
+func (p *indexPayload) digest() (sig.Digest, error) { return sig.SumCanonical(p) }
+
+// segmentIndex is the persistent per-segment index written at seal time,
+// so adjudication queries touch only matching records.
+type segmentIndex struct {
+	Entry manifestEntry `json:"entry"`
+	indexPayload
+}
+
+// segment is the in-memory state of the one unsealed (active) segment —
+// the only part of a vault whose records live in RAM.
+type segment struct {
+	number   uint64
+	firstSeq uint64
+	records  []*store.Record
+	offsets  []int64
+	hashes   []sig.Digest
+	size     int64
+	content  sig.Digest
+	runs     map[id.Run][]uint64
+	txns     map[id.Txn][]uint64
+	parties  map[id.Party][]uint64
+	kinds    map[evidence.Kind][]uint64
+}
+
+func newSegment(number, firstSeq uint64) *segment {
+	return &segment{
+		number:   number,
+		firstSeq: firstSeq,
+		runs:     make(map[id.Run][]uint64),
+		txns:     make(map[id.Txn][]uint64),
+		parties:  make(map[id.Party][]uint64),
+		kinds:    make(map[evidence.Kind][]uint64),
+	}
+}
+
+// add absorbs a record whose encoded line occupies lineLen bytes at the
+// current end of the segment file.
+func (s *segment) add(rec *store.Record, lineLen int64) {
+	s.records = append(s.records, rec)
+	s.offsets = append(s.offsets, s.size)
+	s.hashes = append(s.hashes, rec.Hash)
+	s.size += lineLen
+	s.content = sig.SumPair(s.content, rec.Hash)
+	s.runs[rec.Token.Run] = append(s.runs[rec.Token.Run], rec.Seq)
+	if rec.Token.Txn != "" {
+		s.txns[rec.Token.Txn] = append(s.txns[rec.Token.Txn], rec.Seq)
+	}
+	s.parties[rec.Token.Issuer] = append(s.parties[rec.Token.Issuer], rec.Seq)
+	s.kinds[rec.Token.Kind] = append(s.kinds[rec.Token.Kind], rec.Seq)
+}
+
+// payload freezes the segment's index body for digesting and persistence.
+func (s *segment) payload() indexPayload {
+	return indexPayload{
+		Size:    s.size,
+		Offsets: s.offsets,
+		Hashes:  s.hashes,
+		Runs:    s.runs,
+		Txns:    s.txns,
+		Parties: s.parties,
+		Kinds:   s.kinds,
+	}
+}
+
+// readSealedSegment streams a sealed segment's records in order, holding
+// them to the seal: record chain, no torn tail, record count, content
+// digest and chain endpoints must all match the manifest entry, else
+// ErrSealBroken. With expectPrev non-nil, the first record must chain
+// from that hash (cross-segment linkage, used by DeepVerify); otherwise
+// the chain is self-seeded, which the content digest still pins. This is
+// the single verification rule shared by index rebuild, full-scan
+// queries and deep verification.
+func readSealedSegment(dir string, e manifestEntry, expectPrev *sig.Digest, fn func(rec *store.Record, lineLen int64) error) error {
+	var cv *store.ChainVerifier
+	if expectPrev != nil {
+		cv = store.ResumeChain(e.FirstSeq-1, *expectPrev)
+	}
+	content := sig.Digest{}
+	count := uint64(0)
+	_, torn, err := store.ReadJSONLines(segPath(dir, e.Segment), func(rec *store.Record, n int64) error {
+		if cv == nil {
+			cv = store.ResumeChain(rec.Seq-1, rec.Prev)
+		}
+		if cerr := cv.Check(rec); cerr != nil {
+			return fmt.Errorf("%w: segment %d: %v", ErrSealBroken, e.Segment, cerr)
+		}
+		content = sig.SumPair(content, rec.Hash)
+		count++
+		return fn(rec, n)
+	})
+	if err != nil {
+		if errors.Is(err, ErrSealBroken) || errors.Is(err, store.ErrChainBroken) {
+			return err
+		}
+		// A sealed segment that cannot be read back is a broken seal.
+		return fmt.Errorf("%w: segment %d: %v", ErrSealBroken, e.Segment, err)
+	}
+	if torn {
+		return fmt.Errorf("%w: sealed segment %d has a torn tail", ErrSealBroken, e.Segment)
+	}
+	if count != e.LastSeq-e.FirstSeq+1 || content != e.Content {
+		return fmt.Errorf("%w: segment %d does not match its seal", ErrSealBroken, e.Segment)
+	}
+	lastSeq, lastHash := cv.Position()
+	if lastSeq != e.LastSeq || lastHash != e.LastHash {
+		return fmt.Errorf("%w: segment %d does not match its seal", ErrSealBroken, e.Segment)
+	}
+	return nil
+}
+
+// intersectSeqs intersects two ascending sequence lists.
+func intersectSeqs(a, b []uint64) []uint64 {
+	var out []uint64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

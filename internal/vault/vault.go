@@ -1,0 +1,793 @@
+// Package vault is the production-scale evidence store: a store.Log whose
+// records live in fixed-size append-only segment files instead of RAM.
+//
+// The seed's logs keep every record in memory and fsync once per append;
+// a busy trusted interceptor (section 3.5 requires persistent storage for
+// all evidence) outgrows both within hours. The vault bounds memory and
+// amortises durability:
+//
+//   - Segmented storage: records are appended to the active segment file;
+//     when it reaches the configured size it is sealed — a manifest entry
+//     records its bounds, last record hash and a content digest, each entry
+//     chaining the previous entry's digest — and its records are evicted
+//     from RAM. Tamper evidence therefore survives rotation: rewriting,
+//     dropping or reordering a sealed segment breaks the record chain, the
+//     manifest chain or the content digest.
+//
+//   - Group commit: concurrent Appends are batched by a single background
+//     committer into one write+fsync, turning the durability hot path from
+//     one fsync per token into one per batch. Callers block until their
+//     batch is on disk, so an acknowledged append is always durable.
+//
+//   - Persistent indexes: at seal time each segment writes an index of
+//     byte offsets plus posting lists by run, transaction, party and kind,
+//     so ByRun/ByTxn and adjudication queries are O(result), not O(log).
+//
+//   - Fast recovery: opening a vault verifies the manifest chain and
+//     replays only the unsealed tail segment (truncating a torn final
+//     write); DeepVerify re-reads every sealed segment for full audits.
+package vault
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"nonrep/internal/canon"
+	"nonrep/internal/clock"
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/sig"
+	"nonrep/internal/store"
+)
+
+// ErrClosed is returned by operations on a closed vault.
+var ErrClosed = errors.New("vault: closed")
+
+// ErrSealBroken is returned when a sealed segment or the manifest chain
+// fails verification.
+var ErrSealBroken = errors.New("vault: segment seal broken")
+
+// ErrLocked is returned when another process holds the vault.
+var ErrLocked = errors.New("vault: locked by another process")
+
+// ErrReadOnly is returned by Append on a vault opened with WithReadOnly.
+var ErrReadOnly = errors.New("vault: opened read-only")
+
+// Option configures a Vault.
+type Option func(*Vault)
+
+// WithSegmentRecords sets how many records a segment holds before it is
+// sealed (default 4096). Smaller segments seal more often but bound RAM
+// and recovery time more tightly.
+func WithSegmentRecords(n int) Option {
+	return func(v *Vault) {
+		if n > 0 {
+			v.segRecords = n
+		}
+	}
+}
+
+// WithMaxBatch caps how many pending appends one group commit absorbs
+// (default 512).
+func WithMaxBatch(n int) Option {
+	return func(v *Vault) {
+		if n > 0 {
+			v.maxBatch = n
+		}
+	}
+}
+
+// WithReadOnly opens the vault for audit only: nothing on disk is
+// created, truncated, rebuilt or re-sealed (torn tails and stale indexes
+// are recovered in memory), and Append is refused. Works on read-only
+// media. Several read-only opens may share a vault; a live writer
+// excludes them.
+func WithReadOnly() Option {
+	return func(v *Vault) { v.readOnly = true }
+}
+
+// WithoutSync disables the per-batch fsync, trading machine-crash
+// durability of the unsealed tail for throughput (process-crash
+// durability is kept — every batch is still flushed to the kernel, and
+// seals remain fully durable so sealed evidence can never be half on
+// disk).
+func WithoutSync() Option {
+	return func(v *Vault) { v.sync = false }
+}
+
+// Vault is a segmented, indexed, group-committed evidence store. It
+// implements store.Log and is safe for concurrent use.
+type Vault struct {
+	dir        string
+	clk        clock.Clock
+	segRecords int
+	maxBatch   int
+	sync       bool
+	readOnly   bool
+
+	lockF *os.File
+
+	mu     sync.Mutex
+	sealed []*segmentIndex
+	// runSegs/txnSegs route keyed queries straight to the sealed segments
+	// holding matching records, so lookup cost does not grow with the
+	// number of segments.
+	runSegs   map[id.Run][]int
+	txnSegs   map[id.Txn][]int
+	active    *segment
+	f         *os.File
+	manifestF *os.File
+	lastSeq   uint64
+	lastHash  sig.Digest
+	lastSeal  sig.Digest
+	failure   error
+
+	appendC   chan *appendReq
+	quit      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+var _ store.Log = (*Vault)(nil)
+
+type appendReq struct {
+	dir  store.Direction
+	tok  *evidence.Token
+	note string
+	resp chan appendResp
+}
+
+type appendResp struct {
+	rec *store.Record
+	err error
+}
+
+// Open opens (creating if necessary) a vault rooted at dir. Recovery is
+// proportional to the unsealed tail, not the log: the manifest chain and
+// per-segment indexes are verified and loaded, the tail segment is
+// replayed against the chain position recorded by the last seal, and a
+// torn final write is truncated away.
+func Open(dir string, clk clock.Clock, opts ...Option) (*Vault, error) {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	v := &Vault{
+		dir:        dir,
+		clk:        clk,
+		segRecords: 4096,
+		maxBatch:   512,
+		sync:       true,
+		runSegs:    make(map[id.Run][]int),
+		txnSegs:    make(map[id.Txn][]int),
+		appendC:    make(chan *appendReq, 4096),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(v)
+	}
+	if v.readOnly {
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("vault: directory %s not found", dir)
+		}
+		// A live writer holds the exclusive lock; shared locks let
+		// concurrent audits coexist. A snapshot without a LOCK file (or
+		// on media where it cannot be opened) is auditable lock-free.
+		if lockF, err := os.Open(filepath.Join(dir, "LOCK")); err == nil {
+			if err := flockShared(lockF); err != nil {
+				lockF.Close()
+				return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
+			}
+			v.lockF = lockF
+		}
+	} else {
+		if err := os.MkdirAll(dir, 0o700); err != nil {
+			return nil, fmt.Errorf("vault: create %s: %w", dir, err)
+		}
+		// One writer at a time: recovery truncates torn tails and appends
+		// rewrite the active segment, so a second opener (say, an
+		// in-place audit racing a live writer) would corrupt the log. The
+		// flock is released automatically if the process dies.
+		lockF, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o600)
+		if err != nil {
+			return nil, fmt.Errorf("vault: open lock file: %w", err)
+		}
+		if err := flockExclusive(lockF); err != nil {
+			lockF.Close()
+			return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
+		}
+		v.lockF = lockF
+	}
+	if err := v.loadManifest(); err != nil {
+		v.unlock()
+		return nil, err
+	}
+	if err := v.replayTail(); err != nil {
+		v.unlock()
+		return nil, err
+	}
+	if v.readOnly {
+		return v, nil
+	}
+	if err := v.openHandles(); err != nil {
+		v.unlock()
+		return nil, err
+	}
+	v.mu.Lock()
+	if len(v.active.records) >= v.segRecords {
+		if err := v.seal(); err != nil {
+			v.mu.Unlock()
+			if v.f != nil {
+				v.f.Close()
+			}
+			if v.manifestF != nil {
+				v.manifestF.Close()
+			}
+			v.unlock()
+			return nil, err
+		}
+	}
+	v.mu.Unlock()
+	go v.run()
+	return v, nil
+}
+
+// unlock releases the vault's exclusive lock.
+func (v *Vault) unlock() {
+	if v.lockF != nil {
+		funlock(v.lockF)
+		v.lockF.Close()
+		v.lockF = nil
+	}
+}
+
+// loadManifest reads and verifies the seal chain, loading every sealed
+// segment's index.
+func (v *Vault) loadManifest() error {
+	path := v.manifestPath()
+	var entries []*manifestEntry
+	prefix, torn, err := store.ReadJSONLines(path, func(e *manifestEntry, _ int64) error {
+		entries = append(entries, e)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if torn && !v.readOnly {
+		if err := os.Truncate(path, prefix); err != nil {
+			return fmt.Errorf("vault: truncate torn manifest tail: %w", err)
+		}
+	}
+	var prevSeal sig.Digest
+	for i, e := range entries {
+		d, err := e.computeDigest()
+		if err != nil {
+			return err
+		}
+		if d != e.Digest {
+			return fmt.Errorf("%w: manifest entry %d digest mismatch", ErrSealBroken, i+1)
+		}
+		if e.Prev != prevSeal {
+			return fmt.Errorf("%w: manifest entry %d prev link", ErrSealBroken, i+1)
+		}
+		idx, err := v.loadIndex(e)
+		if err != nil {
+			return err
+		}
+		v.addSealed(idx)
+		v.lastSeq, v.lastHash = e.LastSeq, e.LastHash
+		prevSeal = e.Digest
+	}
+	v.lastSeal = prevSeal
+	return nil
+}
+
+// loadIndex reads a sealed segment's index, rebuilding it from the
+// segment file if missing, stale or tampered (a crash can land between
+// index write and the next index write; the manifest entry — including
+// its pinned index payload digest — is the source of truth).
+func (v *Vault) loadIndex(e *manifestEntry) (*segmentIndex, error) {
+	data, err := os.ReadFile(idxPath(v.dir, e.Segment))
+	if err == nil {
+		idx := &segmentIndex{}
+		if uerr := canon.Unmarshal(data, idx); uerr == nil && idx.Entry.Digest == e.Digest {
+			if pd, derr := idx.indexPayload.digest(); derr == nil && pd == e.Index {
+				// Adopt the verified manifest entry wholesale: the file's
+				// embedded copy matched only on the digest field, and its
+				// other fields (time bounds, seq range, content) must not
+				// be trusted for query pruning.
+				idx.Entry = *e
+				return idx, nil
+			}
+		}
+	}
+	return v.rebuildIndex(e)
+}
+
+// rebuildIndex reconstructs a sealed segment's index by re-reading its
+// records, verifying them against the seal on the way.
+func (v *Vault) rebuildIndex(e *manifestEntry) (*segmentIndex, error) {
+	seg := newSegment(e.Segment, e.FirstSeq)
+	err := readSealedSegment(v.dir, *e, nil, func(rec *store.Record, n int64) error {
+		seg.add(rec, n)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	payload := seg.payload()
+	pd, err := payload.digest()
+	if err != nil {
+		return nil, err
+	}
+	if pd != e.Index {
+		// The records verified against the seal, so a rebuilt payload that
+		// still disagrees with the pinned digest means the entry itself is
+		// inconsistent.
+		return nil, fmt.Errorf("%w: segment %d index digest does not match its seal", ErrSealBroken, e.Segment)
+	}
+	idx := &segmentIndex{Entry: *e, indexPayload: payload}
+	if !v.readOnly {
+		if err := v.writeIndex(idx); err != nil {
+			return nil, err
+		}
+	}
+	return idx, nil
+}
+
+// replayTail loads the unsealed tail segment into memory, verifying its
+// chain against the last seal and truncating a torn final write.
+func (v *Vault) replayTail() error {
+	tailNum := uint64(1)
+	if n := len(v.sealed); n > 0 {
+		tailNum = v.sealed[n-1].Entry.Segment + 1
+	}
+	seg := newSegment(tailNum, v.lastSeq+1)
+	cv := store.ResumeChain(v.lastSeq, v.lastHash)
+	path := segPath(v.dir, tailNum)
+	prefix, torn, err := store.ReadJSONLines(path, func(rec *store.Record, n int64) error {
+		if err := cv.Check(rec); err != nil {
+			return fmt.Errorf("vault: replay tail segment %d: %w", tailNum, err)
+		}
+		seg.add(rec, n)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if torn && !v.readOnly {
+		if err := os.Truncate(path, prefix); err != nil {
+			return fmt.Errorf("vault: truncate torn tail of segment %d: %w", tailNum, err)
+		}
+	}
+	v.active = seg
+	v.lastSeq, v.lastHash = cv.Position()
+	return nil
+}
+
+func (v *Vault) manifestPath() string { return filepath.Join(v.dir, manifestName) }
+
+// openHandles opens the append handles for the active segment and the
+// manifest.
+func (v *Vault) openHandles() error {
+	f, err := os.OpenFile(segPath(v.dir, v.active.number), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return fmt.Errorf("vault: open active segment: %w", err)
+	}
+	m, err := os.OpenFile(v.manifestPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("vault: open manifest: %w", err)
+	}
+	v.f, v.manifestF = f, m
+	return v.syncDir()
+}
+
+// syncDir fsyncs the vault directory so newly created files (segments,
+// indexes, manifest, lock) survive power loss, not just process death.
+// It runs regardless of WithoutSync: seals must be all-or-nothing on
+// disk, and directory syncs happen only at open and rotation.
+func (v *Vault) syncDir() error {
+	d, err := os.Open(v.dir)
+	if err != nil {
+		return fmt.Errorf("vault: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("vault: sync dir: %w", err)
+	}
+	return nil
+}
+
+// run is the group committer: it drains pending appends into batches and
+// commits each batch with a single write+fsync.
+func (v *Vault) run() {
+	defer close(v.done)
+	for {
+		select {
+		case req := <-v.appendC:
+			v.commit(v.drain(req))
+		case <-v.quit:
+			for {
+				select {
+				case req := <-v.appendC:
+					v.commit(v.drain(req))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (v *Vault) drain(first *appendReq) []*appendReq {
+	batch := []*appendReq{first}
+	for len(batch) < v.maxBatch {
+		select {
+		case req := <-v.appendC:
+			batch = append(batch, req)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// commit chains, writes and fsyncs one batch, then wakes every caller.
+// The committer goroutine is the only writer of the chain position and
+// the active file handle, so the expensive part — chaining, encoding and
+// the write+fsync — runs outside v.mu; the mutex is taken only to read
+// the starting position and to publish the batch. Audit queries never
+// stall behind a per-batch fsync; segment rotation (once per segRecords
+// appends) does briefly hold the lock through the seal's index and
+// manifest writes.
+func (v *Vault) commit(batch []*appendReq) {
+	v.mu.Lock()
+	failure := v.failure
+	seq, hash := v.lastSeq, v.lastHash
+	v.mu.Unlock()
+	if failure != nil {
+		for _, req := range batch {
+			req.resp <- appendResp{err: failure}
+		}
+		return
+	}
+	type stagedAppend struct {
+		req  *appendReq
+		rec  *store.Record
+		line int64
+	}
+	var staged []stagedAppend
+	var buf []byte
+	for _, req := range batch {
+		rec, err := store.NextRecord(seq, hash, v.clk.Now(), req.dir, req.tok, req.note)
+		if err != nil {
+			req.resp <- appendResp{err: err}
+			continue
+		}
+		line, err := canon.Marshal(rec)
+		if err != nil {
+			req.resp <- appendResp{err: err}
+			continue
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+		staged = append(staged, stagedAppend{req: req, rec: rec, line: int64(len(line) + 1)})
+		seq, hash = rec.Seq, rec.Hash
+	}
+	if len(staged) == 0 {
+		return
+	}
+	if err := v.write(buf); err != nil {
+		v.mu.Lock()
+		v.failure = err
+		v.mu.Unlock()
+		for _, s := range staged {
+			s.req.resp <- appendResp{err: err}
+		}
+		return
+	}
+	v.mu.Lock()
+	for _, s := range staged {
+		v.active.add(s.rec, s.line)
+	}
+	v.lastSeq, v.lastHash = seq, hash
+	if len(v.active.records) >= v.segRecords {
+		if err := v.seal(); err != nil {
+			v.failure = err
+		}
+	}
+	v.mu.Unlock()
+	for _, s := range staged {
+		s.req.resp <- appendResp{rec: s.rec}
+	}
+}
+
+// write puts one batch on disk: a single write and (unless disabled) a
+// single fsync for the whole batch.
+func (v *Vault) write(buf []byte) error {
+	if _, err := v.f.Write(buf); err != nil {
+		return fmt.Errorf("vault: append batch: %w", err)
+	}
+	if v.sync {
+		if err := v.f.Sync(); err != nil {
+			return fmt.Errorf("vault: sync batch: %w", err)
+		}
+	}
+	return nil
+}
+
+// seal freezes the active segment (mu held): writes its index, appends the
+// chained manifest entry, evicts its records from RAM and opens the next
+// segment.
+func (v *Vault) seal() error {
+	a := v.active
+	if len(a.records) == 0 {
+		return nil
+	}
+	payload := a.payload()
+	pd, err := payload.digest()
+	if err != nil {
+		return err
+	}
+	entry := manifestEntry{
+		Segment:  a.number,
+		FirstSeq: a.firstSeq,
+		LastSeq:  v.lastSeq,
+		FirstAt:  a.records[0].At,
+		LastAt:   a.records[len(a.records)-1].At,
+		LastHash: v.lastHash,
+		Content:  a.content,
+		Index:    pd,
+		Prev:     v.lastSeal,
+	}
+	d, err := entry.computeDigest()
+	if err != nil {
+		return err
+	}
+	entry.Digest = d
+	// Seals are durable even under WithoutSync: the manifest is about to
+	// assert this segment's exact contents, so the segment data must hit
+	// disk first or a power loss would turn honest evidence into a
+	// permanent false tamper verdict. WithoutSync therefore risks only
+	// unsealed-tail records.
+	if err := v.f.Sync(); err != nil {
+		return fmt.Errorf("vault: sync sealing segment: %w", err)
+	}
+	idx := &segmentIndex{Entry: entry, indexPayload: payload}
+	if err := v.writeIndex(idx); err != nil {
+		return err
+	}
+	line, err := canon.Marshal(&entry)
+	if err != nil {
+		return err
+	}
+	if _, err := v.manifestF.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("vault: append manifest: %w", err)
+	}
+	if err := v.manifestF.Sync(); err != nil {
+		return fmt.Errorf("vault: sync manifest: %w", err)
+	}
+	if err := v.f.Close(); err != nil {
+		return fmt.Errorf("vault: close sealed segment: %w", err)
+	}
+	// Evict: only the index survives in memory.
+	v.addSealed(idx)
+	v.lastSeal = entry.Digest
+	v.active = newSegment(a.number+1, v.lastSeq+1)
+	f, err := os.OpenFile(segPath(v.dir, v.active.number), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return fmt.Errorf("vault: open next segment: %w", err)
+	}
+	v.f = f
+	// Persist the directory entries for the index, the manifest line's
+	// backing file and the fresh segment before acknowledging anything
+	// recorded against them.
+	return v.syncDir()
+}
+
+// addSealed registers a sealed segment's index and routes its run and
+// transaction keys to it (mu held, or during single-threaded open).
+func (v *Vault) addSealed(idx *segmentIndex) {
+	pos := len(v.sealed)
+	v.sealed = append(v.sealed, idx)
+	for run := range idx.Runs {
+		v.runSegs[run] = append(v.runSegs[run], pos)
+	}
+	for txn := range idx.Txns {
+		v.txnSegs[txn] = append(v.txnSegs[txn], pos)
+	}
+}
+
+// writeIndex persists a segment index and syncs it.
+func (v *Vault) writeIndex(idx *segmentIndex) error {
+	data, err := canon.Marshal(idx)
+	if err != nil {
+		return err
+	}
+	path := idxPath(v.dir, idx.Entry.Segment)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("vault: write index: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("vault: write index: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("vault: sync index: %w", err)
+	}
+	return f.Close()
+}
+
+// Append implements store.Log. The call blocks until the record's batch is
+// durable (or the vault fails), so an acknowledged append survives a
+// crash.
+func (v *Vault) Append(dir store.Direction, tok *evidence.Token, note string) (*store.Record, error) {
+	if v.readOnly {
+		return nil, ErrReadOnly
+	}
+	req := &appendReq{dir: dir, tok: tok, note: note, resp: make(chan appendResp, 1)}
+	select {
+	case v.appendC <- req:
+	case <-v.done:
+		return nil, ErrClosed
+	}
+	select {
+	case resp := <-req.resp:
+		return resp.rec, resp.err
+	case <-v.done:
+		select {
+		case resp := <-req.resp:
+			return resp.rec, resp.err
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Len implements store.Log.
+func (v *Vault) Len() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return int(v.lastSeq)
+}
+
+// Records implements store.Log by materialising the entire log — the
+// compatibility path for bundle export; use Query for logs that do not
+// fit in memory.
+func (v *Vault) Records() []*store.Record { return v.logQuery(Query{}, "Records") }
+
+// ByRun implements store.Log via the run index.
+func (v *Vault) ByRun(run id.Run) []*store.Record { return v.logQuery(Query{Run: run}, "ByRun") }
+
+// ByTxn implements store.Log via the transaction index.
+func (v *Vault) ByTxn(txn id.Txn) []*store.Record { return v.logQuery(Query{Txn: txn}, "ByTxn") }
+
+// logQuery adapts QueryAll to the error-less store.Log interface. A
+// segment-read failure must not masquerade quietly as an empty result —
+// an adjudicator would mistake it for absent evidence — so the error is
+// logged loudly; integrity failures additionally poison appends, since a
+// store that can no longer prove what it holds must not accept more
+// evidence. Transient read errors (fd exhaustion, permissions) do not
+// poison — callers needing hard guarantees use QueryAll and see the
+// error directly.
+func (v *Vault) logQuery(q Query, op string) []*store.Record {
+	recs, err := v.QueryAll(q)
+	if err != nil {
+		log.Printf("vault: %s: RESULTS INCOMPLETE: %v (%d records read before the error)", op, err, len(recs))
+		if errors.Is(err, ErrSealBroken) || errors.Is(err, store.ErrChainBroken) {
+			v.mu.Lock()
+			if v.failure == nil {
+				v.failure = err
+			}
+			v.mu.Unlock()
+		}
+	}
+	return recs
+}
+
+// VerifyChain implements store.Log as a deep verify: every sealed segment
+// is re-read and checked against both the record chain and its seal.
+func (v *Vault) VerifyChain() error { return v.DeepVerify() }
+
+// DeepVerify re-reads the entire vault: the manifest chain, every sealed
+// segment's records against record chain, content digest and seal, and
+// the in-memory tail. Open performs only the fast tail check; run
+// DeepVerify for full audits.
+func (v *Vault) DeepVerify() error {
+	v.mu.Lock()
+	sealed := make([]*segmentIndex, len(v.sealed))
+	copy(sealed, v.sealed)
+	tail := make([]*store.Record, len(v.active.records))
+	copy(tail, v.active.records)
+	v.mu.Unlock()
+
+	var prevSeal, prevHash sig.Digest
+	lastSeq := uint64(0)
+	for _, idx := range sealed {
+		e := idx.Entry
+		d, err := e.computeDigest()
+		if err != nil {
+			return err
+		}
+		if d != e.Digest {
+			return fmt.Errorf("%w: manifest entry for segment %d", ErrSealBroken, e.Segment)
+		}
+		if e.Prev != prevSeal {
+			return fmt.Errorf("%w: manifest chain at segment %d", ErrSealBroken, e.Segment)
+		}
+		prevSeal = e.Digest
+		if pd, derr := idx.indexPayload.digest(); derr != nil || pd != e.Index {
+			return fmt.Errorf("%w: segment %d index does not match its seal", ErrSealBroken, e.Segment)
+		}
+		// Deep verification pins the cross-segment linkage: the segment's
+		// first record must chain from the previous segment's last hash.
+		if err := readSealedSegment(v.dir, e, &prevHash, func(*store.Record, int64) error { return nil }); err != nil {
+			return err
+		}
+		prevHash, lastSeq = e.LastHash, e.LastSeq
+	}
+	cv := store.ResumeChain(lastSeq, prevHash)
+	for _, rec := range tail {
+		if err := cv.Check(rec); err != nil {
+			return fmt.Errorf("vault: tail segment: %w", err)
+		}
+	}
+	return nil
+}
+
+// Stats reports the vault's shape.
+type Stats struct {
+	// Segments counts sealed segments.
+	Segments int
+	// SealedRecords counts records evicted to sealed segments.
+	SealedRecords uint64
+	// TailRecords counts records in the unsealed (in-memory) tail.
+	TailRecords int
+	// LastSeq is the sequence number of the newest record.
+	LastSeq uint64
+}
+
+// Stats returns the vault's current shape.
+func (v *Vault) Stats() Stats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	s := Stats{Segments: len(v.sealed), TailRecords: len(v.active.records), LastSeq: v.lastSeq}
+	s.SealedRecords = v.lastSeq - uint64(len(v.active.records))
+	return s
+}
+
+// Close implements store.Log: pending appends are committed, the tail
+// stays unsealed (it is replayed on the next Open), and file handles are
+// released.
+func (v *Vault) Close() error {
+	v.closeOnce.Do(func() {
+		if !v.readOnly {
+			close(v.quit)
+			<-v.done
+		}
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		if v.f != nil {
+			if err := v.f.Close(); err != nil && v.closeErr == nil {
+				v.closeErr = err
+			}
+			v.f = nil
+		}
+		if v.manifestF != nil {
+			if err := v.manifestF.Close(); err != nil && v.closeErr == nil {
+				v.closeErr = err
+			}
+			v.manifestF = nil
+		}
+		v.unlock()
+	})
+	return v.closeErr
+}

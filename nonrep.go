@@ -47,6 +47,7 @@ import (
 	"nonrep/internal/sharing"
 	"nonrep/internal/sig"
 	"nonrep/internal/store"
+	"nonrep/internal/vault"
 )
 
 // Identity vocabulary.
@@ -254,4 +255,27 @@ type (
 	LogReport = core.LogReport
 	// RunReport reconstructs what evidence proves about one run.
 	RunReport = core.RunReport
+	// RecordSource streams evidence records to the adjudicator.
+	RecordSource = core.RecordSource
 )
+
+// Evidence vault vocabulary (segmented, indexed, group-committed evidence
+// storage; see Org WithVault).
+type (
+	// Vault is the production-scale evidence store.
+	Vault = vault.Vault
+	// VaultOption tunes a vault (VaultSegmentRecords, VaultMaxBatch,
+	// VaultWithoutSync).
+	VaultOption = vault.Option
+	// VaultQuery selects evidence records for adjudication.
+	VaultQuery = vault.Query
+	// VaultIterator streams query results without materialising the log.
+	VaultIterator = vault.Iterator
+	// VaultStats reports a vault's shape.
+	VaultStats = vault.Stats
+)
+
+// OpenVault opens (creating if necessary) a standalone evidence vault —
+// for audit tooling working directly on a vault directory, outside any
+// Domain.
+var OpenVault = vault.Open

@@ -90,6 +90,92 @@ func TestDomainEndToEnd(t *testing.T) {
 	}
 }
 
+func TestDomainWithVault(t *testing.T) {
+	t.Parallel()
+	domain, err := nonrep.NewDomain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer domain.Close()
+
+	vaultDir := t.TempDir()
+	client, err := domain.AddOrg(dealer, nonrep.WithVault(vaultDir, nonrep.VaultSegmentRecords(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := domain.AddOrg(manufacturer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Deploy(ordersDescriptor(), &Orders{}); err != nil {
+		t.Fatal(err)
+	}
+	server.Serve()
+
+	proxy := client.Proxy(manufacturer, ordersURI, nil)
+	var runs []nonrep.Run
+	for i := 0; i < 3; i++ {
+		var conf string
+		res, err := proxy.CallValue(context.Background(), &conf, "Place", "roadster")
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, res.Run)
+	}
+
+	v := client.Vault()
+	if v == nil {
+		t.Fatal("Org.Vault() = nil for a vault-backed org")
+	}
+	// Each direct-protocol run leaves two records in the client log (its
+	// NRO and the server's NRR/NROResp evidence), so with two-record
+	// segments the vault must have sealed at least once.
+	if st := v.Stats(); st.Segments == 0 {
+		t.Fatalf("no sealed segments after %d runs: %+v", len(runs), st)
+	}
+	if err := v.DeepVerify(); err != nil {
+		t.Fatalf("DeepVerify: %v", err)
+	}
+
+	// The indexed query answers run-scoped adjudication without loading
+	// the log, and the streaming audit proves the whole log clean.
+	adj := domain.Adjudicator()
+	byRun, err := v.QueryAll(nonrep.VaultQuery{Run: runs[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byRun) == 0 {
+		t.Fatal("vault query found no records for run")
+	}
+	report := adj.AuditRun(byRun, runs[0])
+	if !report.RequestProven {
+		t.Fatalf("run report from vault query: %+v", report)
+	}
+	stream := adj.AuditStream(v.Query(nonrep.VaultQuery{}))
+	if !stream.Clean() {
+		t.Fatalf("stream audit: %+v", stream)
+	}
+	if stream.Records != v.Len() {
+		t.Fatalf("stream audited %d records, vault holds %d", stream.Records, v.Len())
+	}
+
+	// Evidence survives domain close and reopen of the vault alone.
+	if err := domain.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := nonrep.OpenVault(vaultDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != stream.Records {
+		t.Fatalf("reopened vault holds %d records, want %d", re.Len(), stream.Records)
+	}
+	if err := re.DeepVerify(); err != nil {
+		t.Fatalf("DeepVerify after reopen: %v", err)
+	}
+}
+
 func TestDomainOverTCP(t *testing.T) {
 	t.Parallel()
 	domain, err := nonrep.NewDomain(nonrep.WithTCP())
