@@ -80,6 +80,78 @@ func BenchmarkFig4InvocationNR(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineConcurrent is E12, the hot-path pipeline study:
+// throughput of concurrent small-message invocations, comparing the plain
+// executor (no non-repudiation), the unbatched non-repudiable path, and
+// the batched pipeline (aggregate signing + envelope coalescing + crypto
+// fast path). The acceptance bar for the pipeline is ≥2x the unbatched
+// non-repudiable throughput at 32 concurrent clients with fewer wire
+// messages per invocation.
+func BenchmarkPipelineConcurrent(b *testing.B) {
+	const clients = 32
+
+	b.Run("Plain/32clients", func(b *testing.B) {
+		exec := echoExecutor()
+		snap := &evidence.RequestSnapshot{Service: "urn:org:server/orders", Operation: "Place"}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		b.ReportAllocs()
+		b.ResetTimer()
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for int(next.Add(1)) <= b.N {
+					if _, err := exec.Execute(context.Background(), snap); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	})
+
+	for _, batched := range []bool{false, true} {
+		name := "NR/32clients"
+		opts := []testpki.DomainOption{testpki.WithMetering()}
+		if batched {
+			name = "BatchedNR/32clients"
+			opts = append(opts, testpki.WithPipeline())
+		}
+		b.Run(name, func(b *testing.B) {
+			d := testpki.MustDomainWith([]id.Party{benchClient, benchServer}, opts...)
+			defer d.Close()
+			srv := invoke.NewServer(d.Node(benchServer).Coordinator(), echoExecutor())
+			defer srv.Close()
+			cli := invoke.NewClient(d.Node(benchClient).Coordinator())
+			req := benchRequest(b)
+			d.Meter.Reset()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			b.ReportAllocs()
+			b.ResetTimer()
+			for w := 0; w < clients; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for int(next.Add(1)) <= b.N {
+						if _, err := cli.Invoke(context.Background(), benchServer, req); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(d.Meter.Messages())/float64(b.N), "msgs/op")
+			b.ReportMetric(float64(d.Meter.LogicalMessages())/float64(b.N), "logicalmsgs/op")
+			b.ReportMetric(float64(d.Meter.Bytes())/float64(b.N), "wirebytes/op")
+		})
+	}
+}
+
 // BenchmarkFig5SharingUpdate is E2: one agreed update round among three
 // organisations (Figure 5b).
 func BenchmarkFig5SharingUpdate(b *testing.B) {

@@ -14,13 +14,24 @@
 // Usage:
 //
 //	nrbench [-n iterations] [-quick]
+//	nrbench -pipeline [-n iterations] [-out BENCH_pipeline.json]
+//
+// The -pipeline mode runs only E12 — the hot-path pipeline study (plain
+// executor vs unbatched non-repudiation vs the batched pipeline under 32
+// concurrent clients) — and, with -out, writes the measurements as JSON
+// so successive PRs can track the performance trend.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"nonrep/internal/canon"
@@ -43,11 +54,17 @@ const (
 func main() {
 	n := flag.Int("n", 200, "iterations per measurement")
 	quick := flag.Bool("quick", false, "reduce iterations for a fast pass")
+	pipeline := flag.Bool("pipeline", false, "run only the hot-path pipeline study (E12)")
+	out := flag.String("out", "", "write pipeline measurements as JSON to this path")
 	flag.Parse()
 	if *quick {
 		*n = 25
 	}
 
+	if *pipeline {
+		benchPipeline(*n, *out)
+		return
+	}
 	benchSignatures(*n)
 	benchEvidenceSpace()
 	benchProtocols(*n)
@@ -55,6 +72,138 @@ func main() {
 	benchLossTolerance()
 	benchRollup(*n)
 	benchGroupSize(*n)
+	benchPipeline(*n, *out)
+}
+
+// pipelineResult is one configuration's measurement in the E12 study,
+// serialised to BENCH_pipeline.json for trend tracking across PRs.
+type pipelineResult struct {
+	Name        string  `json:"name"`
+	Ops         int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_op"`
+	MsgsPerOp   float64 `json:"msgs_op"`
+	SubMsgsOp   float64 `json:"submsgs_op"`
+	WireBytesOp float64 `json:"wirebytes_op"`
+	AllocsPerOp float64 `json:"allocs_op"`
+}
+
+// benchPipeline is E12: concurrent small-message invocation throughput —
+// plain executor, unbatched non-repudiation, and the batched pipeline
+// (aggregate signing + envelope coalescing + verification fast path).
+func benchPipeline(n int, out string) {
+	const clients = 32
+	iters := clients * max(n/8, 4)
+	fmt.Println("## E12 — hot-path pipeline: concurrent small-message invocations (32 clients)")
+	fmt.Println()
+	fmt.Println("| configuration | latency/op | wire envelopes/op | protocol msgs/op | wire bytes/op | allocs/op |")
+	fmt.Println("|---|---|---|---|---|---|")
+
+	exec := invoke.ExecutorFunc(func(_ context.Context, req *evidence.RequestSnapshot) ([]evidence.Param, error) {
+		p, err := evidence.ValueParam("echo", req.Operation)
+		return []evidence.Param{p}, err
+	})
+	request := invoke.Request{Service: "urn:org:server/orders", Operation: "Place"}
+
+	measure := func(name string, run func(i int) error) pipelineResult {
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		var next atomic.Int64
+		var firstErr atomic.Pointer[error]
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i > iters {
+						return
+					}
+					if err := run(i); err != nil {
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		if err := firstErr.Load(); err != nil {
+			log.Fatalf("%s: %v", name, *err)
+		}
+		return pipelineResult{
+			Name:        name,
+			Ops:         iters,
+			NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+			AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(iters),
+		}
+	}
+
+	var results []pipelineResult
+
+	plain := measure("plain", func(int) error {
+		_, err := exec.Execute(context.Background(), &evidence.RequestSnapshot{
+			Service: "urn:org:server/orders", Operation: "Place",
+		})
+		return err
+	})
+	results = append(results, plain)
+
+	for _, batched := range []bool{false, true} {
+		name := "nr-unbatched"
+		opts := []testpki.DomainOption{testpki.WithMetering()}
+		if batched {
+			name = "nr-batched"
+			opts = append(opts, testpki.WithPipeline())
+		}
+		d := testpki.MustDomainWith([]id.Party{client, server}, opts...)
+		srv := invoke.NewServer(d.Node(server).Coordinator(), exec)
+		cli := invoke.NewClient(d.Node(client).Coordinator())
+		// Warm-up excluded from counters.
+		if _, err := cli.Invoke(context.Background(), server, request); err != nil {
+			log.Fatalf("%s warm-up: %v", name, err)
+		}
+		d.Meter.Reset()
+		res := measure(name, func(int) error {
+			_, err := cli.Invoke(context.Background(), server, request)
+			return err
+		})
+		res.MsgsPerOp = float64(d.Meter.Messages()) / float64(iters)
+		res.SubMsgsOp = float64(d.Meter.LogicalMessages()) / float64(iters)
+		res.WireBytesOp = float64(d.Meter.Bytes()) / float64(iters)
+		results = append(results, res)
+		_ = srv.Close()
+		d.Close()
+	}
+
+	for _, r := range results {
+		fmt.Printf("| %s | %v | %.2f | %.2f | %.0f | %.0f |\n",
+			r.Name, time.Duration(r.NsPerOp).Round(time.Microsecond),
+			r.MsgsPerOp, r.SubMsgsOp, r.WireBytesOp, r.AllocsPerOp)
+	}
+	fmt.Println()
+	if len(results) == 3 && results[2].NsPerOp > 0 {
+		fmt.Printf("batched pipeline speedup over unbatched NR: %.2fx; wire envelopes per invocation: %.2f -> %.2f\n\n",
+			results[1].NsPerOp/results[2].NsPerOp, results[1].MsgsPerOp, results[2].MsgsPerOp)
+	}
+
+	if out != "" {
+		blob, err := json.MarshalIndent(map[string]any{
+			"experiment": "E12-pipeline",
+			"clients":    clients,
+			"results":    results,
+		}, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
 }
 
 // benchSignatures is E5: computational overhead per signature scheme.
@@ -125,17 +274,22 @@ func benchEvidenceSpace() {
 // protocolCase is one trust-domain configuration measured by
 // benchProtocols.
 type protocolCase struct {
-	name  string
-	setup func(d *testpki.Domain) (*invoke.Client, []*invoke.Server)
+	name string
+	// pipeline enables the batched hot-path pipeline for the case's
+	// domain.
+	pipeline bool
+	setup    func(d *testpki.Domain) (*invoke.Client, []*invoke.Server)
 }
 
 // benchProtocols is E1/E3/E7/E8: latency, messages and bytes per protocol
-// and trust-domain configuration.
+// and trust-domain configuration. Wire envelopes and protocol messages
+// are reported separately so message-overhead comparisons stay honest
+// when coalescing packs many protocol messages into one envelope.
 func benchProtocols(n int) {
 	fmt.Println("## E1/E3/E7/E8 — invocation cost per protocol and trust domain")
 	fmt.Println()
-	fmt.Println("| configuration | latency/op | messages/op | wire bytes/op | client tokens |")
-	fmt.Println("|---|---|---|---|---|")
+	fmt.Println("| configuration | latency/op | wire envelopes/op | protocol msgs/op | wire bytes/op | client tokens |")
+	fmt.Println("|---|---|---|---|---|---|")
 
 	exec := invoke.ExecutorFunc(func(_ context.Context, req *evidence.RequestSnapshot) ([]evidence.Param, error) {
 		p, err := evidence.ValueParam("echo", req.Operation)
@@ -157,30 +311,32 @@ func benchProtocols(n int) {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("| plain local call (no NR) | %v | 0 | 0 | 0 |\n",
+	fmt.Printf("| plain local call (no NR) | %v | 0 | 0 | 0 | 0 |\n",
 		(time.Since(start) / time.Duration(n)).Round(time.Microsecond))
 
+	direct := func(d *testpki.Domain) (*invoke.Client, []*invoke.Server) {
+		s := invoke.NewServer(d.Node(server).Coordinator(), exec)
+		return invoke.NewClient(d.Node(client).Coordinator()), []*invoke.Server{s}
+	}
 	cases := []protocolCase{
-		{"voluntary (Wichert baseline)", func(d *testpki.Domain) (*invoke.Client, []*invoke.Server) {
+		{"voluntary (Wichert baseline)", false, func(d *testpki.Domain) (*invoke.Client, []*invoke.Server) {
 			s := invoke.NewServer(d.Node(server).Coordinator(), exec, invoke.ForProtocol(invoke.ProtocolVoluntary))
 			return invoke.NewClient(d.Node(client).Coordinator(), invoke.WithProtocol(invoke.ProtocolVoluntary)), []*invoke.Server{s}
 		}},
-		{"direct (Fig. 3c)", func(d *testpki.Domain) (*invoke.Client, []*invoke.Server) {
-			s := invoke.NewServer(d.Node(server).Coordinator(), exec)
-			return invoke.NewClient(d.Node(client).Coordinator()), []*invoke.Server{s}
-		}},
-		{"fair, offline TTP, happy path", func(d *testpki.Domain) (*invoke.Client, []*invoke.Server) {
+		{"direct (Fig. 3c)", false, direct},
+		{"direct + batched pipeline", true, direct},
+		{"fair, offline TTP, happy path", false, func(d *testpki.Domain) (*invoke.Client, []*invoke.Server) {
 			s := invoke.NewServer(d.Node(server).Coordinator(), exec,
 				invoke.ForProtocol(invoke.ProtocolFair), invoke.WithRecovery(ttpA, time.Minute))
 			invoke.NewResolveService(d.Node(ttpA).Coordinator())
 			return invoke.NewClient(d.Node(client).Coordinator(), invoke.WithOfflineTTP(ttpA)), []*invoke.Server{s}
 		}},
-		{"inline TTP (Fig. 3a)", func(d *testpki.Domain) (*invoke.Client, []*invoke.Server) {
+		{"inline TTP (Fig. 3a)", false, func(d *testpki.Domain) (*invoke.Client, []*invoke.Server) {
 			s := invoke.NewServer(d.Node(server).Coordinator(), exec)
 			invoke.NewRelay(d.Node(ttpA).Coordinator(), invoke.RouteToServer())
 			return invoke.NewClient(d.Node(client).Coordinator(), invoke.Via(ttpA)), []*invoke.Server{s}
 		}},
-		{"distributed inline TTPs (Fig. 3b)", func(d *testpki.Domain) (*invoke.Client, []*invoke.Server) {
+		{"distributed inline TTPs (Fig. 3b)", false, func(d *testpki.Domain) (*invoke.Client, []*invoke.Server) {
 			s := invoke.NewServer(d.Node(server).Coordinator(), exec)
 			invoke.NewRelay(d.Node(ttpA).Coordinator(), invoke.RouteVia(ttpB))
 			invoke.NewRelay(d.Node(ttpB).Coordinator(), invoke.RouteToServer())
@@ -188,7 +344,11 @@ func benchProtocols(n int) {
 		}},
 	}
 	for _, tc := range cases {
-		d := testpki.MustDomainWith([]id.Party{client, server, ttpA, ttpB}, testpki.WithMetering())
+		opts := []testpki.DomainOption{testpki.WithMetering()}
+		if tc.pipeline {
+			opts = append(opts, testpki.WithPipeline())
+		}
+		d := testpki.MustDomainWith([]id.Party{client, server, ttpA, ttpB}, opts...)
 		cli, servers := tc.setup(d)
 		// Warm-up run excluded from counters.
 		if _, err := cli.Invoke(context.Background(), server, request()); err != nil {
@@ -211,10 +371,11 @@ func benchProtocols(n int) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("| %s | %v | %.1f | %d | %d |\n",
+		fmt.Printf("| %s | %v | %.1f | %.1f | %d | %d |\n",
 			tc.name,
 			(elapsed / time.Duration(n)).Round(time.Microsecond),
 			float64(d.Meter.Messages())/float64(n+1),
+			float64(d.Meter.LogicalMessages())/float64(n+1),
 			d.Meter.Bytes()/int64(n+1),
 			len(res.Evidence))
 		for _, s := range servers {

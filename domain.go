@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"nonrep/internal/access"
 	"nonrep/internal/bundle"
@@ -30,15 +31,16 @@ import (
 // (an Org with EnableRelay and clients using Via), distributed inline
 // TTPs, and direct-with-offline-TTP (EnableResolve plus WithOfflineTTP).
 type Domain struct {
-	clk     clock.Clock
-	network transport.Network
-	inproc  *transport.InprocNetwork
-	tcp     bool
-	dir     *protocol.Directory
-	ca      *credential.Authority
-	creds   *credential.Store
-	tsa     *stamp.Authority
-	alg     sig.Algorithm
+	clk      clock.Clock
+	network  transport.Network
+	inproc   *transport.InprocNetwork
+	tcp      bool
+	dir      *protocol.Directory
+	ca       *credential.Authority
+	creds    *credential.Store
+	tsa      *stamp.Authority
+	alg      sig.Algorithm
+	pipeline *transport.CoalesceOptions
 
 	mu   sync.Mutex
 	orgs map[Party]*Org
@@ -52,6 +54,7 @@ type domainConfig struct {
 	tcp       bool
 	timestamp bool
 	alg       sig.Algorithm
+	pipeline  *transport.CoalesceOptions
 }
 
 // WithTCP runs every organisation's coordinator on a local TCP socket
@@ -76,6 +79,39 @@ func WithTimestamping() DomainOption {
 // (default Ed25519).
 func WithAlgorithm(alg sig.Algorithm) DomainOption {
 	return func(c *domainConfig) { c.alg = alg }
+}
+
+// WithPipelining enables the batched hot-path interaction pipeline on
+// every organisation: concurrent evidence signing is aggregated into
+// Merkle batch signatures (one signing operation covers many tokens, each
+// still independently verifiable), concurrent outbound protocol messages
+// to the same counterparty coalesce into single b2b-batch wire envelopes,
+// and incoming batches are verified by parallel workers against a
+// verified-signature cache. It trades nothing for correctness — evidence
+// and its adjudication are byte-compatible — and is the recommended mode
+// for heavy small-message traffic.
+func WithPipelining(opts ...PipelineOption) DomainOption {
+	cfg := transport.CoalesceOptions{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return func(c *domainConfig) { c.pipeline = &cfg }
+}
+
+// PipelineOption tunes WithPipelining.
+type PipelineOption func(*transport.CoalesceOptions)
+
+// PipelineMaxBatch caps the protocol messages coalesced into one wire
+// envelope.
+func PipelineMaxBatch(n int) PipelineOption {
+	return func(c *transport.CoalesceOptions) { c.MaxBatch = n }
+}
+
+// PipelineWindow makes outbound coalescing linger up to d after the first
+// pending message, trading latency for larger batches. The default (zero)
+// adds no latency: batches form from whatever is concurrently pending.
+func PipelineWindow(d time.Duration) PipelineOption {
+	return func(c *transport.CoalesceOptions) { c.Window = d }
 }
 
 // Signature algorithms selectable with WithAlgorithm.
@@ -105,12 +141,13 @@ func NewDomain(opts ...DomainOption) (*Domain, error) {
 		return nil, err
 	}
 	d := &Domain{
-		clk:   cfg.clk,
-		dir:   protocol.NewDirectory(),
-		ca:    ca,
-		creds: creds,
-		alg:   cfg.alg,
-		orgs:  make(map[Party]*Org),
+		clk:      cfg.clk,
+		dir:      protocol.NewDirectory(),
+		ca:       ca,
+		creds:    creds,
+		alg:      cfg.alg,
+		pipeline: cfg.pipeline,
+		orgs:     make(map[Party]*Org),
 	}
 	if cfg.tcp {
 		d.tcp = true
@@ -248,15 +285,17 @@ func (d *Domain) AddOrg(p Party, opts ...OrgOption) (*Org, error) {
 		}
 	}
 	node, err := core.NewNode(core.NodeConfig{
-		Party:     p,
-		Signer:    signer,
-		Creds:     d.creds,
-		Clock:     d.clk,
-		Network:   d.network,
-		Addr:      addr,
-		Directory: d.dir,
-		Log:       log,
-		TSA:       d.tsa,
+		Party:        p,
+		Signer:       signer,
+		Creds:        d.creds,
+		Clock:        d.clk,
+		Network:      d.network,
+		Addr:         addr,
+		Directory:    d.dir,
+		Log:          log,
+		TSA:          d.tsa,
+		BatchSigning: d.pipeline != nil,
+		Coalesce:     d.pipeline,
 	})
 	if err != nil {
 		// Release the log we opened: a leaked vault would keep its

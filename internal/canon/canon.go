@@ -14,20 +14,60 @@ package canon
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
+	"sync"
 )
+
+// encoder couples a reusable buffer with its JSON encoder so the signing
+// hot path (one Marshal per token TBS, snapshot and wire message) does not
+// allocate a fresh buffer-growth chain and encoder per call.
+type encoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encoderPool = sync.Pool{New: func() any {
+	e := &encoder{}
+	e.enc = json.NewEncoder(&e.buf)
+	e.enc.SetEscapeHTML(false)
+	return e
+}}
 
 // Marshal returns the canonical encoding of v.
 func Marshal(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	enc.SetEscapeHTML(false)
-	if err := enc.Encode(v); err != nil {
+	e := encoderPool.Get().(*encoder)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		encoderPool.Put(e)
 		return nil, fmt.Errorf("canon: marshal %T: %w", v, err)
 	}
-	// Encoder appends a newline; the canonical form excludes it.
-	return bytes.TrimSuffix(buf.Bytes(), []byte{'\n'}), nil
+	// Encoder appends a newline; the canonical form excludes it. The
+	// result is copied out at exact size so the pooled buffer can be
+	// reused immediately.
+	b := bytes.TrimSuffix(e.buf.Bytes(), []byte{'\n'})
+	out := make([]byte, len(b))
+	copy(out, b)
+	encoderPool.Put(e)
+	return out, nil
+}
+
+// Sum256 returns the SHA-256 digest of the canonical encoding of v
+// without materialising the encoding: the digest is computed directly
+// over the pooled buffer. It is the allocation-free core of the evidence
+// hot path — every token TBS, snapshot digest and chained log record
+// reduces to one of these.
+func Sum256(v any) ([sha256.Size]byte, error) {
+	e := encoderPool.Get().(*encoder)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		encoderPool.Put(e)
+		return [sha256.Size]byte{}, fmt.Errorf("canon: marshal %T: %w", v, err)
+	}
+	d := sha256.Sum256(bytes.TrimSuffix(e.buf.Bytes(), []byte{'\n'}))
+	encoderPool.Put(e)
+	return d, nil
 }
 
 // MustMarshal is Marshal for values that are known to be encodable

@@ -45,13 +45,24 @@ type NodeConfig struct {
 	TSA *stamp.Authority
 	// Retry overrides the coordinator's retransmission policy.
 	Retry *transport.RetryPolicy
+	// BatchSigning aggregates concurrent evidence signing into one Merkle
+	// batch signature per group (evidence.BatchIssuer): the cryptographic
+	// fast path for heavy small-message traffic.
+	BatchSigning bool
+	// Coalesce, when set, batches concurrent outbound protocol envelopes
+	// per counterparty into single b2b-batch wire envelopes.
+	Coalesce *transport.CoalesceOptions
+	// VerifyCacheSize bounds the node's verified-signature cache: 0 uses
+	// the default size, negative disables caching.
+	VerifyCacheSize int
 }
 
 // Node is a running trusted interceptor: "conceptually, each party has a
 // trusted interceptor that acts on its behalf" (section 3.1).
 type Node struct {
-	cfg NodeConfig
-	co  *protocol.Coordinator
+	cfg   NodeConfig
+	co    *protocol.Coordinator
+	batch *evidence.BatchIssuer
 }
 
 // NewNode assembles and starts a trusted interceptor.
@@ -74,10 +85,21 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Addr == "" {
 		cfg.Addr = string(cfg.Party)
 	}
+	base := &evidence.Issuer{Party: cfg.Party, Signer: cfg.Signer, Clock: cfg.Clock, TSA: cfg.TSA}
+	var issuer evidence.TokenIssuer = base
+	var batch *evidence.BatchIssuer
+	if cfg.BatchSigning {
+		batch = evidence.NewBatchIssuer(base)
+		issuer = batch
+	}
+	verifier := &evidence.Verifier{Keys: cfg.Creds}
+	if cfg.VerifyCacheSize >= 0 {
+		verifier.Cache = evidence.NewVerifyCache(cfg.VerifyCacheSize)
+	}
 	svc := &protocol.Services{
 		Party:     cfg.Party,
-		Issuer:    &evidence.Issuer{Party: cfg.Party, Signer: cfg.Signer, Clock: cfg.Clock, TSA: cfg.TSA},
-		Verifier:  &evidence.Verifier{Keys: cfg.Creds},
+		Issuer:    issuer,
+		Verifier:  verifier,
 		Log:       cfg.Log,
 		States:    cfg.States,
 		Clock:     cfg.Clock,
@@ -87,11 +109,17 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Retry != nil {
 		opts = append(opts, protocol.WithRetryPolicy(*cfg.Retry))
 	}
+	if cfg.Coalesce != nil {
+		opts = append(opts, protocol.WithCoalescing(*cfg.Coalesce))
+	}
 	co, err := protocol.New(cfg.Network, cfg.Addr, svc, opts...)
 	if err != nil {
+		if batch != nil {
+			_ = batch.Close()
+		}
 		return nil, fmt.Errorf("core: start coordinator for %s: %w", cfg.Party, err)
 	}
-	return &Node{cfg: cfg, co: co}, nil
+	return &Node{cfg: cfg, co: co, batch: batch}, nil
 }
 
 // Party returns the party this node acts for.
@@ -109,5 +137,14 @@ func (n *Node) Log() store.Log { return n.cfg.Log }
 // States returns the node's state store.
 func (n *Node) States() store.StateStore { return n.cfg.States }
 
-// Close stops the node's coordinator.
-func (n *Node) Close() error { return n.co.Close() }
+// Close stops the node's coordinator and, when batch signing is enabled,
+// its aggregate signer.
+func (n *Node) Close() error {
+	err := n.co.Close()
+	if n.batch != nil {
+		if berr := n.batch.Close(); err == nil {
+			err = berr
+		}
+	}
+	return err
+}

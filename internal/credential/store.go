@@ -20,6 +20,14 @@ type Store struct {
 	byKey   map[string]*Certificate
 	revoked map[string]bool // by serial
 	crlAt   map[id.Party]int64
+	// chains caches cryptographically verified chains by leaf key
+	// identifier: the signature checks along a chain are immutable facts,
+	// so only validity windows and revocation — which change with time
+	// and CRLs — are re-checked on each hit. Certificate additions clear
+	// the cache (resolution may change); revocations are caught by the
+	// per-hit re-check.
+	chains map[string][]*Certificate
+	keys   map[string]sig.PublicKey // parsed leaf keys, same lifecycle
 }
 
 // NewStore creates an empty store reading validity against clk.
@@ -30,6 +38,8 @@ func NewStore(clk clock.Clock) *Store {
 		byKey:   make(map[string]*Certificate),
 		revoked: make(map[string]bool),
 		crlAt:   make(map[id.Party]int64),
+		chains:  make(map[string][]*Certificate),
+		keys:    make(map[string]sig.PublicKey),
 	}
 }
 
@@ -54,7 +64,15 @@ func (s *Store) AddRoot(cert *Certificate) error {
 	defer s.mu.Unlock()
 	s.roots[cert.KeyID] = cert
 	s.byKey[cert.KeyID] = cert
+	s.invalidateLocked()
 	return nil
+}
+
+// invalidateLocked drops cached verification state after the certificate
+// set changed. Callers hold the write lock.
+func (s *Store) invalidateLocked() {
+	clear(s.chains)
+	clear(s.keys)
 }
 
 // Add stores a certificate. The chain is verified on use, not on store, so
@@ -66,6 +84,7 @@ func (s *Store) Add(cert *Certificate) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.byKey[cert.KeyID] = cert
+	s.invalidateLocked()
 	return nil
 }
 
@@ -109,8 +128,53 @@ func (s *Store) Lookup(keyID string) (*Certificate, error) {
 }
 
 // Chain returns the verified certificate chain for a key identifier, from
-// the leaf to the trust anchor.
+// the leaf to the trust anchor. Chains that verified once are cached —
+// the signature checks are immutable — with validity windows and
+// revocation state re-checked against the current clock and CRLs on every
+// call, so expiry and revocation still take effect immediately.
 func (s *Store) Chain(keyID string) ([]*Certificate, error) {
+	s.mu.RLock()
+	if chain, ok := s.chains[keyID]; ok {
+		err := s.recheckLocked(chain)
+		s.mu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		return chain, nil
+	}
+	s.mu.RUnlock()
+
+	chain, err := s.verifyChain(keyID)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	// The certificate set may have changed since verification; only cache
+	// what current state still resolves to.
+	if cur, ok := s.byKey[keyID]; ok && cur == chain[0] {
+		s.chains[keyID] = chain
+	}
+	s.mu.Unlock()
+	return chain, nil
+}
+
+// recheckLocked re-applies the time- and CRL-dependent checks to a cached
+// chain. Callers hold (at least) the read lock.
+func (s *Store) recheckLocked(chain []*Certificate) error {
+	now := s.clk.Now()
+	for _, cert := range chain {
+		if !cert.validAt(now) {
+			return fmt.Errorf("%w: %s at %v", ErrExpired, cert.Serial, now)
+		}
+		if s.revoked[cert.Serial] {
+			return fmt.Errorf("%w: %s", ErrRevoked, cert.Serial)
+		}
+	}
+	return nil
+}
+
+// verifyChain performs the full cryptographic chain walk.
+func (s *Store) verifyChain(keyID string) ([]*Certificate, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	now := s.clk.Now()
@@ -156,13 +220,29 @@ func (s *Store) Chain(keyID string) ([]*Certificate, error) {
 }
 
 // VerifiedKey resolves a key identifier to its public key after verifying
-// the full certificate chain, validity windows and revocation state.
+// the full certificate chain, validity windows and revocation state. The
+// parsed leaf key is cached alongside the verified chain.
 func (s *Store) VerifiedKey(keyID string) (sig.PublicKey, error) {
 	chain, err := s.Chain(keyID)
 	if err != nil {
 		return nil, err
 	}
-	return chain[0].Key()
+	s.mu.RLock()
+	key, ok := s.keys[keyID]
+	s.mu.RUnlock()
+	if ok {
+		return key, nil
+	}
+	key, err = chain[0].Key()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if cur, still := s.byKey[keyID]; still && cur == chain[0] {
+		s.keys[keyID] = key
+	}
+	s.mu.Unlock()
+	return key, nil
 }
 
 // PublicKey implements the KeyResolver interface used by the stamp and
@@ -190,12 +270,12 @@ func (s *Store) Roles(keyID string) ([]string, error) {
 }
 
 // VerifySignature resolves the signature's key identifier and verifies the
-// signature over d. It is the single verification hook the evidence layer
-// uses.
+// signature over d, handling aggregate (batch) signatures transparently.
+// It is the single verification hook the evidence layer uses.
 func (s *Store) VerifySignature(d sig.Digest, sg sig.Signature) error {
 	key, err := s.VerifiedKey(sg.KeyID)
 	if err != nil {
 		return err
 	}
-	return key.Verify(d, sg)
+	return sig.VerifyDigest(key, d, sg)
 }

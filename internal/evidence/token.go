@@ -13,7 +13,9 @@ package evidence
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"nonrep/internal/clock"
 	"nonrep/internal/id"
@@ -93,6 +95,22 @@ type Token struct {
 	// token's signature, supporting the assertion that the signing key
 	// was not compromised at time of use (section 3.5).
 	Timestamp *stamp.Token `json:"timestamp,omitempty"`
+
+	// tbs memoises TBSDigest (a *tbsMemo). Tokens are immutable once
+	// issued or decoded, and the issue, verify and audit paths all need
+	// the digest, so it is computed at most once per token instance. The
+	// memo records the owning token and is trusted only under pointer
+	// identity, so a value copy of a token (which may be mutated, e.g. by
+	// forgery tests) recomputes instead of inheriting a stale digest. A
+	// raw unsafe.Pointer is used rather than atomic.Pointer so that token
+	// values stay copyable.
+	tbs unsafe.Pointer
+}
+
+// tbsMemo is a memoised TBS digest bound to its owning token instance.
+type tbsMemo struct {
+	owner *Token
+	d     sig.Digest
 }
 
 // tokenTBS is the to-be-signed projection of a token.
@@ -109,9 +127,14 @@ type tokenTBS struct {
 	Nonce      string     `json:"nonce,omitempty"`
 }
 
-// TBSDigest returns the digest of the token's signed fields.
+// TBSDigest returns the digest of the token's signed fields, memoised
+// after the first computation (tokens are immutable once issued or
+// decoded).
 func (t *Token) TBSDigest() (sig.Digest, error) {
-	return sig.SumCanonical(tokenTBS{
+	if m := (*tbsMemo)(atomic.LoadPointer(&t.tbs)); m != nil && m.owner == t {
+		return m.d, nil
+	}
+	d, err := sig.SumCanonical(tokenTBS{
 		Kind:       t.Kind,
 		Run:        t.Run,
 		Txn:        t.Txn,
@@ -123,6 +146,11 @@ func (t *Token) TBSDigest() (sig.Digest, error) {
 		IssuedAt:   t.IssuedAt,
 		Nonce:      t.Nonce,
 	})
+	if err != nil {
+		return sig.Digest{}, err
+	}
+	atomic.StorePointer(&t.tbs, unsafe.Pointer(&tbsMemo{owner: t, d: d}))
+	return d, nil
 }
 
 // Issuer generates signed tokens on behalf of a party. If TSA is non-nil
@@ -152,9 +180,8 @@ func WithRecipients(parties ...id.Party) IssueOption {
 	return func(t *Token) { t.Recipients = parties }
 }
 
-// Issue creates and signs a token of the given kind binding (run, step) to
-// the content digest.
-func (i *Issuer) Issue(kind Kind, run id.Run, step int, digest sig.Digest, opts ...IssueOption) (*Token, error) {
+// build assembles an unsigned token.
+func (i *Issuer) build(kind Kind, run id.Run, step int, digest sig.Digest, opts []IssueOption) *Token {
 	tok := &Token{
 		Kind:     kind,
 		Run:      run,
@@ -167,6 +194,28 @@ func (i *Issuer) Issue(kind Kind, run id.Run, step int, digest sig.Digest, opts 
 	for _, opt := range opts {
 		opt(tok)
 	}
+	return tok
+}
+
+// stamp countersigns an already-signed token when the issuer has a TSA.
+func (i *Issuer) stamp(tok *Token) error {
+	if i.TSA == nil {
+		return nil
+	}
+	// The TSA countersigns the signature itself, fixing the time at
+	// which the signature existed.
+	ts, err := i.TSA.Stamp(sig.Sum(tok.Signature.Bytes))
+	if err != nil {
+		return fmt.Errorf("evidence: timestamp %s token: %w", tok.Kind, err)
+	}
+	tok.Timestamp = ts
+	return nil
+}
+
+// Issue creates and signs a token of the given kind binding (run, step) to
+// the content digest.
+func (i *Issuer) Issue(kind Kind, run id.Run, step int, digest sig.Digest, opts ...IssueOption) (*Token, error) {
+	tok := i.build(kind, run, step, digest, opts)
 	tbs, err := tok.TBSDigest()
 	if err != nil {
 		return nil, err
@@ -175,13 +224,8 @@ func (i *Issuer) Issue(kind Kind, run id.Run, step int, digest sig.Digest, opts 
 	if err != nil {
 		return nil, fmt.Errorf("evidence: sign %s token: %w", kind, err)
 	}
-	if i.TSA != nil {
-		// The TSA countersigns the signature itself, fixing the time at
-		// which the signature existed.
-		tok.Timestamp, err = i.TSA.Stamp(sig.Sum(tok.Signature.Bytes))
-		if err != nil {
-			return nil, fmt.Errorf("evidence: timestamp %s token: %w", kind, err)
-		}
+	if err := i.stamp(tok); err != nil {
+		return nil, err
 	}
 	return tok, nil
 }

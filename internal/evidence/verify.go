@@ -2,6 +2,7 @@ package evidence
 
 import (
 	"fmt"
+	"sync"
 
 	"nonrep/internal/id"
 	"nonrep/internal/sig"
@@ -20,6 +21,12 @@ type KeyResolver interface {
 // it is persisted and before application data is passed on (section 3.2).
 type Verifier struct {
 	Keys KeyResolver
+	// Cache, when non-nil, memoises successful signature checks so that
+	// re-verification (adjudication, audit, replays) and batch siblings
+	// (tokens sharing one aggregate root signature) skip the expensive
+	// public-key operation. Binding checks (issuer identity, content
+	// digest, run/kind expectations) are never cached.
+	Cache *VerifyCache
 }
 
 // Verify checks the token's signature, that the signing key belongs to the
@@ -34,7 +41,7 @@ func (v *Verifier) Verify(tok *Token) error {
 	if err != nil {
 		return fmt.Errorf("evidence: resolve %s signer: %w", tok.Kind, err)
 	}
-	if err := key.Verify(tbs, tok.Signature); err != nil {
+	if err := v.verifySignature(key, tbs, &tok.Signature); err != nil {
 		return fmt.Errorf("evidence: %s token: %w", tok.Kind, err)
 	}
 	owner, err := v.Keys.Party(tok.Signature.KeyID)
@@ -83,4 +90,98 @@ type keyOnly struct{ keys KeyResolver }
 
 func (k keyOnly) PublicKey(keyID string) (sig.PublicKey, error) {
 	return k.keys.PublicKey(keyID)
+}
+
+// verifySignature checks s over the token's TBS digest, consulting the
+// verified-signature cache when one is configured. The Merkle inclusion
+// path of a batch signature is always re-walked (sig.SignedDigest) — it
+// is a handful of hashes — so only the public-key operation over the
+// signed root is memoised, which keeps the cache sound against tokens
+// presenting a tampered inclusion path alongside previously-verified
+// signature bytes.
+func (v *Verifier) verifySignature(key sig.PublicKey, tbs sig.Digest, s *sig.Signature) error {
+	if v.Cache == nil {
+		return sig.VerifyDigest(key, tbs, *s)
+	}
+	signed, err := sig.SignedDigest(tbs, *s)
+	if err != nil {
+		return err
+	}
+	// The key is identified by its marshalled material, not its
+	// identifier: a credential store may rebind a key identifier to a
+	// fresh certificate and key (rotation), and cached verifications
+	// under the old key must not survive that.
+	k := verifyKey{key: sig.Sum(key.Marshal()), signed: signed, meta: s.MetaSum()}
+	if v.Cache.hit(k) {
+		return nil
+	}
+	if err := key.Verify(signed, *s); err != nil {
+		return err
+	}
+	v.Cache.add(k)
+	return nil
+}
+
+// verifyKey identifies one successful signature check: the resolved
+// signing key (by digest of its marshalled form), the digest the
+// signature bytes cover (the batch root for aggregate signatures), and a
+// digest of the signature material itself.
+type verifyKey struct {
+	key    sig.Digest
+	signed sig.Digest
+	meta   sig.Digest
+}
+
+// DefaultVerifyCacheSize bounds verified-signature caches created by
+// NewVerifyCache(0).
+const DefaultVerifyCacheSize = 8192
+
+// VerifyCache is a bounded set of already-verified signatures shared by
+// the verification paths of one trusted interceptor. It is safe for
+// concurrent use; eviction is FIFO, which is adequate because protocol
+// traffic re-verifies recent signatures (batch siblings, audit of fresh
+// runs) far more often than ancient ones.
+type VerifyCache struct {
+	mu    sync.Mutex
+	m     map[verifyKey]struct{}
+	order []verifyKey
+	limit int
+}
+
+// NewVerifyCache creates a cache bounded to limit entries (0 means
+// DefaultVerifyCacheSize).
+func NewVerifyCache(limit int) *VerifyCache {
+	if limit <= 0 {
+		limit = DefaultVerifyCacheSize
+	}
+	return &VerifyCache{m: make(map[verifyKey]struct{}), limit: limit}
+}
+
+// Len reports the number of cached verifications.
+func (c *VerifyCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+func (c *VerifyCache) hit(k verifyKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.m[k]
+	return ok
+}
+
+func (c *VerifyCache) add(k verifyKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[k]; ok {
+		return
+	}
+	c.m[k] = struct{}{}
+	c.order = append(c.order, k)
+	if len(c.order) > c.limit {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.m, oldest)
+	}
 }

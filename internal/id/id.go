@@ -12,9 +12,7 @@
 package id
 
 import (
-	"crypto/rand"
-	"encoding/hex"
-	"fmt"
+	"nonrep/internal/sig"
 )
 
 // Party identifies an organisation or service principal by URI,
@@ -61,14 +59,9 @@ func NewMsg() Msg { return Msg("msg-" + randomHex(12)) }
 // NewTxn returns a fresh statistically-unique transaction identifier.
 func NewTxn() Txn { return Txn("txn-" + randomHex(12)) }
 
-// randomHex returns n cryptographically random bytes hex-encoded. Entropy
-// exhaustion is unrecoverable, so failure panics rather than forcing every
-// identifier construction site to handle an error that cannot occur in
-// practice.
-func randomHex(n int) string {
-	buf := make([]byte, n)
-	if _, err := rand.Read(buf); err != nil {
-		panic(fmt.Sprintf("id: system entropy unavailable: %v", err))
-	}
-	return hex.EncodeToString(buf)
-}
+// randomHex returns n cryptographically random bytes hex-encoded,
+// delegating to the sig package's buffered secure generator so there is a
+// single entropy-handling implementation to maintain. Entropy exhaustion
+// is unrecoverable and panics there rather than forcing every identifier
+// construction site to handle an error that cannot occur in practice.
+func randomHex(n int) string { return sig.RandomHex(n) }

@@ -165,9 +165,11 @@ func (s *Server) ProcessRequest(ctx context.Context, msg *protocol.Message) (*pr
 
 	// NRR(req): evidence of receipt, generated whether or not execution
 	// succeeds. Under the voluntary baseline the receipt is only issued
-	// when the server volunteers one (section 5).
+	// when the server volunteers one (section 5); the symmetric protocols
+	// issue it together with NRO(resp) after execution, under one
+	// aggregate signature.
 	var nrr *evidence.Token
-	if s.proto != ProtocolVoluntary || s.voluntaryReceipt {
+	if s.proto == ProtocolVoluntary && s.voluntaryReceipt {
 		nrr, err = svc.Issuer.Issue(evidence.KindNRR, msg.Run, stepRequest, reqDigest,
 			evidence.WithService(snap.Service), evidence.WithTxn(msg.Txn), evidence.WithRecipients(snap.Client))
 		if err != nil {
@@ -213,14 +215,27 @@ func (s *Server) ProcessRequest(ctx context.Context, msg *protocol.Message) (*pr
 			reply.Tokens = []*evidence.Token{nrr}
 		}
 	default:
-		nroResp, err := svc.Issuer.Issue(evidence.KindNROResp, msg.Run, stepResponse, respDigest,
-			evidence.WithService(snap.Service), evidence.WithTxn(msg.Txn), evidence.WithRecipients(snap.Client))
+		// One signing operation covers both reply tokens (and, through an
+		// aggregating issuer, any tokens concurrent runs are producing).
+		shared := []evidence.IssueOption{
+			evidence.WithService(snap.Service), evidence.WithTxn(msg.Txn), evidence.WithRecipients(snap.Client),
+		}
+		toks, err := evidence.IssueAll(svc.Issuer,
+			evidence.TokenRequest{Kind: evidence.KindNRR, Run: msg.Run, Step: stepRequest, Digest: reqDigest, Opts: shared},
+			evidence.TokenRequest{Kind: evidence.KindNROResp, Run: msg.Run, Step: stepResponse, Digest: respDigest, Opts: shared},
+		)
 		if err != nil {
+			return nil, err
+		}
+		nrr = toks[0]
+		nroResp := toks[1]
+		if err := svc.LogGenerated(nrr, "request receipt"); err != nil {
 			return nil, err
 		}
 		if err := svc.LogGenerated(nroResp, "response origin ("+respSnap.Status.String()+")"); err != nil {
 			return nil, err
 		}
+		rs.nrr = nrr
 		rs.nroResp = nroResp
 		reply.Tokens = []*evidence.Token{nrr, nroResp}
 	}

@@ -28,10 +28,12 @@ var ErrNoHandler = errors.New("protocol: no handler registered")
 // Services bundles the local, protocol-independent services the
 // coordinator provides to handlers (section 4.1: "the coordinator also
 // provides access to generic services that support execution of protocols
-// (such as credential management and state storage)").
+// (such as credential management and state storage)"). Issuer is either a
+// plain *evidence.Issuer or a *evidence.BatchIssuer aggregating concurrent
+// signing into Merkle batch signatures.
 type Services struct {
 	Party     id.Party
-	Issuer    *evidence.Issuer
+	Issuer    evidence.TokenIssuer
 	Verifier  *evidence.Verifier
 	Log       store.Log
 	States    store.StateStore
@@ -67,7 +69,9 @@ type Coordinator struct {
 type Option func(*config)
 
 type config struct {
-	retry transport.RetryPolicy
+	retry    transport.RetryPolicy
+	coalesce *transport.CoalesceOptions
+	workers  int
 }
 
 // WithRetryPolicy overrides the default retransmission policy.
@@ -75,21 +79,42 @@ func WithRetryPolicy(p transport.RetryPolicy) Option {
 	return func(c *config) { c.retry = p }
 }
 
+// WithCoalescing batches concurrent outbound envelopes per counterparty
+// into single b2b-batch wire envelopes (the protocol-level batching of
+// evidence exchange for small messages). Incoming batches are always
+// understood regardless of this option, so coalescing and non-coalescing
+// coordinators interoperate.
+func WithCoalescing(opts transport.CoalesceOptions) Option {
+	return func(c *config) { c.coalesce = &opts }
+}
+
+// WithVerifyWorkers bounds the workers that process the sub-messages of
+// one incoming batch in parallel (default GOMAXPROCS).
+func WithVerifyWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
 // New registers a coordinator for svc.Party at addr on the network. The
 // endpoint is wrapped with retransmission and incoming traffic with replay
 // de-duplication, so coordinators see eventual delivery with exactly-once
-// processing (trusted-interceptor assumption 2).
+// processing (trusted-interceptor assumption 2). Incoming batch envelopes
+// are unpacked outside the de-duplication layer, so every coalesced
+// sub-message keeps its own exactly-once processing.
 func New(network transport.Network, addr string, svc *Services, opts ...Option) (*Coordinator, error) {
 	cfg := config{retry: transport.DefaultRetryPolicy}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
 	c := &Coordinator{svc: svc, handlers: make(map[string]Handler)}
-	ep, err := network.Register(addr, transport.NewDedup(transport.HandlerFunc(c.handle)))
+	h := transport.NewBatchOpener(transport.NewDedup(transport.HandlerFunc(c.handle)), cfg.workers)
+	ep, err := network.Register(addr, h)
 	if err != nil {
 		return nil, err
 	}
 	c.ep = transport.NewReliable(ep, cfg.retry)
+	if cfg.coalesce != nil {
+		c.ep = transport.NewCoalescer(c.ep, *cfg.coalesce)
+	}
 	svc.Directory.Register(svc.Party, c.ep.Addr())
 	return c, nil
 }

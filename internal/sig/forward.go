@@ -28,6 +28,15 @@ type ForwardSecure struct {
 	current uint32
 	seed    [32]byte
 	tree    merkleTree
+
+	// Sign fast path: the current period's private key, verification-key
+	// hint and pre-encoded Merkle path, derived once at creation and on
+	// each Evolve instead of on every Sign. The hint and path slices are
+	// shared by every signature of the period and must be treated as
+	// immutable by callers (signatures are marshalled, never mutated).
+	priv ed25519.PrivateKey
+	hint []byte
+	path [][]byte
 }
 
 var _ Signer = (*ForwardSecure)(nil)
@@ -49,12 +58,30 @@ func NewForwardSecure(keyID string, periods uint32) (*ForwardSecure, error) {
 		leaves[i] = Sum(pub)
 		s = nextSeed(s)
 	}
-	return &ForwardSecure{
+	f := &ForwardSecure{
 		keyID:   keyID,
 		periods: periods,
 		seed:    seed,
 		tree:    buildMerkle(leaves),
-	}, nil
+	}
+	f.refresh()
+	return f, nil
+}
+
+// refresh derives and caches the current period's signing material.
+func (f *ForwardSecure) refresh() {
+	if f.current >= f.periods {
+		f.priv, f.hint, f.path = nil, nil, nil
+		return
+	}
+	f.priv = periodKey(f.seed)
+	f.hint = append([]byte(nil), f.priv.Public().(ed25519.PublicKey)...)
+	path := f.tree.path(f.current)
+	raw := make([][]byte, len(path))
+	for i := range path {
+		raw[i] = append([]byte(nil), path[i][:]...)
+	}
+	f.path = raw
 }
 
 // KeyID implements Signer.
@@ -73,36 +100,35 @@ func (f *ForwardSecure) Periods() uint32 { return f.periods }
 // needed to sign in the current one.
 func (f *ForwardSecure) Evolve() error {
 	if f.current+1 >= f.periods {
-		// Exhaust the final period: zero the seed so no further
-		// signatures are possible.
+		// Exhaust the final period: zero the seed and drop the cached key
+		// so no further signatures are possible.
 		f.seed = [32]byte{}
 		f.current = f.periods
+		f.refresh()
 		return nil
 	}
 	f.seed = nextSeed(f.seed)
 	f.current++
+	f.refresh()
 	return nil
 }
 
 // Sign implements Signer. The signature binds the current period and
-// carries the per-period verification key with its Merkle path.
+// carries the per-period verification key with its Merkle path. The key,
+// hint and path are cached per period (refresh), so the hot path costs one
+// Ed25519 signing operation instead of re-deriving the period key and
+// re-encoding the authentication path on every call.
 func (f *ForwardSecure) Sign(d Digest) (Signature, error) {
-	if f.current >= f.periods {
+	if f.current >= f.periods || f.priv == nil {
 		return Signature{}, ErrKeyExpired
-	}
-	priv := periodKey(f.seed)
-	path := f.tree.path(f.current)
-	raw := make([][]byte, len(path))
-	for i, p := range path {
-		raw[i] = append([]byte(nil), p[:]...)
 	}
 	return Signature{
 		Algorithm:  AlgForwardSecure,
 		KeyID:      f.keyID,
-		Bytes:      ed25519.Sign(priv, d[:]),
+		Bytes:      ed25519.Sign(f.priv, d[:]),
 		Period:     f.current,
-		PublicHint: append([]byte(nil), priv.Public().(ed25519.PublicKey)...),
-		Path:       raw,
+		PublicHint: f.hint,
+		Path:       f.path,
 	}, nil
 }
 

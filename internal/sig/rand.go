@@ -1,9 +1,21 @@
 package sig
 
 import (
+	"bufio"
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"io"
+	"sync"
+)
+
+// The secure generator is read through a buffer so that the hot path —
+// nonces and identifiers on every token and message — does not pay a
+// kernel entropy read per call. The buffer is refilled from crypto/rand;
+// buffered CSPRNG output retains its unpredictability.
+var (
+	randMu  sync.Mutex
+	randBuf = bufio.NewReaderSize(rand.Reader, 4096)
 )
 
 // RandomBytes returns n bytes from the secure pseudo-random generator
@@ -11,7 +23,10 @@ import (
 // bits"). Entropy exhaustion is unrecoverable, so failure panics.
 func RandomBytes(n int) []byte {
 	buf := make([]byte, n)
-	if _, err := rand.Read(buf); err != nil {
+	randMu.Lock()
+	_, err := io.ReadFull(randBuf, buf)
+	randMu.Unlock()
+	if err != nil {
 		panic(fmt.Sprintf("sig: system entropy unavailable: %v", err))
 	}
 	return buf

@@ -73,17 +73,20 @@ type Digest [DigestSize]byte
 // Sum digests raw bytes.
 func Sum(data []byte) Digest { return sha256.Sum256(data) }
 
-// SumCanonical digests the canonical encoding of v.
+// SumCanonical digests the canonical encoding of v. The encoding is
+// digested in place (canon.Sum256), never materialised.
 func SumCanonical(v any) (Digest, error) {
-	data, err := canon.Marshal(v)
-	if err != nil {
-		return Digest{}, err
-	}
-	return Sum(data), nil
+	return canon.Sum256(v)
 }
 
 // MustSumCanonical is SumCanonical for values known to be encodable.
-func MustSumCanonical(v any) Digest { return Sum(canon.MustMarshal(v)) }
+func MustSumCanonical(v any) Digest {
+	d, err := canon.Sum256(v)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
 
 // SumPair digests the concatenation of two digests. It is the node
 // combiner for hash chains and Merkle trees.
@@ -102,7 +105,9 @@ func (d Digest) String() string { return hex.EncodeToString(d[:]) }
 
 // MarshalText encodes the digest as hex for JSON and text encodings.
 func (d Digest) MarshalText() ([]byte, error) {
-	return []byte(hex.EncodeToString(d[:])), nil
+	out := make([]byte, hex.EncodedLen(len(d)))
+	hex.Encode(out, d[:])
+	return out, nil
 }
 
 // UnmarshalText decodes a hex-encoded digest.
@@ -134,6 +139,14 @@ var (
 // and Path fields are only populated by the forward-secure scheme: they
 // carry the per-period verification key and its Merkle authentication path
 // back to the committed root.
+//
+// The Batch* fields are only populated by aggregate (batch) signing
+// (SignBatch): Bytes then covers the Merkle root over a batch of signed
+// digests rather than the digest itself, and BatchPath/BatchIndex
+// authenticate the individual digest's leaf position under that root.
+// Every batch-signed digest therefore remains independently verifiable —
+// VerifyDigest recomputes the root from the digest and its inclusion path
+// before checking the one shared signature.
 type Signature struct {
 	Algorithm Algorithm `json:"alg"`
 	KeyID     string    `json:"kid"`
@@ -142,6 +155,10 @@ type Signature struct {
 	Period     uint32   `json:"period,omitempty"`
 	PublicHint []byte   `json:"pub,omitempty"`
 	Path       [][]byte `json:"path,omitempty"`
+
+	BatchRoot  []byte   `json:"batch_root,omitempty"`
+	BatchPath  [][]byte `json:"batch_path,omitempty"`
+	BatchIndex uint32   `json:"batch_index,omitempty"`
 }
 
 // Signer produces signatures bound to a long-lived key identifier.

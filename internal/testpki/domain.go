@@ -21,7 +21,8 @@ type Domain struct {
 	// Meter counts traffic when the domain is built WithMetering.
 	Meter *transport.Metered
 
-	nodes map[id.Party]*core.Node
+	pipeline bool
+	nodes    map[id.Party]*core.Node
 }
 
 // FastRetry is a test-friendly retransmission policy.
@@ -44,6 +45,13 @@ func WithMetering() DomainOption {
 		d.Meter = transport.NewMetered(d.Network)
 		d.Network = d.Meter
 	}
+}
+
+// WithPipeline enables the batched hot-path pipeline on every node:
+// aggregate (Merkle batch) evidence signing and outbound envelope
+// coalescing.
+func WithPipeline() DomainOption {
+	return func(d *Domain) { d.pipeline = true }
 }
 
 // NewDomain builds a domain containing the given parties.
@@ -92,7 +100,7 @@ func MustDomainWith(parties []id.Party, opts ...DomainOption) *Domain {
 
 func (d *Domain) startNode(p id.Party) error {
 	retry := FastRetry
-	node, err := core.NewNode(core.NodeConfig{
+	cfg := core.NodeConfig{
 		Party:     p,
 		Signer:    d.Realm.Party(p).Signer,
 		Creds:     d.Realm.Store,
@@ -101,7 +109,12 @@ func (d *Domain) startNode(p id.Party) error {
 		Addr:      string(p),
 		Directory: d.Directory,
 		Retry:     &retry,
-	})
+	}
+	if d.pipeline {
+		cfg.BatchSigning = true
+		cfg.Coalesce = &transport.CoalesceOptions{}
+	}
+	node, err := core.NewNode(cfg)
 	if err != nil {
 		return err
 	}

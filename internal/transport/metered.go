@@ -8,11 +8,20 @@ import (
 // Metered wraps a Network and counts traffic: the measurement hook for the
 // paper's section 6 observation that non-repudiation costs include "the
 // communication overhead of additional messages to execute protocols".
+//
+// Envelope coalescing (Coalescer) would make a raw envelope count
+// dishonest — one wire envelope may carry dozens of protocol messages —
+// so batch envelopes and their contained sub-messages are counted
+// separately: Messages stays the wire-envelope count, while Batches,
+// SubMessages and LogicalMessages expose what those envelopes carried.
 type Metered struct {
 	inner Network
 
 	messages atomic.Int64
 	bytes    atomic.Int64
+	batches  atomic.Int64
+	submsgs  atomic.Int64
+	logical  atomic.Int64
 }
 
 var _ Network = (*Metered)(nil)
@@ -22,18 +31,56 @@ func NewMetered(inner Network) *Metered {
 	return &Metered{inner: inner}
 }
 
-// Messages returns the number of envelopes sent (requests and one-way
-// sends; replies are not counted separately).
+// Messages returns the number of wire envelopes sent (requests and one-way
+// sends; replies are counted with their requests). A batch envelope counts
+// as one.
 func (m *Metered) Messages() int64 { return m.messages.Load() }
 
 // Bytes returns the payload bytes carried by counted envelopes and their
 // replies.
 func (m *Metered) Bytes() int64 { return m.bytes.Load() }
 
+// Batches returns how many of the counted envelopes (including replies)
+// were coalesced batches.
+func (m *Metered) Batches() int64 { return m.batches.Load() }
+
+// SubMessages returns the total protocol messages carried inside batch
+// envelopes (including batch replies).
+func (m *Metered) SubMessages() int64 { return m.submsgs.Load() }
+
+// LogicalMessages returns the protocol-level message count: like Messages,
+// but with every batch envelope contributing its sub-message count instead
+// of one. Without coalescing it equals Messages.
+func (m *Metered) LogicalMessages() int64 { return m.logical.Load() }
+
 // Reset zeroes the counters.
 func (m *Metered) Reset() {
 	m.messages.Store(0)
 	m.bytes.Store(0)
+	m.batches.Store(0)
+	m.submsgs.Store(0)
+	m.logical.Store(0)
+}
+
+// countEnvelope records one wire envelope, unpacking batch framing for the
+// logical counters. Batch envelopes carry their sub-messages structurally,
+// so their payload bytes are the sum of the sub-envelope bodies.
+func (m *Metered) countEnvelope(env *Envelope) {
+	if n := BatchSize(env); n > 0 {
+		var bytes int64
+		for _, item := range env.Batch {
+			if item.Env != nil {
+				bytes += int64(len(item.Env.Body))
+			}
+		}
+		m.bytes.Add(bytes)
+		m.batches.Add(1)
+		m.submsgs.Add(int64(n))
+		m.logical.Add(int64(n))
+		return
+	}
+	m.bytes.Add(int64(len(env.Body)))
+	m.logical.Add(1)
 }
 
 // Register implements Network.
@@ -58,19 +105,19 @@ func (e *meteredEndpoint) Addr() string { return e.inner.Addr() }
 // Send implements Endpoint.
 func (e *meteredEndpoint) Send(ctx context.Context, to string, env *Envelope) error {
 	e.net.messages.Add(1)
-	e.net.bytes.Add(int64(len(env.Body)))
+	e.net.countEnvelope(env)
 	return e.inner.Send(ctx, to, env)
 }
 
 // Request implements Endpoint.
 func (e *meteredEndpoint) Request(ctx context.Context, to string, env *Envelope) (*Envelope, error) {
 	e.net.messages.Add(2) // request + reply
-	e.net.bytes.Add(int64(len(env.Body)))
+	e.net.countEnvelope(env)
 	reply, err := e.inner.Request(ctx, to, env)
 	if err != nil {
 		return nil, err
 	}
-	e.net.bytes.Add(int64(len(reply.Body)))
+	e.net.countEnvelope(reply)
 	return reply, nil
 }
 

@@ -39,6 +39,21 @@ type Envelope struct {
 	// exchanges and lets multiplexed handlers dispatch.
 	Kind string `json:"kind"`
 	Body []byte `json:"body,omitempty"`
+	// Batch carries the sub-envelopes of a coalesced batch envelope
+	// (Kind KindBatch or KindBatchReply); Body is empty for those kinds.
+	// Keeping the batch structured — rather than serialised into Body —
+	// lets in-process transports pass it by reference; wire transports
+	// serialise the whole envelope anyway.
+	Batch []BatchItem `json:"batch,omitempty"`
+}
+
+// BatchItem is one sub-message of a coalesced batch envelope: an outbound
+// envelope plus whether its sender awaits a reply, or — in a batch reply —
+// the sub-handler's reply or error.
+type BatchItem struct {
+	Env       *Envelope `json:"env,omitempty"`
+	WantReply bool      `json:"want_reply,omitempty"`
+	Err       string    `json:"err,omitempty"`
 }
 
 // NewEnvelope creates an envelope with a fresh message identifier.

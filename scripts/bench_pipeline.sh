@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Benchmark trajectory for the hot-path interaction pipeline.
+#
+# Runs a quick correctness pass of the pipeline benchmark (one iteration,
+# suitable for CI) and then the E12 pipeline study, writing the
+# measurements to BENCH_pipeline.json so successive PRs can track ns/op,
+# msgs/op and allocs/op for plain vs NR vs batched-NR.
+#
+# Usage: scripts/bench_pipeline.sh [output.json]
+#   N=<iters>          iterations per configuration (default 300)
+#   BENCHTIME=<spec>   go test -benchtime for the quick pass (default 1x)
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pipeline.json}"
+
+go test -run '^$' -bench 'BenchmarkPipelineConcurrent' -benchtime "${BENCHTIME:-1x}" .
+go run ./cmd/nrbench -pipeline -n "${N:-300}" -out "$out"
