@@ -15,11 +15,18 @@
 //
 //	nrbench [-n iterations] [-quick]
 //	nrbench -pipeline [-n iterations] [-out BENCH_pipeline.json]
+//	nrbench -tenants 16 [-n iterations] [-out BENCH_tenants.json]
 //
 // The -pipeline mode runs only E12 — the hot-path pipeline study (plain
 // executor vs unbatched non-repudiation vs the batched pipeline under 32
 // concurrent clients) — and, with -out, writes the measurements as JSON
 // so successive PRs can track the performance trend.
+//
+// The -tenants mode runs only E13 — the multi-tenant host study: N
+// organisations served by N dedicated TCP coordinators (N listeners)
+// versus the same N organisations hosted behind one shared endpoint (one
+// listener), driven by 32 concurrent clients, with and without the
+// batched pipeline.
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nonrep"
 	"nonrep/internal/canon"
 	"nonrep/internal/evidence"
 	"nonrep/internal/id"
@@ -55,12 +63,17 @@ func main() {
 	n := flag.Int("n", 200, "iterations per measurement")
 	quick := flag.Bool("quick", false, "reduce iterations for a fast pass")
 	pipeline := flag.Bool("pipeline", false, "run only the hot-path pipeline study (E12)")
-	out := flag.String("out", "", "write pipeline measurements as JSON to this path")
+	tenants := flag.Int("tenants", 0, "run only the multi-tenant host study (E13) with this many organisations")
+	out := flag.String("out", "", "write pipeline/tenant measurements as JSON to this path")
 	flag.Parse()
 	if *quick {
 		*n = 25
 	}
 
+	if *tenants > 0 {
+		benchTenants(*n, *tenants, *out)
+		return
+	}
 	if *pipeline {
 		benchPipeline(*n, *out)
 		return
@@ -194,6 +207,171 @@ func benchPipeline(n int, out string) {
 		blob, err := json.MarshalIndent(map[string]any{
 			"experiment": "E12-pipeline",
 			"clients":    clients,
+			"results":    results,
+		}, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+}
+
+// tenantResult is one configuration's measurement in the E13 study,
+// serialised to BENCH_tenants.json for trend tracking across PRs.
+type tenantResult struct {
+	Name            string  `json:"name"`
+	Tenants         int     `json:"tenants"`
+	ServerListeners int     `json:"server_listeners"`
+	Ops             int     `json:"ops"`
+	NsPerOp         float64 `json:"ns_op"`
+	OpsPerSec       float64 `json:"ops_per_sec"`
+}
+
+// benchTenants is E13: the multi-tenant host study. N organisations serve
+// the same echo service over real TCP, once as N dedicated coordinators
+// (N listeners) and once hosted behind one shared endpoint (one
+// listener); 32 concurrent clients spread invocations across all N. Both
+// arrangements are also measured with the batched pipeline, where hosted
+// tenants additionally share outbound b2b-batch envelopes per peer.
+func benchTenants(n, tenants int, out string) {
+	const clients = 32
+	const clientOrgs = 4
+	iters := clients * max(n/8, 4)
+	fmt.Printf("## E13 — multi-tenant host: %d organisations, %d concurrent clients, TCP\n\n", tenants, clients)
+	fmt.Println("| configuration | server listeners | latency/op | throughput |")
+	fmt.Println("|---|---|---|---|")
+
+	exec := invoke.ExecutorFunc(func(_ context.Context, req *evidence.RequestSnapshot) ([]evidence.Param, error) {
+		p, err := evidence.ValueParam("echo", req.Operation)
+		return []evidence.Param{p}, err
+	})
+
+	run := func(name string, hosted, pipelined bool) tenantResult {
+		opts := []nonrep.DomainOption{nonrep.WithTCP()}
+		if pipelined {
+			opts = append(opts, nonrep.WithPipelining())
+		}
+		d, err := nonrep.NewDomain(opts...)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		defer d.Close()
+
+		servers := make([]*nonrep.Org, tenants)
+		listeners := tenants
+		if hosted {
+			host, err := nonrep.NewHost(d)
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			listeners = 1
+			for i := range servers {
+				servers[i], err = d.AddHostedOrg(host, id.Party(fmt.Sprintf("urn:org:s%02d", i)))
+				if err != nil {
+					log.Fatalf("%s: %v", name, err)
+				}
+			}
+		} else {
+			for i := range servers {
+				servers[i], err = d.AddOrg(id.Party(fmt.Sprintf("urn:org:s%02d", i)))
+				if err != nil {
+					log.Fatalf("%s: %v", name, err)
+				}
+			}
+		}
+		for _, s := range servers {
+			s.ServeExecutor(exec)
+		}
+		callers := make([]*nonrep.Org, clientOrgs)
+		for i := range callers {
+			callers[i], err = d.AddOrg(id.Party(fmt.Sprintf("urn:org:c%02d", i)))
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+		}
+
+		request := func(target *nonrep.Org) nonrep.Request {
+			return nonrep.Request{
+				Service:   nonrep.Service(string(target.Party()) + "/svc"),
+				Operation: "Do",
+			}
+		}
+		// Warm up every (caller, server) path once outside the clock.
+		for i, s := range servers {
+			if _, err := callers[i%clientOrgs].Invoke(context.Background(), s.Party(), request(s)); err != nil {
+				log.Fatalf("%s warm-up: %v", name, err)
+			}
+		}
+
+		var next atomic.Int64
+		var firstErr atomic.Pointer[error]
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				caller := callers[w%clientOrgs]
+				for {
+					i := int(next.Add(1))
+					if i > iters || firstErr.Load() != nil {
+						return
+					}
+					target := servers[i%tenants]
+					if _, err := caller.Invoke(context.Background(), target.Party(), request(target)); err != nil {
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if err := firstErr.Load(); err != nil {
+			log.Fatalf("%s: %v", name, *err)
+		}
+		return tenantResult{
+			Name:            name,
+			Tenants:         tenants,
+			ServerListeners: listeners,
+			Ops:             iters,
+			NsPerOp:         float64(elapsed.Nanoseconds()) / float64(iters),
+			OpsPerSec:       float64(iters) / elapsed.Seconds(),
+		}
+	}
+
+	var results []tenantResult
+	for _, cfg := range []struct {
+		name              string
+		hosted, pipelined bool
+	}{
+		{"dedicated", false, false},
+		{"hosted", true, false},
+		{"dedicated+pipeline", false, true},
+		{"hosted+pipeline", true, true},
+	} {
+		r := run(cfg.name, cfg.hosted, cfg.pipelined)
+		results = append(results, r)
+		fmt.Printf("| %s | %d | %v | %.0f ops/s |\n",
+			r.Name, r.ServerListeners,
+			time.Duration(r.NsPerOp).Round(time.Microsecond), r.OpsPerSec)
+	}
+	fmt.Println()
+	if len(results) == 4 && results[0].OpsPerSec > 0 && results[2].OpsPerSec > 0 {
+		fmt.Printf("hosted throughput vs dedicated: %.0f%% unbatched, %.0f%% pipelined (1 listener vs %d)\n\n",
+			100*results[1].OpsPerSec/results[0].OpsPerSec,
+			100*results[3].OpsPerSec/results[2].OpsPerSec,
+			tenants)
+	}
+
+	if out != "" {
+		blob, err := json.MarshalIndent(map[string]any{
+			"experiment": "E13-tenants",
+			"clients":    clients,
+			"tenants":    tenants,
 			"results":    results,
 		}, "", "  ")
 		if err != nil {

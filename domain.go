@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -34,6 +35,7 @@ type Domain struct {
 	clk      clock.Clock
 	network  transport.Network
 	inproc   *transport.InprocNetwork
+	tcpNet   *transport.TCPNetwork
 	tcp      bool
 	dir      *protocol.Directory
 	ca       *credential.Authority
@@ -44,6 +46,13 @@ type Domain struct {
 
 	mu   sync.Mutex
 	orgs map[Party]*Org
+	// enrolling reserves parties whose enrolment is in flight, so two
+	// concurrent AddOrg calls for one party cannot both pass the
+	// existence check and race their inserts (the loser would leak its
+	// node, log lock and directory registration).
+	enrolling map[Party]struct{}
+	hosts     []*Host
+	hostSeq   int
 }
 
 // DomainOption configures a Domain.
@@ -141,17 +150,19 @@ func NewDomain(opts ...DomainOption) (*Domain, error) {
 		return nil, err
 	}
 	d := &Domain{
-		clk:      cfg.clk,
-		dir:      protocol.NewDirectory(),
-		ca:       ca,
-		creds:    creds,
-		alg:      cfg.alg,
-		pipeline: cfg.pipeline,
-		orgs:     make(map[Party]*Org),
+		clk:       cfg.clk,
+		dir:       protocol.NewDirectory(),
+		ca:        ca,
+		creds:     creds,
+		alg:       cfg.alg,
+		pipeline:  cfg.pipeline,
+		orgs:      make(map[Party]*Org),
+		enrolling: make(map[Party]struct{}),
 	}
 	if cfg.tcp {
 		d.tcp = true
-		d.network = transport.NewTCPNetwork()
+		d.tcpNet = transport.NewTCPNetwork()
+		d.network = d.tcpNet
 	} else {
 		d.inproc = transport.NewInprocNetwork()
 		d.network = d.inproc
@@ -234,18 +245,71 @@ func WithCertRoles(roles ...string) OrgOption {
 }
 
 // AddOrg enrols an organisation: generates its signing key, certifies it
-// under the domain CA, and starts its trusted interceptor.
+// under the domain CA, and starts its trusted interceptor with a
+// dedicated coordinator endpoint. Concurrent enrolments of the same
+// party are serialised: exactly one succeeds, the rest fail with
+// ErrAlreadyEnrolled.
 func (d *Domain) AddOrg(p Party, opts ...OrgOption) (*Org, error) {
+	return d.addOrg(p, nil, opts...)
+}
+
+// AddHostedOrg enrols an organisation like AddOrg but attaches its
+// coordinator to a shared multi-tenant host instead of a dedicated
+// endpoint. The organisation keeps fully isolated evidence services —
+// its own signing key, issuer, log/vault and state store — and shares
+// only the host's wire: one listener, one retransmission stack and (with
+// WithPipelining) one cross-tenant outbound coalescer. Hosted and
+// dedicated organisations interact freely; their evidence is
+// byte-compatible.
+func (d *Domain) AddHostedOrg(h *Host, p Party, opts ...OrgOption) (*Org, error) {
+	if h == nil || h.domain != d {
+		return nil, fmt.Errorf("nonrep: host does not belong to this domain")
+	}
+	return d.addOrg(p, h, opts...)
+}
+
+// reserve claims a party for one in-flight enrolment; release undoes the
+// claim. The reservation spans key generation through node start, so the
+// check-then-insert window of enrolment is race-free without holding the
+// domain mutex across slow operations.
+func (d *Domain) reserve(p Party) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, exists := d.orgs[p]; exists {
+		return fmt.Errorf("%w: %s", ErrAlreadyEnrolled, p)
+	}
+	if _, inflight := d.enrolling[p]; inflight {
+		return fmt.Errorf("%w: %s (enrolment in progress)", ErrAlreadyEnrolled, p)
+	}
+	d.enrolling[p] = struct{}{}
+	return nil
+}
+
+func (d *Domain) release(p Party) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.enrolling, p)
+}
+
+func (d *Domain) addOrg(p Party, host *Host, opts ...OrgOption) (*Org, error) {
 	cfg := orgConfig{}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	d.mu.Lock()
-	if _, exists := d.orgs[p]; exists {
-		d.mu.Unlock()
-		return nil, fmt.Errorf("nonrep: organisation %s already enrolled", p)
+	// '#' separates a shared host address from its tenant key in
+	// tenant-qualified coordinator addresses; a party name (which doubles
+	// as the in-process wire address) or explicit address containing it
+	// would be split and misrouted, so refuse it up front.
+	if strings.ContainsRune(string(p), '#') {
+		return nil, fmt.Errorf("nonrep: party name %q must not contain '#'", p)
 	}
-	d.mu.Unlock()
+	if strings.ContainsRune(cfg.addr, '#') {
+		return nil, fmt.Errorf("nonrep: coordinator address %q must not contain '#'", cfg.addr)
+	}
+	if err := d.reserve(p); err != nil {
+		return nil, err
+	}
+	defer d.release(p)
 
 	signer, err := sig.Generate(d.alg, string(p)+"#key")
 	if err != nil {
@@ -284,7 +348,7 @@ func (d *Domain) AddOrg(p Party, opts ...OrgOption) (*Org, error) {
 			return nil, err
 		}
 	}
-	node, err := core.NewNode(core.NodeConfig{
+	nodeCfg := core.NodeConfig{
 		Party:        p,
 		Signer:       signer,
 		Creds:        d.creds,
@@ -296,7 +360,11 @@ func (d *Domain) AddOrg(p Party, opts ...OrgOption) (*Org, error) {
 		TSA:          d.tsa,
 		BatchSigning: d.pipeline != nil,
 		Coalesce:     d.pipeline,
-	})
+	}
+	if host != nil {
+		nodeCfg.Host = host.inner
+	}
+	node, err := core.NewNode(nodeCfg)
 	if err != nil {
 		// Release the log we opened: a leaked vault would keep its
 		// committer goroutine and exclusive lock, blocking any retry of
@@ -323,7 +391,7 @@ func (d *Domain) Org(p Party) (*Org, error) {
 	defer d.mu.Unlock()
 	org, ok := d.orgs[p]
 	if !ok {
-		return nil, fmt.Errorf("nonrep: organisation %s not enrolled", p)
+		return nil, fmt.Errorf("%w: %s", ErrNotEnrolled, p)
 	}
 	return org, nil
 }
@@ -345,17 +413,31 @@ func (d *Domain) ExportBundle(dir string) error {
 	return bundle.Write(dir, b)
 }
 
-// Close stops every organisation and the transport.
+// Close stops every organisation, every multi-tenant host and the
+// transport. Under WithTCP the network-level close is the backstop that
+// stops every listener registered through the domain — including any an
+// organisation lost track of.
 func (d *Domain) Close() error {
 	d.mu.Lock()
 	orgs := make([]*Org, 0, len(d.orgs))
 	for _, o := range d.orgs {
 		orgs = append(orgs, o)
 	}
+	hosts := d.hosts
 	d.mu.Unlock()
 	var firstErr error
 	for _, o := range orgs {
 		if err := o.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, h := range hosts {
+		if err := h.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if d.tcpNet != nil {
+		if err := d.tcpNet.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -537,5 +619,11 @@ func (o *Org) close() error {
 	return firstErr
 }
 
-// ErrNotEnrolled is returned for operations naming unknown organisations.
+// ErrNotEnrolled is returned for operations naming unknown organisations;
+// match it with errors.Is.
 var ErrNotEnrolled = errors.New("nonrep: organisation not enrolled")
+
+// ErrAlreadyEnrolled is returned when enrolling a party the domain
+// already serves (or whose enrolment is concurrently in flight); match it
+// with errors.Is.
+var ErrAlreadyEnrolled = errors.New("nonrep: organisation already enrolled")

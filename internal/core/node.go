@@ -30,10 +30,20 @@ type NodeConfig struct {
 	Creds *credential.Store
 	// Clock supplies evidence timestamps and timeout bases.
 	Clock clock.Clock
-	// Network is the transport to register the coordinator on.
+	// Network is the transport to register the coordinator on. Ignored —
+	// and not required — when Host is set.
 	Network transport.Network
-	// Addr is the coordinator's address on the network.
+	// Addr is the coordinator's address on the network. Ignored when Host
+	// is set: hosted coordinators advertise tenant-qualified addresses
+	// derived from the host's shared endpoint.
 	Addr string
+	// Host, when set, attaches the interceptor's coordinator to a shared
+	// multi-tenant host instead of registering a dedicated endpoint. The
+	// node keeps fully isolated services (issuer, verifier, log, states);
+	// only the wire — listener, retransmission, outbound coalescing — is
+	// shared with the host's other tenants. Retry and Coalesce are
+	// host-wide concerns and ignored for hosted nodes.
+	Host *protocol.Host
 	// Directory resolves parties to coordinator addresses; it is shared
 	// by the parties of a trust domain.
 	Directory *protocol.Directory
@@ -70,8 +80,8 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Party == "" {
 		return nil, errors.New("core: node needs a party")
 	}
-	if cfg.Signer == nil || cfg.Creds == nil || cfg.Network == nil || cfg.Directory == nil {
-		return nil, fmt.Errorf("core: node for %s missing signer, credentials, network or directory", cfg.Party)
+	if cfg.Signer == nil || cfg.Creds == nil || cfg.Directory == nil || (cfg.Network == nil && cfg.Host == nil) {
+		return nil, fmt.Errorf("core: node for %s missing signer, credentials, network/host or directory", cfg.Party)
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real{}
@@ -105,14 +115,20 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		Clock:     cfg.Clock,
 		Directory: cfg.Directory,
 	}
-	var opts []protocol.Option
-	if cfg.Retry != nil {
-		opts = append(opts, protocol.WithRetryPolicy(*cfg.Retry))
+	var co *protocol.Coordinator
+	var err error
+	if cfg.Host != nil {
+		co, err = cfg.Host.Add(svc)
+	} else {
+		var opts []protocol.Option
+		if cfg.Retry != nil {
+			opts = append(opts, protocol.WithRetryPolicy(*cfg.Retry))
+		}
+		if cfg.Coalesce != nil {
+			opts = append(opts, protocol.WithCoalescing(*cfg.Coalesce))
+		}
+		co, err = protocol.New(cfg.Network, cfg.Addr, svc, opts...)
 	}
-	if cfg.Coalesce != nil {
-		opts = append(opts, protocol.WithCoalescing(*cfg.Coalesce))
-	}
-	co, err := protocol.New(cfg.Network, cfg.Addr, svc, opts...)
 	if err != nil {
 		if batch != nil {
 			_ = batch.Close()

@@ -72,6 +72,9 @@ type config struct {
 	retry    transport.RetryPolicy
 	coalesce *transport.CoalesceOptions
 	workers  int
+	// shards is the dispatch shard count of a multi-tenant Host; it is
+	// ignored by single-tenant coordinators.
+	shards int
 }
 
 // WithRetryPolicy overrides the default retransmission policy.
@@ -106,17 +109,27 @@ func New(network transport.Network, addr string, svc *Services, opts ...Option) 
 		opt(&cfg)
 	}
 	c := &Coordinator{svc: svc, handlers: make(map[string]Handler)}
-	h := transport.NewBatchOpener(transport.NewDedup(transport.HandlerFunc(c.handle)), cfg.workers)
+	h := transport.NewTenantChain(transport.HandlerFunc(c.handle), cfg.workers)
 	ep, err := network.Register(addr, h)
 	if err != nil {
 		return nil, err
 	}
-	c.ep = transport.NewReliable(ep, cfg.retry)
-	if cfg.coalesce != nil {
-		c.ep = transport.NewCoalescer(c.ep, *cfg.coalesce)
-	}
+	c.ep = wrapEndpoint(ep, cfg)
 	svc.Directory.Register(svc.Party, c.ep.Addr())
 	return c, nil
+}
+
+// wrapEndpoint layers the outbound stack over a raw endpoint: retrying
+// retransmission, optional envelope coalescing, and — outermost, so
+// coalescing keys its batches by wire address alone and batches merge
+// across tenants of one peer host — tenant addressing, which lets this
+// endpoint send to tenant-qualified addresses of hosted coordinators.
+func wrapEndpoint(ep transport.Endpoint, cfg config) transport.Endpoint {
+	ep = transport.NewReliable(ep, cfg.retry)
+	if cfg.coalesce != nil {
+		ep = transport.NewCoalescer(ep, *cfg.coalesce)
+	}
+	return transport.WithTenantAddressing(ep)
 }
 
 // Services returns the coordinator's local services.

@@ -1,0 +1,268 @@
+// Multi-tenant coordinator host: one process — and one transport
+// endpoint — serving many organisations' coordinators. The paper's
+// trusted interceptor assumes one coordinator endpoint per organisation;
+// a Host lifts that to a shared dispatch runtime so a domain can serve
+// many (small) organisations without one heavyweight listener each.
+// Incoming envelopes carry a tenant key (stamped from tenant-qualified
+// addresses by the transport layer) and are dispatched through N shards
+// whose tenant maps are read lock-free on the hot path; every tenant
+// keeps fully isolated services — issuer, verifier, evidence log, state
+// store — and its own replay-dedup window and batch-opening workers, so
+// no tenant can exhaust another's exactly-once state.
+package protocol
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"nonrep/internal/id"
+	"nonrep/internal/transport"
+)
+
+// ErrHostClosed is returned for operations on a closed host.
+var ErrHostClosed = errors.New("protocol: host closed")
+
+// ErrTenantEnrolled is returned when adding a tenant whose party the host
+// already serves.
+var ErrTenantEnrolled = errors.New("protocol: tenant already hosted")
+
+// DefaultHostShards is the default dispatch shard count.
+const DefaultHostShards = 16
+
+// WithShards sets a host's dispatch shard count (default
+// DefaultHostShards). More shards spread tenant registration contention;
+// lookups are lock-free regardless.
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
+}
+
+// tenantMap is one shard's immutable tenant table; writers replace the
+// whole map under the shard mutex, readers load it atomically.
+type tenantMap map[string]*hostTenant
+
+// hostTenant is one hosted organisation's runtime: its coordinator and
+// its private receive chain (batch opener over replay dedup over the
+// coordinator's dispatch).
+type hostTenant struct {
+	co    *Coordinator
+	chain transport.Handler
+}
+
+type hostShard struct {
+	mu      sync.Mutex
+	tenants atomic.Pointer[tenantMap]
+}
+
+// Host is a sharded multi-tenant coordinator runtime. All hosted
+// coordinators share the host's endpoint for both directions: incoming
+// envelopes are demultiplexed by tenant key, outgoing envelopes from all
+// tenants share one coalescer, so concurrent traffic from different
+// tenants to the same peer host merges into shared b2b-batch envelopes.
+type Host struct {
+	ep      transport.Endpoint
+	shards  []hostShard
+	workers int
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ transport.TenantResolver = (*Host)(nil)
+
+// NewHost registers a shared multi-tenant endpoint at addr on the
+// network. Options are the coordinator options; WithCoalescing makes all
+// hosted tenants share one outbound coalescer, and WithShards tunes
+// dispatch sharding.
+func NewHost(network transport.Network, addr string, opts ...Option) (*Host, error) {
+	cfg := config{retry: transport.DefaultRetryPolicy, shards: DefaultHostShards}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.shards <= 0 {
+		cfg.shards = DefaultHostShards
+	}
+	h := &Host{shards: make([]hostShard, cfg.shards), workers: cfg.workers}
+	for i := range h.shards {
+		empty := make(tenantMap)
+		h.shards[i].tenants.Store(&empty)
+	}
+	ep, err := network.Register(addr, transport.NewTenantMux(h))
+	if err != nil {
+		return nil, err
+	}
+	h.ep = wrapEndpoint(ep, cfg)
+	return h, nil
+}
+
+// Addr returns the host's shared wire address. Hosted coordinators
+// advertise tenant-qualified addresses derived from it.
+func (h *Host) Addr() string { return h.ep.Addr() }
+
+// shard maps a tenant key to its dispatch shard by FNV-1a hash, computed
+// inline over the string so the per-envelope lookup allocates nothing.
+func (h *Host) shard(tenant string) *hostShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	hash := uint32(offset32)
+	for i := 0; i < len(tenant); i++ {
+		hash ^= uint32(tenant[i])
+		hash *= prime32
+	}
+	return &h.shards[hash%uint32(len(h.shards))]
+}
+
+// TenantHandler implements transport.TenantResolver: the per-envelope
+// dispatch lookup. It is lock-free — one atomic load of the shard's
+// tenant table — so heavy traffic to one tenant never contends with
+// another tenant's dispatch or with tenant registration on other shards.
+func (h *Host) TenantHandler(tenant string) transport.Handler {
+	t, ok := (*h.shard(tenant).tenants.Load())[tenant]
+	if !ok {
+		return nil
+	}
+	return t.chain
+}
+
+// Add starts a hosted coordinator for svc.Party behind the shared
+// endpoint. The tenant's receive chain — replay-dedup window and batch
+// workers — is private to it, and svc (issuer, verifier, log, states) is
+// the tenant's own; the host shares nothing between tenants but the wire.
+// The coordinator registers its tenant-qualified address in the
+// services' directory; closing it detaches the tenant from the host
+// without disturbing the shared endpoint.
+func (h *Host) Add(svc *Services) (*Coordinator, error) {
+	key := string(svc.Party)
+	c := &Coordinator{svc: svc, handlers: make(map[string]Handler)}
+	c.ep = &hostedEndpoint{host: h, tenant: key}
+	t := &hostTenant{
+		co:    c,
+		chain: transport.NewTenantChain(transport.HandlerFunc(c.handle), h.workers),
+	}
+
+	// The host mutex spans the closed check and the insert, so an Add
+	// racing Close either fails with ErrHostClosed or completes its
+	// insert before Close sweeps the tenants — never slipping a tenant
+	// into a closed host.
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, ErrHostClosed
+	}
+	s := h.shard(key)
+	s.mu.Lock()
+	cur := *s.tenants.Load()
+	if _, exists := cur[key]; exists {
+		s.mu.Unlock()
+		h.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrTenantEnrolled, svc.Party)
+	}
+	next := make(tenantMap, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[key] = t
+	s.tenants.Store(&next)
+	s.mu.Unlock()
+	h.mu.Unlock()
+
+	svc.Directory.Register(svc.Party, c.ep.Addr())
+	return c, nil
+}
+
+// Remove detaches a hosted party from the host. In-flight deliveries
+// holding the old chain complete; new envelopes for the tenant fail with
+// ErrUnknownTenant.
+func (h *Host) Remove(p id.Party) {
+	key := string(p)
+	s := h.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := *s.tenants.Load()
+	if _, ok := cur[key]; !ok {
+		return
+	}
+	next := make(tenantMap, len(cur))
+	for k, v := range cur {
+		if k != key {
+			next[k] = v
+		}
+	}
+	s.tenants.Store(&next)
+}
+
+// Coordinator returns the hosted coordinator of a party.
+func (h *Host) Coordinator(p id.Party) (*Coordinator, error) {
+	t, ok := (*h.shard(string(p)).tenants.Load())[string(p)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", transport.ErrUnknownTenant, p)
+	}
+	return t.co, nil
+}
+
+// Parties lists the hosted parties.
+func (h *Host) Parties() []id.Party {
+	var out []id.Party
+	for i := range h.shards {
+		for key := range *h.shards[i].tenants.Load() {
+			out = append(out, id.Party(key))
+		}
+	}
+	return out
+}
+
+// Close detaches every tenant and closes the shared endpoint, flushing
+// any coalesced batches still pending and stopping the listener.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	h.mu.Unlock()
+	for _, p := range h.Parties() {
+		h.Remove(p)
+	}
+	return h.ep.Close()
+}
+
+// hostedEndpoint is a hosted coordinator's view of the shared endpoint:
+// sends delegate to the host's stack (reliable retransmission, shared
+// cross-tenant coalescing, tenant addressing), the advertised address is
+// tenant-qualified so peers' envelopes route back to this tenant, and
+// Close detaches only this tenant.
+type hostedEndpoint struct {
+	host   *Host
+	tenant string
+
+	closeOnce sync.Once
+}
+
+var _ transport.Endpoint = (*hostedEndpoint)(nil)
+
+// Addr implements transport.Endpoint.
+func (e *hostedEndpoint) Addr() string {
+	return transport.JoinTenantAddr(e.host.ep.Addr(), e.tenant)
+}
+
+// Send implements transport.Endpoint.
+func (e *hostedEndpoint) Send(ctx context.Context, to string, env *transport.Envelope) error {
+	return e.host.ep.Send(ctx, to, env)
+}
+
+// Request implements transport.Endpoint.
+func (e *hostedEndpoint) Request(ctx context.Context, to string, env *transport.Envelope) (*transport.Envelope, error) {
+	return e.host.ep.Request(ctx, to, env)
+}
+
+// Close implements transport.Endpoint by detaching the tenant; the
+// shared endpoint stays up for the host's other tenants.
+func (e *hostedEndpoint) Close() error {
+	e.closeOnce.Do(func() { e.host.Remove(id.Party(e.tenant)) })
+	return nil
+}

@@ -18,28 +18,86 @@ const maxFrame = 16 << 20
 // TCPNetwork is a Network whose endpoints listen on TCP addresses. Every
 // exchange is a single framed request followed by a single framed reply
 // (one-way sends receive an empty acknowledgement frame), which gives Send
-// confirmation that the envelope reached the peer process.
-type TCPNetwork struct{}
+// confirmation that the envelope reached the peer process. The network
+// tracks its listeners, so Close stops every endpoint registered through
+// it — including any that callers lost track of.
+type TCPNetwork struct {
+	mu     sync.Mutex
+	eps    map[*tcpEndpoint]struct{}
+	closed bool
+}
 
-var _ Network = TCPNetwork{}
+var _ Network = (*TCPNetwork)(nil)
 
 // NewTCPNetwork creates a TCP network.
-func NewTCPNetwork() TCPNetwork { return TCPNetwork{} }
+func NewTCPNetwork() *TCPNetwork {
+	return &TCPNetwork{eps: make(map[*tcpEndpoint]struct{})}
+}
 
 // Register implements Network: it starts a listener on addr
 // (host:port; use ":0" for an ephemeral port and read Addr()).
-func (TCPNetwork) Register(addr string, h Handler) (Endpoint, error) {
+func (n *TCPNetwork) Register(addr string, h Handler) (Endpoint, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	n.mu.Unlock()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	ep := &tcpEndpoint{ln: ln, handler: h, done: make(chan struct{})}
+	ep := &tcpEndpoint{net: n, ln: ln, handler: h, done: make(chan struct{})}
+	// The accept loop is accounted for before the endpoint becomes
+	// visible to a concurrent network Close, whose ep.Close -> wg.Wait
+	// must always see the counter raised.
 	ep.wg.Add(1)
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		ep.wg.Done()
+		_ = ln.Close()
+		return nil, ErrClosed
+	}
+	n.eps[ep] = struct{}{}
+	n.mu.Unlock()
 	go ep.acceptLoop()
 	return ep, nil
 }
 
+// remove forgets a closed endpoint.
+func (n *TCPNetwork) remove(ep *tcpEndpoint) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.eps, ep)
+}
+
+// Close stops every listener registered through this network and waits
+// for their serving goroutines to finish. Endpoints already closed
+// individually are unaffected.
+func (n *TCPNetwork) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	eps := make([]*tcpEndpoint, 0, len(n.eps))
+	for ep := range n.eps {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	var firstErr error
+	for _, ep := range eps {
+		if err := ep.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 type tcpEndpoint struct {
+	net     *TCPNetwork
 	ln      net.Listener
 	handler Handler
 
@@ -137,6 +195,9 @@ func (e *tcpEndpoint) exchange(ctx context.Context, to string, env *Envelope) (*
 func (e *tcpEndpoint) Close() error {
 	var err error
 	e.closeOnce.Do(func() {
+		if e.net != nil {
+			e.net.remove(e)
+		}
 		close(e.done)
 		err = e.ln.Close()
 		e.wg.Wait()

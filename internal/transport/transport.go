@@ -38,7 +38,14 @@ type Envelope struct {
 	// Kind distinguishes one-way deliveries from request/response
 	// exchanges and lets multiplexed handlers dispatch.
 	Kind string `json:"kind"`
-	Body []byte `json:"body,omitempty"`
+	// Tenant demultiplexes envelopes delivered to a shared multi-tenant
+	// endpoint: a host serving many organisations behind one address routes
+	// each envelope to the tenant named here. Empty for envelopes addressed
+	// to dedicated (single-tenant) endpoints. Senders never set it
+	// directly — the tenant-addressing layer derives it from
+	// tenant-qualified destination addresses (see JoinTenantAddr).
+	Tenant string `json:"tenant,omitempty"`
+	Body   []byte `json:"body,omitempty"`
 	// Batch carries the sub-envelopes of a coalesced batch envelope
 	// (Kind KindBatch or KindBatchReply); Body is empty for those kinds.
 	// Keeping the batch structured — rather than serialised into Body —

@@ -34,6 +34,16 @@
 //
 // Every call yields four evidence tokens, persisted in both parties'
 // tamper-evident logs and checkable offline by an Adjudicator.
+//
+// Domains scale past one endpoint per organisation with multi-tenant
+// hosts: NewHost starts a sharded coordinator runtime serving many
+// hosted organisations behind one shared endpoint (one TCP listener
+// under WithTCP), and Domain.AddHostedOrg enrols organisations behind
+// it. Hosted organisations keep fully isolated evidence services and
+// interoperate freely with dedicated ones:
+//
+//	host, _ := nonrep.NewHost(domain)
+//	hosted, _ := domain.AddHostedOrg(host, "urn:org:tenant-a")
 package nonrep
 
 import (

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Benchmark trajectory for the multi-tenant coordinator host.
+#
+# Runs the E13 tenant study — N organisations as dedicated TCP
+# coordinators (N listeners) versus hosted behind one shared endpoint
+# (one listener), 32 concurrent clients, with and without the batched
+# pipeline — writing the measurements to BENCH_tenants.json so
+# successive PRs can track hosted-vs-dedicated throughput.
+#
+# Usage: scripts/bench_tenants.sh [output.json]
+#   N=<iters>      iterations per configuration (default 200)
+#   TENANTS=<n>    organisations per configuration (default 16)
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_tenants.json}"
+
+go run ./cmd/nrbench -tenants "${TENANTS:-16}" -n "${N:-200}" -out "$out"
