@@ -9,34 +9,54 @@
 // query engine, with -run/-txn narrowing the audit via the persistent
 // indexes and -deep re-reading every sealed segment against its seal.
 //
+// With -remote it audits a live organisation's vault over the wire: the
+// records stream to the adjudicator page by page through the
+// coordinator's audit service, so a dispute can be evaluated without the
+// audited party exporting anything — and, with -source, without the
+// audited party at all: the named organisation's evidence is read from
+// the remote peer's replica store instead (the disaster/uncooperative
+// path).
+//
 // Usage:
 //
 //	nrverify -bundle DIR [-run RUN-ID]
 //	nrverify -vault DIR [-bundle DIR] [-run RUN-ID] [-txn TXN-ID] [-deep]
+//	nrverify -remote ADDR [-bundle DIR] [-run RUN-ID] [-source PARTY] [-page N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"nonrep/internal/bundle"
 	"nonrep/internal/clock"
 	"nonrep/internal/core"
 	"nonrep/internal/credential"
 	"nonrep/internal/id"
+	"nonrep/internal/protocol"
 	"nonrep/internal/store"
+	"nonrep/internal/transport"
 	"nonrep/internal/vault"
 )
 
 func main() {
 	dir := flag.String("bundle", "", "evidence bundle directory")
 	vaultDir := flag.String("vault", "", "audit an evidence vault directory in place")
+	remote := flag.String("remote", "", "audit a live coordinator at this address (host:port, or host:port#tenant for hosted organisations)")
+	source := flag.String("source", "", "audit the remote peer's replica of this party's vault instead of the peer's own evidence (remote mode)")
+	page := flag.Int("page", 0, "records per page of remote streaming (remote mode)")
 	runFilter := flag.String("run", "", "only report on this run identifier")
 	txnFilter := flag.String("txn", "", "only report on this transaction identifier (vault mode)")
 	deep := flag.Bool("deep", false, "re-verify every sealed segment against its seal (vault mode)")
 	flag.Parse()
+	if *remote != "" {
+		os.Exit(auditRemote(*remote, *dir, *source, *runFilter, *page))
+	}
 	if *vaultDir != "" {
 		os.Exit(auditVault(*vaultDir, *dir, *runFilter, *txnFilter, *deep))
 	}
@@ -221,6 +241,149 @@ func auditVault(dir, bundleDir, runFilter, txnFilter string, deep bool) int {
 	}
 	adj := core.NewAdjudicator(creds)
 	report := adj.AuditStream(v.Query(vault.Query{}))
+	status := "CLEAN"
+	if !report.Clean() {
+		status = "FAULTY"
+	}
+	fmt.Printf("stream audit: %d records  chain=%v  %s\n", report.Records, report.ChainOK, status)
+	if report.ChainError != "" {
+		fmt.Printf("    chain: %s\n", report.ChainError)
+	}
+	for _, fault := range report.Faults {
+		fmt.Printf("    record %d: %s\n", fault.Seq, fault.Reason)
+	}
+	if !report.Clean() {
+		fmt.Println("\nverdict: evidence FAULTY")
+		return 1
+	}
+	fmt.Println("\nverdict: all evidence verifies")
+	return 0
+}
+
+// integrityError reports whether a remote stream error is an evidence
+// integrity verdict from the serving side (broken seal or chain, corrupt
+// storage) rather than a transport or availability failure. The
+// distinction matters in a non-repudiation tool: an unreachable peer is
+// "could not audit" (exit 2), never "evidence FAULTY" (exit 1).
+func integrityError(err error) bool {
+	s := err.Error()
+	return strings.Contains(s, "seal broken") ||
+		strings.Contains(s, "chain broken") ||
+		strings.Contains(s, "corrupt line")
+}
+
+// auditRemote audits a live organisation's evidence over the wire: an
+// ephemeral coordinator is registered on a local TCP port and the audit
+// service at addr streams records to it page by page. With a bundle
+// supplying certificates every token is signature-checked; without one
+// only stream integrity (the serving vault's chains) is covered.
+func auditRemote(addr, bundleDir, source, runFilter string, page int) int {
+	clk := clock.Real{}
+	net := transport.NewTCPNetwork()
+	defer net.Close()
+	svc := &protocol.Services{
+		Party:     "urn:nonrep:nrverify",
+		Clock:     clk,
+		Directory: protocol.NewDirectory(),
+	}
+	co, err := protocol.New(net, "127.0.0.1:0", svc)
+	if err != nil {
+		// Setup failures produce no verdict: exit 2, never the
+		// evidence-FAULTY code.
+		fmt.Fprintln(os.Stderr, "nrverify:", err)
+		return 2
+	}
+	defer co.Close()
+	client := protocol.NewAuditClient(co)
+	if page > 0 {
+		client.SetPage(page)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	target := "the remote organisation's own vault"
+	if source != "" {
+		target = fmt.Sprintf("the remote replica of %s", source)
+	}
+	fmt.Printf("remote audit of %s via %s\n", target, addr)
+
+	var creds *credential.Store
+	if bundleDir != "" {
+		b, err := bundle.Read(bundleDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nrverify:", err)
+			return 2
+		}
+		if creds, err = b.CredentialStore(clk); err != nil {
+			fmt.Fprintln(os.Stderr, "nrverify:", err)
+			return 2
+		}
+	}
+
+	if runFilter != "" {
+		if creds == nil {
+			fmt.Fprintln(os.Stderr, "nrverify: -run in remote mode needs -bundle for signature checks")
+			return 2
+		}
+		adj := core.NewAdjudicator(creds)
+		it := client.QueryAddr(ctx, addr, vault.Query{Run: id.Run(runFilter)}, source)
+		report, err := adj.AuditRunStream(it, id.Run(runFilter))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nrverify:", err)
+			if integrityError(err) {
+				fmt.Println("\nverdict: evidence FAULTY")
+				return 1
+			}
+			fmt.Fprintln(os.Stderr, "nrverify: could not audit (no verdict)")
+			return 2
+		}
+		fmt.Printf("  %s\n    client=%s server=%s request=%v receipt=%v response=%v resp-receipt=%v complete=%v\n",
+			runFilter, report.Client, report.Server,
+			report.RequestProven, report.ReceiptProven,
+			report.ResponseProven, report.ResponseReceiptProven, report.Complete())
+		if len(report.Faults) > 0 {
+			for _, fault := range report.Faults {
+				fmt.Printf("    record %d: %s\n", fault.Seq, fault.Reason)
+			}
+			fmt.Println("\nverdict: evidence FAULTY")
+			return 1
+		}
+		fmt.Println("\nverdict: run evidence verifies")
+		return 0
+	}
+
+	if creds == nil {
+		// Stream the whole log and verify chain integrity only: the
+		// remote iterator surfaces any serving-side seal or chain break
+		// as a stream error.
+		it := client.QueryAddr(ctx, addr, vault.Query{}, source)
+		n := 0
+		for it.Next() {
+			n++
+		}
+		if err := it.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "nrverify: %v\n", err)
+			if integrityError(err) {
+				fmt.Println("\nverdict: evidence FAULTY")
+				return 1
+			}
+			fmt.Fprintln(os.Stderr, "nrverify: could not audit (no verdict)")
+			return 2
+		}
+		fmt.Printf("streamed %d records (pass -bundle for signature checks)\n", n)
+		fmt.Println("\nverdict: remote evidence streams and chains verify")
+		return 0
+	}
+
+	adj := core.NewAdjudicator(creds)
+	it := client.QueryAddr(ctx, addr, vault.Query{}, source)
+	report := adj.AuditStream(it)
+	if err := it.Err(); err != nil && !integrityError(err) {
+		// The stream died for transport reasons; whatever partial report
+		// exists is not a verdict on the evidence.
+		fmt.Fprintf(os.Stderr, "nrverify: %v\nnrverify: could not audit (no verdict)\n", err)
+		return 2
+	}
 	status := "CLEAN"
 	if !report.Clean() {
 		status = "FAULTY"

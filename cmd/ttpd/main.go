@@ -26,6 +26,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 
@@ -63,6 +64,7 @@ func main() {
 	party := flag.String("party", "urn:ttp:main", "party URI of this TTP")
 	trust := flag.String("trust", "", "evidence bundle directory providing trusted certificates")
 	vaultDir := flag.String("vault", "", "persist evidence in a segmented vault at this directory")
+	replicaRoot := flag.String("replicas", "", "accept peers' sealed-segment replicas into this directory (default <vault>/replicas when -vault is set)")
 	peers := peerFlags{}
 	flag.Var(peers, "peer", "peer coordinator address as party=addr (repeatable)")
 	flag.Parse()
@@ -97,6 +99,7 @@ func main() {
 	}
 
 	var evidenceLog store.Log
+	var evidenceVault *vault.Vault
 	if *vaultDir != "" {
 		v, err := vault.Open(*vaultDir, clk)
 		if err != nil {
@@ -106,6 +109,10 @@ func main() {
 		st := v.Stats()
 		log.Printf("vault %s: %d sealed segments, %d records", *vaultDir, st.Segments, st.LastSeq)
 		evidenceLog = v
+		evidenceVault = v
+	}
+	if *replicaRoot == "" && *vaultDir != "" {
+		*replicaRoot = filepath.Join(*vaultDir, "replicas")
 	}
 
 	directory := protocol.NewDirectory()
@@ -131,13 +138,32 @@ func main() {
 	invoke.NewRelay(node.Coordinator(), invoke.RouteToServer())
 	invoke.NewResolveService(node.Coordinator())
 	ttp.NewEPM(node.Coordinator())
+	// A TTP is the natural neutral ground for evidence survivability: with
+	// storage configured it serves remote audits of its own vault, accepts
+	// peers' sealed-segment replicas (verified against their seal chains)
+	// and serves adjudications from those replicas when a source
+	// organisation is lost or uncooperative (nrverify -remote -source).
+	auditServices := ""
+	if evidenceVault != nil || *replicaRoot != "" {
+		var replicas *vault.ReplicaSet
+		if *replicaRoot != "" {
+			replicas, err = vault.OpenReplicaSet(*replicaRoot)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sources, _ := replicas.Sources()
+			log.Printf("replica store %s: %d source organisations", *replicaRoot, len(sources))
+		}
+		protocol.NewAuditService(node.Coordinator(), evidenceVault, replicas)
+		auditServices = ", remote audit + replica host"
+	}
 
 	cert, err := json.MarshalIndent(self.Certificate(), "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("ttpd: %s listening on %s\n", *party, node.Coordinator().Addr())
-	fmt.Printf("ttpd: services: inline relay, fair-exchange resolve/abort, electronic postmark\n")
+	fmt.Printf("ttpd: services: inline relay, fair-exchange resolve/abort, electronic postmark%s\n", auditServices)
 	fmt.Printf("ttpd: install this root certificate at peer organisations:\n%s\n", cert)
 
 	stop := make(chan os.Signal, 1)

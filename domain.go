@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -137,6 +138,16 @@ func NewDomain(opts ...DomainOption) (*Domain, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	// The pipeline's linger-window timer runs on the domain clock, so a
+	// test domain under WithClock drives coalescing windows without
+	// sleeping wall-clock time. Copy before stamping: the options struct
+	// is owned by the DomainOption closure, which a caller may legally
+	// reuse across domains with different clocks.
+	if cfg.pipeline != nil && cfg.pipeline.Clock == nil {
+		pipeline := *cfg.pipeline
+		pipeline.Clock = cfg.clk
+		cfg.pipeline = &pipeline
+	}
 	caKey, err := sig.Generate(cfg.alg, "domain-ca")
 	if err != nil {
 		return nil, err
@@ -199,11 +210,14 @@ func (d *Domain) Adjudicator() *Adjudicator { return core.NewAdjudicator(d.creds
 type OrgOption func(*orgConfig)
 
 type orgConfig struct {
-	addr      string
-	logPath   string
-	vaultDir  string
-	vaultOpts []vault.Option
-	roles     []string
+	addr        string
+	logPath     string
+	vaultDir    string
+	vaultOpts   []vault.Option
+	roles       []string
+	replicaRoot string
+	replicate   []Party
+	syncEvery   time.Duration
 }
 
 // WithAddr fixes the organisation's coordinator address (host:port under
@@ -237,6 +251,35 @@ var (
 	// VaultWithoutSync trades machine-crash durability for throughput.
 	VaultWithoutSync = vault.WithoutSync
 )
+
+// WithReplication makes the organisation ship every sealed vault segment
+// to the named peer organisations' replica stores — the survivability
+// path: evidence reaches dispute time even if this organisation's storage
+// is later lost (OpenVault with VaultRestoreFrom rebuilds the vault from
+// any peer's replica) or the organisation turns uncooperative (an
+// adjudicator audits the peer's replica remotely instead). Requires
+// WithVault. Shipping is verified end to end: receivers re-check the seal
+// chain before accepting a segment, so a tampered copy is refused. Peers
+// may enrol after this organisation; segments reach them at the next
+// catch-up pass.
+func WithReplication(peers ...Party) OrgOption {
+	return func(c *orgConfig) { c.replicate = append(c.replicate, peers...) }
+}
+
+// WithReplicaStore sets where the organisation stores peers' replicated
+// segments (default: a "replicas" directory inside its vault). Setting it
+// lets an organisation without a vault of its own act as a pure replica
+// host.
+func WithReplicaStore(dir string) OrgOption {
+	return func(c *orgConfig) { c.replicaRoot = dir }
+}
+
+// WithReplicationInterval tunes the background replication catch-up
+// interval (default 5s). The timer runs on the domain clock, so tests
+// with WithClock drive catch-up deterministically.
+func WithReplicationInterval(d time.Duration) OrgOption {
+	return func(c *orgConfig) { c.syncEvery = d }
+}
 
 // WithCertRoles embeds role names in the organisation's certificate; peers
 // can activate them through their access managers.
@@ -364,6 +407,13 @@ func (d *Domain) addOrg(p Party, host *Host, opts ...OrgOption) (*Org, error) {
 	if host != nil {
 		nodeCfg.Host = host.inner
 	}
+	orgVault, _ := log.(*vault.Vault)
+	if len(cfg.replicate) > 0 && orgVault == nil {
+		if log != nil {
+			log.Close()
+		}
+		return nil, fmt.Errorf("nonrep: WithReplication for %s requires WithVault", p)
+	}
 	node, err := core.NewNode(nodeCfg)
 	if err != nil {
 		// Release the log we opened: a leaked vault would keep its
@@ -375,6 +425,13 @@ func (d *Domain) addOrg(p Party, host *Host, opts ...OrgOption) (*Org, error) {
 		return nil, err
 	}
 	org := &Org{domain: d, node: node, cert: cert, acl: access.NewManager()}
+	if err := org.startAudit(cfg, orgVault); err != nil {
+		_ = node.Close()
+		if log != nil {
+			log.Close()
+		}
+		return nil, err
+	}
 	// Register the sharing controller eagerly so the organisation can be
 	// admitted to sharing groups (receive welcome transfers) before it
 	// first touches shared information itself.
@@ -458,10 +515,53 @@ type Org struct {
 	cert   *credential.Certificate
 	acl    *access.Manager
 
+	audit    *protocol.AuditService
+	auditCli *protocol.AuditClient
+	replicas *vault.ReplicaSet
+	rep      *vault.Replicator
+
 	mu      sync.Mutex
 	cont    *container.Container
 	ctl     *sharing.Controller
 	servers []*invoke.Server
+}
+
+// startAudit wires the organisation's remote-audit and replication
+// services: a replica store and audit service whenever the organisation
+// has evidence worth serving (a vault) or is asked to host replicas, and
+// a replicator when WithReplication names peers.
+func (o *Org) startAudit(cfg orgConfig, v *vault.Vault) error {
+	// Every organisation can drive remote audits of its peers — the
+	// client needs only the coordinator. Serving audits (the service)
+	// additionally needs evidence to serve: a vault or a replica store.
+	o.auditCli = protocol.NewAuditClient(o.node.Coordinator())
+	root := cfg.replicaRoot
+	if root == "" && cfg.vaultDir != "" {
+		root = filepath.Join(cfg.vaultDir, "replicas")
+	}
+	if root == "" && v == nil {
+		return nil
+	}
+	var rs *vault.ReplicaSet
+	if root != "" {
+		var err error
+		if rs, err = vault.OpenReplicaSet(root); err != nil {
+			return err
+		}
+	}
+	o.replicas = rs
+	o.audit = protocol.NewAuditService(o.node.Coordinator(), v, rs)
+	if len(cfg.replicate) > 0 {
+		var repOpts []vault.ReplicatorOption
+		if cfg.syncEvery > 0 {
+			repOpts = append(repOpts, vault.WithSyncInterval(cfg.syncEvery))
+		}
+		o.rep = vault.NewReplicator(v, string(o.node.Party()), o.domain.clk, repOpts...)
+		for _, peer := range cfg.replicate {
+			o.rep.AddTarget(string(peer), o.auditCli.ShipTarget(peer))
+		}
+	}
+	return nil
 }
 
 // Party returns the organisation's identifier.
@@ -486,6 +586,37 @@ func (o *Org) Log() store.Log { return o.node.Log() }
 func (o *Org) Vault() *vault.Vault {
 	v, _ := o.node.Log().(*vault.Vault)
 	return v
+}
+
+// Replicas returns the organisation's replica store — its verified copies
+// of peer organisations' sealed segments — or nil when the organisation
+// hosts none. Each source's replica directory is a valid read-only vault.
+func (o *Org) Replicas() *vault.ReplicaSet { return o.replicas }
+
+// Replication returns the organisation's sealed-segment replicator, or
+// nil when the organisation was not enrolled with WithReplication. Call
+// Sync for a deterministic "everything sealed so far has been shipped"
+// point (for example before a planned shutdown).
+func (o *Org) Replication() *vault.Replicator { return o.rep }
+
+// AuditClient returns the organisation's remote-audit client. Every
+// organisation has one — driving an audit needs only the coordinator;
+// serving audits is what requires a vault or replica store.
+func (o *Org) AuditClient() *protocol.AuditClient { return o.auditCli }
+
+// RemoteAudit streams a full audit of a peer organisation's evidence and
+// evaluates it with the domain adjudicator — the remote form of
+// adjudicating a party's log, requiring no export and loading no more
+// than one page of records at a time. A non-empty source audits the
+// peer's replica of source's vault instead of the peer's own evidence:
+// the dispute path when source itself is unavailable or uncooperative.
+func (o *Org) RemoteAudit(ctx context.Context, peer Party, source Party) (*LogReport, error) {
+	it := o.auditCli.Query(ctx, peer, vault.Query{}, string(source))
+	// A stream failure (unreachable peer, integrity error on the serving
+	// side) is both folded into the report's chain verdict and returned,
+	// so callers distinguish "audited and faulty" from "could not audit".
+	report := o.domain.Adjudicator().AuditStream(it)
+	return report, it.Err()
 }
 
 // Container returns (creating on first use) the organisation's component
@@ -607,6 +738,16 @@ func (o *Org) close() error {
 	var firstErr error
 	for _, s := range servers {
 		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if o.rep != nil {
+		if err := o.rep.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if o.audit != nil {
+		if err := o.audit.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

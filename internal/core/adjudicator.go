@@ -54,11 +54,21 @@ func (a *Adjudicator) AuditLog(records []*store.Record) *LogReport {
 		report.ChainError = err.Error()
 	}
 	for _, rec := range records {
-		if err := a.verifier.Verify(rec.Token); err != nil {
+		if err := a.verifyToken(rec); err != nil {
 			report.Faults = append(report.Faults, Fault{Seq: rec.Seq, Reason: err.Error()})
 		}
 	}
 	return report
+}
+
+// verifyToken verifies one record's token, treating a record without a
+// token — possible only in evidence presented by an adversarial source,
+// a log never stores one — as a fault rather than a crash.
+func (a *Adjudicator) verifyToken(rec *store.Record) error {
+	if rec.Token == nil {
+		return fmt.Errorf("core: record %d has no token", rec.Seq)
+	}
+	return a.verifier.Verify(rec.Token)
 }
 
 // RecordSource is a stream of evidence records in log order, as produced
@@ -90,7 +100,7 @@ func (a *Adjudicator) AuditStream(src RecordSource) *LogReport {
 				report.ChainError = err.Error()
 			}
 		}
-		if err := a.verifier.Verify(rec.Token); err != nil {
+		if err := a.verifyToken(rec); err != nil {
 			report.Faults = append(report.Faults, Fault{Seq: rec.Seq, Reason: err.Error()})
 		}
 	}
@@ -135,35 +145,53 @@ type RunReport struct {
 func (a *Adjudicator) AuditRun(records []*store.Record, run id.Run) *RunReport {
 	report := &RunReport{Run: run}
 	for _, rec := range records {
-		tok := rec.Token
-		if tok.Run != run {
-			continue
-		}
-		if err := a.verifier.Verify(tok); err != nil {
-			report.Faults = append(report.Faults, Fault{Seq: rec.Seq, Reason: err.Error()})
-			continue
-		}
-		switch tok.Kind {
-		case evidence.KindNRO:
-			report.RequestProven = true
-			report.Client = tok.Issuer
-		case evidence.KindNRR:
-			report.ReceiptProven = true
-			report.Server = tok.Issuer
-		case evidence.KindNROResp:
-			report.ResponseProven = true
-			report.Server = tok.Issuer
-		case evidence.KindNRRResp:
-			report.ResponseReceiptProven = true
-			report.Client = tok.Issuer
-		case evidence.KindSubstitute:
-			report.ResponseReceiptProven = true
-			report.Substituted = true
-		case evidence.KindAbort:
-			report.Aborted = true
-		}
+		a.applyRun(report, rec, run)
 	}
 	return report
+}
+
+// AuditRunStream is AuditRun over a record stream — typically a remote
+// audit of a counterparty's (or a replica of a counterparty's) vault,
+// where the run's records are fetched page by page rather than loaded.
+// The stream's error, if any, is returned alongside the report built from
+// the records seen before it.
+func (a *Adjudicator) AuditRunStream(src RecordSource, run id.Run) (*RunReport, error) {
+	report := &RunReport{Run: run}
+	for src.Next() {
+		a.applyRun(report, src.Record(), run)
+	}
+	return report, src.Err()
+}
+
+// applyRun folds one record into a run report.
+func (a *Adjudicator) applyRun(report *RunReport, rec *store.Record, run id.Run) {
+	tok := rec.Token
+	if tok == nil || tok.Run != run {
+		return
+	}
+	if err := a.verifier.Verify(tok); err != nil {
+		report.Faults = append(report.Faults, Fault{Seq: rec.Seq, Reason: err.Error()})
+		return
+	}
+	switch tok.Kind {
+	case evidence.KindNRO:
+		report.RequestProven = true
+		report.Client = tok.Issuer
+	case evidence.KindNRR:
+		report.ReceiptProven = true
+		report.Server = tok.Issuer
+	case evidence.KindNROResp:
+		report.ResponseProven = true
+		report.Server = tok.Issuer
+	case evidence.KindNRRResp:
+		report.ResponseReceiptProven = true
+		report.Client = tok.Issuer
+	case evidence.KindSubstitute:
+		report.ResponseReceiptProven = true
+		report.Substituted = true
+	case evidence.KindAbort:
+		report.Aborted = true
+	}
 }
 
 // Complete reports whether the run's evidence forms the full exchange of

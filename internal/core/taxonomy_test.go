@@ -1,0 +1,236 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"nonrep/internal/core"
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/sig"
+	"nonrep/internal/store"
+	"nonrep/internal/testpki"
+)
+
+// sliceSource adapts a record slice to core.RecordSource, standing in for
+// the remote audit stream in the taxonomy table (the protocol package
+// re-runs the key rows over the real wire).
+type sliceSource struct {
+	records []*store.Record
+	pos     int
+}
+
+func (s *sliceSource) Next() bool {
+	if s.pos >= len(s.records) {
+		return false
+	}
+	s.pos++
+	return true
+}
+func (s *sliceSource) Record() *store.Record { return s.records[s.pos-1] }
+func (s *sliceSource) Err() error            { return nil }
+
+// buildRun issues the four-token evidence of one complete invocation run
+// into a fresh log and returns its records.
+func buildRun(t *testing.T, realm *testpki.Realm, run id.Run) []*store.Record {
+	t.Helper()
+	log := store.NewMemLog(realm.Clock)
+	issue := func(p id.Party, kind evidence.Kind, step int) *evidence.Token {
+		tok, err := realm.Party(p).Issuer.Issue(kind, run, step, sig.Sum([]byte{byte(step)}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tok
+	}
+	appendTok := func(dir store.Direction, tok *evidence.Token) {
+		if _, err := log.Append(dir, tok, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendTok(store.Generated, issue(client, evidence.KindNRO, 1))
+	appendTok(store.Received, issue(server, evidence.KindNRR, 2))
+	appendTok(store.Received, issue(server, evidence.KindNROResp, 2))
+	appendTok(store.Generated, issue(client, evidence.KindNRRResp, 3))
+	return log.Records()
+}
+
+// reissue rebuilds the hash chain after a taxonomy case drops or reorders
+// records, so only the intended defect is present.
+func rechain(t *testing.T, records []*store.Record) []*store.Record {
+	t.Helper()
+	out := make([]*store.Record, 0, len(records))
+	var prev sig.Digest
+	var seq uint64
+	for _, rec := range records {
+		next, err := store.NextRecord(seq, prev, rec.At, rec.Direction, rec.Token, rec.Note)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, next)
+		prev, seq = next.Hash, next.Seq
+	}
+	return out
+}
+
+// TestAdjudicatorFailureTaxonomy drives the adjudicator through the
+// classic evidence-defect taxonomy, asserting the specific verdict for
+// each defect — for both the load-at-once audit (AuditLog/AuditRun) and
+// the streaming audit the remote path uses (AuditStream).
+func TestAdjudicatorFailureTaxonomy(t *testing.T) {
+	t.Parallel()
+	realm := testpki.MustRealm(client, server)
+	adj := core.NewAdjudicator(realm.Store)
+	run := id.NewRun()
+
+	type verdicts struct {
+		chainOK    bool
+		chainErrAt string // substring expected in ChainError, "" = none
+		faultSeqs  []uint64
+		// run-report expectations
+		complete      bool
+		receiptProven bool
+	}
+	cases := []struct {
+		name   string
+		mutate func(t *testing.T, records []*store.Record) []*store.Record
+		want   verdicts
+	}{
+		{
+			name:   "clean run",
+			mutate: func(_ *testing.T, records []*store.Record) []*store.Record { return records },
+			want:   verdicts{chainOK: true, complete: true, receiptProven: true},
+		},
+		{
+			name: "tampered chain link",
+			mutate: func(_ *testing.T, records []*store.Record) []*store.Record {
+				// The note is edited after the fact without re-deriving the
+				// hash: the record's own hash no longer matches its bytes.
+				clone := *records[1]
+				clone.Note = "doctored"
+				records[1] = &clone
+				return records
+			},
+			want: verdicts{chainOK: false, chainErrAt: "record 2 hash", complete: true, receiptProven: true},
+		},
+		{
+			name: "missing NRR",
+			mutate: func(t *testing.T, records []*store.Record) []*store.Record {
+				// The server's receipt never made it into evidence; the rest
+				// chains cleanly, so the defect is the unproven receipt, not
+				// a chain fault.
+				return rechain(t, append(records[:1:1], records[2:]...))
+			},
+			want: verdicts{chainOK: true, complete: false, receiptProven: false},
+		},
+		{
+			name: "forged signature",
+			mutate: func(t *testing.T, records []*store.Record) []*store.Record {
+				rogue, err := sig.GenerateEd25519("rogue")
+				if err != nil {
+					t.Fatal(err)
+				}
+				forger := &evidence.Issuer{Party: server, Signer: rogue, Clock: realm.Clock}
+				forged, err := forger.Issue(evidence.KindNRR, run, 2, sig.Sum([]byte{2}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				clone := *records[1]
+				clone.Token = forged
+				records[1] = &clone
+				return rechain(t, records)
+			},
+			// The forged token faults record 2; with the genuine NRR gone,
+			// receipt is no longer proven.
+			want: verdicts{chainOK: true, faultSeqs: []uint64{2}, complete: false, receiptProven: false},
+		},
+		{
+			name: "truncated tail",
+			mutate: func(_ *testing.T, records []*store.Record) []*store.Record {
+				// Dropping trailing records leaves a valid chain prefix — a
+				// chain alone cannot prove completeness; the run report can:
+				// the response receipt is unproven.
+				return records[:3]
+			},
+			want: verdicts{chainOK: true, complete: false, receiptProven: true},
+		},
+		{
+			name: "replayed record",
+			mutate: func(_ *testing.T, records []*store.Record) []*store.Record {
+				// A verbatim copy of an earlier record replayed at the tail:
+				// its prev link points into the past and breaks the chain.
+				return append(records, records[1])
+			},
+			want: verdicts{chainOK: false, chainErrAt: "record 5 prev link", complete: true, receiptProven: true},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			records := tc.mutate(t, buildRun(t, realm, run))
+
+			check := func(t *testing.T, report *core.LogReport) {
+				t.Helper()
+				if report.ChainOK != tc.want.chainOK {
+					t.Fatalf("ChainOK = %v, want %v (%s)", report.ChainOK, tc.want.chainOK, report.ChainError)
+				}
+				if tc.want.chainErrAt != "" && !strings.Contains(report.ChainError, tc.want.chainErrAt) {
+					t.Fatalf("ChainError = %q, want mention of %q", report.ChainError, tc.want.chainErrAt)
+				}
+				if len(report.Faults) != len(tc.want.faultSeqs) {
+					t.Fatalf("Faults = %+v, want seqs %v", report.Faults, tc.want.faultSeqs)
+				}
+				for i, seq := range tc.want.faultSeqs {
+					if report.Faults[i].Seq != seq {
+						t.Fatalf("fault %d at seq %d, want %d (%s)", i, report.Faults[i].Seq, seq, report.Faults[i].Reason)
+					}
+				}
+			}
+			t.Run("AuditLog", func(t *testing.T) {
+				check(t, adj.AuditLog(records))
+			})
+			t.Run("AuditStream", func(t *testing.T) {
+				check(t, adj.AuditStream(&sliceSource{records: records}))
+			})
+			t.Run("AuditRun", func(t *testing.T) {
+				report := adj.AuditRun(records, run)
+				if report.Complete() != tc.want.complete {
+					t.Fatalf("Complete = %v, want %v (%+v)", report.Complete(), tc.want.complete, report)
+				}
+				if report.ReceiptProven != tc.want.receiptProven {
+					t.Fatalf("ReceiptProven = %v, want %v", report.ReceiptProven, tc.want.receiptProven)
+				}
+			})
+			t.Run("AuditRunStream", func(t *testing.T) {
+				report, err := adj.AuditRunStream(&sliceSource{records: records}, run)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if report.Complete() != tc.want.complete {
+					t.Fatalf("Complete = %v, want %v", report.Complete(), tc.want.complete)
+				}
+			})
+		})
+	}
+}
+
+// TestAdjudicatorHostileRecords: evidence presented by an adversarial
+// source may be arbitrarily malformed; the adjudicator must report, not
+// crash.
+func TestAdjudicatorHostileRecords(t *testing.T) {
+	t.Parallel()
+	realm := testpki.MustRealm(client, server)
+	adj := core.NewAdjudicator(realm.Store)
+	records := []*store.Record{{Seq: 1}} // no token at all
+	report := adj.AuditLog(records)
+	if len(report.Faults) != 1 {
+		t.Fatalf("token-less record not faulted: %+v", report)
+	}
+	stream := adj.AuditStream(&sliceSource{records: records})
+	if len(stream.Faults) != 1 {
+		t.Fatalf("token-less record not faulted in stream: %+v", stream)
+	}
+	if rr, err := adj.AuditRunStream(&sliceSource{records: records}, id.NewRun()); err != nil || rr.Complete() {
+		t.Fatalf("hostile run stream: %+v, %v", rr, err)
+	}
+}

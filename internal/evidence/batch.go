@@ -11,7 +11,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
+	"nonrep/internal/clock"
 	"nonrep/internal/id"
 	"nonrep/internal/sig"
 )
@@ -56,6 +58,8 @@ type BatchIssuer struct {
 	*Issuer
 
 	maxBatch int
+	window   time.Duration
+	clk      clock.Clock
 	reqC     chan *issueReq
 	quit     chan struct{}
 	done     chan struct{}
@@ -69,6 +73,20 @@ func WithMaxSignBatch(n int) BatchOption {
 	return func(b *BatchIssuer) {
 		if n > 0 {
 			b.maxBatch = n
+		}
+	}
+}
+
+// WithSignWindow makes the aggregate signer linger up to d after the
+// first pending token to let more arrive, trading signing latency for
+// larger aggregate batches — the signing analogue of the coalescer's
+// linger window. The default (zero) adds no latency: batches form from
+// whatever is concurrently pending. The timer runs on the issuer's clock,
+// so tests drive it with a manual clock instead of sleeping.
+func WithSignWindow(d time.Duration) BatchOption {
+	return func(b *BatchIssuer) {
+		if d > 0 {
+			b.window = d
 		}
 	}
 }
@@ -97,6 +115,10 @@ func NewBatchIssuer(i *Issuer, opts ...BatchOption) *BatchIssuer {
 	}
 	for _, opt := range opts {
 		opt(b)
+	}
+	b.clk = i.Clock
+	if b.clk == nil {
+		b.clk = clock.Real{}
 	}
 	go b.run()
 	return b
@@ -179,24 +201,46 @@ func (b *BatchIssuer) run() {
 func (b *BatchIssuer) drain(first *issueReq) []*issueReq {
 	batch := []*issueReq{first}
 	tokens := len(first.reqs)
+	var deadline <-chan time.Time
+	if b.window > 0 {
+		t := clock.NewTimer(b.clk, b.window)
+		defer t.Stop()
+		deadline = t.C()
+	}
 	yields := 0
 	for tokens < b.maxBatch {
 		select {
 		case req := <-b.reqC:
 			batch = append(batch, req)
 			tokens += len(req.reqs)
+			continue
 		default:
-			// Before committing to a signature, yield so that already
-			// runnable issuers get to enqueue — without this, channel
-			// handoff scheduling serialises sign operations on small
-			// machines and no aggregation ever happens. Two empty drains
-			// in a row mean there really is nothing pending.
-			if yields >= 2 {
+		}
+		if deadline != nil {
+			// A sign window lingers for more tokens until the timer (on
+			// the issuer's clock) elapses; a closing issuer drains what is
+			// pending and stops lingering.
+			select {
+			case req := <-b.reqC:
+				batch = append(batch, req)
+				tokens += len(req.reqs)
+			case <-deadline:
+				return batch
+			case <-b.quit:
 				return batch
 			}
-			yields++
-			runtime.Gosched()
+			continue
 		}
+		// Before committing to a signature, yield so that already
+		// runnable issuers get to enqueue — without this, channel
+		// handoff scheduling serialises sign operations on small
+		// machines and no aggregation ever happens. Two empty drains
+		// in a row mean there really is nothing pending.
+		if yields >= 2 {
+			return batch
+		}
+		yields++
+		runtime.Gosched()
 	}
 	return batch
 }

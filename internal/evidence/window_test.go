@@ -1,0 +1,60 @@
+package evidence_test
+
+import (
+	"testing"
+	"time"
+
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/sig"
+	"nonrep/internal/testpki"
+)
+
+// TestBatchIssuerSignWindowFakeClock proves the aggregate signer's linger
+// window runs on the issuer's clock: with a one-hour window on the
+// realm's manual clock, a pending issue completes as soon as the clock
+// crosses the window — no wall-clock sleeping, and a hang here means the
+// window fell back to real time.
+func TestBatchIssuerSignWindowFakeClock(t *testing.T) {
+	t.Parallel()
+	realm := testpki.MustRealm("urn:org:a")
+	b := evidence.NewBatchIssuer(realm.Party("urn:org:a").Issuer, evidence.WithSignWindow(time.Hour))
+	defer b.Close()
+
+	type result struct {
+		tok *evidence.Token
+		err error
+	}
+	done := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func(step int) {
+			tok, err := b.Issue(evidence.KindNRO, id.NewRun(), step, sig.Sum([]byte{byte(step)}))
+			done <- result{tok, err}
+		}(i + 1)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	var got []result
+	for len(got) < 2 {
+		select {
+		case r := <-done:
+			got = append(got, r)
+			continue
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sign window never elapsed on the manual clock (%d/2 tokens)", len(got))
+		}
+		realm.Clock.Advance(2 * time.Hour)
+		time.Sleep(time.Millisecond)
+	}
+	verifier := realm.Verifier()
+	for _, r := range got {
+		if r.err != nil {
+			t.Fatalf("Issue: %v", r.err)
+		}
+		if err := verifier.Verify(r.tok); err != nil {
+			t.Fatalf("windowed token does not verify: %v", err)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"nonrep/internal/clock"
 	"nonrep/internal/id"
 )
 
@@ -59,6 +60,10 @@ type CoalesceOptions struct {
 	// keeps an unresponsive peer from wedging a destination's queue
 	// forever.
 	FlushTimeout time.Duration
+	// Clock drives the linger-window timer (nil means the system clock).
+	// Tests pass a manual clock so window-based coalescing is exercised
+	// without sleeping wall-clock time.
+	Clock clock.Clock
 }
 
 // DefaultMaxCoalesce caps the sub-envelopes in one coalesced batch.
@@ -109,6 +114,9 @@ func NewCoalescer(inner Endpoint, opts CoalesceOptions) *Coalescer {
 	}
 	if opts.FlushTimeout <= 0 {
 		opts.FlushTimeout = DefaultFlushTimeout
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.Real{}
 	}
 	return &Coalescer{
 		inner:  inner,
@@ -209,9 +217,9 @@ func (c *Coalescer) drain(q chan *pendingEnv, first *pendingEnv) []*pendingEnv {
 	batch := []*pendingEnv{first}
 	var deadline <-chan time.Time
 	if c.opts.Window > 0 {
-		t := time.NewTimer(c.opts.Window)
+		t := clock.NewTimer(c.opts.Clock, c.opts.Window)
 		defer t.Stop()
-		deadline = t.C
+		deadline = t.C()
 	}
 	yields := 0
 	for len(batch) < c.opts.MaxBatch {

@@ -225,6 +225,12 @@ func writeFrame(w io.Writer, env *Envelope) error {
 	return nil
 }
 
+// frameChunk bounds how much memory a frame read commits ahead of the
+// bytes actually arriving: a malicious 4-byte header claiming a
+// maxFrame-sized body must not allocate maxFrame up front, so the body is
+// read and grown chunk by chunk.
+const frameChunk = 64 << 10
+
 // readFrame reads a length-prefixed JSON envelope.
 func readFrame(r io.Reader) (*Envelope, error) {
 	var hdr [4]byte
@@ -235,9 +241,15 @@ func readFrame(r io.Reader) (*Envelope, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, fmt.Errorf("transport: read frame body: %w", err)
+	body := make([]byte, 0, min(int(n), frameChunk))
+	for remaining := int(n); remaining > 0; {
+		k := min(remaining, frameChunk)
+		off := len(body)
+		body = append(body, make([]byte, k)...)
+		if _, err := io.ReadFull(r, body[off:]); err != nil {
+			return nil, fmt.Errorf("transport: read frame body: %w", err)
+		}
+		remaining -= k
 	}
 	var env Envelope
 	if err := canon.Unmarshal(body, &env); err != nil {

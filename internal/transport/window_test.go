@@ -1,0 +1,64 @@
+package transport
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"nonrep/internal/clock"
+)
+
+// TestCoalescerWindowFakeClock proves the linger-window timer runs on the
+// injected clock: with a one-hour window on a manual clock, a pending
+// envelope flushes the moment the clock is advanced — the test would hang
+// (and previously had to sleep real wall-clock time) if the coalescer
+// still used the system timer.
+func TestCoalescerWindowFakeClock(t *testing.T) {
+	t.Parallel()
+	clk := clock.NewManual(time.Date(2004, time.March, 25, 9, 0, 0, 0, time.UTC))
+	net := NewInprocNetwork()
+	t.Cleanup(func() { _ = net.Close() })
+	got := make(chan *Envelope, 4)
+	if _, err := net.Register("dst", HandlerFunc(func(_ context.Context, env *Envelope) (*Envelope, error) {
+		got <- env
+		return nil, nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+	src, err := net.Register("src", HandlerFunc(func(_ context.Context, env *Envelope) (*Envelope, error) {
+		return nil, nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCoalescer(src, CoalesceOptions{Window: time.Hour, Clock: clk})
+	t.Cleanup(func() { _ = c.Close() })
+
+	done := make(chan error, 1)
+	go func() { done <- c.Send(context.Background(), "dst", NewEnvelope("k", []byte("1"))) }()
+
+	// Drive the fake clock until the flusher's window timer fires. The
+	// advance loop (not a sleep) is what bounds the test: each iteration
+	// moves the manual clock a full window forward.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+			select {
+			case <-got:
+				return
+			case <-time.After(5 * time.Second):
+				t.Fatal("flush never reached the destination")
+			}
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("window flush never fired on the manual clock")
+		}
+		clk.Advance(2 * time.Hour)
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -28,6 +28,12 @@ type Query struct {
 	Kind evidence.Kind
 	// From/To bound the record time, inclusive; zero means unbounded.
 	From, To time.Time
+	// AfterSeq is a resume cursor: only records with Seq > AfterSeq are
+	// returned. Whole sealed segments at or below the cursor are pruned
+	// by their sealed sequence bounds, so paging a long log (the remote
+	// audit protocol re-queries with a moving cursor) costs the remainder,
+	// not the full log, per page.
+	AfterSeq uint64
 	// Limit caps the number of records returned; 0 means unlimited.
 	Limit int
 }
@@ -39,6 +45,9 @@ func (q Query) indexed() bool {
 
 // matches applies the full filter to one record.
 func (q Query) matches(r *store.Record) bool {
+	if r.Seq <= q.AfterSeq {
+		return false
+	}
 	if q.Run != "" && r.Token.Run != q.Run {
 		return false
 	}
@@ -62,7 +71,7 @@ func (q Query) matches(r *store.Record) bool {
 
 // inTimeBounds reports whether a segment's sealed time range can contain
 // matches.
-func (q Query) inTimeBounds(e manifestEntry) bool {
+func (q Query) inTimeBounds(e ManifestEntry) bool {
 	if !q.From.IsZero() && e.LastAt.Before(q.From) {
 		return false
 	}
@@ -208,6 +217,11 @@ func (it *Iterator) Err() error { return it.err }
 // full record chain and content digest (scans) — so tampered sealed
 // evidence is reported as broken, never returned as authentic.
 func (it *Iterator) loadSegment(idx *segmentIndex) ([]*store.Record, error) {
+	// A segment wholly behind the resume cursor is skipped without a
+	// read; the cursor makes repeated paging queries cost the remainder.
+	if idx.Entry.LastSeq <= it.q.AfterSeq {
+		return nil, nil
+	}
 	if !it.q.inTimeBounds(idx.Entry) {
 		return nil, nil
 	}

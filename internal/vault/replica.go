@@ -1,0 +1,494 @@
+// Sealed-segment replication: evidence must survive to dispute time even
+// when the party that produced it is uncooperative or its storage has
+// failed. A ReplicaSet is the receiving half — one organisation's durable
+// store of other organisations' sealed segments, each copy verified
+// against the source's seal chain before it is accepted, so a tampered
+// replica (or a tampering peer) is rejected at the door rather than
+// discovered at adjudication. A replica directory is itself a valid
+// read-only vault: an adjudication can be served entirely from a peer's
+// replicas, and Open(WithRestoreFrom) rebuilds a lost primary from them.
+package vault
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"nonrep/internal/canon"
+	"nonrep/internal/sig"
+	"nonrep/internal/store"
+)
+
+// ErrReplicaGap is returned by Receive when a shipped segment does not
+// directly extend the replica — the shipper must catch up with the
+// missing earlier segments first.
+var ErrReplicaGap = errors.New("vault: shipped segment leaves a replica gap")
+
+// SegmentPackage is one sealed segment in transit between organisations:
+// the manifest entry that seals it, the exact segment file bytes, and
+// (optionally) the exact index file bytes. Receivers trust none of it —
+// the entry digest, seal-chain link, record chain, content digest and
+// index digest are all re-verified on receipt.
+//
+// A package travels as one protocol envelope, so a segment must fit the
+// wire's frame limit (16 MiB over TCP) with JSON/base64 overhead —
+// comfortably true at the default 4096 records per segment; deployments
+// with very large records should size WithSegmentRecords down. A
+// replicator whose segments cannot ship logs the stall loudly and keeps
+// retrying. (Chunked shipping is a planned follow-on.)
+type SegmentPackage struct {
+	Entry ManifestEntry `json:"entry"`
+	Data  []byte        `json:"data"`
+	Index []byte        `json:"index,omitempty"`
+}
+
+// ReplicaSet stores verified replicas of peer organisations' sealed
+// segments under one root directory, one subdirectory per source. It is
+// safe for concurrent use.
+type ReplicaSet struct {
+	root string
+
+	mu      sync.Mutex
+	sources map[string]*replicaState
+}
+
+// replicaState is the loaded seal chain of one source's replica.
+type replicaState struct {
+	dir     string
+	entries []ManifestEntry
+}
+
+func (s *replicaState) last() (ManifestEntry, bool) {
+	if n := len(s.entries); n > 0 {
+		return s.entries[n-1], true
+	}
+	return ManifestEntry{}, false
+}
+
+// OpenReplicaSet opens (creating if necessary) a replica store rooted at
+// root.
+func OpenReplicaSet(root string) (*ReplicaSet, error) {
+	if err := os.MkdirAll(root, 0o700); err != nil {
+		return nil, fmt.Errorf("vault: create replica root %s: %w", root, err)
+	}
+	return &ReplicaSet{root: root, sources: make(map[string]*replicaState)}, nil
+}
+
+// Root returns the replica store's root directory.
+func (rs *ReplicaSet) Root() string { return rs.root }
+
+// Dir returns the replica directory of a source — a valid read-only
+// vault directory holding every segment received so far.
+func (rs *ReplicaSet) Dir(source string) string {
+	return filepath.Join(rs.root, sourceDirName(source))
+}
+
+// sourceDirName maps a source identifier (a party URI) to a filesystem
+// name: the safe characters survive for readability, everything else is
+// replaced, and a short digest suffix keeps distinct sources from
+// colliding after sanitisation.
+func sourceDirName(source string) string {
+	safe := make([]byte, 0, len(source))
+	for i := 0; i < len(source); i++ {
+		c := source[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+			safe = append(safe, c)
+		default:
+			safe = append(safe, '_')
+		}
+	}
+	sum := sha256.Sum256([]byte(source))
+	return string(safe) + "-" + hex.EncodeToString(sum[:4])
+}
+
+// state returns (loading and chain-verifying if necessary) the replica
+// state of a source (rs.mu held).
+func (rs *ReplicaSet) state(source string) (*replicaState, error) {
+	if st, ok := rs.sources[source]; ok {
+		return st, nil
+	}
+	st := &replicaState{dir: rs.Dir(source)}
+	path := filepath.Join(st.dir, manifestName)
+	prefix, torn, err := store.ReadJSONLines(path, func(e *ManifestEntry, _ int64) error {
+		st.entries = append(st.entries, *e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if torn {
+		// A crash between manifest write and sync; the unreferenced
+		// segment files are re-shipped and overwritten.
+		if err := os.Truncate(path, prefix); err != nil {
+			return nil, fmt.Errorf("vault: truncate torn replica manifest: %w", err)
+		}
+	}
+	var prev sig.Digest
+	for i, e := range st.entries {
+		d, derr := e.computeDigest()
+		if derr != nil {
+			return nil, derr
+		}
+		if d != e.Digest || e.Prev != prev {
+			return nil, fmt.Errorf("%w: replica manifest entry %d for %s", ErrSealBroken, i+1, source)
+		}
+		// Segments are numbered sequentially from 1 — Receive and the
+		// duplicate lookup index on that invariant, and entry digests are
+		// unsigned self-hashes, so a doctored on-disk manifest could
+		// otherwise smuggle in arbitrary numbering.
+		if e.Segment != uint64(i+1) {
+			return nil, fmt.Errorf("%w: replica manifest entry %d for %s numbered %d", ErrSealBroken, i+1, source, e.Segment)
+		}
+		prev = e.Digest
+	}
+	rs.sources[source] = st
+	return st, nil
+}
+
+// LastSealed reports the highest segment number held for source (0 when
+// none). Shippers use it to negotiate catch-up after downtime.
+func (rs *ReplicaSet) LastSealed(source string) (uint64, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	st, err := rs.state(source)
+	if err != nil {
+		return 0, err
+	}
+	if last, ok := st.last(); ok {
+		return last.Segment, nil
+	}
+	return 0, nil
+}
+
+// Sources lists the source identifiers with replicas in this store.
+func (rs *ReplicaSet) Sources() ([]string, error) {
+	dirs, err := os.ReadDir(rs.root)
+	if err != nil {
+		return nil, fmt.Errorf("vault: list replicas: %w", err)
+	}
+	var out []string
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		name, err := os.ReadFile(filepath.Join(rs.root, d.Name(), sourceFileName))
+		if err != nil {
+			continue
+		}
+		out = append(out, string(name))
+	}
+	return out, nil
+}
+
+// sourceFileName records the raw source identifier inside its sanitised
+// replica directory.
+const sourceFileName = "SOURCE"
+
+// Receive verifies and durably stores one shipped segment for source.
+// Acceptance is gated on the full seal-chain verification rule: the
+// entry must seal its own digest, link to the previous accepted entry,
+// and the shipped bytes must reproduce the entry's record chain, record
+// count, content digest and chain endpoints — so a tampered package can
+// never become a replica. A duplicate of an already-accepted segment is
+// acknowledged idempotently; a segment that skips ahead fails with
+// ErrReplicaGap.
+func (rs *ReplicaSet) Receive(source string, pkg *SegmentPackage) error {
+	if source == "" {
+		return errors.New("vault: replica source must be named")
+	}
+	if pkg == nil {
+		return errors.New("vault: nil segment package")
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	st, err := rs.state(source)
+	if err != nil {
+		return err
+	}
+	e := pkg.Entry
+	d, err := e.computeDigest()
+	if err != nil {
+		return err
+	}
+	if d != e.Digest {
+		return fmt.Errorf("%w: shipped entry digest for segment %d", ErrSealBroken, e.Segment)
+	}
+	last, have := st.last()
+	if have && e.Segment <= last.Segment {
+		// Duplicate delivery (a retransmitted or replayed seg-ship). It is
+		// acknowledged only if it matches what was accepted before.
+		// Segments are numbered sequentially from 1 (state() enforces the
+		// invariant on load), so the accepted entry sits at Segment-1.
+		if e.Segment >= 1 && e.Segment <= uint64(len(st.entries)) && st.entries[e.Segment-1].Digest == e.Digest {
+			return nil
+		}
+		return fmt.Errorf("%w: segment %d conflicts with the accepted replica", ErrSealBroken, e.Segment)
+	}
+	var expectSeg, expectSeq uint64 = 1, 1
+	var expectPrev *sig.Digest
+	var prevSeal sig.Digest
+	if have {
+		expectSeg, expectSeq = last.Segment+1, last.LastSeq+1
+		expectPrev = &last.LastHash
+		prevSeal = last.Digest
+	}
+	if e.Segment != expectSeg {
+		return fmt.Errorf("%w: got segment %d, replica holds %d", ErrReplicaGap, e.Segment, expectSeg-1)
+	}
+	if e.Prev != prevSeal {
+		return fmt.Errorf("%w: segment %d does not chain from the replica's last seal", ErrSealBroken, e.Segment)
+	}
+	if e.FirstSeq != expectSeq {
+		return fmt.Errorf("%w: segment %d first sequence %d, want %d", ErrSealBroken, e.Segment, e.FirstSeq, expectSeq)
+	}
+
+	if err := os.MkdirAll(st.dir, 0o700); err != nil {
+		return fmt.Errorf("vault: create replica dir: %w", err)
+	}
+	if !have {
+		if err := writeFileSync(filepath.Join(st.dir, sourceFileName), []byte(source)); err != nil {
+			return err
+		}
+	}
+	if err := verifyAndInstallSegment(st.dir, e, pkg.Data, pkg.Index, expectPrev); err != nil {
+		return err
+	}
+	line, err := canon.Marshal(&e)
+	if err != nil {
+		return err
+	}
+	if err := appendFileSync(filepath.Join(st.dir, manifestName), append(line, '\n')); err != nil {
+		return err
+	}
+	if err := syncDirPath(st.dir); err != nil {
+		return err
+	}
+	st.entries = append(st.entries, e)
+	return nil
+}
+
+// verifyAndInstallSegment is the single verify-and-install rule shared by
+// replica receipt and primary restore: the segment bytes are verified
+// against their seal — record chain (cross-linked via expectPrev when
+// given), count, content digest, chain endpoints and the pinned index
+// digest — at a temporary name and renamed into place only on success,
+// so a concurrent read-only audit never sees unverified bytes and a
+// failed verification leaves no trace. Shipped index bytes are installed
+// when they verify (byte-identical to the source's file) and rebuilt
+// from the just-verified records otherwise; either way the index digest
+// is pinned by the seal.
+func verifyAndInstallSegment(dir string, e ManifestEntry, data, shippedIdx []byte, expectPrev *sig.Digest) error {
+	if d, err := e.computeDigest(); err != nil {
+		return err
+	} else if d != e.Digest {
+		return fmt.Errorf("%w: entry digest for segment %d", ErrSealBroken, e.Segment)
+	}
+	final := segPath(dir, e.Segment)
+	tmp := final + ".tmp"
+	if err := writeFileSync(tmp, data); err != nil {
+		return err
+	}
+	seg := newSegment(e.Segment, e.FirstSeq)
+	if err := verifySealedSegmentFile(tmp, e, expectPrev, func(rec *store.Record, n int64) error {
+		seg.add(rec, n)
+		return nil
+	}); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	payload := seg.payload()
+	pd, err := payload.digest()
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if pd != e.Index {
+		os.Remove(tmp)
+		return fmt.Errorf("%w: segment %d records do not reproduce the sealed index digest", ErrSealBroken, e.Segment)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("vault: install replica segment: %w", err)
+	}
+	idxBytes := shippedIdx
+	if !validIndexBytes(idxBytes, e) {
+		idx := &segmentIndex{Entry: e, indexPayload: payload}
+		if idxBytes, err = canon.Marshal(idx); err != nil {
+			return err
+		}
+	}
+	return writeFileSync(idxPath(dir, e.Segment), idxBytes)
+}
+
+// validIndexBytes reports whether shipped index bytes decode to an index
+// sealed by entry e.
+func validIndexBytes(data []byte, e ManifestEntry) bool {
+	if len(data) == 0 {
+		return false
+	}
+	idx := &segmentIndex{}
+	if err := canon.Unmarshal(data, idx); err != nil || idx.Entry.Digest != e.Digest {
+		return false
+	}
+	pd, err := idx.indexPayload.digest()
+	return err == nil && pd == e.Index
+}
+
+// Manifest returns a copy of the accepted seal chain for source.
+func (rs *ReplicaSet) Manifest(source string) ([]ManifestEntry, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	st, err := rs.state(source)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ManifestEntry, len(st.entries))
+	copy(out, st.entries)
+	return out, nil
+}
+
+// restoreFromReplica rebuilds an empty vault directory from a replica
+// directory (the WithRestoreFrom open path). Every replica segment is
+// re-verified against the seal chain — including the cross-segment record
+// linkage — as it is copied, so a tampered replica fails the restore
+// instead of producing a vault that cannot pass DeepVerify.
+func (v *Vault) restoreFromReplica() error {
+	// Refuse to restore over existing history: a vault with sealed
+	// segments or tail records is not "lost", and merging is not a
+	// recovery operation.
+	hasLocal := false
+	_, _, err := store.ReadJSONLines(v.manifestPath(), func(e *ManifestEntry, _ int64) error {
+		hasLocal = true
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if hasLocal {
+		return nil
+	}
+	if fi, err := os.Stat(segPath(v.dir, 1)); err == nil && fi.Size() > 0 {
+		// No manifest but segment-1 records exist. Two cases: a genuine
+		// unsealed tail (this vault is not "lost" — refuse), or stranded
+		// files from a restore that crashed before its manifest-last
+		// write (retry must succeed, or one crash would brick the
+		// disaster-recovery path). Stranded restore files are byte
+		// copies of the replica's segment, which a live tail essentially
+		// never is — and if it were, overwriting with identical bytes
+		// loses nothing.
+		local, rerr := os.ReadFile(segPath(v.dir, 1))
+		if rerr != nil {
+			return fmt.Errorf("vault: inspect existing segment before restore: %w", rerr)
+		}
+		replica, rerr := os.ReadFile(segPath(v.restoreFrom, 1))
+		if rerr != nil || !bytes.Equal(local, replica) {
+			return fmt.Errorf("vault: refusing to restore %s over existing tail records", v.dir)
+		}
+	}
+
+	var entries []ManifestEntry
+	if _, _, err := store.ReadJSONLines(filepath.Join(v.restoreFrom, manifestName), func(e *ManifestEntry, _ int64) error {
+		entries = append(entries, *e)
+		return nil
+	}); err != nil {
+		return err
+	}
+	var prevSeal sig.Digest
+	var prevHash sig.Digest
+	var manifest []byte
+	for i, e := range entries {
+		d, derr := e.computeDigest()
+		if derr != nil {
+			return derr
+		}
+		if d != e.Digest || e.Prev != prevSeal || e.Segment != uint64(i+1) {
+			return fmt.Errorf("%w: restore source manifest entry %d", ErrSealBroken, i+1)
+		}
+		data, rerr := os.ReadFile(segPath(v.restoreFrom, e.Segment))
+		if rerr != nil {
+			return fmt.Errorf("vault: restore segment %d: %w", e.Segment, rerr)
+		}
+		// The index is a rebuildable convenience; a missing or stale
+		// source copy is rebuilt by the install.
+		idxShipped, _ := os.ReadFile(idxPath(v.restoreFrom, e.Segment))
+		expectPrev := &prevHash
+		if i == 0 {
+			expectPrev = nil
+		}
+		if err := verifyAndInstallSegment(v.dir, e, data, idxShipped, expectPrev); err != nil {
+			return err
+		}
+		line, merr := canon.Marshal(&e)
+		if merr != nil {
+			return merr
+		}
+		manifest = append(manifest, line...)
+		manifest = append(manifest, '\n')
+		prevSeal, prevHash = e.Digest, e.LastHash
+	}
+	if len(manifest) == 0 {
+		return nil
+	}
+	// The manifest is written last: it asserts the segments it names are
+	// durable and verified, so a crash mid-restore leaves an empty vault
+	// (plus unreferenced files) rather than a manifest naming missing
+	// segments.
+	if err := writeFileSync(v.manifestPath(), manifest); err != nil {
+		return err
+	}
+	return syncDirPath(v.dir)
+}
+
+// writeFileSync writes data to path and fsyncs it.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("vault: write %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("vault: write %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("vault: sync %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// appendFileSync appends data to path and fsyncs it.
+func appendFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return fmt.Errorf("vault: append %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("vault: append %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("vault: sync %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// syncDirPath fsyncs a directory so freshly created files survive power
+// loss.
+func syncDirPath(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("vault: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("vault: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

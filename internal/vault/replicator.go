@@ -1,0 +1,235 @@
+package vault
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"nonrep/internal/clock"
+)
+
+// ShipTarget is one peer organisation's receiving side of sealed-segment
+// replication, as seen by a Replicator. The protocol layer implements it
+// over audit-service messages; tests implement it directly over a
+// ReplicaSet.
+type ShipTarget interface {
+	// LastSealed reports the highest segment of source's vault the target
+	// already holds (0 for none) — the catch-up negotiation.
+	LastSealed(ctx context.Context, source string) (uint64, error)
+	// Ship delivers one sealed segment package for source.
+	Ship(ctx context.Context, source string, pkg *SegmentPackage) error
+}
+
+// Replicator ships a vault's sealed segments to peer organisations. It
+// reacts to seals as they happen (via the vault's seal hook), catches up
+// after downtime by asking each target what it already holds, and retries
+// failed targets on a clock-driven interval — a manual clock makes the
+// retry cadence fully deterministic in tests. Only sealed segments
+// travel; callers wanting the tail replicated seal first (SealNow).
+type Replicator struct {
+	v       *Vault
+	source  string
+	clk     clock.Clock
+	every   time.Duration
+	timeout time.Duration
+
+	mu      sync.Mutex
+	targets map[string]ShipTarget
+
+	notifyC   chan struct{}
+	quit      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// ReplicatorOption tunes a Replicator.
+type ReplicatorOption func(*Replicator)
+
+// WithSyncInterval sets the background catch-up interval (default 5s).
+func WithSyncInterval(d time.Duration) ReplicatorOption {
+	return func(r *Replicator) {
+		if d > 0 {
+			r.every = d
+		}
+	}
+}
+
+// WithShipTimeout bounds one background sync pass (default 30s).
+func WithShipTimeout(d time.Duration) ReplicatorOption {
+	return func(r *Replicator) {
+		if d > 0 {
+			r.timeout = d
+		}
+	}
+}
+
+// NewReplicator starts a replicator shipping v's sealed segments,
+// attributed to source (the vault owner's party identifier), to targets
+// added with AddTarget. Close stops the background loop.
+func NewReplicator(v *Vault, source string, clk clock.Clock, opts ...ReplicatorOption) *Replicator {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	r := &Replicator{
+		v:       v,
+		source:  source,
+		clk:     clk,
+		every:   5 * time.Second,
+		timeout: 30 * time.Second,
+		targets: make(map[string]ShipTarget),
+		notifyC: make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	v.OnSeal(func(ManifestEntry) { r.nudge() })
+	go r.run()
+	return r
+}
+
+// AddTarget registers a peer to replicate to. The name is used in error
+// reports; shipping to the peer starts with the next sync pass.
+func (r *Replicator) AddTarget(name string, t ShipTarget) {
+	r.mu.Lock()
+	r.targets[name] = t
+	r.mu.Unlock()
+	r.nudge()
+}
+
+// nudge wakes the background loop without blocking.
+func (r *Replicator) nudge() {
+	select {
+	case r.notifyC <- struct{}{}:
+	default:
+	}
+}
+
+// run is the background shipping loop: every seal notification — and, as
+// a retry net for failed targets, every sync interval — triggers one
+// catch-up pass. A pass that cannot ship is not silent: evidence that
+// quietly never reaches its replicas is exactly the loss replication
+// exists to prevent, so failures are logged on transition (and recovery
+// logged once) rather than swallowed.
+func (r *Replicator) run() {
+	defer close(r.done)
+	lastErr := ""
+	for {
+		t := clock.NewTimer(r.clk, r.every)
+		select {
+		case <-r.notifyC:
+			t.Stop()
+		case <-t.C():
+		case <-r.quit:
+			t.Stop()
+			return
+		}
+		ctx, cancel := r.passContext()
+		err := r.Sync(ctx)
+		cancel()
+		switch {
+		case err != nil && err.Error() != lastErr:
+			lastErr = err.Error()
+			log.Printf("vault: replication of %s STALLED (will retry every %s): %v", r.source, r.every, err)
+		case err == nil && lastErr != "":
+			lastErr = ""
+			log.Printf("vault: replication of %s recovered", r.source)
+		}
+	}
+}
+
+// passContext bounds one background pass by the ship timeout AND by
+// Close: an in-flight ship to an unreachable peer must not hold a
+// planned shutdown hostage for the full timeout.
+func (r *Replicator) passContext() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+	go func() {
+		select {
+		case <-r.quit:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, cancel
+}
+
+// Sync performs one synchronous catch-up pass: for every target, ask what
+// it holds and ship every sealed segment beyond that, in order. It
+// returns the first error encountered, after attempting every target —
+// failed targets are retried by the background loop. Tests and shutdown
+// paths call Sync directly for a deterministic "everything shipped"
+// point.
+func (r *Replicator) Sync(ctx context.Context) error {
+	r.mu.Lock()
+	targets := make(map[string]ShipTarget, len(r.targets))
+	for name, t := range r.targets {
+		targets[name] = t
+	}
+	r.mu.Unlock()
+	manifest := r.v.Manifest()
+	if len(manifest) == 0 || len(targets) == 0 {
+		return nil
+	}
+	// Negotiate each target's position, then ship segment-major: every
+	// segment is packaged from disk at most once per pass and shared by
+	// all targets that still need it, and — crucially for catching up a
+	// fresh peer against a deep backlog — at most one package is held in
+	// memory at a time.
+	type targetState struct {
+		t    ShipTarget
+		have uint64
+		err  error
+	}
+	states := make(map[string]*targetState, len(targets))
+	for name, t := range targets {
+		st := &targetState{t: t}
+		st.have, st.err = t.LastSealed(ctx, r.source)
+		states[name] = st
+	}
+	for _, e := range manifest {
+		var pkg *SegmentPackage
+		for _, st := range states {
+			if st.err != nil || e.Segment <= st.have {
+				continue
+			}
+			if pkg == nil {
+				var err error
+				if pkg, err = r.v.Package(e.Segment); err != nil {
+					// The source cannot read its own sealed segment; no
+					// target can progress past it.
+					for _, s := range states {
+						if s.err == nil && e.Segment > s.have {
+							s.err = err
+						}
+					}
+					break
+				}
+			}
+			if err := st.t.Ship(ctx, r.source, pkg); err != nil {
+				st.err = err
+				continue
+			}
+			st.have = e.Segment
+		}
+	}
+	var firstErr error
+	for name, st := range states {
+		if st.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("vault: replicate to %s: %w", name, st.err)
+		}
+	}
+	return firstErr
+}
+
+// Close stops the background loop. It does not flush: call Sync first
+// when a final ship matters.
+func (r *Replicator) Close() error {
+	r.closeOnce.Do(func() {
+		close(r.quit)
+		<-r.done
+	})
+	return nil
+}

@@ -21,12 +21,14 @@ const (
 func segPath(dir string, n uint64) string { return filepath.Join(dir, fmt.Sprintf(segFormat, n)) }
 func idxPath(dir string, n uint64) string { return filepath.Join(dir, fmt.Sprintf(idxFormat, n)) }
 
-// manifestEntry seals one segment. Entries form their own hash chain
+// ManifestEntry seals one segment. Entries form their own hash chain
 // (Prev links to the preceding entry's Digest), so tamper evidence
 // survives segment rotation: a sealed segment cannot be rewritten, dropped
 // or reordered without breaking either the record chain, the entry chain
-// or the segment content digest.
-type manifestEntry struct {
+// or the segment content digest. The type is exported because seals now
+// travel: replication ships each sealed segment together with its entry,
+// and receivers re-verify the chain before accepting the copy.
+type ManifestEntry struct {
 	Segment  uint64     `json:"segment"`
 	FirstSeq uint64     `json:"first_seq"`
 	LastSeq  uint64     `json:"last_seq"`
@@ -45,7 +47,7 @@ type manifestEntry struct {
 	Digest sig.Digest `json:"digest"`
 }
 
-func (e *manifestEntry) computeDigest() (sig.Digest, error) {
+func (e *ManifestEntry) computeDigest() (sig.Digest, error) {
 	clone := *e
 	clone.Digest = sig.Digest{}
 	return sig.SumCanonical(&clone)
@@ -69,13 +71,13 @@ type indexPayload struct {
 	Kinds   map[evidence.Kind][]uint64 `json:"kinds,omitempty"`
 }
 
-// digest returns the canonical digest pinned by manifestEntry.Index.
+// digest returns the canonical digest pinned by ManifestEntry.Index.
 func (p *indexPayload) digest() (sig.Digest, error) { return sig.SumCanonical(p) }
 
 // segmentIndex is the persistent per-segment index written at seal time,
 // so adjudication queries touch only matching records.
 type segmentIndex struct {
-	Entry manifestEntry `json:"entry"`
+	Entry ManifestEntry `json:"entry"`
 	indexPayload
 }
 
@@ -143,14 +145,21 @@ func (s *segment) payload() indexPayload {
 // the chain is self-seeded, which the content digest still pins. This is
 // the single verification rule shared by index rebuild, full-scan
 // queries and deep verification.
-func readSealedSegment(dir string, e manifestEntry, expectPrev *sig.Digest, fn func(rec *store.Record, lineLen int64) error) error {
+func readSealedSegment(dir string, e ManifestEntry, expectPrev *sig.Digest, fn func(rec *store.Record, lineLen int64) error) error {
+	return verifySealedSegmentFile(segPath(dir, e.Segment), e, expectPrev, fn)
+}
+
+// verifySealedSegmentFile is readSealedSegment against an explicit file
+// path — replication verifies a shipped segment while it still sits at a
+// temporary name, before renaming it into place.
+func verifySealedSegmentFile(path string, e ManifestEntry, expectPrev *sig.Digest, fn func(rec *store.Record, lineLen int64) error) error {
 	var cv *store.ChainVerifier
 	if expectPrev != nil {
 		cv = store.ResumeChain(e.FirstSeq-1, *expectPrev)
 	}
 	content := sig.Digest{}
 	count := uint64(0)
-	_, torn, err := store.ReadJSONLines(segPath(dir, e.Segment), func(rec *store.Record, n int64) error {
+	_, torn, err := store.ReadJSONLines(path, func(rec *store.Record, n int64) error {
 		if cv == nil {
 			cv = store.ResumeChain(rec.Seq-1, rec.Prev)
 		}

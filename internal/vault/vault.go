@@ -99,15 +99,38 @@ func WithoutSync() Option {
 	return func(v *Vault) { v.sync = false }
 }
 
+// WithSealHook registers fn to be called after each segment seal becomes
+// durable, with the seal's manifest entry. Hooks run outside the vault
+// lock on the committer goroutine (or, for seals performed during Open,
+// on the opening goroutine), so they may call back into the vault but
+// must not block for long — replication uses the hook only to nudge its
+// shipping loop.
+func WithSealHook(fn func(ManifestEntry)) Option {
+	return func(v *Vault) { v.sealHooks = append(v.sealHooks, fn) }
+}
+
+// WithRestoreFrom rebuilds a lost vault from a replica: when the vault at
+// dir has no sealed history (a fresh or wiped directory), the sealed
+// segments, indexes and manifest found at replicaDir — typically a peer
+// organisation's replica of this vault, see ReplicaSet — are verified
+// against their seal chain and copied in before the normal open. A vault
+// that already has sealed history is left untouched. Only sealed evidence
+// is recoverable; records of the unsealed tail never left the lost
+// machine.
+func WithRestoreFrom(replicaDir string) Option {
+	return func(v *Vault) { v.restoreFrom = replicaDir }
+}
+
 // Vault is a segmented, indexed, group-committed evidence store. It
 // implements store.Log and is safe for concurrent use.
 type Vault struct {
-	dir        string
-	clk        clock.Clock
-	segRecords int
-	maxBatch   int
-	sync       bool
-	readOnly   bool
+	dir         string
+	clk         clock.Clock
+	segRecords  int
+	maxBatch    int
+	sync        bool
+	readOnly    bool
+	restoreFrom string
 
 	lockF *os.File
 
@@ -125,6 +148,10 @@ type Vault struct {
 	lastHash  sig.Digest
 	lastSeal  sig.Digest
 	failure   error
+	// sealHooks are notified after each durable seal; pendingSeals holds
+	// entries sealed under mu until the unlocked notify pass.
+	sealHooks    []func(ManifestEntry)
+	pendingSeals []ManifestEntry
 
 	appendC   chan *appendReq
 	quit      chan struct{}
@@ -139,6 +166,10 @@ type appendReq struct {
 	dir  store.Direction
 	tok  *evidence.Token
 	note string
+	// seal marks a SealNow request: no record is appended, the active
+	// segment is sealed. Routing seals through the committer keeps the
+	// active file handle single-writer.
+	seal bool
 	resp chan appendResp
 }
 
@@ -203,6 +234,12 @@ func Open(dir string, clk clock.Clock, opts ...Option) (*Vault, error) {
 		}
 		v.lockF = lockF
 	}
+	if v.restoreFrom != "" && !v.readOnly {
+		if err := v.restoreFromReplica(); err != nil {
+			v.unlock()
+			return nil, err
+		}
+	}
 	if err := v.loadManifest(); err != nil {
 		v.unlock()
 		return nil, err
@@ -233,8 +270,33 @@ func Open(dir string, clk clock.Clock, opts ...Option) (*Vault, error) {
 		}
 	}
 	v.mu.Unlock()
+	v.notifySeals()
 	go v.run()
 	return v, nil
+}
+
+// OnSeal registers fn to be notified of future seals, like WithSealHook
+// but after the vault is open — the replicator attaches itself here.
+func (v *Vault) OnSeal(fn func(ManifestEntry)) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.sealHooks = append(v.sealHooks, fn)
+}
+
+// notifySeals delivers entries sealed since the last pass to the seal
+// hooks, outside the vault lock.
+func (v *Vault) notifySeals() {
+	v.mu.Lock()
+	entries := v.pendingSeals
+	v.pendingSeals = nil
+	hooks := make([]func(ManifestEntry), len(v.sealHooks))
+	copy(hooks, v.sealHooks)
+	v.mu.Unlock()
+	for _, e := range entries {
+		for _, fn := range hooks {
+			fn(e)
+		}
+	}
 }
 
 // unlock releases the vault's exclusive lock.
@@ -250,8 +312,8 @@ func (v *Vault) unlock() {
 // segment's index.
 func (v *Vault) loadManifest() error {
 	path := v.manifestPath()
-	var entries []*manifestEntry
-	prefix, torn, err := store.ReadJSONLines(path, func(e *manifestEntry, _ int64) error {
+	var entries []*ManifestEntry
+	prefix, torn, err := store.ReadJSONLines(path, func(e *ManifestEntry, _ int64) error {
 		entries = append(entries, e)
 		return nil
 	})
@@ -291,7 +353,7 @@ func (v *Vault) loadManifest() error {
 // segment file if missing, stale or tampered (a crash can land between
 // index write and the next index write; the manifest entry — including
 // its pinned index payload digest — is the source of truth).
-func (v *Vault) loadIndex(e *manifestEntry) (*segmentIndex, error) {
+func (v *Vault) loadIndex(e *ManifestEntry) (*segmentIndex, error) {
 	data, err := os.ReadFile(idxPath(v.dir, e.Segment))
 	if err == nil {
 		idx := &segmentIndex{}
@@ -311,7 +373,7 @@ func (v *Vault) loadIndex(e *manifestEntry) (*segmentIndex, error) {
 
 // rebuildIndex reconstructs a sealed segment's index by re-reading its
 // records, verifying them against the seal on the way.
-func (v *Vault) rebuildIndex(e *manifestEntry) (*segmentIndex, error) {
+func (v *Vault) rebuildIndex(e *ManifestEntry) (*segmentIndex, error) {
 	seg := newSegment(e.Segment, e.FirstSeq)
 	err := readSealedSegment(v.dir, *e, nil, func(rec *store.Record, n int64) error {
 		seg.add(rec, n)
@@ -392,17 +454,7 @@ func (v *Vault) openHandles() error {
 // indexes, manifest, lock) survive power loss, not just process death.
 // It runs regardless of WithoutSync: seals must be all-or-nothing on
 // disk, and directory syncs happen only at open and rotation.
-func (v *Vault) syncDir() error {
-	d, err := os.Open(v.dir)
-	if err != nil {
-		return fmt.Errorf("vault: open dir for sync: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("vault: sync dir: %w", err)
-	}
-	return nil
-}
+func (v *Vault) syncDir() error { return syncDirPath(v.dir) }
 
 // run is the group committer: it drains pending appends into batches and
 // commits each batch with a single write+fsync.
@@ -463,8 +515,13 @@ func (v *Vault) commit(batch []*appendReq) {
 		line int64
 	}
 	var staged []stagedAppend
+	var sealReqs []*appendReq
 	var buf []byte
 	for _, req := range batch {
+		if req.seal {
+			sealReqs = append(sealReqs, req)
+			continue
+		}
 		rec, err := store.NextRecord(seq, hash, v.clk.Now(), req.dir, req.tok, req.note)
 		if err != nil {
 			req.resp <- appendResp{err: err}
@@ -480,31 +537,41 @@ func (v *Vault) commit(batch []*appendReq) {
 		staged = append(staged, stagedAppend{req: req, rec: rec, line: int64(len(line) + 1)})
 		seq, hash = rec.Seq, rec.Hash
 	}
-	if len(staged) == 0 {
+	if len(staged) == 0 && len(sealReqs) == 0 {
 		return
 	}
-	if err := v.write(buf); err != nil {
-		v.mu.Lock()
-		v.failure = err
-		v.mu.Unlock()
-		for _, s := range staged {
-			s.req.resp <- appendResp{err: err}
+	if len(staged) > 0 {
+		if err := v.write(buf); err != nil {
+			v.mu.Lock()
+			v.failure = err
+			v.mu.Unlock()
+			for _, s := range staged {
+				s.req.resp <- appendResp{err: err}
+			}
+			for _, req := range sealReqs {
+				req.resp <- appendResp{err: err}
+			}
+			return
 		}
-		return
 	}
 	v.mu.Lock()
 	for _, s := range staged {
 		v.active.add(s.rec, s.line)
 	}
 	v.lastSeq, v.lastHash = seq, hash
-	if len(v.active.records) >= v.segRecords {
-		if err := v.seal(); err != nil {
-			v.failure = err
+	var sealErr error
+	if len(v.active.records) >= v.segRecords || (len(sealReqs) > 0 && len(v.active.records) > 0) {
+		if sealErr = v.seal(); sealErr != nil {
+			v.failure = sealErr
 		}
 	}
 	v.mu.Unlock()
+	v.notifySeals()
 	for _, s := range staged {
 		s.req.resp <- appendResp{rec: s.rec}
+	}
+	for _, req := range sealReqs {
+		req.resp <- appendResp{err: sealErr}
 	}
 }
 
@@ -535,7 +602,7 @@ func (v *Vault) seal() error {
 	if err != nil {
 		return err
 	}
-	entry := manifestEntry{
+	entry := ManifestEntry{
 		Segment:  a.number,
 		FirstSeq: a.firstSeq,
 		LastSeq:  v.lastSeq,
@@ -579,6 +646,7 @@ func (v *Vault) seal() error {
 	// Evict: only the index survives in memory.
 	v.addSealed(idx)
 	v.lastSeal = entry.Digest
+	v.pendingSeals = append(v.pendingSeals, entry)
 	v.active = newSegment(a.number+1, v.lastSeq+1)
 	f, err := os.OpenFile(segPath(v.dir, v.active.number), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
 	if err != nil {
@@ -610,20 +678,7 @@ func (v *Vault) writeIndex(idx *segmentIndex) error {
 	if err != nil {
 		return err
 	}
-	path := idxPath(v.dir, idx.Entry.Segment)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
-	if err != nil {
-		return fmt.Errorf("vault: write index: %w", err)
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return fmt.Errorf("vault: write index: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("vault: sync index: %w", err)
-	}
-	return f.Close()
+	return writeFileSync(idxPath(v.dir, idx.Entry.Segment), data)
 }
 
 // Append implements store.Log. The call blocks until the record's batch is
@@ -650,6 +705,77 @@ func (v *Vault) Append(dir store.Direction, tok *evidence.Token, note string) (*
 			return nil, ErrClosed
 		}
 	}
+}
+
+// SealNow seals the active segment immediately, without waiting for it to
+// fill: its records are indexed, manifest-chained and evicted like any
+// rotation. Replication ships only sealed segments, so a source that must
+// hand its complete log to peers — before a planned shutdown, or ahead of
+// an adjudication — seals first. A vault with an empty active segment is
+// left as is. The call blocks until the seal is durable.
+func (v *Vault) SealNow() error {
+	if v.readOnly {
+		return ErrReadOnly
+	}
+	req := &appendReq{seal: true, resp: make(chan appendResp, 1)}
+	select {
+	case v.appendC <- req:
+	case <-v.done:
+		return ErrClosed
+	}
+	select {
+	case resp := <-req.resp:
+		return resp.err
+	case <-v.done:
+		select {
+		case resp := <-req.resp:
+			return resp.err
+		default:
+			return ErrClosed
+		}
+	}
+}
+
+// Manifest returns a copy of the seal chain: one entry per sealed
+// segment, in order. It is the replication shipping list and the
+// catch-up negotiation state.
+func (v *Vault) Manifest() []ManifestEntry {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]ManifestEntry, len(v.sealed))
+	for i, idx := range v.sealed {
+		out[i] = idx.Entry
+	}
+	return out
+}
+
+// Package reads one sealed segment into a shippable package: its manifest
+// entry plus the exact segment and index file bytes. Sealed files are
+// immutable, so the read needs no lock beyond locating the entry.
+func (v *Vault) Package(segment uint64) (*SegmentPackage, error) {
+	// Segments are numbered sequentially from 1, so the entry sits at
+	// index segment-1 (the invariant replica acceptance also enforces).
+	var entry *ManifestEntry
+	v.mu.Lock()
+	if segment >= 1 && segment <= uint64(len(v.sealed)) && v.sealed[segment-1].Entry.Segment == segment {
+		e := v.sealed[segment-1].Entry
+		entry = &e
+	}
+	v.mu.Unlock()
+	if entry == nil {
+		return nil, fmt.Errorf("vault: segment %d is not sealed", segment)
+	}
+	data, err := os.ReadFile(segPath(v.dir, segment))
+	if err != nil {
+		return nil, fmt.Errorf("vault: package segment %d: %w", segment, err)
+	}
+	// The index is a rebuildable convenience; ship it when present so the
+	// receiver need not reconstruct it, but its absence is not an error.
+	idxData, err := os.ReadFile(idxPath(v.dir, segment))
+	if err != nil {
+		idxData = nil
+	}
+	return &SegmentPackage{Entry: *entry, Data: data, Index: idxData}, nil
 }
 
 // Len implements store.Log.

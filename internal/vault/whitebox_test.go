@@ -1,0 +1,49 @@
+package vault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nonrep/internal/canon"
+)
+
+// TestReplicaDoctoredManifestNumbering: manifest entry digests are
+// unsigned self-hashes, so an attacker with disk access can write a
+// chain-consistent manifest with arbitrary segment numbering. The load
+// must reject it (sequential-from-1 is the invariant Receive's duplicate
+// lookup indexes on) — and a subsequent Receive must error, never panic.
+func TestReplicaDoctoredManifestNumbering(t *testing.T) {
+	t.Parallel()
+	rs, err := OpenReplicaSet(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const source = "urn:org:victim"
+	dir := rs.Dir(source)
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		t.Fatal(err)
+	}
+	e := ManifestEntry{Segment: 100, FirstSeq: 1, LastSeq: 4}
+	d, err := e.computeDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Digest = d
+	line, err := canon.Marshal(&e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), append(line, '\n'), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.LastSealed(source); !errors.Is(err, ErrSealBroken) {
+		t.Fatalf("doctored manifest load: err = %v, want ErrSealBroken", err)
+	}
+	// And the ship path (which takes the duplicate branch for segment
+	// numbers <= the claimed last) must refuse, not panic.
+	if err := rs.Receive(source, &SegmentPackage{Entry: ManifestEntry{Segment: 5}}); !errors.Is(err, ErrSealBroken) {
+		t.Fatalf("Receive against doctored manifest: err = %v, want ErrSealBroken", err)
+	}
+}

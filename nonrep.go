@@ -54,6 +54,7 @@ import (
 	"nonrep/internal/evidence"
 	"nonrep/internal/id"
 	"nonrep/internal/invoke"
+	"nonrep/internal/protocol"
 	"nonrep/internal/sharing"
 	"nonrep/internal/sig"
 	"nonrep/internal/store"
@@ -275,7 +276,7 @@ type (
 	// Vault is the production-scale evidence store.
 	Vault = vault.Vault
 	// VaultOption tunes a vault (VaultSegmentRecords, VaultMaxBatch,
-	// VaultWithoutSync).
+	// VaultWithoutSync, VaultReadOnly, VaultRestoreFrom).
 	VaultOption = vault.Option
 	// VaultQuery selects evidence records for adjudication.
 	VaultQuery = vault.Query
@@ -283,9 +284,41 @@ type (
 	VaultIterator = vault.Iterator
 	// VaultStats reports a vault's shape.
 	VaultStats = vault.Stats
+	// VaultManifestEntry seals one vault segment; seals travel with
+	// replicated segments and are re-verified on receipt.
+	VaultManifestEntry = vault.ManifestEntry
+	// SegmentPackage is one sealed segment in transit between
+	// organisations.
+	SegmentPackage = vault.SegmentPackage
+	// ReplicaSet is an organisation's verified store of peers' sealed
+	// segments (Org.Replicas).
+	ReplicaSet = vault.ReplicaSet
+	// Replicator ships sealed segments to peers (Org.Replication; enable
+	// with WithReplication).
+	Replicator = vault.Replicator
+	// AuditClient drives remote audits and replication shipping
+	// (Org.AuditClient).
+	AuditClient = protocol.AuditClient
+	// RemoteRecords streams a remote vault audit page by page; it is a
+	// RecordSource for Adjudicator.AuditStream.
+	RemoteRecords = protocol.RemoteIterator
 )
 
 // OpenVault opens (creating if necessary) a standalone evidence vault —
 // for audit tooling working directly on a vault directory, outside any
 // Domain.
 var OpenVault = vault.Open
+
+// OpenReplicaSet opens a standalone replica store — for audit tooling
+// working directly on replica directories, outside any Domain.
+var OpenReplicaSet = vault.OpenReplicaSet
+
+// Standalone-vault options beyond the Org enrolment set.
+var (
+	// VaultReadOnly opens a vault for audit only (nothing on disk is
+	// created or rewritten; works from read-only media).
+	VaultReadOnly = vault.WithReadOnly
+	// VaultRestoreFrom rebuilds a lost vault from a replica directory
+	// before opening — the disaster-recovery path.
+	VaultRestoreFrom = vault.WithRestoreFrom
+)
