@@ -16,6 +16,7 @@
 //	nrbench [-n iterations] [-quick]
 //	nrbench -pipeline [-n iterations] [-out BENCH_pipeline.json]
 //	nrbench -tenants 16 [-n iterations] [-out BENCH_tenants.json]
+//	nrbench -payload 33554432 [-n iterations] [-out BENCH_stream.json]
 //
 // The -pipeline mode runs only E12 — the hot-path pipeline study (plain
 // executor vs unbatched non-repudiation vs the batched pipeline under 32
@@ -27,14 +28,25 @@
 // versus the same N organisations hosted behind one shared endpoint (one
 // listener), driven by 32 concurrent clients, with and without the
 // batched pipeline.
+//
+// The -payload mode runs only E14 — the large-payload streaming study
+// over real TCP: one non-repudiable invocation carrying a payload of the
+// given size, once as an inline value parameter (the status-quo
+// single-envelope path, which past the 16 MiB wire frame now rides the
+// transport's chunked envelopes) and once as a hash-chained parameter
+// stream with a streamed result echo, at a ladder of sizes up to the
+// requested payload.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"math/rand"
 	"os"
 	"runtime"
 	"sync"
@@ -64,12 +76,17 @@ func main() {
 	quick := flag.Bool("quick", false, "reduce iterations for a fast pass")
 	pipeline := flag.Bool("pipeline", false, "run only the hot-path pipeline study (E12)")
 	tenants := flag.Int("tenants", 0, "run only the multi-tenant host study (E13) with this many organisations")
-	out := flag.String("out", "", "write pipeline/tenant measurements as JSON to this path")
+	payload := flag.Int("payload", 0, "run only the large-payload streaming study (E14) up to this many bytes")
+	out := flag.String("out", "", "write pipeline/tenant/stream measurements as JSON to this path")
 	flag.Parse()
 	if *quick {
 		*n = 25
 	}
 
+	if *payload > 0 {
+		benchStream(*n, *payload, *out)
+		return
+	}
 	if *tenants > 0 {
 		benchTenants(*n, *tenants, *out)
 		return
@@ -207,6 +224,162 @@ func benchPipeline(n int, out string) {
 		blob, err := json.MarshalIndent(map[string]any{
 			"experiment": "E12-pipeline",
 			"clients":    clients,
+			"results":    results,
+		}, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+}
+
+// streamResult is one configuration's measurement in the E14 study,
+// serialised to BENCH_stream.json for trend tracking across PRs.
+type streamResult struct {
+	Name         string  `json:"name"`
+	PayloadBytes int     `json:"payload_bytes"`
+	Ops          int     `json:"ops"`
+	NsPerOp      float64 `json:"ns_op"`
+	MBPerSec     float64 `json:"mb_per_sec"`
+}
+
+// streamEcho is the E14 workload component: it consumes the streamed
+// document and streams it straight back, so every measured byte crosses
+// the wire twice under full evidence.
+type streamEcho struct{}
+
+func (streamEcho) Echo(_ context.Context, in io.Reader, out io.Writer) (int64, error) {
+	return io.Copy(out, in)
+}
+
+// blobLen is the inline-parameter counterpart: the payload arrives whole
+// as a value parameter.
+type blobLen struct{}
+
+func (blobLen) Len(_ context.Context, blob []byte) (int, error) { return len(blob), nil }
+
+// benchStream is E14: one non-repudiable invocation carrying a large
+// payload over real TCP — inline value parameter (single logical
+// envelope; past the 16 MiB frame it rides the transport's chunked
+// envelopes) versus a hash-chained parameter stream whose result is
+// streamed back. Throughput counts payload bytes once, client-to-server.
+func benchStream(n, payload int, out string) {
+	fmt.Printf("## E14 — large-payload streaming over TCP (up to %d bytes)\n\n", payload)
+	fmt.Println("| configuration | payload | latency/op | payload throughput |")
+	fmt.Println("|---|---|---|---|")
+
+	// The ladder climbs to exactly the requested payload; rungs at or
+	// above it are dropped so nothing larger than asked for is moved.
+	var sizes []int
+	for _, s := range []int{1 << 20, 4 << 20} {
+		if s < payload {
+			sizes = append(sizes, s)
+		}
+	}
+	sizes = append(sizes, payload)
+	iters := func(size int) int {
+		it := max(n/25, 2)
+		if size >= 16<<20 && it > 4 {
+			it = 4
+		}
+		return it
+	}
+
+	domain, err := nonrep.NewDomain(nonrep.WithTCP())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer domain.Close()
+	cliOrg, err := domain.AddOrg("urn:org:stream-client")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srvOrg, err := domain.AddOrg("urn:org:stream-server")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srvOrg.Deploy(nonrep.Descriptor{
+		Service: "urn:org:stream-server/docs",
+		Methods: map[string]nonrep.MethodPolicy{
+			"Echo": {NonRepudiation: true},
+			"Len":  {NonRepudiation: true},
+		},
+	}, struct {
+		streamEcho
+		blobLen
+	}{}); err != nil {
+		log.Fatal(err)
+	}
+	srv := srvOrg.Serve()
+	defer srv.Close()
+	proxy := cliOrg.Proxy("urn:org:stream-server", "urn:org:stream-server/docs", nil)
+
+	var results []streamResult
+	measure := func(name string, size int, run func() error) {
+		it := iters(size)
+		// One warm-up outside the clock.
+		if err := run(); err != nil {
+			log.Fatalf("%s warm-up (%d bytes): %v", name, size, err)
+		}
+		start := time.Now()
+		for i := 0; i < it; i++ {
+			if err := run(); err != nil {
+				log.Fatalf("%s (%d bytes): %v", name, size, err)
+			}
+		}
+		elapsed := time.Since(start)
+		r := streamResult{
+			Name:         name,
+			PayloadBytes: size,
+			Ops:          it,
+			NsPerOp:      float64(elapsed.Nanoseconds()) / float64(it),
+			MBPerSec:     float64(size) * float64(it) / (1 << 20) / elapsed.Seconds(),
+		}
+		results = append(results, r)
+		fmt.Printf("| %s | %d MiB | %v | %.1f MiB/s |\n",
+			name, size>>20, time.Duration(r.NsPerOp).Round(time.Millisecond), r.MBPerSec)
+	}
+
+	for _, size := range sizes {
+		blob := make([]byte, size)
+		rand.New(rand.NewSource(int64(size))).Read(blob)
+		measure("inline value param", size, func() error {
+			var got int
+			if _, err := proxy.CallValue(context.Background(), &got, "Len", blob); err != nil {
+				return err
+			}
+			if got != size {
+				return fmt.Errorf("server saw %d of %d bytes", got, size)
+			}
+			return nil
+		})
+		measure("chunked stream + streamed echo", size, func() error {
+			res, err := proxy.CallStream(context.Background(), "Echo", nonrep.StreamParam("doc", bytes.NewReader(blob)))
+			if err != nil {
+				return err
+			}
+			rs := res.Stream("stream0")
+			if rs == nil {
+				return fmt.Errorf("no result stream")
+			}
+			back, err := io.Copy(io.Discard, rs)
+			if err != nil {
+				return err
+			}
+			if back != int64(size) {
+				return fmt.Errorf("echoed %d of %d bytes", back, size)
+			}
+			return nil
+		})
+	}
+	fmt.Println()
+
+	if out != "" {
+		blob, err := json.MarshalIndent(map[string]any{
+			"experiment": "E14-stream",
 			"results":    results,
 		}, "", "  ")
 		if err != nil {

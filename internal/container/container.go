@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"reflect"
 	"sync"
 	"time"
@@ -79,10 +80,29 @@ type Invocation struct {
 	Caller  id.Party
 	Service id.Service
 	Method  string
-	// Args carry the canonical encodings of the arguments.
+	// Args carry the canonical encodings of the arguments. A streamed
+	// parameter's slot carries its name; the payload is read from Streams.
 	Args []json.RawMessage
 	// Meta carries propagated context.
 	Meta map[string]string
+	// Streams exposes an io.Reader per streamed parameter, keyed by
+	// parameter name — the payloads whose chunk-digest chains the run's
+	// evidence binds. Nil for non-streamed invocations.
+	Streams map[string]io.Reader
+	// Results collects streamed results; writes are chunked, digested and
+	// bound by the response evidence before any chunk travels. Nil when
+	// the invocation cannot stream results.
+	Results *invoke.ResultStreams
+}
+
+// ResultWriter returns a writer for a named streamed result, or nil when
+// the invocation cannot stream results. The client reads it back with
+// Result.Stream(name).
+func (inv *Invocation) ResultWriter(name string) io.Writer {
+	if inv.Results == nil {
+		return nil
+	}
+	return inv.Results.Writer(name)
 }
 
 // Invoker is the downstream target of an interceptor.
@@ -156,8 +176,10 @@ func New(acl *access.Manager, opts ...Option) *Container {
 }
 
 var (
-	ctxType = reflect.TypeOf((*context.Context)(nil)).Elem()
-	errType = reflect.TypeOf((*error)(nil)).Elem()
+	ctxType    = reflect.TypeOf((*context.Context)(nil)).Elem()
+	errType    = reflect.TypeOf((*error)(nil)).Elem()
+	readerType = reflect.TypeOf((*io.Reader)(nil)).Elem()
+	writerType = reflect.TypeOf((*io.Writer)(nil)).Elem()
 )
 
 // Deploy installs a component at its descriptor's service URI. Every
@@ -209,11 +231,22 @@ func (c *Container) Policy(service id.Service, method string) (MethodPolicy, err
 // request is actually passed through the interceptor chain to the EJB
 // component for execution" (section 4.2).
 func (c *Container) Execute(ctx context.Context, req *evidence.RequestSnapshot) ([]evidence.Param, error) {
+	return c.ExecuteStream(ctx, req, nil, nil)
+}
+
+var _ invoke.StreamExecutor = (*Container)(nil)
+
+// ExecuteStream implements invoke.StreamExecutor: Execute with streamed
+// parameters exposed to the component as io.Reader arguments and io.Writer
+// arguments collected as streamed results.
+func (c *Container) ExecuteStream(ctx context.Context, req *evidence.RequestSnapshot, streams map[string]io.Reader, results *invoke.ResultStreams) ([]evidence.Param, error) {
 	inv := &Invocation{
 		Caller:  req.Client,
 		Service: req.Service,
 		Method:  req.Operation,
 		Meta:    map[string]string{"run": string(req.Run), "protocol": req.Protocol},
+		Streams: streams,
+		Results: results,
 	}
 	for _, p := range req.Params {
 		switch p.Kind {
@@ -227,6 +260,14 @@ func (c *Container) Execute(ctx context.Context, req *evidence.RequestSnapshot) 
 			inv.Args = append(inv.Args, raw)
 		case evidence.ParamSharedRef:
 			raw, err := json.Marshal(p.Ref)
+			if err != nil {
+				return nil, err
+			}
+			inv.Args = append(inv.Args, raw)
+		case evidence.ParamStream:
+			// The slot names the stream; dispatch resolves it to the
+			// verified reader.
+			raw, err := json.Marshal(p.Name)
 			if err != nil {
 				return nil, err
 			}
@@ -248,7 +289,10 @@ func (c *Container) Execute(ctx context.Context, req *evidence.RequestSnapshot) 
 }
 
 // dispatch is the terminal invoker: reflective method invocation on the
-// deployed component.
+// deployed component. Beyond JSON-decoded value arguments, io.Reader
+// parameters consume a streamed parameter (their argument slot names it)
+// and io.Writer parameters are injected as streamed result writers named
+// "stream0", "stream1", ... in declaration order.
 func (c *Container) dispatch(ctx context.Context, inv *Invocation) (any, error) {
 	c.mu.RLock()
 	h, ok := c.components[inv.Service]
@@ -261,19 +305,51 @@ func (c *Container) dispatch(ctx context.Context, inv *Invocation) (any, error) 
 		return nil, fmt.Errorf("%w: %s on %s", ErrUnknownMethod, inv.Method, inv.Service)
 	}
 	mt := m.Type
-	wantArgs := mt.NumIn() - 2 // receiver + ctx
+	wantArgs := 0
+	for i := 2; i < mt.NumIn(); i++ { // receiver + ctx first
+		if mt.In(i) != writerType {
+			wantArgs++
+		}
+	}
 	if len(inv.Args) != wantArgs {
 		return nil, fmt.Errorf("%w: %s.%s takes %d args, got %d",
 			ErrArgumentMismatch, inv.Service, inv.Method, wantArgs, len(inv.Args))
 	}
 	callArgs := make([]reflect.Value, 0, mt.NumIn())
 	callArgs = append(callArgs, h.recv, reflect.ValueOf(ctx))
-	for i := 0; i < wantArgs; i++ {
-		pv := reflect.New(mt.In(i + 2))
-		if err := json.Unmarshal(inv.Args[i], pv.Interface()); err != nil {
-			return nil, fmt.Errorf("%w: arg %d of %s.%s: %v", ErrArgumentMismatch, i, inv.Service, inv.Method, err)
+	argIdx, writerIdx := 0, 0
+	for i := 2; i < mt.NumIn(); i++ {
+		pt := mt.In(i)
+		switch pt {
+		case writerType:
+			w := inv.ResultWriter(fmt.Sprintf("stream%d", writerIdx))
+			if w == nil {
+				return nil, fmt.Errorf("%w: %s.%s streams results, which this protocol run cannot carry",
+					ErrArgumentMismatch, inv.Service, inv.Method)
+			}
+			writerIdx++
+			callArgs = append(callArgs, reflect.ValueOf(w))
+		case readerType:
+			var name string
+			if err := json.Unmarshal(inv.Args[argIdx], &name); err != nil {
+				return nil, fmt.Errorf("%w: arg %d of %s.%s expects a streamed parameter",
+					ErrArgumentMismatch, argIdx, inv.Service, inv.Method)
+			}
+			r, ok := inv.Streams[name]
+			if !ok {
+				return nil, fmt.Errorf("%w: arg %d of %s.%s: no streamed parameter %q",
+					ErrArgumentMismatch, argIdx, inv.Service, inv.Method, name)
+			}
+			argIdx++
+			callArgs = append(callArgs, reflect.ValueOf(r))
+		default:
+			pv := reflect.New(pt)
+			if err := json.Unmarshal(inv.Args[argIdx], pv.Interface()); err != nil {
+				return nil, fmt.Errorf("%w: arg %d of %s.%s: %v", ErrArgumentMismatch, argIdx, inv.Service, inv.Method, err)
+			}
+			argIdx++
+			callArgs = append(callArgs, pv.Elem())
 		}
-		callArgs = append(callArgs, pv.Elem())
 	}
 	outs := m.Func.Call(callArgs)
 	if errV := outs[len(outs)-1]; !errV.IsNil() {

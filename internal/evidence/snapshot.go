@@ -46,6 +46,10 @@ type Param struct {
 	Value json.RawMessage `json:"value,omitempty"`
 	URI   string          `json:"uri,omitempty"`
 	Ref   *SharedRef      `json:"ref,omitempty"`
+	// Stream resolves a streamed payload (Kind ParamStream) to its
+	// chunk-digest chain; the chain's root is what the run's evidence
+	// tokens bind.
+	Stream *StreamRef `json:"stream,omitempty"`
 }
 
 // ValueParam resolves a value-typed argument to its canonical

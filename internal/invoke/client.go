@@ -3,6 +3,7 @@ package invoke
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"nonrep/internal/evidence"
 	"nonrep/internal/id"
@@ -79,6 +80,18 @@ func NewClient(co *protocol.Coordinator, opts ...ClientOption) *Client {
 func (c *Client) Invoke(ctx context.Context, server id.Party, req Request) (*Result, error) {
 	svc := c.co.Services()
 	run := id.NewRun()
+	params := req.Params
+	if len(req.Streams) > 0 {
+		// Streamed parameters travel to the executing server ahead of the
+		// request; inline relays do not forward chunk messages.
+		if len(c.via) > 0 {
+			return nil, fmt.Errorf("invoke: streamed parameters are not supported through inline relays")
+		}
+		var err error
+		if params, err = c.sendStreams(ctx, server, run, req); err != nil {
+			return nil, err
+		}
+	}
 	snap := evidence.RequestSnapshot{
 		Run:       run,
 		Txn:       req.Txn,
@@ -86,7 +99,7 @@ func (c *Client) Invoke(ctx context.Context, server id.Party, req Request) (*Res
 		Server:    server,
 		Service:   req.Service,
 		Operation: req.Operation,
-		Params:    req.Params,
+		Params:    params,
 		Protocol:  c.proto,
 	}
 	reqDigest, err := snap.Digest()
@@ -171,6 +184,9 @@ func (c *Client) Invoke(ctx context.Context, server id.Party, req Request) (*Res
 			}
 			result.Evidence = append(result.Evidence, nrr)
 		}
+		if err := c.attachStreams(ctx, result, &respSnap, server); err != nil {
+			return nil, err
+		}
 		return result, nil
 	}
 
@@ -198,6 +214,9 @@ func (c *Client) Invoke(ctx context.Context, server id.Party, req Request) (*Res
 		return nil, err
 	}
 	result.Evidence = append(result.Evidence, nrr, nroResp)
+	if err := c.attachStreams(ctx, result, &respSnap, server); err != nil {
+		return nil, err
+	}
 
 	if c.withholdReceipt {
 		// Misbehaviour injection: keep the verified response but never
@@ -249,8 +268,106 @@ func (c *Client) Invoke(ctx context.Context, server id.Party, req Request) (*Res
 		// The interceptor received and evidenced the response but must
 		// not release it to the application.
 		result.Result = nil
+		result.streams = nil
 	}
 	return result, nil
+}
+
+// sendStreams delivers every streamed parameter to the server as ordered
+// chunk messages, digesting the chain as it goes, and returns the request
+// parameters with each stream resolved to its chunk-digest chain — the
+// agreed representation the run's evidence will bind.
+func (c *Client) sendStreams(ctx context.Context, server id.Party, run id.Run, req Request) ([]evidence.Param, error) {
+	params := make([]evidence.Param, len(req.Params))
+	copy(params, req.Params)
+	for _, st := range req.Streams {
+		if st.Name == "" || st.Reader == nil {
+			return nil, fmt.Errorf("invoke: streamed parameter needs a name and a reader")
+		}
+		ref, err := c.sendStream(ctx, server, run, req.Txn, st)
+		if err != nil {
+			return nil, err
+		}
+		placed := false
+		for i := range params {
+			if params[i].Kind == evidence.ParamStream && params[i].Name == st.Name && params[i].Stream == nil {
+				params[i].Stream = ref
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			params = append(params, evidence.Param{Kind: evidence.ParamStream, Name: st.Name, Stream: ref})
+		}
+	}
+	return params, nil
+}
+
+// sendStream ships one parameter's payload chunk by chunk; each chunk is
+// acknowledged before the next is read, so client memory stays bounded by
+// one chunk regardless of payload size.
+func (c *Client) sendStream(ctx context.Context, server id.Party, run id.Run, txn id.Txn, st Stream) (*evidence.StreamRef, error) {
+	sid := string(run) + "/" + st.Name
+	dig := evidence.NewStreamDigester(DefaultStreamChunk)
+	buf := make([]byte, DefaultStreamChunk)
+	seq := 0
+	for {
+		n, err := io.ReadFull(st.Reader, buf)
+		if n > 0 {
+			msg := &protocol.Message{Protocol: c.proto, Run: run, Txn: txn, Step: stepRequest, Kind: kindChunk}
+			if berr := msg.SetBody(chunkBody{Stream: sid, Seq: seq, Data: buf[:n]}); berr != nil {
+				return nil, berr
+			}
+			if _, derr := c.co.DeliverRequest(ctx, server, msg); derr != nil {
+				return nil, fmt.Errorf("invoke: ship stream %q chunk %d: %w", st.Name, seq, derr)
+			}
+			if aerr := dig.Add(buf[:n]); aerr != nil {
+				return nil, aerr
+			}
+			seq++
+		}
+		switch err {
+		case nil:
+			continue
+		case io.EOF, io.ErrUnexpectedEOF:
+			ref, rerr := dig.Ref(sid)
+			if rerr != nil {
+				return nil, rerr
+			}
+			return &ref, nil
+		default:
+			return nil, fmt.Errorf("invoke: read stream %q: %w", st.Name, err)
+		}
+	}
+}
+
+// attachStreams builds the lazily-fetched readers for every streamed
+// result the (verified) response snapshot binds.
+func (c *Client) attachStreams(ctx context.Context, result *Result, respSnap *evidence.ResponseSnapshot, server id.Party) error {
+	for _, p := range respSnap.Result {
+		if p.Kind != evidence.ParamStream {
+			continue
+		}
+		if p.Stream == nil {
+			return fmt.Errorf("%w: streamed result %q without chunk chain", ErrEvidenceInvalid, p.Name)
+		}
+		if err := p.Stream.Verify(); err != nil {
+			return fmt.Errorf("%w: streamed result %q: %v", ErrEvidenceInvalid, p.Name, err)
+		}
+		if result.streams == nil {
+			result.streams = make(map[string]*ResultStream)
+		}
+		result.streams[p.Name] = &ResultStream{
+			ctx:    ctx,
+			co:     c.co,
+			server: server,
+			proto:  c.proto,
+			run:    result.Run,
+			name:   p.Name,
+			ref:    *p.Stream,
+		}
+	}
+	return nil
 }
 
 // abort asks the offline TTP to abort the run, logging its decision.

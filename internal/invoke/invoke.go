@@ -84,6 +84,12 @@ type Request struct {
 	// Params are the already-resolved invocation parameters
 	// (section 3.4).
 	Params []evidence.Param
+	// Streams are payloads delivered as hash-chained chunk streams ahead
+	// of the request. Each resolves to a chunk-digest chain parameter
+	// (evidence.ParamStream) bound by the run's evidence: a Params entry
+	// of that kind with a matching name is filled in place, otherwise the
+	// resolved parameter is appended.
+	Streams []Stream
 	// Txn optionally links the run's evidence to a business
 	// transaction.
 	Txn id.Txn
@@ -102,6 +108,23 @@ type Result struct {
 	// Evidence is every token generated or received by the client's
 	// interceptor during the run.
 	Evidence []*evidence.Token
+
+	// streams are the run's readable result streams, keyed by name.
+	streams map[string]*ResultStream
+}
+
+// Stream returns the named streamed result, or nil when the response
+// carried none by that name. Reading fetches chunks lazily from the
+// server, verifying each against the chain the response evidence signed.
+func (r *Result) Stream(name string) *ResultStream { return r.streams[name] }
+
+// StreamNames lists the streamed results of the response.
+func (r *Result) StreamNames() []string {
+	out := make([]string, 0, len(r.streams))
+	for name := range r.streams {
+		out = append(out, name)
+	}
+	return out
 }
 
 // wire bodies

@@ -1,9 +1,11 @@
 package invoke
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -27,14 +29,33 @@ type Server struct {
 	voluntaryReceipt bool
 	ttp              id.Party
 	receiptTimeout   time.Duration
+	maxStreamBytes   int64
 
 	replies *protocol.ReplyCache
 
 	mu   sync.Mutex
 	runs map[id.Run]*serverRun
 
+	// pending buffers inbound streamed-parameter chunks until the request
+	// whose signed evidence binds them arrives; keyed by sender and
+	// stream identifier, bounded in count and per-stream bytes.
+	streamMu     sync.Mutex
+	pending      map[string]*pendingStream
+	pendingOrder []string
+
 	wg     sync.WaitGroup
 	closed chan struct{}
+}
+
+// pendingStream is one buffered inbound chunk stream.
+type pendingStream struct {
+	chunks [][]byte
+	bytes  int64
+}
+
+// streamKey scopes a stream identifier to its (claimed) sender.
+func streamKey(sender id.Party, stream string) string {
+	return string(sender) + "\x00" + stream
 }
 
 var _ protocol.Handler = (*Server)(nil)
@@ -49,6 +70,9 @@ type serverRun struct {
 	nro        *evidence.Token
 	nrr        *evidence.Token
 	nroResp    *evidence.Token
+	// resultChunks holds the run's streamed results for chunk-fetch
+	// serving, keyed by stream name.
+	resultChunks map[string][][]byte
 
 	receiptOnce sync.Once
 	receipt     chan struct{}
@@ -100,17 +124,30 @@ func WithRecovery(ttp id.Party, d time.Duration) ServerOption {
 	}
 }
 
+// WithMaxStreamBytes bounds one buffered streamed parameter (default
+// DefaultMaxStreamBytes). Chunks beyond the bound are refused, which fails
+// the stream's run without affecting others.
+func WithMaxStreamBytes(n int64) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxStreamBytes = n
+		}
+	}
+}
+
 // NewServer creates a server handler executing requests through exec and
 // registers it with the coordinator.
 func NewServer(co *protocol.Coordinator, exec Executor, opts ...ServerOption) *Server {
 	s := &Server{
-		co:          co,
-		exec:        exec,
-		proto:       ProtocolDirect,
-		execTimeout: DefaultExecTimeout,
-		replies:     protocol.NewReplyCache(),
-		runs:        make(map[id.Run]*serverRun),
-		closed:      make(chan struct{}),
+		co:             co,
+		exec:           exec,
+		proto:          ProtocolDirect,
+		execTimeout:    DefaultExecTimeout,
+		maxStreamBytes: DefaultMaxStreamBytes,
+		replies:        protocol.NewReplyCache(),
+		runs:           make(map[id.Run]*serverRun),
+		pending:        make(map[string]*pendingStream),
+		closed:         make(chan struct{}),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -123,9 +160,16 @@ func NewServer(co *protocol.Coordinator, exec Executor, opts ...ServerOption) *S
 func (s *Server) Protocol() string { return s.proto }
 
 // ProcessRequest implements protocol.Handler: it executes steps 1 and 2 of
-// the exchange.
+// the exchange, absorbs streamed-parameter chunks delivered ahead of a
+// request, and serves streamed-result chunk fetches after a response.
 func (s *Server) ProcessRequest(ctx context.Context, msg *protocol.Message) (*protocol.Message, error) {
-	if msg.Kind != kindRequest {
+	switch msg.Kind {
+	case kindChunk:
+		return s.processChunk(msg)
+	case kindChunkFetch:
+		return s.processChunkFetch(msg)
+	case kindRequest:
+	default:
 		return nil, fmt.Errorf("invoke: unexpected request kind %q", msg.Kind)
 	}
 	// At-most-once: a retried request returns the original response.
@@ -180,9 +224,21 @@ func (s *Server) ProcessRequest(ctx context.Context, msg *protocol.Message) (*pr
 		}
 	}
 
+	// Streamed parameters: every buffered chunk is checked against the
+	// chain the NRO just bound before the component sees a byte — a
+	// missing or tampered chunk fails here, attributably, against the
+	// signed digest chain.
+	streams, err := s.collectStreams(msg.Sender, snap.Params)
+	if err != nil {
+		return nil, err
+	}
+
 	// Execute the request under the agreed timeout; failures become
 	// interceptor-generated evidence rather than protocol errors.
-	respSnap := s.execute(ctx, &snap, reqDigest)
+	respSnap, resultChunks, err := s.execute(ctx, &snap, reqDigest, streams)
+	if err != nil {
+		return nil, err
+	}
 	respDigest, err := respSnap.Digest()
 	if err != nil {
 		return nil, err
@@ -200,13 +256,14 @@ func (s *Server) ProcessRequest(ctx context.Context, msg *protocol.Message) (*pr
 	}
 
 	rs := &serverRun{
-		client:     snap.Client,
-		reqSnap:    snap,
-		respSnap:   respSnap,
-		respDigest: respDigest,
-		nro:        nro,
-		nrr:        nrr,
-		receipt:    make(chan struct{}),
+		client:       snap.Client,
+		reqSnap:      snap,
+		respSnap:     respSnap,
+		respDigest:   respDigest,
+		nro:          nro,
+		nrr:          nrr,
+		resultChunks: resultChunks,
+		receipt:      make(chan struct{}),
 	}
 
 	switch s.proto {
@@ -252,8 +309,11 @@ func (s *Server) ProcessRequest(ctx context.Context, msg *protocol.Message) (*pr
 }
 
 // execute runs the request through the executor, mapping failures to the
-// response statuses of section 3.2.
-func (s *Server) execute(ctx context.Context, snap *evidence.RequestSnapshot, reqDigest sig.Digest) evidence.ResponseSnapshot {
+// response statuses of section 3.2. Streamed parameters reach a
+// StreamExecutor as verified readers; streamed results come back as the
+// response's chunk-digest chain parameters plus the chunk data kept for
+// fetch serving.
+func (s *Server) execute(ctx context.Context, snap *evidence.RequestSnapshot, reqDigest sig.Digest, streams map[string]io.Reader) (evidence.ResponseSnapshot, map[string][][]byte, error) {
 	svc := s.co.Services()
 	resp := evidence.ResponseSnapshot{
 		Run:           snap.Run,
@@ -262,7 +322,16 @@ func (s *Server) execute(ctx context.Context, snap *evidence.RequestSnapshot, re
 	}
 	execCtx, cancel := context.WithTimeout(ctx, s.execTimeout)
 	defer cancel()
-	result, err := s.exec.Execute(execCtx, snap)
+	results := NewResultStreams(DefaultStreamChunk)
+	var result []evidence.Param
+	var err error
+	if se, ok := s.exec.(StreamExecutor); ok {
+		result, err = se.ExecuteStream(execCtx, snap, streams, results)
+	} else if len(streams) > 0 {
+		err = fmt.Errorf("%w: executor does not support streamed parameters", ErrNotExecuted)
+	} else {
+		result, err = s.exec.Execute(execCtx, snap)
+	}
 	switch {
 	case err == nil:
 		resp.Status = evidence.StatusOK
@@ -280,7 +349,172 @@ func (s *Server) execute(ctx context.Context, snap *evidence.RequestSnapshot, re
 		resp.Status = evidence.StatusFailed
 		resp.Error = err.Error()
 	}
-	return resp
+	if resp.Status != evidence.StatusOK {
+		return resp, nil, nil
+	}
+	// Streamed results are bound by the response snapshot (and so by the
+	// server's NRO-of-response) before a single chunk travels.
+	streamParams, perr := results.params()
+	if perr != nil {
+		return resp, nil, perr
+	}
+	resp.Result = append(resp.Result, streamParams...)
+	return resp, results.chunkMap(), nil
+}
+
+// processChunk absorbs one streamed-parameter chunk delivered ahead of
+// its request. Chunks are buffered per (claimed) sender and stream and
+// verified only when the request's signed evidence arrives; the caps
+// bound what an unauthenticated sender can pin in memory.
+func (s *Server) processChunk(msg *protocol.Message) (*protocol.Message, error) {
+	var cb chunkBody
+	if err := msg.Body(&cb); err != nil {
+		return nil, err
+	}
+	if cb.Stream == "" {
+		return nil, fmt.Errorf("invoke: chunk without stream id")
+	}
+	key := streamKey(msg.Sender, cb.Stream)
+	s.streamMu.Lock()
+	ps := s.pending[key]
+	if ps == nil {
+		for len(s.pending) >= maxPendingStreams && len(s.pendingOrder) > 0 {
+			oldest := s.pendingOrder[0]
+			s.pendingOrder = s.pendingOrder[1:]
+			delete(s.pending, oldest)
+		}
+		ps = &pendingStream{}
+		s.pending[key] = ps
+		s.pendingOrder = append(s.pendingOrder, key)
+		// Consumed streams leave the map but not the order slice; compact
+		// it once it doubles the cap so long-lived servers' bookkeeping
+		// stays proportional to the cap, not to streams ever received.
+		if len(s.pendingOrder) > 2*maxPendingStreams {
+			kept := s.pendingOrder[:0]
+			seen := make(map[string]struct{}, len(s.pending))
+			for _, k := range s.pendingOrder {
+				if _, live := s.pending[k]; !live {
+					continue
+				}
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				kept = append(kept, k)
+			}
+			s.pendingOrder = kept
+		}
+	}
+	switch {
+	case cb.Seq < 0 || cb.Seq > len(ps.chunks):
+		s.streamMu.Unlock()
+		return nil, fmt.Errorf("invoke: chunk %d out of order for stream %q (have %d)", cb.Seq, cb.Stream, len(ps.chunks))
+	case cb.Seq < len(ps.chunks):
+		// Protocol-level duplicate: acknowledged only when identical.
+		if !bytes.Equal(ps.chunks[cb.Seq], cb.Data) {
+			s.streamMu.Unlock()
+			return nil, fmt.Errorf("invoke: conflicting duplicate of chunk %d in stream %q", cb.Seq, cb.Stream)
+		}
+	default:
+		if ps.bytes+int64(len(cb.Data)) > s.maxStreamBytes {
+			delete(s.pending, key)
+			s.streamMu.Unlock()
+			return nil, fmt.Errorf("invoke: stream %q exceeds the %d byte limit", cb.Stream, s.maxStreamBytes)
+		}
+		ps.chunks = append(ps.chunks, cb.Data)
+		ps.bytes += int64(len(cb.Data))
+	}
+	s.streamMu.Unlock()
+	reply := &protocol.Message{Protocol: msg.Protocol, Run: msg.Run, Txn: msg.Txn, Step: msg.Step, Kind: kindChunkAck}
+	if err := reply.SetBody(struct{}{}); err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// collectStreams resolves every streamed parameter of a verified request
+// against its buffered chunks: the chain must be internally consistent
+// (the root the NRO signed reproduces from it), the buffered chunk count
+// must match, and every chunk must reproduce its signed digest. Failures
+// name the stream and chunk — the attribution a signed chain buys.
+func (s *Server) collectStreams(sender id.Party, params []evidence.Param) (map[string]io.Reader, error) {
+	var m map[string]io.Reader
+	for _, p := range params {
+		if p.Kind != evidence.ParamStream {
+			continue
+		}
+		if p.Stream == nil {
+			return nil, fmt.Errorf("%w: streamed parameter %q without chunk chain", ErrEvidenceInvalid, p.Name)
+		}
+		if err := p.Stream.Verify(); err != nil {
+			return nil, fmt.Errorf("%w: stream %q: %v", ErrEvidenceInvalid, p.Name, err)
+		}
+		chunks, err := s.takeStream(sender, p.Stream, p.Name)
+		if err != nil {
+			return nil, err
+		}
+		if m == nil {
+			m = make(map[string]io.Reader)
+		}
+		m[p.Name] = newChunkReader(chunks)
+	}
+	return m, nil
+}
+
+// takeStream removes and verifies one buffered stream.
+func (s *Server) takeStream(sender id.Party, ref *evidence.StreamRef, name string) ([][]byte, error) {
+	key := streamKey(sender, ref.Stream)
+	s.streamMu.Lock()
+	ps := s.pending[key]
+	delete(s.pending, key)
+	s.streamMu.Unlock()
+	var chunks [][]byte
+	if ps != nil {
+		chunks = ps.chunks
+	}
+	if len(chunks) != len(ref.Chunks) {
+		return nil, fmt.Errorf("%w: stream %q delivered %d of the %d chunks bound by the signed evidence",
+			ErrEvidenceInvalid, name, len(chunks), len(ref.Chunks))
+	}
+	for i, c := range chunks {
+		if err := ref.VerifyChunk(i, c); err != nil {
+			return nil, fmt.Errorf("%w: stream %q chunk %d: %v", ErrEvidenceInvalid, name, i, err)
+		}
+	}
+	return chunks, nil
+}
+
+// processChunkFetch serves one chunk of a run's streamed result. Fetches
+// are idempotent reads; replay protection is the transport's concern.
+func (s *Server) processChunkFetch(msg *protocol.Message) (*protocol.Message, error) {
+	var fb chunkFetchBody
+	if err := msg.Body(&fb); err != nil {
+		return nil, err
+	}
+	// The chunk is read under s.mu: TamperResultChunk replaces slice
+	// elements under the same lock, so the element read is never torn.
+	s.mu.Lock()
+	rs, ok := s.runs[msg.Run]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchRun, msg.Run)
+	}
+	chunks, ok := rs.resultChunks[fb.Name]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("invoke: run %s has no result stream %q", msg.Run, fb.Name)
+	}
+	if fb.Seq < 0 || fb.Seq >= len(chunks) {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("invoke: result stream %q has no chunk %d", fb.Name, fb.Seq)
+	}
+	data := chunks[fb.Seq]
+	s.mu.Unlock()
+	reply := &protocol.Message{Protocol: msg.Protocol, Run: msg.Run, Step: msg.Step, Kind: kindChunkData}
+	if err := reply.SetBody(chunkDataBody{Data: data}); err != nil {
+		return nil, err
+	}
+	return reply, nil
 }
 
 // ErrNotExecuted signals from an Executor that the request was received
@@ -397,6 +631,28 @@ func (s *Server) resolve(ctx context.Context, rs *serverRun, run id.Run) error {
 		rs.mu.Unlock()
 	})
 	return resolveErr
+}
+
+// TamperResultChunk corrupts one stored chunk of a run's streamed result.
+// Like WithholdReceipt, it exists to exercise the misbehaviour paths in
+// tests and demonstrations: the client's stream reader must detect the
+// corruption against the signed chunk chain and attribute it by index. It
+// reports whether the named chunk existed.
+func (s *Server) TamperResultChunk(run id.Run, name string, seq int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs, ok := s.runs[run]
+	if !ok {
+		return false
+	}
+	chunks := rs.resultChunks[name]
+	if seq < 0 || seq >= len(chunks) {
+		return false
+	}
+	c := append([]byte(nil), chunks[seq]...)
+	c[0] ^= 0xff
+	chunks[seq] = c
+	return true
 }
 
 // ResolveNow forces TTP resolution for a run, for tests and tools that do

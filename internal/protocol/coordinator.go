@@ -120,15 +120,19 @@ func New(network transport.Network, addr string, svc *Services, opts ...Option) 
 }
 
 // wrapEndpoint layers the outbound stack over a raw endpoint: retrying
-// retransmission, optional envelope coalescing, and — outermost, so
-// coalescing keys its batches by wire address alone and batches merge
-// across tenants of one peer host — tenant addressing, which lets this
-// endpoint send to tenant-qualified addresses of hosted coordinators.
+// retransmission, optional envelope coalescing, chunked transfer for
+// envelopes past the wire frame budget (each chunk slice is individually
+// retried by the reliable layer and bypasses coalescing by size), and —
+// outermost, so coalescing keys its batches by wire address alone and
+// batches merge across tenants of one peer host — tenant addressing,
+// which lets this endpoint send to tenant-qualified addresses of hosted
+// coordinators.
 func wrapEndpoint(ep transport.Endpoint, cfg config) transport.Endpoint {
 	ep = transport.NewReliable(ep, cfg.retry)
 	if cfg.coalesce != nil {
 		ep = transport.NewCoalescer(ep, *cfg.coalesce)
 	}
+	ep = transport.NewChunker(ep, transport.ChunkOptions{})
 	return transport.WithTenantAddressing(ep)
 }
 
@@ -260,5 +264,18 @@ func (c *Coordinator) DeliverRequestAddr(ctx context.Context, addr string, msg *
 	return &reply, nil
 }
 
-// Close deregisters the coordinator's endpoint.
-func (c *Coordinator) Close() error { return c.ep.Close() }
+// Close deregisters the coordinator's endpoint and withdraws the party's
+// directory registration (only while it still names this coordinator's
+// address, so a successor registered at a different address is never
+// clobbered). Callers re-enrolling the same party at the SAME address
+// must let Close return before starting the replacement — the address
+// guard cannot distinguish the two.
+func (c *Coordinator) Close() error {
+	// Hosted coordinators unregister inside Host.Remove, under the shard
+	// mutex that serialises detach against re-enrolment; doing it here
+	// too would repeat the withdrawal outside that lock.
+	if _, hosted := c.ep.(*hostedEndpoint); !hosted {
+		c.svc.Directory.Unregister(c.svc.Party, c.ep.Addr())
+	}
+	return c.ep.Close()
+}

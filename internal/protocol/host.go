@@ -167,23 +167,31 @@ func (h *Host) Add(svc *Services) (*Coordinator, error) {
 	}
 	next[key] = t
 	s.tenants.Store(&next)
+	// The directory registration happens under the shard mutex, paired
+	// with Remove's unregistration: a Remove/Add race on one party is
+	// then fully serialised (Add fails with ErrTenantEnrolled until the
+	// Remove's critical section — including its unregister — completes),
+	// so a late detach can never delete a successor's registration.
+	svc.Directory.Register(svc.Party, c.ep.Addr())
 	s.mu.Unlock()
 	h.mu.Unlock()
-
-	svc.Directory.Register(svc.Party, c.ep.Addr())
 	return c, nil
 }
 
 // Remove detaches a hosted party from the host. In-flight deliveries
 // holding the old chain complete; new envelopes for the tenant fail with
-// ErrUnknownTenant.
+// ErrUnknownTenant. The detached tenant's directory registration is
+// withdrawn (while it still names this host's tenant-qualified address),
+// so peers resolving the party fail fast instead of addressing a tenant
+// the host no longer serves.
 func (h *Host) Remove(p id.Party) {
 	key := string(p)
 	s := h.shard(key)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	cur := *s.tenants.Load()
-	if _, ok := cur[key]; !ok {
+	t, ok := cur[key]
+	if !ok {
+		s.mu.Unlock()
 		return
 	}
 	next := make(tenantMap, len(cur))
@@ -193,6 +201,10 @@ func (h *Host) Remove(p id.Party) {
 		}
 	}
 	s.tenants.Store(&next)
+	// Unregister inside the shard mutex, mirroring Add's register: see
+	// the comment there for why this ordering is race-free.
+	t.co.svc.Directory.Unregister(p, t.co.ep.Addr())
+	s.mu.Unlock()
 }
 
 // Coordinator returns the hosted coordinator of a party.

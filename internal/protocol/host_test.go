@@ -286,3 +286,61 @@ func TestHostConcurrentAddAndDispatch(t *testing.T) {
 		t.Fatalf("host serves %d parties, want %d", got, tenants)
 	}
 }
+
+// TestTenantDetachUnregistersDirectory: detaching a hosted organisation —
+// whether through Host.Remove or the hosted coordinator's Close — must
+// withdraw its directory registration, so peers fail fast at resolution
+// instead of addressing a tenant the host no longer serves; and a tenant
+// that re-enrolled elsewhere first must keep its new registration.
+func TestTenantDetachUnregistersDirectory(t *testing.T) {
+	t.Parallel()
+	network := transport.NewInprocNetwork()
+	t.Cleanup(func() { _ = network.Close() })
+	a, b := id.Party("urn:org:detach-a"), id.Party("urn:org:detach-b")
+	f := newHostFixture(t, network, "detach-host", a, b)
+
+	coA, err := f.host.Add(f.services(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coB, err := f.host.Add(f.services(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.dir.Resolve(a); err != nil {
+		t.Fatalf("hosted tenant not registered: %v", err)
+	}
+
+	// Host.Remove withdraws the registration.
+	f.host.Remove(a)
+	if _, err := f.dir.Resolve(a); err == nil {
+		t.Fatal("detached tenant still resolvable through the directory")
+	}
+	// Closing the hosted coordinator withdraws it too (the endpoint path).
+	if err := coB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.dir.Resolve(b); err == nil {
+		t.Fatal("closed hosted coordinator still resolvable through the directory")
+	}
+	// Detach is idempotent and must not disturb an unrelated party.
+	f.host.Remove(a)
+	_ = coA // the removed tenant's coordinator may be closed late...
+	if err := coA.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-enrolment after detach works, and a LATE cleanup of the old
+	// coordinator must not clobber the successor's registration: the
+	// directory only unregisters while the address still matches.
+	coA2, err := f.host.Add(f.services(a))
+	if err != nil {
+		t.Fatalf("re-enrol after detach: %v", err)
+	}
+	f.dir.Register(a, "somewhere-else")
+	f.host.Remove(a)
+	if addr, err := f.dir.Resolve(a); err != nil || addr != "somewhere-else" {
+		t.Fatalf("late detach clobbered the successor registration: %q, %v", addr, err)
+	}
+	_ = coA2
+}

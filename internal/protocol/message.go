@@ -100,6 +100,19 @@ func (d *Directory) Register(p id.Party, addr string) {
 	d.addrs[p] = addr
 }
 
+// Unregister withdraws a party's registration, but only while the
+// directory still maps the party to addr (an empty addr withdraws
+// unconditionally): a tenant that detached and re-enrolled elsewhere must
+// not have its successor's registration removed by the late cleanup of
+// the old coordinator.
+func (d *Directory) Unregister(p id.Party, addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if cur, ok := d.addrs[p]; ok && (addr == "" || cur == addr) {
+		delete(d.addrs, p)
+	}
+}
+
 // Resolve returns the coordinator address of a party.
 func (d *Directory) Resolve(p id.Party) (string, error) {
 	d.mu.RLock()

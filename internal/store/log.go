@@ -13,6 +13,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -155,10 +156,18 @@ func chainRecord(records []*Record, at time.Time, dir Direction, tok *evidence.T
 // the last record's sequence number and hash. It is the chaining primitive
 // shared by the in-process logs and stores (such as the segmented vault)
 // that cannot afford to keep the full record slice in memory.
+//
+// The note is normalised to valid UTF-8 before hashing: JSON has no
+// representation for invalid UTF-8, and encoding/json's coercion is not
+// round-trip stable (invalid bytes marshal as � escapes but re-marshal
+// after decoding as raw replacement characters), so an un-normalised
+// binary note would hash one way at append time and another after reload —
+// a tamper-evident log reporting tampering that never happened.
 func NextRecord(lastSeq uint64, prev sig.Digest, at time.Time, dir Direction, tok *evidence.Token, note string) (*Record, error) {
 	if tok == nil {
 		return nil, errors.New("store: nil token")
 	}
+	note = strings.ToValidUTF8(note, "�")
 	rec := &Record{
 		Seq:       lastSeq + 1,
 		Prev:      prev,

@@ -130,18 +130,32 @@ func NewCoalescer(inner Endpoint, opts CoalesceOptions) *Coalescer {
 // Addr implements Endpoint.
 func (c *Coalescer) Addr() string { return c.inner.Addr() }
 
+// maxCoalesceBody is the body size above which an envelope bypasses
+// coalescing: batching exists to amortise round trips over small protocol
+// messages, and folding large payloads (chunk slices, sealed-segment
+// ships) into batches would blow the combined envelope past the wire's
+// frame limit while delaying the small messages sharing its flush.
+const maxCoalesceBody = 64 << 10
+
 // Send implements Endpoint: the envelope joins the destination's next
 // batch. The call returns once the batch carrying it has been handed to
 // the underlying endpoint, preserving Send's error fidelity and providing
-// backpressure.
+// backpressure. Large-bodied envelopes skip the batch queue entirely.
 func (c *Coalescer) Send(ctx context.Context, to string, env *Envelope) error {
+	if len(env.Body) > maxCoalesceBody {
+		return c.inner.Send(ctx, to, env)
+	}
 	_, err := c.enqueue(ctx, to, env, false)
 	return err
 }
 
 // Request implements Endpoint: the request joins the destination's next
 // batch and its reply is extracted from the combined batch reply.
+// Large-bodied envelopes skip the batch queue entirely.
 func (c *Coalescer) Request(ctx context.Context, to string, env *Envelope) (*Envelope, error) {
+	if len(env.Body) > maxCoalesceBody {
+		return c.inner.Request(ctx, to, env)
+	}
 	return c.enqueue(ctx, to, env, true)
 }
 

@@ -10,9 +10,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"testing"
 
 	"nonrep/internal/canon"
+	"nonrep/internal/id"
 )
 
 // FuzzReadFrame feeds arbitrary bytes to the length-prefixed frame
@@ -92,3 +94,92 @@ func FuzzEnvelopeDecode(f *testing.F) {
 type tenantResolverFunc func(tenant string) Handler
 
 func (f tenantResolverFunc) TenantHandler(tenant string) Handler { return f(tenant) }
+
+// FuzzChunkAssemble replays an arbitrary sequence of chunk envelopes — a
+// JSON array of {kind, frame} steps — through a ChunkHandler with tight
+// limits. Out-of-order, duplicate, overlapping, truncated and oversized
+// chunk streams must yield errors, never a panic; and the assembler must
+// never hold more than its configured budget no matter what the frames
+// claim (the over-allocation class FuzzReadFrame fixed at the frame
+// layer).
+func FuzzChunkAssemble(f *testing.F) {
+	type step struct {
+		Kind  string     `json:"kind"`
+		Frame chunkFrame `json:"frame"`
+	}
+	seed := func(steps []step) []byte {
+		b, err := json.Marshal(steps)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	// A complete two-slice stream with a reply fetch.
+	f.Add(seed([]step{
+		{KindChunkPart, chunkFrame{Stream: "s", Seq: 0, Total: 2, Size: 8, Data: []byte("AAAA")}},
+		{KindChunkEnd, chunkFrame{Stream: "s", Seq: 1, Total: 2, Size: 8, MsgID: "m1", Kind: "bulk", WantReply: true, Data: []byte("BBBB")}},
+		{KindChunkFetch, chunkFrame{Stream: "r", Seq: 1}},
+	}))
+	// Out-of-order and duplicate slices.
+	f.Add(seed([]step{
+		{KindChunkPart, chunkFrame{Stream: "s", Seq: 1, Total: 3, Size: 12, Data: []byte("BBBB")}},
+		{KindChunkPart, chunkFrame{Stream: "s", Seq: 1, Total: 3, Size: 12, Data: []byte("BBBB")}},
+		{KindChunkPart, chunkFrame{Stream: "s", Seq: 0, Total: 3, Size: 12, Data: []byte("AAAA")}},
+		{KindChunkEnd, chunkFrame{Stream: "s", Seq: 2, Total: 3, Size: 12, MsgID: "m", Kind: "k", Data: []byte("CCCC")}},
+	}))
+	// Overlapping (conflicting duplicate) slice.
+	f.Add(seed([]step{
+		{KindChunkPart, chunkFrame{Stream: "s", Seq: 0, Total: 2, Size: 8, Data: []byte("AAAA")}},
+		{KindChunkPart, chunkFrame{Stream: "s", Seq: 0, Total: 2, Size: 8, Data: []byte("XXXX")}},
+	}))
+	// Truncated stream: final slice with holes behind it.
+	f.Add(seed([]step{
+		{KindChunkEnd, chunkFrame{Stream: "s", Seq: 3, Total: 4, Size: 16, MsgID: "m", Kind: "k", Data: []byte("DDDD")}},
+	}))
+	// Oversized claims: lying size and slice count.
+	f.Add(seed([]step{
+		{KindChunkPart, chunkFrame{Stream: "s", Seq: 0, Total: 1 << 30, Size: 1 << 40, Data: []byte("A")}},
+		{KindChunkPart, chunkFrame{Stream: "t", Seq: 0, Total: 2, Size: 1 << 40, Data: []byte("A")}},
+	}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var steps []step
+		if err := json.Unmarshal(data, &steps); err != nil {
+			return
+		}
+		if len(steps) > 64 {
+			steps = steps[:64]
+		}
+		opts := ChunkOptions{Threshold: 128, ChunkSize: 64, MaxMessage: 1 << 12, MaxStreams: 4}
+		h := NewChunkHandler(HandlerFunc(func(_ context.Context, env *Envelope) (*Envelope, error) {
+			return &Envelope{ID: env.ID, Kind: "echo", Body: env.Body}, nil
+		}), opts)
+		for _, s := range steps {
+			kind := s.Kind
+			switch kind {
+			case KindChunkPart, KindChunkEnd, KindChunkFetch:
+			default:
+				kind = KindChunkPart
+			}
+			env := &Envelope{ID: id.NewMsg(), Kind: kind, Body: canon.MustMarshal(&s.Frame)}
+			if _, err := h.Handle(context.Background(), env); err != nil {
+				_ = err // errors are the contract; panics are the bug
+			}
+			// Invariant: buffered bytes never exceed the per-stream budget
+			// times the stream cap, whatever the frames claimed.
+			h.mu.Lock()
+			var held int64
+			for _, a := range h.asm {
+				held += a.bytes
+			}
+			streams := len(h.asm)
+			h.mu.Unlock()
+			if streams > opts.MaxStreams {
+				t.Fatalf("%d concurrent assemblies, cap %d", streams, opts.MaxStreams)
+			}
+			if held > opts.MaxMessage*int64(opts.MaxStreams) {
+				t.Fatalf("assembler holds %d bytes, budget %d", held, opts.MaxMessage*int64(opts.MaxStreams))
+			}
+		}
+	})
+}

@@ -86,11 +86,14 @@ func (t *tenantAddressing) Close() error { return t.inner.Close() }
 
 // NewTenantChain builds the standard per-tenant receive chain around a
 // tenant's handler: batch opening (bounded by workers) outside replay
-// de-duplication, exactly as a dedicated coordinator arranges them — but
-// one instance per tenant, so the dedup window and batch worker pool are
-// sharded per tenant.
+// de-duplication outside chunk reassembly, exactly as a dedicated
+// coordinator arranges them — but one instance per tenant, so the dedup
+// window, batch worker pool and chunk-reassembly buffers are sharded per
+// tenant. Chunk reassembly sits inside de-duplication so every chunk slice
+// is absorbed exactly once and a retransmitted final slice returns the
+// cached reply instead of re-dispatching the assembled envelope.
 func NewTenantChain(inner Handler, workers int) Handler {
-	return NewBatchOpener(NewDedup(inner), workers)
+	return NewBatchOpener(NewDedup(NewChunkHandler(inner, ChunkOptions{})), workers)
 }
 
 // TenantResolver resolves a tenant key to the tenant's receive chain.

@@ -1,0 +1,56 @@
+package vault
+
+import (
+	"math/rand"
+	"testing"
+
+	"nonrep/internal/clock"
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/sig"
+	"nonrep/internal/store"
+)
+
+// TestBinaryNoteSurvivesSealAndReopen is the regression test for the
+// invalid-UTF-8 note bug: encoding/json's coercion of invalid bytes is
+// not round-trip stable, so un-normalised binary notes used to hash one
+// way at append time and another after reload — DeepVerify reported
+// tampering on a log nobody touched. Notes are now normalised at the
+// record boundary (store.NextRecord), so binary annotations (the
+// very-large-record workloads) seal, reopen, replicate and deep-verify.
+func TestBinaryNoteSurvivesSealAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	v, err := Open(dir, clock.Real{}, WithSegmentRecords(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 256)
+	rand.New(rand.NewSource(1)).Read(raw)
+	tok := &evidence.Token{Kind: evidence.KindNRO, Run: id.NewRun(), Issuer: "urn:x", Digest: sig.Sum([]byte("d"))}
+	for i := 0; i < 6; i++ { // one sealed segment plus a tail
+		if _, err := v.Append(store.Generated, tok, string(raw)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.SealNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.DeepVerify(); err != nil {
+		t.Fatalf("deep verify with binary notes: %v", err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: recovery replays the tail and the chain must still verify.
+	v2, err := Open(dir, clock.Real{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	if err := v2.DeepVerify(); err != nil {
+		t.Fatalf("deep verify after reopen: %v", err)
+	}
+	if v2.Len() != 6 {
+		t.Fatalf("records after reopen: %d", v2.Len())
+	}
+}

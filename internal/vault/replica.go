@@ -35,12 +35,11 @@ var ErrReplicaGap = errors.New("vault: shipped segment leaves a replica gap")
 // the entry digest, seal-chain link, record chain, content digest and
 // index digest are all re-verified on receipt.
 //
-// A package travels as one protocol envelope, so a segment must fit the
-// wire's frame limit (16 MiB over TCP) with JSON/base64 overhead —
-// comfortably true at the default 4096 records per segment; deployments
-// with very large records should size WithSegmentRecords down. A
-// replicator whose segments cannot ship logs the stall loudly and keeps
-// retrying. (Chunked shipping is a planned follow-on.)
+// A package travels as one protocol envelope of unbounded size: the
+// transport's chunked-transfer layer splits envelopes past the wire frame
+// budget into individually-retried chunk streams and reassembles them
+// before the audit service sees the ship, so segments are no longer
+// limited by the 16 MiB TCP frame.
 type SegmentPackage struct {
 	Entry ManifestEntry `json:"entry"`
 	Data  []byte        `json:"data"`

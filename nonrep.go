@@ -47,6 +47,8 @@
 package nonrep
 
 import (
+	"io"
+
 	"nonrep/internal/access"
 	"nonrep/internal/container"
 	"nonrep/internal/contract"
@@ -119,6 +121,36 @@ const (
 	KindAbort      = evidence.KindAbort
 	KindPostmark   = evidence.KindPostmark
 )
+
+// Streaming vocabulary: payloads of unbounded size travel as hash-chained
+// chunk streams with the same non-repudiation guarantees as inline
+// parameters — the run's evidence signs each payload's chunk-digest chain
+// root, so every chunk is independently verifiable and a tampered or
+// missing chunk is attributable by index.
+type (
+	// Stream declares a streamed invocation parameter (see StreamParam).
+	Stream = invoke.Stream
+	// StreamRef is a payload resolved to its chunk-digest chain — the
+	// agreed representation the evidence tokens bind.
+	StreamRef = evidence.StreamRef
+	// ResultStream reads a streamed invocation result, fetching and
+	// verifying chunks lazily against the signed chain (Result.Stream).
+	ResultStream = invoke.ResultStream
+	// ResultStreams collects streamed results on the server side
+	// (Invocation.ResultWriter for components; StreamExecutor directly).
+	ResultStreams = invoke.ResultStreams
+	// StreamExecutor is an Executor accepting streamed parameters and
+	// producing streamed results (implemented by Container).
+	StreamExecutor = invoke.StreamExecutor
+	// StreamExecutorFunc adapts a function to StreamExecutor.
+	StreamExecutorFunc = invoke.StreamExecutorFunc
+)
+
+// StreamParam declares a streamed parameter for Proxy.CallStream (or
+// Request.Streams): the payload is read once from r, shipped as
+// size-bounded chunks, and bound by the run's evidence through its
+// chunk-digest chain.
+func StreamParam(name string, r io.Reader) Stream { return invoke.StreamParam(name, r) }
 
 // ValueParam resolves a value-typed argument to its agreed
 // representation.

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Benchmark trajectory for streaming interactions (chunked transfer).
+#
+# Runs a quick correctness pass of the streaming end-to-end tests (a
+# >16 MiB streamed invocation and a >16 MiB chunked seg-ship replication
+# over real TCP) and then the E14 large-payload study — inline value
+# parameter vs hash-chained parameter stream at a ladder of sizes —
+# writing the measurements to BENCH_stream.json so successive PRs can
+# track throughput vs payload size.
+#
+# Usage: scripts/bench_stream.sh [output.json]
+#   N=<iters>            iteration budget (default 100; E14 divides it down)
+#   PAYLOAD=<bytes>      top of the payload ladder (default 32 MiB)
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_stream.json}"
+
+go test -run 'TestStreamedInvocationOver16MiBTCP|TestChunkedSegmentReplicationOver16MiB' .
+go run ./cmd/nrbench -payload "${PAYLOAD:-33554432}" -n "${N:-100}" -out "$out"

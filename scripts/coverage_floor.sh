@@ -1,18 +1,20 @@
 #!/usr/bin/env bash
 # Coverage floor gate for the evidence-critical packages: the vault (the
-# store disputes depend on) and the protocol layer (coordinator, host,
-# remote audit + replication). The build fails when either package's
-# statement coverage drops below its floor, so test erosion is caught in
-# the same PR that causes it.
+# store disputes depend on), the protocol layer (coordinator, host,
+# remote audit + replication) and the invocation layer (the evidence
+# exchange itself, including streamed payloads). The build fails when any
+# package's statement coverage drops below its floor, so test erosion is
+# caught in the same PR that causes it.
 #
 # Floors are set a few points under the current measured coverage
-# (vault ~78%, protocol ~83% at the time of writing) to allow noise
-# without allowing decay.
+# (vault ~78%, protocol ~83%, invoke ~76% at the time of writing) to
+# allow noise without allowing decay.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FLOOR_VAULT="${FLOOR_VAULT:-72}"
 FLOOR_PROTOCOL="${FLOOR_PROTOCOL:-75}"
+FLOOR_INVOKE="${FLOOR_INVOKE:-70}"
 
 check() {
   local pkg="$1" floor="$2" profile pct
@@ -29,4 +31,5 @@ check() {
 
 check ./internal/vault/ "$FLOOR_VAULT"
 check ./internal/protocol/ "$FLOOR_PROTOCOL"
+check ./internal/invoke/ "$FLOOR_INVOKE"
 echo "coverage floors hold"

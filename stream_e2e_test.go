@@ -1,0 +1,326 @@
+package nonrep_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"nonrep"
+	"nonrep/internal/clock"
+	"nonrep/internal/store"
+	"nonrep/internal/vault"
+)
+
+// transformComponent is a document-transfer component: it consumes a
+// streamed document and streams a transformed copy back (reader and
+// writer parameters are wired by the container to the run's verified
+// streams).
+type transformComponent struct{}
+
+func (transformComponent) Stamp(_ context.Context, in io.Reader, out io.Writer) (int64, error) {
+	if _, err := out.Write([]byte("STAMPED\n")); err != nil {
+		return 0, err
+	}
+	return io.Copy(out, in)
+}
+
+// bigPayload is deterministic pseudo-random data (incompressible, so
+// frame sizes are honest).
+func bigPayload(n int, seed int64) []byte {
+	out := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(out)
+	return out
+}
+
+// TestStreamedInvocationOver16MiBTCP is the headline acceptance test: a
+// streamed invocation whose payload exceeds the 16 MiB wire frame
+// completes end to end over real TCP, yields the standard four evidence
+// tokens binding the full payload through its chunk-digest chain, and the
+// streamed result reads back verified chunk by chunk.
+func TestStreamedInvocationOver16MiBTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moves >34 MiB over loopback TCP")
+	}
+	t.Parallel()
+	domain, err := nonrep.NewDomain(nonrep.WithTCP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer domain.Close()
+	a, err := domain.AddOrg("urn:org:sender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := domain.AddOrg("urn:org:archive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := nonrep.Descriptor{
+		Service: "urn:org:archive/docs",
+		Methods: map[string]nonrep.MethodPolicy{
+			"Stamp": {NonRepudiation: true, Protocol: nonrep.ProtocolDirect},
+		},
+	}
+	if err := b.Deploy(desc, transformComponent{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := b.Serve()
+	defer srv.Close()
+
+	payload := bigPayload(17<<20+12345, 42) // > one 16 MiB wire frame
+	proxy := a.Proxy("urn:org:archive", "urn:org:archive/docs", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := proxy.CallStream(ctx, "Stamp", nonrep.StreamParam("doc", bytes.NewReader(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != nonrep.StatusOK {
+		t.Fatalf("status %v: %s", res.Status, res.Err)
+	}
+	if len(res.Evidence) != 4 {
+		t.Fatalf("evidence tokens: %d, want the standard four", len(res.Evidence))
+	}
+	// The writer parameter surfaces as result stream "stream0".
+	rs := res.Stream("stream0")
+	if rs == nil {
+		t.Fatalf("no streamed result; have %v", res.StreamNames())
+	}
+	if rs.Size() != int64(len(payload))+8 {
+		t.Fatalf("result stream size %d, want %d", rs.Size(), len(payload)+8)
+	}
+	back, err := io.ReadAll(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(back, []byte("STAMPED\n")) || !bytes.Equal(back[8:], payload) {
+		t.Fatalf("streamed result corrupted (%d bytes back)", len(back))
+	}
+	if err := srv.WaitReceipt(ctx, res.Run); err != nil {
+		t.Fatal(err)
+	}
+	// Both parties' evidence adjudicates clean, and the run report is
+	// complete — the signatures bind the full payload via the chain.
+	adj := domain.Adjudicator()
+	for _, org := range []*nonrep.Org{a, b} {
+		report := adj.AuditLog(org.Log().Records())
+		if !report.Clean() {
+			t.Fatalf("%s evidence not clean: %+v", org.Party(), report.Faults)
+		}
+	}
+	run := adj.AuditRun(a.Log().Records(), res.Run)
+	if !run.Complete() {
+		t.Fatalf("run report incomplete: %+v", run)
+	}
+}
+
+// TestLargeValueParamRidesChunkedTransport: the pre-streaming API is the
+// one-chunk case — a Proxy.Call whose single value parameter exceeds the
+// wire frame now travels via the transport's chunked envelopes, unchanged
+// at the API and evidence level.
+func TestLargeValueParamRidesChunkedTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moves >34 MiB over loopback TCP")
+	}
+	t.Parallel()
+	domain, err := nonrep.NewDomain(nonrep.WithTCP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer domain.Close()
+	a, err := domain.AddOrg("urn:org:bulk-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := domain.AddOrg("urn:org:bulk-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bigPayload(17<<20, 7)
+	comp := lengthComponent{}
+	desc := nonrep.Descriptor{
+		Service: "urn:org:bulk-b/blob",
+		Methods: map[string]nonrep.MethodPolicy{
+			"Len": {NonRepudiation: true},
+		},
+	}
+	if err := b.Deploy(desc, comp); err != nil {
+		t.Fatal(err)
+	}
+	srv := b.Serve()
+	defer srv.Close()
+	proxy := a.Proxy("urn:org:bulk-b", "urn:org:bulk-b/blob", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var n int
+	res, err := proxy.CallValue(ctx, &n, "Len", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(payload) {
+		t.Fatalf("server saw %d bytes, want %d", n, len(payload))
+	}
+	if len(res.Evidence) != 4 {
+		t.Fatalf("evidence tokens: %d", len(res.Evidence))
+	}
+}
+
+// lengthComponent reports the length of a byte-slice argument.
+type lengthComponent struct{}
+
+func (lengthComponent) Len(_ context.Context, blob []byte) (int, error) { return len(blob), nil }
+
+// TestChunkedSegmentReplicationOver16MiB: a sealed vault segment larger
+// than the 16 MiB wire frame ships to a peer's replica store through the
+// chunked seg-ship path over real TCP, the replica seal-chain-verifies
+// and DeepVerify passes on it, and a VaultRestoreFrom rebuild of the lost
+// primary passes DeepVerify too — the ROADMAP "chunked seg-ship"
+// follow-on, closed.
+func TestChunkedSegmentReplicationOver16MiB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicates >20 MiB over loopback TCP")
+	}
+	t.Parallel()
+	const (
+		orgA = nonrep.Party("urn:org:big-a")
+		orgB = nonrep.Party("urn:org:big-b")
+	)
+	dirA, dirB := t.TempDir(), t.TempDir()
+	domain, err := nonrep.NewDomain(nonrep.WithTCP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer domain.Close()
+	a, err := domain.AddOrg(orgA,
+		nonrep.WithVault(dirA, nonrep.VaultSegmentRecords(64)),
+		nonrep.WithReplication(orgB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := domain.AddOrg(orgB, nonrep.WithVault(dirB), nonrep.WithReplicaStore(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Real evidence first, then bulk records with ~1 MiB annotations (the
+	// very-large-record deployment class the frame limit used to exclude)
+	// until the segment comfortably exceeds one wire frame. The budget is
+	// generous: the suite runs this alongside the other >16 MiB transfers
+	// on a shared machine.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := b.Deploy(nonrep.Descriptor{
+		Service: "urn:org:big-b/svc",
+		Methods: map[string]nonrep.MethodPolicy{"Echo": {NonRepudiation: true}},
+	}, echoComponent{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := b.Serve()
+	defer srv.Close()
+	if _, err := a.Invoke(ctx, orgB, nonrep.Request{Service: "urn:org:big-b/svc", Operation: "Echo"}); err != nil {
+		// Echo takes a string argument; an argument-mismatch failure still
+		// produces a full evidence exchange, which is all this test needs.
+		t.Logf("seed invocation: %v", err)
+	}
+
+	tok := firstGeneratedToken(t, a)
+	// 1 MiB ASCII annotation per record: exactly sized (no JSON escaping
+	// or UTF-8 normalisation inflation), 18 records → a ~18 MiB segment.
+	note := strings.Repeat("annex-0123456789abcdef-0123456789ABCDEF-", 1<<20/40)
+	for i := 0; i < 18; i++ {
+		if _, err := a.Log().Append(store.Generated, tok, fmt.Sprintf("bulk-%d:%s", i, note)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Vault().SealNow(); err != nil {
+		t.Fatal(err)
+	}
+	manifest := a.Vault().Manifest()
+	if len(manifest) == 0 {
+		t.Fatal("no sealed segments")
+	}
+	// Confirm at least one sealed segment file exceeds the wire frame.
+	var bigSegment bool
+	for _, e := range manifest {
+		if pkg, err := a.Vault().Package(e.Segment); err == nil && len(pkg.Data) > 16<<20 {
+			bigSegment = true
+		}
+	}
+	if !bigSegment {
+		t.Fatal("test did not produce a sealed segment > 16 MiB")
+	}
+
+	if err := a.Replication().Sync(ctx); err != nil {
+		t.Fatalf("chunked seg-ship sync: %v", err)
+	}
+	last, err := b.Replicas().LastSealed(string(orgA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != manifest[len(manifest)-1].Segment {
+		t.Fatalf("replica holds segment %d, want %d", last, manifest[len(manifest)-1].Segment)
+	}
+
+	// The replica is a valid read-only vault and deep-verifies.
+	replicaDir := b.Replicas().Dir(string(orgA))
+	replica, err := nonrep.OpenVault(replicaDir, clock.Real{}, nonrep.VaultReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.DeepVerify(); err != nil {
+		replica.Close()
+		t.Fatalf("replica DeepVerify: %v", err)
+	}
+	replica.Close()
+
+	wantRecords, err := a.Vault().QueryAll(vault.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := domain.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The disaster: the primary is wiped and rebuilt from the replica.
+	if err := os.RemoveAll(dirA); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := nonrep.OpenVault(dirA, clock.Real{}, nonrep.VaultRestoreFrom(replicaDir))
+	if err != nil {
+		t.Fatalf("restore open: %v", err)
+	}
+	defer restored.Close()
+	if err := restored.DeepVerify(); err != nil {
+		t.Fatalf("restored vault DeepVerify: %v", err)
+	}
+	got, err := restored.QueryAll(vault.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restore covers every sealed record (the unsealed tail, if any,
+	// is not replicated by design).
+	sealedWant := 0
+	for _, e := range manifest {
+		sealedWant = int(e.LastSeq)
+	}
+	if len(got) < sealedWant || len(got) > len(wantRecords) {
+		t.Fatalf("restored %d records, sealed %d, primary had %d", len(got), sealedWant, len(wantRecords))
+	}
+}
+
+// firstGeneratedToken digs any generated token out of an org's log to
+// reuse in bulk appends.
+func firstGeneratedToken(t *testing.T, o *nonrep.Org) *nonrep.Token {
+	t.Helper()
+	recs := o.Log().Records()
+	if len(recs) == 0 {
+		t.Fatal("org has no evidence to bulk-append")
+	}
+	return recs[0].Token
+}
