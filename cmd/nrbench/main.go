@@ -17,6 +17,7 @@
 //	nrbench -pipeline [-n iterations] [-out BENCH_pipeline.json]
 //	nrbench -tenants 16 [-n iterations] [-out BENCH_tenants.json]
 //	nrbench -payload 33554432 [-n iterations] [-out BENCH_stream.json]
+//	nrbench -obs [-n iterations] [-out BENCH_obs.json]
 //
 // The -pipeline mode runs only E12 — the hot-path pipeline study (plain
 // executor vs unbatched non-repudiation vs the batched pipeline under 32
@@ -36,6 +37,16 @@
 // transport's chunked envelopes) and once as a hash-chained parameter
 // stream with a streamed result echo, at a ladder of sizes up to the
 // requested payload.
+//
+// The -obs mode runs only E15 — the telemetry-overhead study: the E12
+// batched-pipeline workload with the interaction telemetry plane off and
+// on, in interleaved repetitions, recording the throughput cost of
+// instrumentation (target: <2%).
+//
+// The JSON-emitting studies snapshot the obs metrics registry around the
+// measured interval and embed the counter deltas (envelopes by kind,
+// batches, tokens, wire traffic) under "obs" keys, so the perf
+// trajectories the BENCH_*.json files track carry instrumentation data.
 package main
 
 import (
@@ -77,12 +88,17 @@ func main() {
 	pipeline := flag.Bool("pipeline", false, "run only the hot-path pipeline study (E12)")
 	tenants := flag.Int("tenants", 0, "run only the multi-tenant host study (E13) with this many organisations")
 	payload := flag.Int("payload", 0, "run only the large-payload streaming study (E14) up to this many bytes")
-	out := flag.String("out", "", "write pipeline/tenant/stream measurements as JSON to this path")
+	obsStudy := flag.Bool("obs", false, "run only the telemetry-overhead study (E15)")
+	out := flag.String("out", "", "write pipeline/tenant/stream/obs measurements as JSON to this path")
 	flag.Parse()
 	if *quick {
 		*n = 25
 	}
 
+	if *obsStudy {
+		benchObs(*n, *out)
+		return
+	}
 	if *payload > 0 {
 		benchStream(*n, *payload, *out)
 		return
@@ -108,13 +124,26 @@ func main() {
 // pipelineResult is one configuration's measurement in the E12 study,
 // serialised to BENCH_pipeline.json for trend tracking across PRs.
 type pipelineResult struct {
-	Name        string  `json:"name"`
-	Ops         int     `json:"ops"`
-	NsPerOp     float64 `json:"ns_op"`
-	MsgsPerOp   float64 `json:"msgs_op"`
-	SubMsgsOp   float64 `json:"submsgs_op"`
-	WireBytesOp float64 `json:"wirebytes_op"`
-	AllocsPerOp float64 `json:"allocs_op"`
+	Name        string           `json:"name"`
+	Ops         int              `json:"ops"`
+	NsPerOp     float64          `json:"ns_op"`
+	MsgsPerOp   float64          `json:"msgs_op"`
+	SubMsgsOp   float64          `json:"submsgs_op"`
+	WireBytesOp float64          `json:"wirebytes_op"`
+	AllocsPerOp float64          `json:"allocs_op"`
+	Obs         map[string]int64 `json:"obs,omitempty"`
+}
+
+// obsDelta is the counter movement between two registry snapshots taken
+// around a measured interval, with untouched instruments dropped.
+func obsDelta(before, after map[string]int64) map[string]int64 {
+	d := make(map[string]int64)
+	for name, v := range after {
+		if moved := v - before[name]; moved != 0 {
+			d[name] = moved
+		}
+	}
+	return d
 }
 
 // benchPipeline is E12: concurrent small-message invocation throughput —
@@ -184,7 +213,7 @@ func benchPipeline(n int, out string) {
 
 	for _, batched := range []bool{false, true} {
 		name := "nr-unbatched"
-		opts := []testpki.DomainOption{testpki.WithMetering()}
+		opts := []testpki.DomainOption{testpki.WithTelemetry(), testpki.WithMetering()}
 		if batched {
 			name = "nr-batched"
 			opts = append(opts, testpki.WithPipeline())
@@ -197,6 +226,7 @@ func benchPipeline(n int, out string) {
 			log.Fatalf("%s warm-up: %v", name, err)
 		}
 		d.Meter.Reset()
+		before := d.Telemetry.Registry().Snapshot().CounterTotals()
 		res := measure(name, func(int) error {
 			_, err := cli.Invoke(context.Background(), server, request)
 			return err
@@ -204,6 +234,7 @@ func benchPipeline(n int, out string) {
 		res.MsgsPerOp = float64(d.Meter.Messages()) / float64(iters)
 		res.SubMsgsOp = float64(d.Meter.LogicalMessages()) / float64(iters)
 		res.WireBytesOp = float64(d.Meter.Bytes()) / float64(iters)
+		res.Obs = obsDelta(before, d.Telemetry.Registry().Snapshot().CounterTotals())
 		results = append(results, res)
 		_ = srv.Close()
 		d.Close()
@@ -239,11 +270,12 @@ func benchPipeline(n int, out string) {
 // streamResult is one configuration's measurement in the E14 study,
 // serialised to BENCH_stream.json for trend tracking across PRs.
 type streamResult struct {
-	Name         string  `json:"name"`
-	PayloadBytes int     `json:"payload_bytes"`
-	Ops          int     `json:"ops"`
-	NsPerOp      float64 `json:"ns_op"`
-	MBPerSec     float64 `json:"mb_per_sec"`
+	Name         string           `json:"name"`
+	PayloadBytes int              `json:"payload_bytes"`
+	Ops          int              `json:"ops"`
+	NsPerOp      float64          `json:"ns_op"`
+	MBPerSec     float64          `json:"mb_per_sec"`
+	Obs          map[string]int64 `json:"obs,omitempty"`
 }
 
 // streamEcho is the E14 workload component: it consumes the streamed
@@ -288,7 +320,7 @@ func benchStream(n, payload int, out string) {
 		return it
 	}
 
-	domain, err := nonrep.NewDomain(nonrep.WithTCP())
+	domain, err := nonrep.NewDomain(nonrep.WithTCP(), nonrep.WithTelemetry())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -324,6 +356,7 @@ func benchStream(n, payload int, out string) {
 		if err := run(); err != nil {
 			log.Fatalf("%s warm-up (%d bytes): %v", name, size, err)
 		}
+		before := domain.Telemetry().Registry().Snapshot().CounterTotals()
 		start := time.Now()
 		for i := 0; i < it; i++ {
 			if err := run(); err != nil {
@@ -337,6 +370,7 @@ func benchStream(n, payload int, out string) {
 			Ops:          it,
 			NsPerOp:      float64(elapsed.Nanoseconds()) / float64(it),
 			MBPerSec:     float64(size) * float64(it) / (1 << 20) / elapsed.Seconds(),
+			Obs:          obsDelta(before, domain.Telemetry().Registry().Snapshot().CounterTotals()),
 		}
 		results = append(results, r)
 		fmt.Printf("| %s | %d MiB | %v | %.1f MiB/s |\n",
@@ -395,12 +429,13 @@ func benchStream(n, payload int, out string) {
 // tenantResult is one configuration's measurement in the E13 study,
 // serialised to BENCH_tenants.json for trend tracking across PRs.
 type tenantResult struct {
-	Name            string  `json:"name"`
-	Tenants         int     `json:"tenants"`
-	ServerListeners int     `json:"server_listeners"`
-	Ops             int     `json:"ops"`
-	NsPerOp         float64 `json:"ns_op"`
-	OpsPerSec       float64 `json:"ops_per_sec"`
+	Name            string           `json:"name"`
+	Tenants         int              `json:"tenants"`
+	ServerListeners int              `json:"server_listeners"`
+	Ops             int              `json:"ops"`
+	NsPerOp         float64          `json:"ns_op"`
+	OpsPerSec       float64          `json:"ops_per_sec"`
+	Obs             map[string]int64 `json:"obs,omitempty"`
 }
 
 // benchTenants is E13: the multi-tenant host study. N organisations serve
@@ -423,7 +458,7 @@ func benchTenants(n, tenants int, out string) {
 	})
 
 	run := func(name string, hosted, pipelined bool) tenantResult {
-		opts := []nonrep.DomainOption{nonrep.WithTCP()}
+		opts := []nonrep.DomainOption{nonrep.WithTCP(), nonrep.WithTelemetry()}
 		if pipelined {
 			opts = append(opts, nonrep.WithPipelining())
 		}
@@ -482,6 +517,7 @@ func benchTenants(n, tenants int, out string) {
 		var next atomic.Int64
 		var firstErr atomic.Pointer[error]
 		var wg sync.WaitGroup
+		before := d.Telemetry().Registry().Snapshot().CounterTotals()
 		start := time.Now()
 		for w := 0; w < clients; w++ {
 			wg.Add(1)
@@ -513,6 +549,7 @@ func benchTenants(n, tenants int, out string) {
 			Ops:             iters,
 			NsPerOp:         float64(elapsed.Nanoseconds()) / float64(iters),
 			OpsPerSec:       float64(iters) / elapsed.Seconds(),
+			Obs:             obsDelta(before, d.Telemetry().Registry().Snapshot().CounterTotals()),
 		}
 	}
 
@@ -546,6 +583,138 @@ func benchTenants(n, tenants int, out string) {
 			"clients":    clients,
 			"tenants":    tenants,
 			"results":    results,
+		}, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+}
+
+// obsResult is one arm's measurement in the E15 study, serialised to
+// BENCH_obs.json for trend tracking across PRs.
+type obsResult struct {
+	Name      string  `json:"name"`
+	Ops       int     `json:"ops"`
+	Reps      int     `json:"reps"`
+	NsPerOp   float64 `json:"ns_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// benchObs is E15: the cost of running the interaction telemetry plane.
+// The E12 batched-pipeline workload (32 concurrent clients, small
+// messages) runs with telemetry off and with it on — per-tenant metrics,
+// a root span plus evidence/vault/transport child spans per invocation —
+// in interleaved repetitions; each arm reports its best repetition, since
+// the study wants the plane's floor cost rather than scheduler noise.
+// The acceptance target is <2% throughput regression with telemetry on.
+func benchObs(n int, out string) {
+	const clients = 32
+	const reps = 3
+	iters := clients * max(n/8, 4)
+	fmt.Println("## E15 — telemetry-plane overhead (batched pipeline, 32 clients)")
+	fmt.Println()
+	fmt.Println("| configuration | latency/op | throughput |")
+	fmt.Println("|---|---|---|")
+
+	exec := invoke.ExecutorFunc(func(_ context.Context, req *evidence.RequestSnapshot) ([]evidence.Param, error) {
+		p, err := evidence.ValueParam("echo", req.Operation)
+		return []evidence.Param{p}, err
+	})
+	request := invoke.Request{Service: "urn:org:server/orders", Operation: "Place"}
+
+	// rep runs one repetition of the workload and returns its duration
+	// plus, when telemetry is on, the counters the interval moved.
+	rep := func(telemetry bool) (time.Duration, map[string]int64) {
+		opts := []testpki.DomainOption{testpki.WithPipeline()}
+		if telemetry {
+			opts = append([]testpki.DomainOption{testpki.WithTelemetry()}, opts...)
+		}
+		d := testpki.MustDomainWith([]id.Party{client, server}, opts...)
+		defer d.Close()
+		srv := invoke.NewServer(d.Node(server).Coordinator(), exec)
+		defer srv.Close()
+		cli := invoke.NewClient(d.Node(client).Coordinator())
+		if _, err := cli.Invoke(context.Background(), server, request); err != nil {
+			log.Fatalf("obs warm-up: %v", err)
+		}
+		var before map[string]int64
+		if telemetry {
+			before = d.Telemetry.Registry().Snapshot().CounterTotals()
+		}
+		var next atomic.Int64
+		var firstErr atomic.Pointer[error]
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i > iters || firstErr.Load() != nil {
+						return
+					}
+					if _, err := cli.Invoke(context.Background(), server, request); err != nil {
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if err := firstErr.Load(); err != nil {
+			log.Fatalf("obs study: %v", *err)
+		}
+		var counters map[string]int64
+		if telemetry {
+			counters = obsDelta(before, d.Telemetry.Registry().Snapshot().CounterTotals())
+		}
+		return elapsed, counters
+	}
+
+	best := [2]time.Duration{}
+	var counters map[string]int64
+	for r := 0; r < reps; r++ {
+		for arm, telemetry := range []bool{false, true} {
+			elapsed, c := rep(telemetry)
+			if best[arm] == 0 || elapsed < best[arm] {
+				best[arm] = elapsed
+				if telemetry {
+					counters = c
+				}
+			}
+		}
+	}
+
+	var results []obsResult
+	for arm, name := range []string{"telemetry-off", "telemetry-on"} {
+		r := obsResult{
+			Name:      name,
+			Ops:       iters,
+			Reps:      reps,
+			NsPerOp:   float64(best[arm].Nanoseconds()) / float64(iters),
+			OpsPerSec: float64(iters) / best[arm].Seconds(),
+		}
+		results = append(results, r)
+		fmt.Printf("| %s | %v | %.0f ops/s |\n",
+			r.Name, time.Duration(r.NsPerOp).Round(time.Microsecond), r.OpsPerSec)
+	}
+	fmt.Println()
+	overhead := 100 * (results[1].NsPerOp - results[0].NsPerOp) / results[0].NsPerOp
+	fmt.Printf("telemetry overhead: %+.2f%% latency/op (target <2%%)\n\n", overhead)
+
+	if out != "" {
+		blob, err := json.MarshalIndent(map[string]any{
+			"experiment":   "E15-obs-overhead",
+			"clients":      clients,
+			"results":      results,
+			"overhead_pct": overhead,
+			"obs":          counters,
 		}, "", "  ")
 		if err != nil {
 			log.Fatal(err)

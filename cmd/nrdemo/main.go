@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	nrdemo [-out DIR] [-inproc]
+//	nrdemo [-out DIR] [-inproc] [-telemetry]
+//
+// With -telemetry the domain runs its interaction telemetry plane and the
+// demo finishes by printing the trace tree of one quoting invocation —
+// client invoke, transport legs, server handling, execution, evidence
+// issuance and vault appends, all sharing the protocol run id — plus a
+// digest of the per-tenant metrics the scenario moved.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"time"
 
 	"nonrep"
@@ -53,12 +60,16 @@ type Spec struct {
 func main() {
 	out := flag.String("out", "", "directory to export the evidence bundle to")
 	inproc := flag.Bool("inproc", false, "use the in-process transport instead of TCP")
+	telemetry := flag.Bool("telemetry", false, "enable the telemetry plane and print one invocation's trace tree")
 	flag.Parse()
 
 	ctx := context.Background()
 	var opts []nonrep.DomainOption
 	if !*inproc {
 		opts = append(opts, nonrep.WithTCP())
+	}
+	if *telemetry {
+		opts = append(opts, nonrep.WithTelemetry())
 	}
 	domain, err := nonrep.NewDomain(opts...)
 	if err != nil {
@@ -101,12 +112,15 @@ func main() {
 
 	// Scene 1: the manufacturer gathers binding quotes over TCP.
 	fmt.Println("\n== scene 1: non-repudiable quoting ==")
+	var tracedRun nonrep.Run
 	for _, supplier := range []nonrep.Party{supplierA, supplierB} {
 		proxy := orgs[manufacturer].Proxy(supplier, nonrep.Service(string(supplier)+"/parts"), nil)
 		var price int
-		if _, err := proxy.CallValue(ctx, &price, "Quote", "gearbox-g5"); err != nil {
+		res, err := proxy.CallValue(ctx, &price, "Quote", "gearbox-g5")
+		if err != nil {
 			log.Fatal(err)
 		}
+		tracedRun = res.Run
 		fmt.Printf("  %s quotes gearbox-g5 at %d (evidence logged)\n", supplier, price)
 	}
 
@@ -172,5 +186,36 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nevidence bundle exported to %s (audit it with: nrverify -bundle %s)\n", *out, *out)
+	}
+
+	if *telemetry {
+		fmt.Println("\n== telemetry ==")
+		fmt.Printf("  trace of quoting run %s (trace id = run id):\n", tracedRun)
+		for _, node := range nonrep.BuildTraceTree(domain.Telemetry().Tracer().ByTrace(string(tracedRun))) {
+			printTrace(node, "    ")
+		}
+		snap := domain.Telemetry().Registry().Snapshot()
+		totals := snap.CounterTotals()
+		names := make([]string, 0, len(totals))
+		for name := range totals {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Println("  counters (cross-tenant totals):")
+		for _, name := range names {
+			fmt.Printf("    %-40s %d\n", name, totals[name])
+		}
+	}
+}
+
+// printTrace renders one trace node and its children as an indented tree.
+func printTrace(n *nonrep.TraceNode, indent string) {
+	tenant := n.Tenant
+	if tenant == "" {
+		tenant = "-"
+	}
+	fmt.Printf("%s%-18s %-22s %.3fms\n", indent, n.Name, tenant, float64(n.DurationNs)/1e6)
+	for _, c := range n.Children {
+		printTrace(c, indent+"  ")
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"nonrep/internal/credential"
 	"nonrep/internal/id"
 	"nonrep/internal/invoke"
+	"nonrep/internal/obs"
 	"nonrep/internal/protocol"
 	"nonrep/internal/sig"
 	"nonrep/internal/stamp"
@@ -65,6 +66,7 @@ func main() {
 	trust := flag.String("trust", "", "evidence bundle directory providing trusted certificates")
 	vaultDir := flag.String("vault", "", "persist evidence in a segmented vault at this directory")
 	replicaRoot := flag.String("replicas", "", "accept peers' sealed-segment replicas into this directory (default <vault>/replicas when -vault is set)")
+	telemetryAddr := flag.String("telemetry", "", "serve telemetry introspection (/metricsz, /tracez, /healthz) on this address")
 	peers := peerFlags{}
 	flag.Var(peers, "peer", "peer coordinator address as party=addr (repeatable)")
 	flag.Parse()
@@ -98,10 +100,15 @@ func main() {
 		log.Printf("trusting %d certificates from %s", len(b.Certs)+1, *trust)
 	}
 
+	var telemetry *obs.Telemetry
+	if *telemetryAddr != "" {
+		telemetry = obs.New()
+	}
+
 	var evidenceLog store.Log
 	var evidenceVault *vault.Vault
 	if *vaultDir != "" {
-		v, err := vault.Open(*vaultDir, clk)
+		v, err := vault.Open(*vaultDir, clk, vault.WithObserver(telemetry.Scope(*party)))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -129,6 +136,7 @@ func main() {
 		Directory: directory,
 		Log:       evidenceLog,
 		TSA:       stamp.NewAuthority(id.Party(*party), key, clk),
+		Telemetry: telemetry,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -156,6 +164,33 @@ func main() {
 		}
 		protocol.NewAuditService(node.Coordinator(), evidenceVault, replicas)
 		auditServices = ", remote audit + replica host"
+	}
+
+	if telemetry != nil {
+		if v := evidenceVault; v != nil {
+			telemetry.SetHealth("vault:"+*party, func() any {
+				st := v.Stats()
+				h := map[string]any{
+					"segments":       st.Segments,
+					"sealed_records": st.SealedRecords,
+					"tail_records":   st.TailRecords,
+					"last_seq":       st.LastSeq,
+				}
+				if m := v.Manifest(); len(m) > 0 {
+					h["seal_head"] = m[len(m)-1].Digest
+				}
+				return h
+			})
+		}
+		telemetry.SetHealth("coordinator", func() any {
+			return map[string]any{"party": *party, "addr": node.Coordinator().Addr(), "records": node.Log().Len()}
+		})
+		obsSrv, err := telemetry.Serve(*telemetryAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer obsSrv.Close()
+		fmt.Printf("ttpd: telemetry on http://%s (/metricsz /tracez /healthz)\n", obsSrv.Addr())
 	}
 
 	cert, err := json.MarshalIndent(self.Certificate(), "", "  ")

@@ -16,6 +16,7 @@ import (
 	"nonrep/internal/core"
 	"nonrep/internal/credential"
 	"nonrep/internal/invoke"
+	"nonrep/internal/obs"
 	"nonrep/internal/protocol"
 	"nonrep/internal/sharing"
 	"nonrep/internal/sig"
@@ -44,6 +45,7 @@ type Domain struct {
 	tsa      *stamp.Authority
 	alg      sig.Algorithm
 	pipeline *transport.CoalesceOptions
+	tel      *obs.Telemetry
 
 	mu   sync.Mutex
 	orgs map[Party]*Org
@@ -65,6 +67,7 @@ type domainConfig struct {
 	timestamp bool
 	alg       sig.Algorithm
 	pipeline  *transport.CoalesceOptions
+	telemetry *obs.Telemetry
 }
 
 // WithTCP runs every organisation's coordinator on a local TCP socket
@@ -124,6 +127,18 @@ func PipelineWindow(d time.Duration) PipelineOption {
 	return func(c *transport.CoalesceOptions) { c.Window = d }
 }
 
+// WithTelemetry equips the domain with an interaction telemetry plane:
+// every organisation's evidence issuance/verification latency, vault
+// commit/seal latency, replication lag and per-kind envelope counts are
+// recorded in a per-tenant metrics registry, invocations carry run-scoped
+// trace spans across parties, and health sources (vault seal-chain head,
+// replica lag) register automatically. Access the handle with
+// Domain.Telemetry(); expose it over HTTP with Telemetry.Serve. The
+// default (no option) disables telemetry at zero cost.
+func WithTelemetry() DomainOption {
+	return func(c *domainConfig) { c.telemetry = obs.New() }
+}
+
 // Signature algorithms selectable with WithAlgorithm.
 const (
 	AlgEd25519       = sig.AlgEd25519
@@ -167,6 +182,7 @@ func NewDomain(opts ...DomainOption) (*Domain, error) {
 		creds:     creds,
 		alg:       cfg.alg,
 		pipeline:  cfg.pipeline,
+		tel:       cfg.telemetry,
 		orgs:      make(map[Party]*Org),
 		enrolling: make(map[Party]struct{}),
 	}
@@ -198,6 +214,12 @@ func NewDomain(opts ...DomainOption) (*Domain, error) {
 // Credentials exposes the domain's credential store, e.g. for building an
 // Adjudicator over exported evidence.
 func (d *Domain) Credentials() *credential.Store { return d.creds }
+
+// Telemetry returns the domain's telemetry plane, or nil when the domain
+// was created without WithTelemetry. Use it to read metric snapshots,
+// inspect recent traces, or start the HTTP introspection listener
+// (Telemetry.Serve).
+func (d *Domain) Telemetry() *obs.Telemetry { return d.tel }
 
 // CACertificate returns the domain root certificate.
 func (d *Domain) CACertificate() *credential.Certificate { return d.ca.Certificate() }
@@ -381,7 +403,13 @@ func (d *Domain) addOrg(p Party, host *Host, opts ...OrgOption) (*Org, error) {
 	var log store.Log
 	switch {
 	case cfg.vaultDir != "":
-		log, err = vault.Open(cfg.vaultDir, d.clk, cfg.vaultOpts...)
+		vopts := cfg.vaultOpts
+		if d.tel != nil {
+			// Full-slice append: the caller's option slice must not be
+			// extended in place when reused across organisations.
+			vopts = append(vopts[:len(vopts):len(vopts)], vault.WithObserver(d.tel.Scope(string(p))))
+		}
+		log, err = vault.Open(cfg.vaultDir, d.clk, vopts...)
 		if err != nil {
 			return nil, err
 		}
@@ -403,6 +431,7 @@ func (d *Domain) addOrg(p Party, host *Host, opts ...OrgOption) (*Org, error) {
 		TSA:          d.tsa,
 		BatchSigning: d.pipeline != nil,
 		Coalesce:     d.pipeline,
+		Telemetry:    d.tel,
 	}
 	if host != nil {
 		nodeCfg.Host = host.inner
@@ -556,12 +585,45 @@ func (o *Org) startAudit(cfg orgConfig, v *vault.Vault) error {
 		if cfg.syncEvery > 0 {
 			repOpts = append(repOpts, vault.WithSyncInterval(cfg.syncEvery))
 		}
+		if tel := o.domain.tel; tel != nil {
+			repOpts = append(repOpts, vault.WithReplicationObserver(tel.Scope(string(o.node.Party()))))
+		}
 		o.rep = vault.NewReplicator(v, string(o.node.Party()), o.domain.clk, repOpts...)
 		for _, peer := range cfg.replicate {
 			o.rep.AddTarget(string(peer), o.auditCli.ShipTarget(peer))
 		}
 	}
+	o.registerHealth(v)
 	return nil
+}
+
+// registerHealth publishes the organisation's liveness sources — vault
+// shape and seal-chain head, replication shipping status — on the
+// domain's telemetry plane, where /healthz reports them.
+func (o *Org) registerHealth(v *vault.Vault) {
+	tel := o.domain.tel
+	if tel == nil {
+		return
+	}
+	party := string(o.node.Party())
+	if v != nil {
+		tel.SetHealth("vault:"+party, func() any {
+			st := v.Stats()
+			h := map[string]any{
+				"segments":       st.Segments,
+				"sealed_records": st.SealedRecords,
+				"tail_records":   st.TailRecords,
+				"last_seq":       st.LastSeq,
+			}
+			if m := v.Manifest(); len(m) > 0 {
+				h["seal_head"] = m[len(m)-1].Digest
+			}
+			return h
+		})
+	}
+	if rep := o.rep; rep != nil {
+		tel.SetHealth("replication:"+party, func() any { return rep.Status() })
+	}
 }
 
 // Party returns the organisation's identifier.

@@ -81,6 +81,9 @@ func NewHost(d *Domain, opts ...HostOption) (*Host, error) {
 	if d.pipeline != nil {
 		popts = append(popts, protocol.WithCoalescing(*d.pipeline))
 	}
+	if d.tel != nil {
+		popts = append(popts, protocol.WithTelemetry(d.tel))
+	}
 	inner, err := protocol.NewHost(d.network, addr, popts...)
 	if err != nil {
 		return nil, err

@@ -8,11 +8,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"nonrep/internal/clock"
 	"nonrep/internal/credential"
 	"nonrep/internal/evidence"
 	"nonrep/internal/id"
+	"nonrep/internal/obs"
 	"nonrep/internal/protocol"
 	"nonrep/internal/sig"
 	"nonrep/internal/stamp"
@@ -65,6 +67,11 @@ type NodeConfig struct {
 	// VerifyCacheSize bounds the node's verified-signature cache: 0 uses
 	// the default size, negative disables caching.
 	VerifyCacheSize int
+	// Telemetry, when set, instruments the node: evidence issuance and
+	// verification latency, per-kind envelope counts and protocol spans
+	// are recorded under a scope labelled with the node's party. Nil
+	// (the default) disables telemetry at zero cost.
+	Telemetry *obs.Telemetry
 }
 
 // Node is a running trusted interceptor: "conceptually, each party has a
@@ -95,6 +102,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Addr == "" {
 		cfg.Addr = string(cfg.Party)
 	}
+	scope := cfg.Telemetry.Scope(string(cfg.Party))
 	base := &evidence.Issuer{Party: cfg.Party, Signer: cfg.Signer, Clock: cfg.Clock, TSA: cfg.TSA}
 	var issuer evidence.TokenIssuer = base
 	var batch *evidence.BatchIssuer
@@ -102,9 +110,25 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		batch = evidence.NewBatchIssuer(base)
 		issuer = batch
 	}
+	if scope != nil {
+		issuer = newObservedIssuer(issuer, scope)
+	}
 	verifier := &evidence.Verifier{Keys: cfg.Creds}
 	if cfg.VerifyCacheSize >= 0 {
 		verifier.Cache = evidence.NewVerifyCache(cfg.VerifyCacheSize)
+	}
+	if scope != nil {
+		verifyNs := scope.Histogram(obs.MTokenVerifyNs)
+		verified := scope.Counter(obs.MTokensVerifiedTotal)
+		failed := scope.Counter(obs.MTokenVerifyFailed)
+		verifier.Observe = func(d time.Duration, err error) {
+			verifyNs.Observe(d.Nanoseconds())
+			if err != nil {
+				failed.Inc()
+			} else {
+				verified.Inc()
+			}
+		}
 	}
 	svc := &protocol.Services{
 		Party:     cfg.Party,
@@ -114,6 +138,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		States:    cfg.States,
 		Clock:     cfg.Clock,
 		Directory: cfg.Directory,
+		Obs:       scope,
 	}
 	var co *protocol.Coordinator
 	var err error

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"time"
+
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/obs"
+	"nonrep/internal/sig"
+)
+
+// observedIssuer decorates a token issuer with issuance telemetry. It
+// implements both Issue and IssueBatch so evidence.IssueAll still finds
+// the aggregate path when the wrapped issuer is a BatchIssuer.
+type observedIssuer struct {
+	inner   evidence.TokenIssuer
+	issueNs *obs.Histogram
+	issued  *obs.Counter
+}
+
+func newObservedIssuer(inner evidence.TokenIssuer, scope *obs.Scope) *observedIssuer {
+	return &observedIssuer{
+		inner:   inner,
+		issueNs: scope.Histogram(obs.MTokenIssueNs),
+		issued:  scope.Counter(obs.MTokensIssuedTotal),
+	}
+}
+
+// Issue implements evidence.TokenIssuer.
+func (o *observedIssuer) Issue(kind evidence.Kind, run id.Run, step int, digest sig.Digest, opts ...evidence.IssueOption) (*evidence.Token, error) {
+	start := time.Now()
+	tok, err := o.inner.Issue(kind, run, step, digest, opts...)
+	o.issueNs.Since(start)
+	if err == nil {
+		o.issued.Inc()
+	}
+	return tok, err
+}
+
+// IssueBatch forwards aggregate issuance when the wrapped issuer
+// supports it, falling back to sequential Issue calls otherwise (the
+// same degradation evidence.IssueAll applies).
+func (o *observedIssuer) IssueBatch(reqs []evidence.TokenRequest) ([]*evidence.Token, error) {
+	start := time.Now()
+	toks, err := evidence.IssueAll(o.inner, reqs...)
+	o.issueNs.Since(start)
+	if err == nil {
+		o.issued.Add(int64(len(toks)))
+	}
+	return toks, err
+}

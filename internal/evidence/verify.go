@@ -3,6 +3,7 @@ package evidence
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"nonrep/internal/id"
 	"nonrep/internal/sig"
@@ -27,12 +28,26 @@ type Verifier struct {
 	// public-key operation. Binding checks (issuer identity, content
 	// digest, run/kind expectations) are never cached.
 	Cache *VerifyCache
+	// Observe, when non-nil, is called with every verification's duration
+	// and outcome. The hook keeps this package free of the telemetry
+	// plane: the node layer installs a closure recording into its scope.
+	Observe func(d time.Duration, err error)
 }
 
 // Verify checks the token's signature, that the signing key belongs to the
 // claimed issuer, and — when a time-stamp is present — that it covers the
 // signature.
 func (v *Verifier) Verify(tok *Token) error {
+	if v.Observe == nil {
+		return v.verify(tok)
+	}
+	start := time.Now()
+	err := v.verify(tok)
+	v.Observe(time.Since(start), err)
+	return err
+}
+
+func (v *Verifier) verify(tok *Token) error {
 	tbs, err := tok.TBSDigest()
 	if err != nil {
 		return err

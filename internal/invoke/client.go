@@ -7,6 +7,7 @@ import (
 
 	"nonrep/internal/evidence"
 	"nonrep/internal/id"
+	"nonrep/internal/obs"
 	"nonrep/internal/protocol"
 )
 
@@ -80,6 +81,16 @@ func NewClient(co *protocol.Coordinator, opts ...ClientOption) *Client {
 func (c *Client) Invoke(ctx context.Context, server id.Party, req Request) (*Result, error) {
 	svc := c.co.Services()
 	run := id.NewRun()
+	if svc.Obs != nil {
+		// The protocol run id doubles as the trace id, so spans recorded
+		// by every party of the exchange assemble into one tree keyed by
+		// the run the evidence names.
+		var span *obs.Span
+		ctx, span = svc.Obs.StartRootSpan(ctx, "client.invoke", string(run))
+		span.SetAttr("server", string(server))
+		span.SetAttr("operation", req.Operation)
+		defer span.End()
+	}
 	params := req.Params
 	if len(req.Streams) > 0 {
 		// Streamed parameters travel to the executing server ahead of the
@@ -108,12 +119,17 @@ func (c *Client) Invoke(ctx context.Context, server id.Party, req Request) (*Res
 	}
 
 	// Step 1: NRO(req), then req + NRO to the (first) counterparty.
+	sp := leafSpan(ctx, svc, "evidence.issue")
 	nro, err := svc.Issuer.Issue(evidence.KindNRO, run, stepRequest, reqDigest,
 		evidence.WithService(req.Service), evidence.WithTxn(req.Txn), evidence.WithRecipients(server))
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	if err := svc.LogGenerated(nro, "request origin"); err != nil {
+	sp = leafSpan(ctx, svc, "vault.append")
+	err = svc.LogGenerated(nro, "request origin")
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	msg1 := &protocol.Message{
@@ -207,10 +223,14 @@ func (c *Client) Invoke(ctx context.Context, server id.Party, req Request) (*Res
 	if nroResp.Digest != respDigest {
 		return nil, fmt.Errorf("%w: response origin covers different response", ErrEvidenceInvalid)
 	}
+	sp = leafSpan(ctx, svc, "vault.append")
 	if err := svc.LogReceived(nrr, "request receipt"); err != nil {
+		sp.End()
 		return nil, err
 	}
-	if err := svc.LogReceived(nroResp, "response origin"); err != nil {
+	err = svc.LogReceived(nroResp, "response origin")
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	result.Evidence = append(result.Evidence, nrr, nroResp)

@@ -1,0 +1,16 @@
+package invoke
+
+import (
+	"context"
+
+	"nonrep/internal/obs"
+	"nonrep/internal/protocol"
+)
+
+// leafSpan opens a child span when the context already carries an active
+// trace; otherwise it returns nil (End on a nil span is a no-op). Gating
+// on an existing span keeps untraced background traffic out of the span
+// ring — only invocations that started a trace grow trees.
+func leafSpan(ctx context.Context, svc *protocol.Services, name string) *obs.Span {
+	return svc.Obs.StartChild(ctx, name)
+}

@@ -203,7 +203,10 @@ func (s *Server) ProcessRequest(ctx context.Context, msg *protocol.Message) (*pr
 	if nro.Digest != reqDigest {
 		return nil, fmt.Errorf("%w: NRO covers a different request", ErrEvidenceInvalid)
 	}
-	if err := svc.LogReceived(nro, "request origin"); err != nil {
+	sp := leafSpan(ctx, svc, "vault.append")
+	err = svc.LogReceived(nro, "request origin")
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 
@@ -235,7 +238,9 @@ func (s *Server) ProcessRequest(ctx context.Context, msg *protocol.Message) (*pr
 
 	// Execute the request under the agreed timeout; failures become
 	// interceptor-generated evidence rather than protocol errors.
+	sp = leafSpan(ctx, svc, "server.execute")
 	respSnap, resultChunks, err := s.execute(ctx, &snap, reqDigest, streams)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -277,19 +282,25 @@ func (s *Server) ProcessRequest(ctx context.Context, msg *protocol.Message) (*pr
 		shared := []evidence.IssueOption{
 			evidence.WithService(snap.Service), evidence.WithTxn(msg.Txn), evidence.WithRecipients(snap.Client),
 		}
+		sp = leafSpan(ctx, svc, "evidence.issue")
 		toks, err := evidence.IssueAll(svc.Issuer,
 			evidence.TokenRequest{Kind: evidence.KindNRR, Run: msg.Run, Step: stepRequest, Digest: reqDigest, Opts: shared},
 			evidence.TokenRequest{Kind: evidence.KindNROResp, Run: msg.Run, Step: stepResponse, Digest: respDigest, Opts: shared},
 		)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		nrr = toks[0]
 		nroResp := toks[1]
+		sp = leafSpan(ctx, svc, "vault.append")
 		if err := svc.LogGenerated(nrr, "request receipt"); err != nil {
+			sp.End()
 			return nil, err
 		}
-		if err := svc.LogGenerated(nroResp, "response origin ("+respSnap.Status.String()+")"); err != nil {
+		err = svc.LogGenerated(nroResp, "response origin ("+respSnap.Status.String()+")")
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 		rs.nrr = nrr

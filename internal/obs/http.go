@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Server is the opt-in HTTP introspection listener:
+//
+//	/metricsz  Prometheus text exposition (?format=json for a Snapshot)
+//	/tracez    recent completed spans (?trace=<id> filters one trace,
+//	           ?format=tree nests spans, ?limit=<n> bounds the count)
+//	/healthz   JSON health report from the registered health sources
+type Server struct {
+	t   *Telemetry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the introspection listener on addr (":0" picks a free
+// port; query Addr for the bound address). Returns nil, nil on a nil
+// handle: disabled telemetry has nothing to expose.
+func (t *Telemetry) Serve(addr string) (*Server, error) {
+	if t == nil {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{t: t, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metricsz", s.metricsz)
+	mux.HandleFunc("/tracez", s.tracez)
+	mux.HandleFunc("/healthz", s.healthz)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	return s, nil
+}
+
+// Addr reports the bound listen address ("" for a nil server).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener. Nil-safe.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// metricsz renders the registry: Prometheus text exposition by default,
+// the JSON Snapshot with ?format=json.
+func (s *Server) metricsz(w http.ResponseWriter, r *http.Request) {
+	snap := s.t.reg.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	writePromMetrics(&b, "counter", snap.Counters)
+	writePromMetrics(&b, "gauge", snap.Gauges)
+	for i, h := range snap.Histograms {
+		if i == 0 || snap.Histograms[i-1].Name != h.Name {
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", h.Name)
+		}
+		var cum int64
+		for _, bk := range h.Buckets {
+			cum += bk.Count
+			fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d\n", h.Name, promTenant(h.Tenant), strconv.FormatUint(bk.Le, 10), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{%sle=\"+Inf\"} %d\n", h.Name, promTenant(h.Tenant), h.Count)
+		fmt.Fprintf(&b, "%s_sum%s %d\n", h.Name, promLabels(h.Tenant), h.Sum)
+		fmt.Fprintf(&b, "%s_count%s %d\n", h.Name, promLabels(h.Tenant), h.Count)
+	}
+	w.Write([]byte(b.String())) //nolint:errcheck
+}
+
+// writePromMetrics renders counters or gauges in exposition format; the
+// TYPE line appears once per metric name across its tenant series.
+func writePromMetrics(b *strings.Builder, typ string, points []MetricPoint) {
+	for i, p := range points {
+		if i == 0 || points[i-1].Name != p.Name {
+			fmt.Fprintf(b, "# TYPE %s %s\n", p.Name, typ)
+		}
+		fmt.Fprintf(b, "%s%s %d\n", p.Name, promLabels(p.Tenant), p.Value)
+	}
+}
+
+// promLabels renders the label set of a series (empty for no tenant).
+func promLabels(tenant string) string {
+	if tenant == "" {
+		return ""
+	}
+	return "{tenant=" + strconv.Quote(tenant) + "}"
+}
+
+// promTenant renders the tenant label as a prefix inside a brace pair
+// that already holds another label.
+func promTenant(tenant string) string {
+	if tenant == "" {
+		return ""
+	}
+	return "tenant=" + strconv.Quote(tenant) + ","
+}
+
+// tracez serves recent completed spans.
+func (s *Server) tracez(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			limit = n
+		}
+	}
+	var spans []SpanRecord
+	if traceID := q.Get("trace"); traceID != "" {
+		spans = s.t.tracer.ByTrace(traceID)
+	} else {
+		spans = s.t.tracer.Recent(limit)
+	}
+	if spans == nil {
+		spans = []SpanRecord{}
+	}
+	if q.Get("format") == "tree" {
+		tree := BuildTree(spans)
+		if tree == nil {
+			tree = []*TraceNode{}
+		}
+		writeJSON(w, tree)
+		return
+	}
+	writeJSON(w, spans)
+}
+
+// healthz evaluates the health sources and reports them with an overall
+// status; the endpoint answers 200 as long as the process serves it —
+// degraded components speak through their own entries.
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	checks := s.t.Health()
+	if checks == nil {
+		checks = map[string]any{}
+	}
+	writeJSON(w, map[string]any{"status": "ok", "checks": checks})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck
+}

@@ -1,0 +1,441 @@
+// Package obs is the interaction telemetry plane: a zero-dependency
+// metrics registry (atomic counters, gauges and lock-cheap power-of-two
+// histograms with per-tenant labelled views), run-scoped tracing whose
+// trace identifier is the protocol run identifier already bound into the
+// evidence, and an opt-in HTTP introspection listener. The package is a
+// leaf — every other layer may import it — and the disabled state is a
+// nil handle: every method on every type is nil-receiver-safe, so
+// instrumented call sites never branch on whether telemetry is on.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Telemetry is the top-level handle: one registry, one tracer, one set of
+// health sources, shared by every component of a process (or a hosted
+// domain). A nil *Telemetry is the disabled state; all methods no-op.
+type Telemetry struct {
+	reg    *Registry
+	tracer *Tracer
+
+	mu     sync.Mutex
+	health map[string]func() any
+}
+
+// New creates an enabled telemetry handle with an empty registry and a
+// default-capacity span ring.
+func New() *Telemetry {
+	return &Telemetry{
+		reg:    NewRegistry(),
+		tracer: NewTracer(DefaultTraceCapacity),
+		health: make(map[string]func() any),
+	}
+}
+
+// Registry returns the metrics registry (nil when telemetry is disabled).
+func (t *Telemetry) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Tracer returns the span recorder (nil when telemetry is disabled).
+func (t *Telemetry) Tracer() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tracer
+}
+
+// Scope returns a tenant-labelled view of the telemetry handle: metrics
+// resolved through it carry the tenant label, spans started through it
+// are stamped with the tenant. The empty tenant is the unattributed
+// (process-level) view. Scope on a nil handle returns nil, and a nil
+// *Scope resolves only nil instruments — the disabled state propagates.
+func (t *Telemetry) Scope(tenant string) *Scope {
+	if t == nil {
+		return nil
+	}
+	return &Scope{t: t, tenant: tenant}
+}
+
+// SetHealth registers (or replaces) a named health source; its value is
+// rendered under /healthz on every request.
+func (t *Telemetry) SetHealth(name string, fn func() any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.health[name] = fn
+	t.mu.Unlock()
+}
+
+// Health evaluates every registered health source.
+func (t *Telemetry) Health() map[string]any {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	fns := make(map[string]func() any, len(t.health))
+	for name, fn := range t.health {
+		fns[name] = fn
+	}
+	t.mu.Unlock()
+	out := make(map[string]any, len(fns))
+	for name, fn := range fns {
+		out[name] = fn()
+	}
+	return out
+}
+
+// Scope is a tenant-labelled view of a Telemetry handle.
+type Scope struct {
+	t      *Telemetry
+	tenant string
+}
+
+// Tenant reports the scope's tenant label ("" for nil or unattributed).
+func (s *Scope) Tenant() string {
+	if s == nil {
+		return ""
+	}
+	return s.tenant
+}
+
+// Counter resolves a tenant-labelled counter (nil when disabled).
+func (s *Scope) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.t.reg.Counter(name, s.tenant)
+}
+
+// Gauge resolves a tenant-labelled gauge (nil when disabled).
+func (s *Scope) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.t.reg.Gauge(name, s.tenant)
+}
+
+// Histogram resolves a tenant-labelled histogram (nil when disabled).
+func (s *Scope) Histogram(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.t.reg.Histogram(name, s.tenant)
+}
+
+// metricKey identifies one labelled instrument.
+type metricKey struct {
+	name   string
+	tenant string
+}
+
+// Registry holds the process's instruments. Resolution is a lock-free map
+// read after first creation; instrument updates are single atomic
+// operations — the registry adds no locks to any hot path.
+type Registry struct {
+	counters sync.Map // metricKey → *Counter
+	gauges   sync.Map // metricKey → *Gauge
+	hists    sync.Map // metricKey → *Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the named counter, creating it on first use. Nil-safe.
+func (r *Registry) Counter(name, tenant string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{name, tenant}
+	if v, ok := r.counters.Load(k); ok {
+		return v.(*Counter)
+	}
+	v, _ := r.counters.LoadOrStore(k, new(Counter))
+	return v.(*Counter)
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil-safe.
+func (r *Registry) Gauge(name, tenant string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{name, tenant}
+	if v, ok := r.gauges.Load(k); ok {
+		return v.(*Gauge)
+	}
+	v, _ := r.gauges.LoadOrStore(k, new(Gauge))
+	return v.(*Gauge)
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Nil-safe.
+func (r *Registry) Histogram(name, tenant string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{name, tenant}
+	if v, ok := r.hists.Load(k); ok {
+		return v.(*Histogram)
+	}
+	v, _ := r.hists.LoadOrStore(k, new(Histogram))
+	return v.(*Histogram)
+}
+
+// Counter is a monotonic (but resettable) atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. Nil-safe no-op when disabled.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter (0 when nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Reset zeroes the counter (benchmark harnesses measure deltas between
+// known points; production readers should diff snapshots instead).
+func (c *Counter) Reset() {
+	if c == nil {
+		return
+	}
+	c.v.Store(0)
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value. Nil-safe.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by n. Nil-safe.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value reads the gauge (0 when nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the bucket count of a histogram: one bucket per
+// power-of-two magnitude of an int64 observation (bucket i holds values v
+// with bits.Len64(v) == i, i.e. 2^(i-1) ≤ v < 2^i; bucket 0 holds zero).
+const histBuckets = 64
+
+// Histogram is a lock-free exponential histogram: observation cost is two
+// atomic adds and one atomic increment, with no locks and no allocation,
+// which keeps it safe to sit on signing and commit hot paths.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value (negatives clamp to zero). Nil-safe.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// Since records the nanoseconds elapsed from start — the latency idiom:
+// defer-free call sites do h.Since(t0) on each exit path. Nil-safe.
+func (h *Histogram) Since(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Nanoseconds())
+}
+
+// Count reports the number of observations (0 when nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the sum of observations (0 when nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// MetricPoint is one counter or gauge value in a snapshot.
+type MetricPoint struct {
+	Name   string `json:"name"`
+	Tenant string `json:"tenant,omitempty"`
+	Value  int64  `json:"value"`
+}
+
+// BucketPoint is one non-empty histogram bucket: Le is the inclusive
+// upper bound of the bucket's value range, Count the observations in it
+// (not cumulative).
+type BucketPoint struct {
+	Le    uint64 `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// HistogramPoint is one histogram in a snapshot.
+type HistogramPoint struct {
+	Name    string        `json:"name"`
+	Tenant  string        `json:"tenant,omitempty"`
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Buckets []BucketPoint `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every instrument, ordered by name
+// then tenant so exports are deterministic.
+type Snapshot struct {
+	Counters   []MetricPoint    `json:"counters"`
+	Gauges     []MetricPoint    `json:"gauges"`
+	Histograms []HistogramPoint `json:"histograms"`
+}
+
+// bucketLe returns the inclusive upper bound of bucket i.
+func bucketLe(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	return 1<<uint(i) - 1
+}
+
+// Snapshot copies every instrument. Nil-safe: a nil registry snapshots
+// empty.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.counters.Range(func(k, v any) bool {
+		mk := k.(metricKey)
+		s.Counters = append(s.Counters, MetricPoint{Name: mk.name, Tenant: mk.tenant, Value: v.(*Counter).Value()})
+		return true
+	})
+	r.gauges.Range(func(k, v any) bool {
+		mk := k.(metricKey)
+		s.Gauges = append(s.Gauges, MetricPoint{Name: mk.name, Tenant: mk.tenant, Value: v.(*Gauge).Value()})
+		return true
+	})
+	r.hists.Range(func(k, v any) bool {
+		mk := k.(metricKey)
+		h := v.(*Histogram)
+		hp := HistogramPoint{Name: mk.name, Tenant: mk.tenant, Count: h.count.Load(), Sum: h.sum.Load()}
+		for i := 0; i < histBuckets; i++ {
+			if n := h.buckets[i].Load(); n > 0 {
+				hp.Buckets = append(hp.Buckets, BucketPoint{Le: bucketLe(i), Count: n})
+			}
+		}
+		s.Histograms = append(s.Histograms, hp)
+		return true
+	})
+	byNameTenant := func(a, b MetricPoint) bool {
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Tenant < b.Tenant
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return byNameTenant(s.Counters[i], s.Counters[j]) })
+	sort.Slice(s.Gauges, func(i, j int) bool { return byNameTenant(s.Gauges[i], s.Gauges[j]) })
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		if s.Histograms[i].Name != s.Histograms[j].Name {
+			return s.Histograms[i].Name < s.Histograms[j].Name
+		}
+		return s.Histograms[i].Tenant < s.Histograms[j].Tenant
+	})
+	return s
+}
+
+// CounterTotal sums the named counter across all tenants.
+func (s Snapshot) CounterTotal(name string) int64 {
+	var total int64
+	for _, p := range s.Counters {
+		if p.Name == name {
+			total += p.Value
+		}
+	}
+	return total
+}
+
+// Counter returns the named counter's value for one tenant (0 if absent).
+func (s Snapshot) Counter(name, tenant string) int64 {
+	for _, p := range s.Counters {
+		if p.Name == name && p.Tenant == tenant {
+			return p.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the named gauge's value for one tenant (0 if absent).
+func (s Snapshot) Gauge(name, tenant string) int64 {
+	for _, p := range s.Gauges {
+		if p.Name == name && p.Tenant == tenant {
+			return p.Value
+		}
+	}
+	return 0
+}
+
+// HistogramCount sums the named histogram's observation count across all
+// tenants.
+func (s Snapshot) HistogramCount(name string) int64 {
+	var total int64
+	for _, p := range s.Histograms {
+		if p.Name == name {
+			total += p.Count
+		}
+	}
+	return total
+}
+
+// CounterTotals flattens the snapshot's counters to name → cross-tenant
+// total; benchmark harnesses diff two of these to embed instrument deltas
+// next to their timing numbers.
+func (s Snapshot) CounterTotals() map[string]int64 {
+	out := make(map[string]int64, len(s.Counters))
+	for _, p := range s.Counters {
+		out[p.Name] += p.Value
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package obs
+
+import "strings"
+
+// Canonical metric names. Layers resolve instruments through these so
+// the exposition surface, the benchmark deltas and the README reference
+// stay one vocabulary.
+const (
+	// Evidence plane.
+	MTokenIssueNs        = "nonrep_token_issue_ns"
+	MTokensIssuedTotal   = "nonrep_tokens_issued_total"
+	MTokenVerifyNs       = "nonrep_token_verify_ns"
+	MTokenVerifyFailed   = "nonrep_token_verify_failed_total"
+	MTokensVerifiedTotal = "nonrep_tokens_verified_total"
+
+	// Vault (group commit + seal chain).
+	MVaultAppendNs     = "nonrep_vault_append_ns"
+	MVaultCommitNs     = "nonrep_vault_commit_ns"
+	MVaultCommitBatch  = "nonrep_vault_commit_batch"
+	MVaultSealNs       = "nonrep_vault_seal_ns"
+	MVaultSealsTotal   = "nonrep_vault_seals_total"
+	MVaultRecordsTotal = "nonrep_vault_records_total"
+
+	// Replication.
+	MReplShippedTotal    = "nonrep_replication_shipped_segments_total"
+	MReplLagSegments     = "nonrep_replication_lag_segments"
+	MReplBacklogSegments = "nonrep_replication_backlog_segments"
+	MReplErrorsTotal     = "nonrep_replication_errors_total"
+
+	// Transport.
+	MChunkReassemblyBytes   = "nonrep_chunk_reassembly_bytes"
+	MCoalesceBatchOccupancy = "nonrep_coalesce_batch_occupancy"
+	MDedupHitsTotal         = "nonrep_dedup_hits_total"
+
+	// Wire traffic (the transport.Metered counters, re-homed).
+	MWireMessagesTotal    = "nonrep_wire_messages_total"
+	MWireBytesTotal       = "nonrep_wire_bytes_total"
+	MWireBatchesTotal     = "nonrep_wire_batches_total"
+	MWireSubMessagesTotal = "nonrep_wire_submessages_total"
+	MWireLogicalTotal     = "nonrep_wire_logical_total"
+)
+
+// envelopeMetricPrefix prefixes the per-protocol-kind envelope counters.
+const envelopeMetricPrefix = "nonrep_envelopes_"
+
+// EnvelopeMetric names the per-kind envelope counter for one envelope
+// kind: "b2b-deliver-request" → "nonrep_envelopes_b2b_deliver_request_total".
+func EnvelopeMetric(kind string) string {
+	return envelopeMetricPrefix + strings.ReplaceAll(kind, "-", "_") + "_total"
+}

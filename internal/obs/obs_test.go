@@ -1,0 +1,446 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// The entire disabled state: every operation on nil receivers must
+	// no-op without panicking.
+	var tel *Telemetry
+	if tel.Registry() != nil || tel.Tracer() != nil || tel.Scope("x") != nil {
+		t.Fatal("nil telemetry must resolve nil components")
+	}
+	tel.SetHealth("h", func() any { return 1 })
+	if tel.Health() != nil {
+		t.Fatal("nil telemetry health must be nil")
+	}
+	srv, err := tel.Serve(":0")
+	if err != nil || srv != nil {
+		t.Fatalf("nil telemetry Serve = %v, %v", srv, err)
+	}
+	if srv.Addr() != "" || srv.Close() != nil {
+		t.Fatal("nil server accessors must no-op")
+	}
+
+	var sc *Scope
+	if sc.Tenant() != "" {
+		t.Fatal("nil scope tenant")
+	}
+	sc.Counter("c").Inc()
+	sc.Counter("c").Add(3)
+	sc.Gauge("g").Set(5)
+	sc.Gauge("g").Add(1)
+	sc.Histogram("h").Observe(9)
+	sc.Histogram("h").Since(time.Now())
+	if sc.Counter("c").Value() != 0 || sc.Gauge("g").Value() != 0 || sc.Histogram("h").Count() != 0 || sc.Histogram("h").Sum() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	sc.Counter("c").Reset()
+
+	ctx, sp := sc.StartSpan(context.Background(), "op")
+	if sp != nil || SpanFromContext(ctx) != nil {
+		t.Fatal("nil scope must start nil spans")
+	}
+	if _, sp := sc.StartRootSpan(ctx, "op", "trace"); sp != nil {
+		t.Fatal("nil scope root span")
+	}
+	if _, sp := sc.StartRemoteSpan(ctx, "op", &TraceRef{TraceID: "t"}); sp != nil {
+		t.Fatal("nil scope remote span")
+	}
+	sp.SetAttr("k", "v")
+	sp.End()
+	if sp.Ref() != nil || sp.TraceID() != "" {
+		t.Fatal("nil span ref")
+	}
+
+	var reg *Registry
+	if reg.Counter("a", "") != nil || reg.Gauge("a", "") != nil || reg.Histogram("a", "") != nil {
+		t.Fatal("nil registry instruments")
+	}
+	if snap := reg.Snapshot(); len(snap.Counters) != 0 {
+		t.Fatal("nil registry snapshot")
+	}
+
+	var tr *Tracer
+	if tr.Recent(0) != nil || tr.ByTrace("x") != nil || tr.start("t", "", "n", "") != nil {
+		t.Fatal("nil tracer")
+	}
+	tr.record(SpanRecord{})
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	tel := New()
+	a := tel.Scope("OrgA")
+	b := tel.Scope("OrgB")
+
+	a.Counter("reqs").Add(3)
+	b.Counter("reqs").Inc()
+	if a.Counter("reqs").Value() != 3 || b.Counter("reqs").Value() != 1 {
+		t.Fatal("tenant counters must be isolated")
+	}
+	a.Gauge("depth").Set(7)
+	a.Gauge("depth").Add(-2)
+	if got := a.Gauge("depth").Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	h := a.Histogram("lat")
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(100)
+	h.Observe(-5) // clamps to 0
+	if h.Count() != 4 || h.Sum() != 101 {
+		t.Fatalf("hist count/sum = %d/%d", h.Count(), h.Sum())
+	}
+
+	snap := tel.Registry().Snapshot()
+	if got := snap.CounterTotal("reqs"); got != 4 {
+		t.Fatalf("CounterTotal = %d, want 4", got)
+	}
+	if got := snap.Counter("reqs", "OrgB"); got != 1 {
+		t.Fatalf("Counter(OrgB) = %d, want 1", got)
+	}
+	if got := snap.Counter("reqs", "missing"); got != 0 {
+		t.Fatalf("Counter(missing) = %d", got)
+	}
+	if got := snap.Gauge("depth", "OrgA"); got != 5 {
+		t.Fatalf("Gauge = %d", got)
+	}
+	if got := snap.Gauge("depth", "nope"); got != 0 {
+		t.Fatalf("Gauge(nope) = %d", got)
+	}
+	if got := snap.HistogramCount("lat"); got != 4 {
+		t.Fatalf("HistogramCount = %d", got)
+	}
+	totals := snap.CounterTotals()
+	if totals["reqs"] != 4 {
+		t.Fatalf("CounterTotals = %v", totals)
+	}
+	// Buckets: 0 → bucket 0 (le 0); 1 → bucket 1 (le 1); 100 → le 127.
+	var hp *HistogramPoint
+	for i := range snap.Histograms {
+		if snap.Histograms[i].Name == "lat" {
+			hp = &snap.Histograms[i]
+		}
+	}
+	if hp == nil {
+		t.Fatal("lat histogram missing from snapshot")
+	}
+	want := map[uint64]int64{0: 2, 1: 1, 127: 1}
+	for _, bk := range hp.Buckets {
+		if want[bk.Le] != bk.Count {
+			t.Fatalf("bucket le=%d count=%d, want %d", bk.Le, bk.Count, want[bk.Le])
+		}
+		delete(want, bk.Le)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing buckets: %v", want)
+	}
+
+	a.Counter("reqs").Reset()
+	if a.Counter("reqs").Value() != 0 {
+		t.Fatal("reset")
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	tel := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sc := tel.Scope("T")
+			for i := 0; i < 1000; i++ {
+				sc.Counter("c").Inc()
+				sc.Histogram("h").Observe(int64(i))
+				sc.Gauge("g").Set(int64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tel.Scope("T").Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := tel.Scope("T").Histogram("h").Count(); got != 8000 {
+		t.Fatalf("hist count = %d, want 8000", got)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	tel := New()
+	sc := tel.Scope("OrgA")
+
+	ctx, root := sc.StartRootSpan(context.Background(), "client.invoke", "run-abc")
+	if root.TraceID() != "run-abc" {
+		t.Fatalf("trace id = %q", root.TraceID())
+	}
+	ctx2, child := sc.StartSpan(ctx, "transport.request")
+	child.SetAttr("kind", "b2b-deliver-request")
+	// Remote continuation, as a server would do from the wire ref.
+	ref := SpanFromContext(ctx2).Ref()
+	_, srv := tel.Scope("OrgB").StartRemoteSpan(context.Background(), "server.process", ref)
+	srv.End()
+	child.End()
+	child.End() // double-End must not duplicate
+	root.End()
+
+	spans := tel.Tracer().ByTrace("run-abc")
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(spans), spans)
+	}
+	tree := BuildTree(spans)
+	if len(tree) != 1 || tree[0].Name != "client.invoke" {
+		t.Fatalf("tree roots = %+v", tree)
+	}
+	if len(tree[0].Children) != 1 || tree[0].Children[0].Name != "transport.request" {
+		t.Fatalf("level 1 = %+v", tree[0].Children)
+	}
+	if len(tree[0].Children[0].Children) != 1 || tree[0].Children[0].Children[0].Name != "server.process" {
+		t.Fatalf("level 2 = %+v", tree[0].Children[0].Children)
+	}
+	if tree[0].Children[0].Attrs["kind"] != "b2b-deliver-request" {
+		t.Fatal("attr lost")
+	}
+	if tree[0].Children[0].Children[0].Tenant != "OrgB" {
+		t.Fatal("remote tenant lost")
+	}
+
+	// A fresh StartSpan with no parent in context roots its own trace.
+	_, orphan := sc.StartSpan(context.Background(), "solo")
+	orphan.End()
+	if orphan.TraceID() == "" || orphan.TraceID() == "run-abc" {
+		t.Fatalf("orphan trace id = %q", orphan.TraceID())
+	}
+	// Nil/blank remote refs degrade to a fresh root.
+	_, fresh := sc.StartRemoteSpan(context.Background(), "x", nil)
+	if fresh == nil || fresh.TraceID() == "" {
+		t.Fatal("nil ref must start a root")
+	}
+	fresh.End()
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		sp := tr.start("t", "", "op", "")
+		sp.End()
+	}
+	recent := tr.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recent))
+	}
+	if got := tr.Recent(2); len(got) != 2 {
+		t.Fatalf("Recent(2) = %d", len(got))
+	}
+	if NewTracer(0) == nil {
+		t.Fatal("default capacity")
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	tel := New()
+	tel.Scope("OrgA").Counter("nonrep_wire_messages_total").Add(12)
+	tel.Scope("").Gauge("nonrep_replication_lag_segments").Set(2)
+	tel.Scope("OrgA").Histogram("nonrep_token_issue_ns").Observe(1500)
+	tel.SetHealth("vault", func() any { return map[string]any{"segments": 3} })
+
+	ctx, root := tel.Scope("OrgA").StartRootSpan(context.Background(), "client.invoke", "run-xyz")
+	_, child := tel.Scope("OrgA").StartSpan(ctx, "vault.append")
+	child.End()
+	root.End()
+
+	srv, err := tel.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	prom := get("/metricsz")
+	for _, want := range []string{
+		"# TYPE nonrep_wire_messages_total counter",
+		`nonrep_wire_messages_total{tenant="OrgA"} 12`,
+		"nonrep_replication_lag_segments 2",
+		"# TYPE nonrep_token_issue_ns histogram",
+		`nonrep_token_issue_ns_bucket{tenant="OrgA",le="+Inf"} 1`,
+		`nonrep_token_issue_ns_sum{tenant="OrgA"} 1500`,
+		`nonrep_token_issue_ns_count{tenant="OrgA"} 1`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("prometheus exposition missing %q:\n%s", want, prom)
+		}
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/metricsz?format=json")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counter("nonrep_wire_messages_total", "OrgA") != 12 {
+		t.Fatalf("json snapshot = %+v", snap)
+	}
+
+	var spans []SpanRecord
+	if err := json.Unmarshal([]byte(get("/tracez?trace=run-xyz")), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("tracez = %+v", spans)
+	}
+	var tree []*TraceNode
+	if err := json.Unmarshal([]byte(get("/tracez?trace=run-xyz&format=tree")), &tree); err != nil {
+		t.Fatal(err)
+	}
+	if len(tree) != 1 || len(tree[0].Children) != 1 || tree[0].Children[0].Name != "vault.append" {
+		t.Fatalf("tracez tree = %+v", tree)
+	}
+	if err := json.Unmarshal([]byte(get("/tracez?limit=1")), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 {
+		t.Fatalf("tracez limit = %d spans", len(spans))
+	}
+
+	var health struct {
+		Status string         `json:"status"`
+		Checks map[string]any `json:"checks"`
+	}
+	if err := json.Unmarshal([]byte(get("/healthz")), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Checks["vault"] == nil {
+		t.Fatalf("healthz = %+v", health)
+	}
+}
+
+func TestEnvelopeMetric(t *testing.T) {
+	if got := EnvelopeMetric("b2b-deliver-request"); got != "nonrep_envelopes_b2b_deliver_request_total" {
+		t.Fatalf("EnvelopeMetric = %q", got)
+	}
+}
+
+func TestTraceRefWireForm(t *testing.T) {
+	// The reference rides every traced protocol message, so it encodes
+	// compactly as one string; the trace id may itself contain the
+	// separator (span ids are hex, so the last one wins).
+	for _, ref := range []TraceRef{
+		{TraceID: "run-0042", SpanID: "a1b2"},
+		{TraceID: "trace-with@sign", SpanID: "ff01"},
+		{TraceID: "orphan", SpanID: ""},
+	} {
+		blob, err := json.Marshal(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back TraceRef
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != ref {
+			t.Fatalf("round trip %+v -> %s -> %+v", ref, blob, back)
+		}
+	}
+	var bare TraceRef
+	if err := json.Unmarshal([]byte(`"just-a-trace"`), &bare); err != nil {
+		t.Fatal(err)
+	}
+	if bare.TraceID != "just-a-trace" || bare.SpanID != "" {
+		t.Fatalf("separator-free form = %+v", bare)
+	}
+}
+
+func TestRootAdmissionSampling(t *testing.T) {
+	tel := New()
+	sc := tel.Scope("t")
+	tel.Tracer().SetRootLimit(3, 0)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if _, sp := sc.StartRootSpan(context.Background(), "root", "r"); sp != nil {
+			admitted++
+			sp.End()
+		}
+	}
+	if admitted != 3 {
+		t.Fatalf("admitted %d roots, want burst of 3", admitted)
+	}
+	// Child spans of an admitted trace are never sampled away, and a
+	// remote continuation follows the sender's admission decision.
+	ctx, root := sc.StartRootSpan(context.Background(), "root", "r2")
+	if root != nil {
+		t.Fatal("burst exhausted, root should be declined")
+	}
+	if sp := sc.StartChild(ctx, "leaf"); sp != nil {
+		t.Fatal("declined trace must not grow children")
+	}
+	if _, sp := sc.StartRemoteSpan(context.Background(), "remote", &TraceRef{TraceID: "r3", SpanID: "1"}); sp == nil {
+		t.Fatal("remote continuation must bypass admission")
+	}
+	// Anonymous roots from StartSpan are admission-gated too.
+	if ctx2, sp := sc.StartSpan(context.Background(), "anon"); sp != nil || ctx2 == nil {
+		t.Fatal("anonymous root should be declined with the bucket empty")
+	}
+	// A refill rate restores admission as time passes.
+	tel.Tracer().SetRootLimit(1, 1000)
+	if _, sp := sc.StartRootSpan(context.Background(), "root", "r4"); sp == nil {
+		t.Fatal("fresh bucket should admit")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, sp := sc.StartRootSpan(context.Background(), "root", "r5"); sp != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("bucket never refilled")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Burst <= 0 disables sampling entirely.
+	tel.Tracer().SetRootLimit(0, 0)
+	for i := 0; i < 50; i++ {
+		if _, sp := sc.StartRootSpan(context.Background(), "root", "all"); sp == nil {
+			t.Fatal("sampling disabled, every root must be admitted")
+		}
+	}
+}
+
+func TestSpanAttrOverflow(t *testing.T) {
+	tel := New()
+	sc := tel.Scope("")
+	_, sp := sc.StartRootSpan(context.Background(), "op", "attr-run")
+	for i, k := range []string{"a", "b", "c", "d", "e"} {
+		sp.SetAttr(k, strings.Repeat("v", i+1))
+	}
+	sp.SetAttr("a", "final") // later keys win
+	sp.End()
+	spans := tel.Tracer().ByTrace("attr-run")
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	attrs := spans[0].Attrs
+	if len(attrs) != 5 || attrs["a"] != "final" || attrs["e"] != "vvvvv" {
+		t.Fatalf("attrs = %+v", attrs)
+	}
+}

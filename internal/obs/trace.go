@@ -1,0 +1,479 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceCapacity bounds the completed-span ring of a Tracer built
+// by New.
+const DefaultTraceCapacity = 2048
+
+// TraceRef is the wire form of a span: enough for a remote party to
+// continue the trace. It rides in protocol message metadata (omitted when
+// telemetry is off, keeping the wire byte-identical).
+type TraceRef struct {
+	TraceID string
+	SpanID  string
+}
+
+// MarshalJSON encodes the reference compactly as "traceID@spanID" — the
+// reference rides every traced protocol message, so its wire form is one
+// short string rather than an object.
+func (r TraceRef) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.TraceID + "@" + r.SpanID)
+}
+
+// UnmarshalJSON decodes the compact wire form. Span identifiers never
+// contain '@' (they are hex), so splitting at the last separator is
+// unambiguous whatever the trace identifier holds.
+func (r *TraceRef) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	if i := strings.LastIndexByte(s, '@'); i >= 0 {
+		r.TraceID, r.SpanID = s[:i], s[i+1:]
+	} else {
+		r.TraceID = s
+	}
+	return nil
+}
+
+// SpanRecord is one completed span as stored in the ring and exported by
+// /tracez. TraceID is the protocol run identifier for spans rooted in an
+// interaction, so traces correlate directly with the evidence tokens'
+// run ids.
+type SpanRecord struct {
+	TraceID    string            `json:"trace_id"`
+	SpanID     string            `json:"span_id"`
+	Parent     string            `json:"parent_id,omitempty"`
+	Name       string            `json:"name"`
+	Tenant     string            `json:"tenant,omitempty"`
+	Start      time.Time         `json:"start"`
+	DurationNs int64             `json:"duration_ns"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+
+	// attrPairs is the hot-path form of Attrs: the span's inline
+	// key/value pairs, copied into the ring slot by value so recording a
+	// span allocates nothing for attributes. Recent materialises Attrs
+	// when records leave the tracer.
+	attrPairs [inlineAttrPairs]string
+	attrN     int
+	attrMore  []string
+}
+
+// Span is one in-flight operation. Spans are created through a Scope,
+// propagated via context.Context, and recorded into the tracer's ring on
+// End. A nil *Span is the disabled state; all methods no-op.
+type Span struct {
+	tracer  *Tracer
+	traceID string
+	spanID  string
+	parent  string
+	name    string
+	tenant  string
+	start   time.Time
+
+	mu    sync.Mutex
+	attrs [inlineAttrPairs]string // flat key/value pairs; later keys win
+	nattr int
+	more  []string // overflow pairs beyond the inline array
+	ended bool
+}
+
+// inlineAttrPairs is the flat length of a span's inline attribute
+// storage: two key/value pairs, as many as the hot protocol paths set,
+// so span attributes cost no allocation.
+const inlineAttrPairs = 4
+
+// spanIDs are unique within a process: a per-process random prefix (so
+// two processes' spans do not collide when their traces merge) and an
+// atomic sequence.
+var (
+	spanPrefix = func() uint64 {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return uint64(time.Now().UnixNano()) & 0xffffffff
+		}
+		return uint64(binary.BigEndian.Uint32(b[:]))
+	}()
+	spanSeq atomic.Uint64
+)
+
+func newSpanID() string {
+	return strconv.FormatUint(spanPrefix<<32|spanSeq.Add(1)&0xffffffff, 16)
+}
+
+// spanCtxKey keys the active span in a context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying the span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the active span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartSpan starts a span as a child of the context's active span (a
+// root with a fresh trace id when the context carries none) and returns
+// a context carrying it. Nil-safe: a nil scope returns (ctx, nil).
+func (s *Scope) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if s == nil {
+		return ctx, nil
+	}
+	var traceID, parent string
+	if p := SpanFromContext(ctx); p != nil {
+		traceID, parent = p.traceID, p.spanID
+	} else {
+		if !s.t.tracer.admitRoot() {
+			return ctx, nil
+		}
+		traceID = "trace-" + newSpanID()
+	}
+	sp := s.t.tracer.start(traceID, parent, name, s.tenant)
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// StartChild starts a span under the context's active span without
+// deriving a new context — for leaf operations that hand the context no
+// further, saving the context allocation of StartSpan. It returns nil
+// when the context carries no span: leaf spans never open traces of
+// their own. Nil-safe.
+func (s *Scope) StartChild(ctx context.Context, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	p := SpanFromContext(ctx)
+	if p == nil {
+		return nil
+	}
+	return s.t.tracer.start(p.traceID, p.spanID, name, s.tenant)
+}
+
+// StartRootSpan starts a trace root with an explicit trace identifier —
+// the invocation layer passes the protocol run id, making every trace
+// correlatable with the run's evidence tokens. Roots are
+// admission-sampled (see Tracer); a declined root returns (ctx, nil) and
+// the whole invocation proceeds untraced. Nil-safe.
+func (s *Scope) StartRootSpan(ctx context.Context, name, traceID string) (context.Context, *Span) {
+	if s == nil {
+		return ctx, nil
+	}
+	if !s.t.tracer.admitRoot() {
+		return ctx, nil
+	}
+	sp := s.t.tracer.start(traceID, "", name, s.tenant)
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// StartRemoteSpan continues a trace begun elsewhere: the new span is a
+// child of the remote span named by ref. A nil ref starts a fresh root.
+// Nil-safe.
+func (s *Scope) StartRemoteSpan(ctx context.Context, name string, ref *TraceRef) (context.Context, *Span) {
+	if s == nil {
+		return ctx, nil
+	}
+	if ref == nil || ref.TraceID == "" {
+		return s.StartSpan(ctx, name)
+	}
+	sp := s.t.tracer.start(ref.TraceID, ref.SpanID, name, s.tenant)
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// Ref returns the span's wire reference (nil for a nil span), for
+// stamping into outgoing message metadata.
+func (sp *Span) Ref() *TraceRef {
+	if sp == nil {
+		return nil
+	}
+	return &TraceRef{TraceID: sp.traceID, SpanID: sp.spanID}
+}
+
+// TraceID reports the span's trace identifier ("" for nil).
+func (sp *Span) TraceID() string {
+	if sp == nil {
+		return ""
+	}
+	return sp.traceID
+}
+
+// SetAttr attaches a key/value attribute. Setting a key again overrides
+// the earlier value. Nil-safe.
+func (sp *Span) SetAttr(k, v string) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if sp.nattr+1 < inlineAttrPairs {
+		sp.attrs[sp.nattr] = k
+		sp.attrs[sp.nattr+1] = v
+		sp.nattr += 2
+	} else {
+		sp.more = append(sp.more, k, v)
+	}
+	sp.mu.Unlock()
+}
+
+// End completes the span and records it. Second and later Ends no-op.
+// Nil-safe.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if sp.ended {
+		sp.mu.Unlock()
+		return
+	}
+	sp.ended = true
+	attrs, nattr, more := sp.attrs, sp.nattr, sp.more
+	sp.mu.Unlock()
+	sp.tracer.record(SpanRecord{
+		TraceID:    sp.traceID,
+		SpanID:     sp.spanID,
+		Parent:     sp.parent,
+		Name:       sp.name,
+		Tenant:     sp.tenant,
+		Start:      sp.start,
+		DurationNs: time.Since(sp.start).Nanoseconds(),
+		attrPairs:  attrs,
+		attrN:      nattr,
+		attrMore:   more,
+	})
+}
+
+// Root-trace admission defaults: a fresh tracer admits up to
+// DefaultTraceBurst root traces immediately and DefaultTracePerSec per
+// second sustained. Explicit invocations — a test, a demo, a handful of
+// production calls — are always traced; a saturating benchmark or hot
+// service traces a bounded sample, keeping the plane's steady-state cost
+// under the <2% throughput budget while the ring (which holds only the
+// latest 2048 spans anyway) still sees fresh trees continuously.
+const (
+	DefaultTraceBurst  = 256
+	DefaultTracePerSec = 100
+)
+
+// Tracer stores completed spans in a bounded ring and admission-samples
+// root traces. Child and remote spans are never sampled individually:
+// once a root is admitted the whole tree records, and a span continued
+// from a remote reference follows the sender's admission decision, so
+// sampled traces stay complete across parties.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []SpanRecord
+	next int
+	full bool
+
+	// Token bucket for root-trace admission, fixed-point in tokens.
+	tokens     atomic.Int64
+	lastRefill atomic.Int64 // unix nanos of the last refill
+	burst      atomic.Int64
+	perSec     atomic.Int64
+}
+
+// NewTracer creates a tracer whose ring holds capacity completed spans
+// (DefaultTraceCapacity when capacity <= 0), with default root-trace
+// admission limits.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	tr := &Tracer{ring: make([]SpanRecord, capacity)}
+	tr.burst.Store(DefaultTraceBurst)
+	tr.perSec.Store(DefaultTracePerSec)
+	tr.tokens.Store(DefaultTraceBurst)
+	tr.lastRefill.Store(time.Now().UnixNano())
+	return tr
+}
+
+// SetRootLimit adjusts root-trace admission: at most burst traces at
+// once, refilled at perSec per second. A burst <= 0 disables sampling —
+// every root is admitted (useful in tests that trace every run).
+func (tr *Tracer) SetRootLimit(burst, perSec int) {
+	if tr == nil {
+		return
+	}
+	tr.burst.Store(int64(burst))
+	tr.perSec.Store(int64(perSec))
+	tr.tokens.Store(int64(burst))
+	tr.lastRefill.Store(time.Now().UnixNano())
+}
+
+// admitRoot decides whether a new root trace records, drawing one token
+// from the bucket. Lock-free: contended CAS failures fall through to a
+// retry via refill, and a lost refill race just means this root is not
+// traced — admission is sampling, not accounting.
+func (tr *Tracer) admitRoot() bool {
+	if tr == nil {
+		return false
+	}
+	if tr.burst.Load() <= 0 {
+		return true
+	}
+	for {
+		t := tr.tokens.Load()
+		if t <= 0 {
+			break
+		}
+		if tr.tokens.CompareAndSwap(t, t-1) {
+			return true
+		}
+	}
+	now := time.Now().UnixNano()
+	last := tr.lastRefill.Load()
+	refill := (now - last) * tr.perSec.Load() / int64(time.Second)
+	if refill <= 0 {
+		return false
+	}
+	if !tr.lastRefill.CompareAndSwap(last, now) {
+		return false
+	}
+	if b := tr.burst.Load(); refill > b {
+		refill = b
+	}
+	tr.tokens.Store(refill - 1)
+	return true
+}
+
+// start creates a live span. Nil-safe: a nil tracer yields a nil span.
+func (tr *Tracer) start(traceID, parent, name, tenant string) *Span {
+	if tr == nil {
+		return nil
+	}
+	return &Span{
+		tracer:  tr,
+		traceID: traceID,
+		spanID:  newSpanID(),
+		parent:  parent,
+		name:    name,
+		tenant:  tenant,
+		start:   time.Now(),
+	}
+}
+
+// record appends a completed span, evicting the oldest when full.
+func (tr *Tracer) record(rec SpanRecord) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.ring[tr.next] = rec
+	tr.next++
+	if tr.next == len(tr.ring) {
+		tr.next = 0
+		tr.full = true
+	}
+	tr.mu.Unlock()
+}
+
+// Recent returns up to n most recent completed spans, oldest first
+// (all of them when n <= 0).
+func (tr *Tracer) Recent(n int) []SpanRecord {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	var out []SpanRecord
+	if tr.full {
+		out = append(out, tr.ring[tr.next:]...)
+		out = append(out, tr.ring[:tr.next]...)
+	} else {
+		out = append(out, tr.ring[:tr.next]...)
+	}
+	tr.mu.Unlock()
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	// Materialise the attribute maps outside the lock: exporting is the
+	// cold path, recording pairs the hot one.
+	for i := range out {
+		out[i].Attrs = out[i].attrMap()
+		out[i].attrPairs = [inlineAttrPairs]string{}
+		out[i].attrN = 0
+		out[i].attrMore = nil
+	}
+	return out
+}
+
+// attrMap folds the record's flat key/value pairs into a map; later keys
+// win.
+func (r *SpanRecord) attrMap() map[string]string {
+	n := r.attrN + len(r.attrMore)
+	if n == 0 {
+		return nil
+	}
+	m := make(map[string]string, n/2)
+	for i := 0; i+1 < r.attrN; i += 2 {
+		m[r.attrPairs[i]] = r.attrPairs[i+1]
+	}
+	for i := 0; i+1 < len(r.attrMore); i += 2 {
+		m[r.attrMore[i]] = r.attrMore[i+1]
+	}
+	return m
+}
+
+// ByTrace returns every recorded span of one trace, oldest first.
+func (tr *Tracer) ByTrace(traceID string) []SpanRecord {
+	var out []SpanRecord
+	for _, rec := range tr.Recent(0) {
+		if rec.TraceID == traceID {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// TraceNode is one span in an assembled trace tree.
+type TraceNode struct {
+	SpanRecord
+	Children []*TraceNode `json:"children,omitempty"`
+}
+
+// BuildTree assembles span records into forest form: children nest under
+// their parents; spans whose parent is absent (roots, or spans orphaned
+// by ring eviction) become top-level nodes. Nodes are ordered by start
+// time at every level.
+func BuildTree(records []SpanRecord) []*TraceNode {
+	nodes := make(map[string]*TraceNode, len(records))
+	for _, rec := range records {
+		nodes[rec.SpanID] = &TraceNode{SpanRecord: rec}
+	}
+	var roots []*TraceNode
+	for _, rec := range records {
+		n := nodes[rec.SpanID]
+		if p, ok := nodes[rec.Parent]; ok && rec.Parent != "" && rec.Parent != rec.SpanID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	var order func([]*TraceNode)
+	order = func(ns []*TraceNode) {
+		sort.Slice(ns, func(i, j int) bool { return ns[i].Start.Before(ns[j].Start) })
+		for _, n := range ns {
+			order(n.Children)
+		}
+	}
+	order(roots)
+	return roots
+}

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"nonrep/internal/canon"
 	"nonrep/internal/clock"
 	"nonrep/internal/evidence"
 	"nonrep/internal/id"
+	"nonrep/internal/obs"
 	"nonrep/internal/store"
 	"nonrep/internal/transport"
 )
@@ -39,6 +41,11 @@ type Services struct {
 	States    store.StateStore
 	Clock     clock.Clock
 	Directory *Directory
+	// Obs is the party's telemetry scope (tenant-labelled with the party
+	// identifier when telemetry is enabled, nil otherwise). Handlers and
+	// the coordinator record metrics and spans through it; a nil scope
+	// no-ops.
+	Obs *obs.Scope
 }
 
 // LogGenerated verifies-nothing and records evidence this party issued.
@@ -61,6 +68,10 @@ type Coordinator struct {
 	svc *Services
 	ep  transport.Endpoint
 
+	// kindCounters caches the per-envelope-kind counters of the party's
+	// scope so the per-envelope hot path is one lock-free map load.
+	kindCounters sync.Map // string → *obs.Counter
+
 	mu       sync.RWMutex
 	handlers map[string]Handler
 }
@@ -75,6 +86,10 @@ type config struct {
 	// shards is the dispatch shard count of a multi-tenant Host; it is
 	// ignored by single-tenant coordinators.
 	shards int
+	// obs homes the endpoint stack's instruments (coalescer occupancy,
+	// chunk reassembly). Single-tenant coordinators take it from the
+	// services' scope; hosts from WithTelemetry.
+	obs *obs.Scope
 }
 
 // WithRetryPolicy overrides the default retransmission policy.
@@ -108,8 +123,9 @@ func New(network transport.Network, addr string, svc *Services, opts ...Option) 
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	cfg.obs = svc.Obs
 	c := &Coordinator{svc: svc, handlers: make(map[string]Handler)}
-	h := transport.NewTenantChain(transport.HandlerFunc(c.handle), cfg.workers)
+	h := transport.NewTenantChainWith(transport.HandlerFunc(c.handle), cfg.workers, svc.Obs)
 	ep, err := network.Register(addr, h)
 	if err != nil {
 		return nil, err
@@ -130,9 +146,15 @@ func New(network transport.Network, addr string, svc *Services, opts ...Option) 
 func wrapEndpoint(ep transport.Endpoint, cfg config) transport.Endpoint {
 	ep = transport.NewReliable(ep, cfg.retry)
 	if cfg.coalesce != nil {
-		ep = transport.NewCoalescer(ep, *cfg.coalesce)
+		// Copy before attaching the scope: one CoalesceOptions value may
+		// configure many coordinators with different scopes.
+		co := *cfg.coalesce
+		if co.Obs == nil {
+			co.Obs = cfg.obs
+		}
+		ep = transport.NewCoalescer(ep, co)
 	}
-	ep = transport.NewChunker(ep, transport.ChunkOptions{})
+	ep = transport.NewChunker(ep, transport.ChunkOptions{Obs: cfg.obs})
 	return transport.WithTenantAddressing(ep)
 }
 
@@ -175,8 +197,22 @@ func (c *Coordinator) handler(protocol string) (Handler, error) {
 	return h, nil
 }
 
+// envCounter resolves the party's per-envelope-kind counter, cached so
+// steady-state resolution is one lock-free load.
+func (c *Coordinator) envCounter(kind string) *obs.Counter {
+	if c.svc.Obs == nil {
+		return nil
+	}
+	if v, ok := c.kindCounters.Load(kind); ok {
+		return v.(*obs.Counter)
+	}
+	v, _ := c.kindCounters.LoadOrStore(kind, c.svc.Obs.Counter(obs.EnvelopeMetric(kind)))
+	return v.(*obs.Counter)
+}
+
 // handle is the transport-facing entry point.
 func (c *Coordinator) handle(ctx context.Context, env *transport.Envelope) (*transport.Envelope, error) {
+	c.envCounter(env.Kind).Inc()
 	var msg Message
 	if err := canon.Unmarshal(env.Body, &msg); err != nil {
 		return nil, err
@@ -184,6 +220,16 @@ func (c *Coordinator) handle(ctx context.Context, env *transport.Envelope) (*tra
 	h, err := c.handler(msg.Protocol)
 	if err != nil {
 		return nil, err
+	}
+	// A traced message continues its trace on this side of the wire: the
+	// handler's spans (execution, evidence issuance, vault appends) nest
+	// under the sender's transport span.
+	if msg.Trace != nil && c.svc.Obs != nil {
+		var span *obs.Span
+		ctx, span = c.svc.Obs.StartRemoteSpan(ctx, "server.handle", msg.Trace)
+		span.SetAttr("kind", env.Kind)
+		span.SetAttr("step", strconv.Itoa(msg.Step))
+		defer span.End()
 	}
 	switch env.Kind {
 	case envDeliver:
@@ -207,10 +253,29 @@ func (c *Coordinator) handle(ctx context.Context, env *transport.Envelope) (*tra
 	}
 }
 
-// stampOutgoing fills sender fields.
-func (c *Coordinator) stampOutgoing(msg *Message) {
+// stampOutgoing fills sender fields and, when the context carries an
+// active span, stamps the trace reference so the receiving coordinator
+// continues the trace. With telemetry off no span ever enters a context
+// and the wire stays byte-identical.
+func (c *Coordinator) stampOutgoing(ctx context.Context, msg *Message) {
 	msg.Sender = c.svc.Party
 	msg.ReplyAddr = c.ep.Addr()
+	if msg.Trace == nil {
+		msg.Trace = obs.SpanFromContext(ctx).Ref()
+	}
+}
+
+// transportSpan opens a transport-layer span for one outbound exchange
+// when (and only when) the caller's context is already traced, so
+// untraced background traffic does not flood the span ring.
+func (c *Coordinator) transportSpan(ctx context.Context, name string, msg *Message) (context.Context, *obs.Span) {
+	if c.svc.Obs == nil || obs.SpanFromContext(ctx) == nil {
+		return ctx, nil
+	}
+	ctx, span := c.svc.Obs.StartSpan(ctx, name)
+	span.SetAttr("step", strconv.Itoa(msg.Step))
+	span.SetAttr("kind", msg.Kind)
+	return ctx, span
 }
 
 // Deliver sends a one-way protocol message to a party (the deliver
@@ -227,7 +292,9 @@ func (c *Coordinator) Deliver(ctx context.Context, to id.Party, msg *Message) er
 
 // DeliverAddr is Deliver to an explicit coordinator address.
 func (c *Coordinator) DeliverAddr(ctx context.Context, addr string, msg *Message) error {
-	c.stampOutgoing(msg)
+	ctx, span := c.transportSpan(ctx, "transport.deliver", msg)
+	defer span.End()
+	c.stampOutgoing(ctx, msg)
 	body, err := canon.Marshal(msg)
 	if err != nil {
 		return err
@@ -248,7 +315,9 @@ func (c *Coordinator) DeliverRequest(ctx context.Context, to id.Party, msg *Mess
 
 // DeliverRequestAddr is DeliverRequest to an explicit coordinator address.
 func (c *Coordinator) DeliverRequestAddr(ctx context.Context, addr string, msg *Message) (*Message, error) {
-	c.stampOutgoing(msg)
+	ctx, span := c.transportSpan(ctx, "transport.request", msg)
+	defer span.End()
+	c.stampOutgoing(ctx, msg)
 	body, err := canon.Marshal(msg)
 	if err != nil {
 		return nil, err

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"nonrep/internal/id"
+	"nonrep/internal/obs"
 	"nonrep/internal/transport"
 )
 
@@ -37,6 +38,15 @@ const DefaultHostShards = 16
 // lookups are lock-free regardless.
 func WithShards(n int) Option {
 	return func(c *config) { c.shards = n }
+}
+
+// WithTelemetry homes the shared endpoint stack's instruments — the
+// cross-tenant coalescer's batch occupancy, the shared chunker — in the
+// telemetry plane's unattributed scope. Per-tenant instruments come from
+// each tenant's Services.Obs regardless of this option. A nil handle is
+// the disabled default.
+func WithTelemetry(t *obs.Telemetry) Option {
+	return func(c *config) { c.obs = t.Scope("") }
 }
 
 // tenantMap is one shard's immutable tenant table; writers replace the
@@ -141,7 +151,7 @@ func (h *Host) Add(svc *Services) (*Coordinator, error) {
 	c.ep = &hostedEndpoint{host: h, tenant: key}
 	t := &hostTenant{
 		co:    c,
-		chain: transport.NewTenantChain(transport.HandlerFunc(c.handle), h.workers),
+		chain: transport.NewTenantChainWith(transport.HandlerFunc(c.handle), h.workers, svc.Obs),
 	}
 
 	// The host mutex spans the closed check and the insert, so an Add

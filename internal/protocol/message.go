@@ -16,6 +16,7 @@ import (
 	"nonrep/internal/canon"
 	"nonrep/internal/evidence"
 	"nonrep/internal/id"
+	"nonrep/internal/obs"
 	"nonrep/internal/sig"
 )
 
@@ -36,6 +37,11 @@ type Message struct {
 	ReplyAddr string            `json:"reply_addr,omitempty"`
 	Tokens    []*evidence.Token `json:"tokens,omitempty"`
 	Payload   []byte            `json:"payload,omitempty"`
+	// Trace carries the sender's active span reference so one invocation
+	// yields a single trace tree across parties. It is stamped only when
+	// telemetry is enabled; otherwise the field is omitted and the wire
+	// encoding is unchanged.
+	Trace *obs.TraceRef `json:"trace,omitempty"`
 }
 
 // Body decodes the canonical payload into v.

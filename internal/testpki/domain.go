@@ -6,6 +6,7 @@ import (
 
 	"nonrep/internal/core"
 	"nonrep/internal/id"
+	"nonrep/internal/obs"
 	"nonrep/internal/protocol"
 	"nonrep/internal/transport"
 )
@@ -20,6 +21,9 @@ type Domain struct {
 	Directory *protocol.Directory
 	// Meter counts traffic when the domain is built WithMetering.
 	Meter *transport.Metered
+	// Telemetry is the interaction telemetry plane when the domain is
+	// built WithTelemetry.
+	Telemetry *obs.Telemetry
 
 	pipeline bool
 	nodes    map[id.Party]*core.Node
@@ -39,12 +43,22 @@ func WithFaults(plan transport.FaultPlan) DomainOption {
 }
 
 // WithMetering wraps the domain's network in traffic counters (exposed as
-// Meter), for communication-overhead measurements.
+// Meter), for communication-overhead measurements. When the domain also
+// runs WithTelemetry (applied first), the counters are homed in the
+// telemetry registry so one snapshot covers wire traffic and the rest of
+// the instrumentation.
 func WithMetering() DomainOption {
 	return func(d *Domain) {
-		d.Meter = transport.NewMetered(d.Network)
+		d.Meter = transport.NewMeteredWith(d.Network, d.Telemetry.Registry())
 		d.Network = d.Meter
 	}
+}
+
+// WithTelemetry attaches the interaction telemetry plane (exposed as
+// Telemetry) to every node: per-tenant metrics and run-scoped tracing,
+// for observability tests and the instrumentation-overhead study.
+func WithTelemetry() DomainOption {
+	return func(d *Domain) { d.Telemetry = obs.New() }
 }
 
 // WithPipeline enables the batched hot-path pipeline on every node:
@@ -109,6 +123,7 @@ func (d *Domain) startNode(p id.Party) error {
 		Addr:      string(p),
 		Directory: d.Directory,
 		Retry:     &retry,
+		Telemetry: d.Telemetry,
 	}
 	if d.pipeline {
 		cfg.BatchSigning = true

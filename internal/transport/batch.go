@@ -21,6 +21,7 @@ import (
 
 	"nonrep/internal/clock"
 	"nonrep/internal/id"
+	"nonrep/internal/obs"
 )
 
 // Batch envelope kinds.
@@ -64,6 +65,9 @@ type CoalesceOptions struct {
 	// Tests pass a manual clock so window-based coalescing is exercised
 	// without sleeping wall-clock time.
 	Clock clock.Clock
+	// Obs, when non-nil, records batch occupancy (sub-envelopes per
+	// flushed batch) into the telemetry plane.
+	Obs *obs.Scope
 }
 
 // DefaultMaxCoalesce caps the sub-envelopes in one coalesced batch.
@@ -80,8 +84,9 @@ const DefaultFlushTimeout = 60 * time.Second
 // and the receiver's per-sub-envelope de-duplication keeps processing
 // exactly-once.
 type Coalescer struct {
-	inner Endpoint
-	opts  CoalesceOptions
+	inner     Endpoint
+	opts      CoalesceOptions
+	occupancy *obs.Histogram
 
 	mu     sync.Mutex
 	queues map[string]chan *pendingEnv
@@ -119,11 +124,12 @@ func NewCoalescer(inner Endpoint, opts CoalesceOptions) *Coalescer {
 		opts.Clock = clock.Real{}
 	}
 	return &Coalescer{
-		inner:  inner,
-		opts:   opts,
-		queues: make(map[string]chan *pendingEnv),
-		quit:   make(chan struct{}),
-		done:   make(chan struct{}),
+		inner:     inner,
+		opts:      opts,
+		occupancy: opts.Obs.Histogram(obs.MCoalesceBatchOccupancy),
+		queues:    make(map[string]chan *pendingEnv),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}
 }
 
@@ -271,6 +277,7 @@ func (c *Coalescer) drain(q chan *pendingEnv, first *pendingEnv) []*pendingEnv {
 // a batch serves many callers, and the bound is what keeps a dead peer
 // from wedging this destination's flusher (and Close) forever.
 func (c *Coalescer) flush(to string, batch []*pendingEnv) {
+	c.occupancy.Observe(int64(len(batch)))
 	ctx, cancel := context.WithTimeout(context.Background(), c.opts.FlushTimeout)
 	defer cancel()
 	if len(batch) == 1 {

@@ -25,6 +25,7 @@ import (
 
 	"nonrep/internal/canon"
 	"nonrep/internal/id"
+	"nonrep/internal/obs"
 )
 
 // Envelope kinds of the chunked-transfer layer.
@@ -84,6 +85,9 @@ type ChunkOptions struct {
 	// MaxStreams bounds concurrent reassemblies per handler; the oldest
 	// stream is evicted when a new one would exceed it.
 	MaxStreams int
+	// Obs, when non-nil, records reassembled-message sizes into the
+	// telemetry plane.
+	Obs *obs.Scope
 }
 
 func (o *ChunkOptions) fill() {
@@ -270,8 +274,9 @@ func (k *Chunker) resolveReply(ctx context.Context, to, tenant string, reply *En
 // absorption, and a retransmitted final slice returns the cached reply
 // without re-dispatching the assembled envelope.
 type ChunkHandler struct {
-	inner Handler
-	opts  ChunkOptions
+	inner      Handler
+	opts       ChunkOptions
+	reassembly *obs.Histogram
 
 	mu       sync.Mutex
 	asm      map[string]*chunkAssembly
@@ -300,10 +305,11 @@ type chunkedReply struct {
 func NewChunkHandler(inner Handler, opts ChunkOptions) *ChunkHandler {
 	opts.fill()
 	return &ChunkHandler{
-		inner:   inner,
-		opts:    opts,
-		asm:     make(map[string]*chunkAssembly),
-		replies: make(map[string]*chunkedReply),
+		inner:      inner,
+		opts:       opts,
+		reassembly: opts.Obs.Histogram(obs.MChunkReassemblyBytes),
+		asm:        make(map[string]*chunkAssembly),
+		replies:    make(map[string]*chunkedReply),
 	}
 }
 
@@ -419,6 +425,7 @@ func (h *ChunkHandler) absorb(env *Envelope) ([]byte, *chunkFrame, error) {
 		body = append(body, p...)
 	}
 	delete(h.asm, f.Stream)
+	h.reassembly.Observe(a.size)
 	return body, &f, nil
 }
 

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"nonrep/internal/obs"
 )
 
 // RetryPolicy controls retransmission.
@@ -101,6 +103,7 @@ func (r *Reliable) Close() error { return r.inner.Close() }
 // so retried requests are processed exactly once.
 type Dedup struct {
 	inner Handler
+	hits  *obs.Counter
 
 	mu      sync.Mutex
 	results map[string]dedupResult
@@ -121,7 +124,18 @@ const dedupCacheLimit = 4096
 
 // NewDedup wraps inner with a replay cache.
 func NewDedup(inner Handler) *Dedup {
-	return &Dedup{inner: inner, results: make(map[string]dedupResult), limit: dedupCacheLimit}
+	return NewDedupWith(inner, nil)
+}
+
+// NewDedupWith wraps inner with a replay cache whose hits are counted in
+// the telemetry scope (nil scope means uncounted).
+func NewDedupWith(inner Handler, scope *obs.Scope) *Dedup {
+	return &Dedup{
+		inner:   inner,
+		hits:    scope.Counter(obs.MDedupHitsTotal),
+		results: make(map[string]dedupResult),
+		limit:   dedupCacheLimit,
+	}
 }
 
 // Handle implements Handler.
@@ -130,6 +144,7 @@ func (d *Dedup) Handle(ctx context.Context, env *Envelope) (*Envelope, error) {
 	d.mu.Lock()
 	if res, ok := d.results[key]; ok {
 		d.mu.Unlock()
+		d.hits.Inc()
 		// A concurrent duplicate waits for the first delivery to finish.
 		select {
 		case <-res.done:

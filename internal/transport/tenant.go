@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"nonrep/internal/id"
+	"nonrep/internal/obs"
 )
 
 // ErrUnknownTenant is returned when an envelope names a tenant the
@@ -93,7 +94,14 @@ func (t *tenantAddressing) Close() error { return t.inner.Close() }
 // is absorbed exactly once and a retransmitted final slice returns the
 // cached reply instead of re-dispatching the assembled envelope.
 func NewTenantChain(inner Handler, workers int) Handler {
-	return NewBatchOpener(NewDedup(NewChunkHandler(inner, ChunkOptions{})), workers)
+	return NewTenantChainWith(inner, workers, nil)
+}
+
+// NewTenantChainWith is NewTenantChain with the chain's instruments
+// (dedup hits, chunk reassembly sizes) homed in the tenant's telemetry
+// scope (nil means uninstrumented).
+func NewTenantChainWith(inner Handler, workers int, scope *obs.Scope) Handler {
+	return NewBatchOpener(NewDedupWith(NewChunkHandler(inner, ChunkOptions{Obs: scope}), scope), workers)
 }
 
 // TenantResolver resolves a tenant key to the tenant's receive chain.

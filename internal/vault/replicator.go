@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"nonrep/internal/clock"
+	"nonrep/internal/obs"
 )
 
 // ShipTarget is one peer organisation's receiving side of sealed-segment
@@ -37,11 +38,41 @@ type Replicator struct {
 
 	mu      sync.Mutex
 	targets map[string]ShipTarget
+	status  ReplicatorStatus
+
+	// Telemetry instruments (nil and no-op without WithObserver).
+	shippedC *obs.Counter
+	errorsC  *obs.Counter
+	lagG     *obs.Gauge
+	backlogG *obs.Gauge
 
 	notifyC   chan struct{}
 	quit      chan struct{}
 	done      chan struct{}
 	closeOnce sync.Once
+}
+
+// ReplicatorStatus is a point-in-time view of a replicator's health —
+// what /healthz surfaces so a silently wedged replicator is visible
+// before disaster recovery needs it.
+type ReplicatorStatus struct {
+	// Targets is the number of registered ship targets.
+	Targets int `json:"targets"`
+	// ShippedSegments counts segment deliveries (per target: shipping one
+	// segment to three peers counts three).
+	ShippedSegments uint64 `json:"shipped_segments"`
+	// LastError is the most recent sync pass's failure ("" when the last
+	// pass succeeded).
+	LastError string `json:"last_error,omitempty"`
+	// LastErrorAt is when LastError was recorded.
+	LastErrorAt time.Time `json:"last_error_at,omitzero"`
+	// LastSuccess is when a sync pass last completed without error.
+	LastSuccess time.Time `json:"last_success,omitzero"`
+	// LagSegments is the worst per-target distance behind the seal chain
+	// head observed by the last pass; BacklogSegments sums that distance
+	// across targets (the catch-up work outstanding).
+	LagSegments     uint64 `json:"lag_segments"`
+	BacklogSegments uint64 `json:"backlog_segments"`
 }
 
 // ReplicatorOption tunes a Replicator.
@@ -63,6 +94,27 @@ func WithShipTimeout(d time.Duration) ReplicatorOption {
 			r.timeout = d
 		}
 	}
+}
+
+// WithReplicationObserver homes the replicator's instruments — shipped
+// segments, errors, lag and catch-up backlog — in the given telemetry
+// scope. A nil scope leaves it uninstrumented.
+func WithReplicationObserver(scope *obs.Scope) ReplicatorOption {
+	return func(r *Replicator) {
+		r.shippedC = scope.Counter(obs.MReplShippedTotal)
+		r.errorsC = scope.Counter(obs.MReplErrorsTotal)
+		r.lagG = scope.Gauge(obs.MReplLagSegments)
+		r.backlogG = scope.Gauge(obs.MReplBacklogSegments)
+	}
+}
+
+// Status reports the replicator's current health.
+func (r *Replicator) Status() ReplicatorStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.status
+	st.Targets = len(r.targets)
+	return st
 }
 
 // NewReplicator starts a replicator shipping v's sealed segments,
@@ -183,6 +235,7 @@ func (r *Replicator) Sync(ctx context.Context) error {
 		have uint64
 		err  error
 	}
+	var shipped uint64
 	states := make(map[string]*targetState, len(targets))
 	for name, t := range targets {
 		st := &targetState{t: t}
@@ -213,6 +266,7 @@ func (r *Replicator) Sync(ctx context.Context) error {
 				continue
 			}
 			st.have = e.Segment
+			shipped++
 		}
 	}
 	var firstErr error
@@ -221,7 +275,43 @@ func (r *Replicator) Sync(ctx context.Context) error {
 			firstErr = fmt.Errorf("vault: replicate to %s: %w", name, st.err)
 		}
 	}
+	// Lag is against the seal chain head as of this pass; backlog is the
+	// total catch-up work left across targets.
+	head := manifest[len(manifest)-1].Segment
+	var lag, backlog uint64
+	for _, st := range states {
+		if d := head - st.have; st.have < head {
+			backlog += d
+			if d > lag {
+				lag = d
+			}
+		}
+	}
+	r.recordPass(shipped, lag, backlog, firstErr)
 	return firstErr
+}
+
+// recordPass folds one sync pass's outcome into the status and the
+// telemetry instruments.
+func (r *Replicator) recordPass(shipped, lag, backlog uint64, err error) {
+	r.shippedC.Add(int64(shipped))
+	r.lagG.Set(int64(lag))
+	r.backlogG.Set(int64(backlog))
+	r.mu.Lock()
+	r.status.ShippedSegments += shipped
+	r.status.LagSegments = lag
+	r.status.BacklogSegments = backlog
+	if err != nil {
+		r.status.LastError = err.Error()
+		r.status.LastErrorAt = r.clk.Now()
+	} else {
+		r.status.LastError = ""
+		r.status.LastSuccess = r.clk.Now()
+	}
+	r.mu.Unlock()
+	if err != nil {
+		r.errorsC.Inc()
+	}
 }
 
 // Close stops the background loop. It does not flush: call Sync first

@@ -35,11 +35,13 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"nonrep/internal/canon"
 	"nonrep/internal/clock"
 	"nonrep/internal/evidence"
 	"nonrep/internal/id"
+	"nonrep/internal/obs"
 	"nonrep/internal/sig"
 	"nonrep/internal/store"
 )
@@ -121,6 +123,21 @@ func WithRestoreFrom(replicaDir string) Option {
 	return func(v *Vault) { v.restoreFrom = replicaDir }
 }
 
+// WithObserver homes the vault's instruments — append latency, group
+// commit latency and occupancy, seal latency and counts — in the given
+// telemetry scope. A nil scope (the default) leaves the vault
+// uninstrumented at zero cost.
+func WithObserver(scope *obs.Scope) Option {
+	return func(v *Vault) {
+		v.appendNs = scope.Histogram(obs.MVaultAppendNs)
+		v.commitNs = scope.Histogram(obs.MVaultCommitNs)
+		v.commitBatch = scope.Histogram(obs.MVaultCommitBatch)
+		v.sealNs = scope.Histogram(obs.MVaultSealNs)
+		v.seals = scope.Counter(obs.MVaultSealsTotal)
+		v.records = scope.Counter(obs.MVaultRecordsTotal)
+	}
+}
+
 // Vault is a segmented, indexed, group-committed evidence store. It
 // implements store.Log and is safe for concurrent use.
 type Vault struct {
@@ -133,6 +150,14 @@ type Vault struct {
 	restoreFrom string
 
 	lockF *os.File
+
+	// Telemetry instruments (nil and no-op without WithObserver).
+	appendNs    *obs.Histogram
+	commitNs    *obs.Histogram
+	commitBatch *obs.Histogram
+	sealNs      *obs.Histogram
+	seals       *obs.Counter
+	records     *obs.Counter
 
 	mu     sync.Mutex
 	sealed []*segmentIndex
@@ -499,6 +524,7 @@ func (v *Vault) drain(first *appendReq) []*appendReq {
 // appends) does briefly hold the lock through the seal's index and
 // manifest writes.
 func (v *Vault) commit(batch []*appendReq) {
+	commitStart := time.Now()
 	v.mu.Lock()
 	failure := v.failure
 	seq, hash := v.lastSeq, v.lastHash
@@ -566,6 +592,11 @@ func (v *Vault) commit(batch []*appendReq) {
 		}
 	}
 	v.mu.Unlock()
+	if len(staged) > 0 {
+		v.commitBatch.Observe(int64(len(staged)))
+		v.records.Add(int64(len(staged)))
+		v.commitNs.Since(commitStart)
+	}
 	v.notifySeals()
 	for _, s := range staged {
 		s.req.resp <- appendResp{rec: s.rec}
@@ -597,6 +628,7 @@ func (v *Vault) seal() error {
 	if len(a.records) == 0 {
 		return nil
 	}
+	sealStart := time.Now()
 	payload := a.payload()
 	pd, err := payload.digest()
 	if err != nil {
@@ -656,7 +688,12 @@ func (v *Vault) seal() error {
 	// Persist the directory entries for the index, the manifest line's
 	// backing file and the fresh segment before acknowledging anything
 	// recorded against them.
-	return v.syncDir()
+	if err := v.syncDir(); err != nil {
+		return err
+	}
+	v.seals.Inc()
+	v.sealNs.Since(sealStart)
+	return nil
 }
 
 // addSealed registers a sealed segment's index and routes its run and
@@ -688,6 +725,7 @@ func (v *Vault) Append(dir store.Direction, tok *evidence.Token, note string) (*
 	if v.readOnly {
 		return nil, ErrReadOnly
 	}
+	start := time.Now()
 	req := &appendReq{dir: dir, tok: tok, note: note, resp: make(chan appendResp, 1)}
 	select {
 	case v.appendC <- req:
@@ -696,10 +734,12 @@ func (v *Vault) Append(dir store.Direction, tok *evidence.Token, note string) (*
 	}
 	select {
 	case resp := <-req.resp:
+		v.appendNs.Since(start)
 		return resp.rec, resp.err
 	case <-v.done:
 		select {
 		case resp := <-req.resp:
+			v.appendNs.Since(start)
 			return resp.rec, resp.err
 		default:
 			return nil, ErrClosed

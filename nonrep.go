@@ -56,6 +56,7 @@ import (
 	"nonrep/internal/evidence"
 	"nonrep/internal/id"
 	"nonrep/internal/invoke"
+	"nonrep/internal/obs"
 	"nonrep/internal/protocol"
 	"nonrep/internal/sharing"
 	"nonrep/internal/sig"
@@ -335,6 +336,30 @@ type (
 	// RecordSource for Adjudicator.AuditStream.
 	RemoteRecords = protocol.RemoteIterator
 )
+
+// Telemetry vocabulary (enable with WithTelemetry; see Domain.Telemetry).
+type (
+	// Telemetry is a domain's telemetry plane: per-tenant metrics
+	// registry, run-scoped tracer and health sources, servable over HTTP
+	// (Telemetry.Serve: /metricsz, /tracez, /healthz).
+	Telemetry = obs.Telemetry
+	// TelemetryScope is a tenant-labelled view of the telemetry plane.
+	TelemetryScope = obs.Scope
+	// MetricsSnapshot is a point-in-time copy of every metric.
+	MetricsSnapshot = obs.Snapshot
+	// SpanRecord is one finished trace span.
+	SpanRecord = obs.SpanRecord
+	// TraceNode is one node of an assembled trace tree
+	// (obs.BuildTree over a trace's spans).
+	TraceNode = obs.TraceNode
+	// ReplicatorStatus reports a replicator's shipping health
+	// (Replicator.Status; surfaced on /healthz).
+	ReplicatorStatus = vault.ReplicatorStatus
+)
+
+// BuildTraceTree assembles finished spans into parent/child trees, e.g.
+// over Telemetry.Tracer().ByTrace(string(result.Run)).
+func BuildTraceTree(spans []SpanRecord) []*TraceNode { return obs.BuildTree(spans) }
 
 // OpenVault opens (creating if necessary) a standalone evidence vault —
 // for audit tooling working directly on a vault directory, outside any

@@ -2,19 +2,21 @@
 # Coverage floor gate for the evidence-critical packages: the vault (the
 # store disputes depend on), the protocol layer (coordinator, host,
 # remote audit + replication) and the invocation layer (the evidence
-# exchange itself, including streamed payloads). The build fails when any
+# exchange itself, including streamed payloads) and the telemetry plane
+# (the observability surface operators trust). The build fails when any
 # package's statement coverage drops below its floor, so test erosion is
 # caught in the same PR that causes it.
 #
 # Floors are set a few points under the current measured coverage
-# (vault ~78%, protocol ~83%, invoke ~76% at the time of writing) to
-# allow noise without allowing decay.
+# (vault ~78%, protocol ~83%, invoke ~76%, obs ~94% at the time of
+# writing) to allow noise without allowing decay.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FLOOR_VAULT="${FLOOR_VAULT:-72}"
 FLOOR_PROTOCOL="${FLOOR_PROTOCOL:-75}"
 FLOOR_INVOKE="${FLOOR_INVOKE:-70}"
+FLOOR_OBS="${FLOOR_OBS:-75}"
 
 check() {
   local pkg="$1" floor="$2" profile pct
@@ -32,4 +34,5 @@ check() {
 check ./internal/vault/ "$FLOOR_VAULT"
 check ./internal/protocol/ "$FLOOR_PROTOCOL"
 check ./internal/invoke/ "$FLOOR_INVOKE"
+check ./internal/obs/ "$FLOOR_OBS"
 echo "coverage floors hold"

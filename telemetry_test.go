@@ -1,0 +1,384 @@
+package nonrep_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nonrep"
+	"nonrep/internal/obs"
+)
+
+// fetchJSON GETs a URL from the introspection listener and decodes the
+// response into out.
+func fetchJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+// spanNames flattens a trace forest into the set of span names it holds.
+func spanNames(nodes []*nonrep.TraceNode, into map[string]int) {
+	for _, n := range nodes {
+		into[n.Name]++
+		spanNames(n.Children, into)
+	}
+}
+
+// assertRunTrace fetches one run's trace from /tracez and asserts it is a
+// single connected tree rooted at client.invoke whose spans — client,
+// transport, server, evidence and vault — all share the run id as trace
+// id.
+func assertRunTrace(t *testing.T, base string, run nonrep.Run, wantNames ...string) {
+	t.Helper()
+	var spans []nonrep.SpanRecord
+	fetchJSON(t, base+"/tracez?trace="+string(run), &spans)
+	if len(spans) == 0 {
+		t.Fatalf("no spans recorded for run %s", run)
+	}
+	for _, sp := range spans {
+		if sp.TraceID != string(run) {
+			t.Fatalf("span %s has trace id %q, want run id %q", sp.Name, sp.TraceID, run)
+		}
+	}
+	tree := nonrep.BuildTraceTree(spans)
+	if len(tree) != 1 {
+		t.Fatalf("trace for run %s split into %d roots, want one connected tree", run, len(tree))
+	}
+	if tree[0].Name != "client.invoke" {
+		t.Fatalf("trace root is %q, want client.invoke", tree[0].Name)
+	}
+	names := make(map[string]int)
+	spanNames(tree, names)
+	for _, want := range wantNames {
+		if names[want] == 0 {
+			t.Fatalf("trace for run %s missing span %q (have %v)", run, want, names)
+		}
+	}
+}
+
+// TestTelemetryTraceTreeOverTCP is the telemetry acceptance test: one
+// Proxy.Call and one Proxy.CallStream over real TCP, with telemetry
+// enabled, each yield a single connected trace tree — client invoke,
+// transport, server handling, execution, evidence issuance and vault
+// appends sharing the protocol run id as trace id — retrievable from the
+// introspection listener's /tracez endpoint.
+func TestTelemetryTraceTreeOverTCP(t *testing.T) {
+	t.Parallel()
+	domain, err := nonrep.NewDomain(nonrep.WithTCP(), nonrep.WithTelemetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer domain.Close()
+
+	client, err := domain.AddOrg("urn:org:caller", nonrep.WithVault(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := domain.AddOrg("urn:org:archive", nonrep.WithVault(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := nonrep.Descriptor{
+		Service: "urn:org:archive/docs",
+		Methods: map[string]nonrep.MethodPolicy{
+			"Stamp": {NonRepudiation: true, Protocol: nonrep.ProtocolDirect},
+		},
+	}
+	if err := server.Deploy(desc, transformComponent{}); err != nil {
+		t.Fatal(err)
+	}
+	countDesc := nonrep.Descriptor{
+		Service: "urn:org:archive/count",
+		Methods: map[string]nonrep.MethodPolicy{
+			"Bump": {NonRepudiation: true, Protocol: nonrep.ProtocolDirect},
+		},
+	}
+	if err := server.Deploy(countDesc, counterComponent{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.Serve()
+	defer srv.Close()
+
+	obsSrv, err := domain.Telemetry().Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obsSrv.Close()
+	base := "http://" + obsSrv.Addr()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// Plain call: one invocation, one connected trace tree.
+	plain := client.Proxy("urn:org:archive", "urn:org:archive/count", nil)
+	var out int
+	plainRes, err := plain.CallValue(ctx, &out, "Bump", 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.WaitReceipt(ctx, plainRes.Run); err != nil {
+		t.Fatal(err)
+	}
+	assertRunTrace(t, base, plainRes.Run,
+		"client.invoke", "transport.request", "server.handle",
+		"server.execute", "evidence.issue", "vault.append")
+
+	// Streamed call: the chunk legs join the same tree.
+	proxy := client.Proxy("urn:org:archive", "urn:org:archive/docs", nil)
+	res, err := proxy.CallStream(ctx, "Stamp", nonrep.StreamParam("doc", bytes.NewReader([]byte("tiny"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != nonrep.StatusOK {
+		t.Fatalf("status %v: %s", res.Status, res.Err)
+	}
+	if stream := res.Stream("out"); stream != nil {
+		if _, err := io.ReadAll(stream); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.WaitReceipt(ctx, res.Run); err != nil {
+		t.Fatal(err)
+	}
+	assertRunTrace(t, base, res.Run,
+		"client.invoke", "transport.request", "server.handle",
+		"server.execute", "evidence.issue", "vault.append")
+
+	// /metricsz exposes the instruments the run just moved, in both
+	// exposition formats.
+	var snap nonrep.MetricsSnapshot
+	fetchJSON(t, base+"/metricsz?format=json", &snap)
+	if got := snap.CounterTotal(obs.MTokensIssuedTotal); got < 4 {
+		t.Fatalf("tokens issued = %d, want >= 4", got)
+	}
+	if snap.Counter(obs.MTokensIssuedTotal, "urn:org:caller") == 0 {
+		t.Fatal("no tokens attributed to the calling tenant")
+	}
+	if snap.HistogramCount(obs.MVaultCommitNs) == 0 {
+		t.Fatal("no vault commits observed")
+	}
+	resp, err := http.Get(base + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(text), obs.MTokensIssuedTotal+`{tenant="urn:org:caller"}`) {
+		t.Fatalf("exposition text missing tenant-labelled counter:\n%s", text)
+	}
+
+	// /healthz surfaces the vaults' seal-chain state.
+	var health struct {
+		Status string         `json:"status"`
+		Checks map[string]any `json:"checks"`
+	}
+	fetchJSON(t, base+"/healthz", &health)
+	if health.Status != "ok" {
+		t.Fatalf("health status %q", health.Status)
+	}
+	if _, ok := health.Checks["vault:urn:org:archive"]; !ok {
+		t.Fatalf("healthz missing vault check, have %v", health.Checks)
+	}
+}
+
+// counterComponent is a trivial hosted demo component.
+type counterComponent struct{}
+
+func (counterComponent) Bump(_ context.Context, n int) (int, error) { return n + 1, nil }
+
+// TestHostedTelemetryPerTenantAttribution runs three hosted tenants over
+// a pipelined (b2b-batch coalescing) shared endpoint and asserts the
+// telemetry plane attributes envelope, token and vault instruments to the
+// correct tenant. Run under -race in CI, it also exercises concurrent
+// instrument updates across tenants.
+func TestHostedTelemetryPerTenantAttribution(t *testing.T) {
+	t.Parallel()
+	domain, err := nonrep.NewDomain(nonrep.WithTelemetry(), nonrep.WithPipelining())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer domain.Close()
+	host, err := nonrep.NewHost(domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		tenantSrv = nonrep.Party("urn:org:hosted-server")
+		tenantA   = nonrep.Party("urn:org:hosted-a")
+		tenantB   = nonrep.Party("urn:org:hosted-b")
+	)
+	server, err := host.AddOrg(tenantSrv, nonrep.WithVault(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orgA, err := host.AddOrg(tenantA, nonrep.WithVault(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orgB, err := host.AddOrg(tenantB, nonrep.WithVault(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := nonrep.Descriptor{
+		Service: "urn:org:hosted-server/count",
+		Methods: map[string]nonrep.MethodPolicy{
+			"Bump": {NonRepudiation: true, Protocol: nonrep.ProtocolDirect},
+		},
+	}
+	if err := server.Deploy(desc, counterComponent{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.Serve()
+	defer srv.Close()
+
+	// Concurrent runs from both client tenants, so the shared coalescer
+	// forms b2b-batch envelopes and all tenants update instruments at
+	// once.
+	const runsPerClient = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*runsPerClient)
+	for _, org := range []*nonrep.Org{orgA, orgB} {
+		proxy := org.Proxy(tenantSrv, "urn:org:hosted-server/count", nil)
+		for i := 0; i < runsPerClient; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				var out int
+				if _, err := proxy.CallValue(context.Background(), &out, "Bump", i); err != nil {
+					errs <- fmt.Errorf("bump %d: %w", i, err)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	snap := domain.Telemetry().Registry().Snapshot()
+	for _, tenant := range []nonrep.Party{tenantSrv, tenantA, tenantB} {
+		if got := snap.Counter(obs.MTokensIssuedTotal, string(tenant)); got == 0 {
+			t.Errorf("tenant %s: no issued tokens attributed", tenant)
+		}
+		if got := snap.Counter(obs.MVaultRecordsTotal, string(tenant)); got == 0 {
+			t.Errorf("tenant %s: no vault records attributed", tenant)
+		}
+	}
+	// Clients verify the server's tokens; the server verifies both
+	// clients' — verification latency lands on the verifying tenant.
+	for _, tenant := range []nonrep.Party{tenantSrv, tenantA, tenantB} {
+		if got := snap.Counter(obs.MTokensVerifiedTotal, string(tenant)); got == 0 {
+			t.Errorf("tenant %s: no verified tokens attributed", tenant)
+		}
+	}
+	// Inbound protocol envelopes land on the receiving tenant's counters:
+	// the server receives every request.
+	var serverEnvelopes int64
+	for _, p := range snap.Counters {
+		if strings.HasPrefix(p.Name, "nonrep_envelopes_") && p.Tenant == string(tenantSrv) {
+			serverEnvelopes += p.Value
+		}
+	}
+	if serverEnvelopes < 2*runsPerClient {
+		t.Errorf("server tenant envelope count = %d, want >= %d", serverEnvelopes, 2*runsPerClient)
+	}
+}
+
+// TestReplicationTelemetryStatus drives segment replication with
+// telemetry on and asserts Replicator.Status and the health surface
+// report shipping progress.
+func TestReplicationTelemetryStatus(t *testing.T) {
+	t.Parallel()
+	domain, err := nonrep.NewDomain(nonrep.WithTelemetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer domain.Close()
+
+	backup, err := domain.AddOrg("urn:org:backup", nonrep.WithReplicaStore(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = backup
+	primary, err := domain.AddOrg("urn:org:primary",
+		nonrep.WithVault(t.TempDir(), nonrep.VaultSegmentRecords(4)),
+		nonrep.WithReplication("urn:org:backup"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Deploy(ordersDescriptor2(), &Orders{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := primary.Serve()
+	defer srv.Close()
+
+	caller, err := domain.AddOrg("urn:org:caller-rep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := caller.Proxy("urn:org:primary", "urn:org:primary/orders2", nil)
+	for i := 0; i < 12; i++ {
+		if _, err := proxy.Call(context.Background(), "Place", fmt.Sprintf("m-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := primary.Replication().Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	st := primary.Replication().Status()
+	if st.Targets != 1 {
+		t.Fatalf("targets = %d", st.Targets)
+	}
+	if st.ShippedSegments == 0 {
+		t.Fatal("no segments shipped")
+	}
+	if st.LastError != "" {
+		t.Fatalf("last error = %q", st.LastError)
+	}
+	if st.LastSuccess.IsZero() {
+		t.Fatal("no last-success time recorded")
+	}
+	if st.LagSegments != 0 || st.BacklogSegments != 0 {
+		t.Fatalf("lag=%d backlog=%d after Sync, want 0/0", st.LagSegments, st.BacklogSegments)
+	}
+
+	snap := domain.Telemetry().Registry().Snapshot()
+	if got := snap.Counter(obs.MReplShippedTotal, "urn:org:primary"); got == 0 {
+		t.Fatal("no shipped segments attributed to the primary")
+	}
+	health := domain.Telemetry().Health()
+	if _, ok := health["replication:urn:org:primary"]; !ok {
+		t.Fatalf("health missing replication source, have %v", health)
+	}
+}
+
+// ordersDescriptor2 deploys the Orders demo component under the primary
+// organisation's namespace.
+func ordersDescriptor2() nonrep.Descriptor {
+	return nonrep.Descriptor{
+		Service: "urn:org:primary/orders2",
+		Methods: map[string]nonrep.MethodPolicy{
+			"Place": {NonRepudiation: true, Protocol: nonrep.ProtocolDirect},
+		},
+	}
+}
