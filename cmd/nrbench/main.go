@@ -18,6 +18,7 @@
 //	nrbench -tenants 16 [-n iterations] [-out BENCH_tenants.json]
 //	nrbench -payload 33554432 [-n iterations] [-out BENCH_stream.json]
 //	nrbench -obs [-n iterations] [-out BENCH_obs.json]
+//	nrbench -durable [-n iterations] [-out BENCH_durable.json]
 //
 // The -pipeline mode runs only E12 — the hot-path pipeline study (plain
 // executor vs unbatched non-repudiation vs the batched pipeline under 32
@@ -42,6 +43,12 @@
 // batched-pipeline workload with the interaction telemetry plane off and
 // on, in interleaved repetitions, recording the throughput cost of
 // instrumentation (target: <2%).
+//
+// The -durable mode runs only E16 — the durable-invocation overhead
+// study: the same vault-backed invocation as a direct call, as a
+// journaled job (CallAsync), and as a journaled job served by a worker
+// organisation dialling out through the gateway (target: <10% journal
+// overhead over direct).
 //
 // The JSON-emitting studies snapshot the obs metrics registry around the
 // measured interval and embed the counter deltas (envelopes by kind,
@@ -89,7 +96,8 @@ func main() {
 	tenants := flag.Int("tenants", 0, "run only the multi-tenant host study (E13) with this many organisations")
 	payload := flag.Int("payload", 0, "run only the large-payload streaming study (E14) up to this many bytes")
 	obsStudy := flag.Bool("obs", false, "run only the telemetry-overhead study (E15)")
-	out := flag.String("out", "", "write pipeline/tenant/stream/obs measurements as JSON to this path")
+	durableStudy := flag.Bool("durable", false, "run only the durable-invocation overhead study (E16)")
+	out := flag.String("out", "", "write pipeline/tenant/stream/obs/durable measurements as JSON to this path")
 	flag.Parse()
 	if *quick {
 		*n = 25
@@ -97,6 +105,10 @@ func main() {
 
 	if *obsStudy {
 		benchObs(*n, *out)
+		return
+	}
+	if *durableStudy {
+		benchDurable(*n, *out)
 		return
 	}
 	if *payload > 0 {
@@ -1092,4 +1104,148 @@ func benchGroupSize(n int) {
 		d.Close()
 	}
 	fmt.Println()
+}
+
+// durableResult is one configuration's measurement in the E16 study,
+// serialised to BENCH_durable.json for trend tracking across PRs.
+type durableResult struct {
+	Name    string  `json:"name"`
+	Ops     int     `json:"ops"`
+	NsPerOp float64 `json:"ns_op"`
+}
+
+// benchDurable is E16: the durable-invocation overhead study. The same
+// vault-backed non-repudiable invocation runs three ways under concurrent
+// clients — directly (Call), as a journaled job on the same dedicated
+// server (CallAsync + Wait, which adds the job-enqueued/job-done vault
+// bracket and the runtime's dispatch), and as a journaled job served by a
+// worker organisation that dials out through the gateway. The journal
+// overhead target is <10% over the direct path.
+func benchDurable(n int, out string) {
+	const clients = 16
+	iters := clients * max(n/8, 4)
+	fmt.Println("## E16 — durable invocations: journaled jobs vs direct calls (16 clients)")
+	fmt.Println()
+	fmt.Println("| configuration | latency/op |")
+	fmt.Println("|---|---|")
+
+	vaultDir, err := os.MkdirTemp("", "nrbench-durable-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(vaultDir)
+
+	domain, err := nonrep.NewDomain()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer domain.Close()
+	cliOrg, err := domain.AddOrg("urn:org:dur-client",
+		nonrep.WithVault(vaultDir), nonrep.WithDurable(), nonrep.WithDurableWorkers(clients))
+	if err != nil {
+		log.Fatal(err)
+	}
+	exec := invoke.ExecutorFunc(func(_ context.Context, req *evidence.RequestSnapshot) ([]evidence.Param, error) {
+		p, err := evidence.ValueParam("echo", req.Operation)
+		return []evidence.Param{p}, err
+	})
+	srvOrg, err := domain.AddOrg("urn:org:dur-server")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srvOrg.ServeExecutor(exec)
+	host, err := nonrep.NewHost(domain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wrkOrg, err := domain.AddWorkerOrg(host, "urn:org:dur-worker")
+	if err != nil {
+		log.Fatal(err)
+	}
+	wrkOrg.ServeExecutor(exec)
+
+	direct := cliOrg.Proxy("urn:org:dur-server", "urn:org:dur-server/orders", nil)
+	worker := cliOrg.Proxy("urn:org:dur-worker", "urn:org:dur-worker/orders", nil)
+
+	measure := func(name string, run func() error) durableResult {
+		var next atomic.Int64
+		var firstErr atomic.Pointer[error]
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if int(next.Add(1)) > iters {
+						return
+					}
+					if err := run(); err != nil {
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if err := firstErr.Load(); err != nil {
+			log.Fatalf("%s: %v", name, *err)
+		}
+		res := durableResult{Name: name, Ops: iters, NsPerOp: float64(elapsed.Nanoseconds()) / float64(iters)}
+		fmt.Printf("| %s | %v |\n", name, time.Duration(res.NsPerOp).Round(time.Microsecond))
+		return res
+	}
+	callAsync := func(p *nonrep.Proxy) func() error {
+		return func() error {
+			job, err := p.CallAsync(context.Background(), "Place", "part")
+			if err != nil {
+				return err
+			}
+			res, err := job.Wait(context.Background())
+			if err != nil {
+				return err
+			}
+			if res.Status != nonrep.StatusOK {
+				return fmt.Errorf("status %v: %s", res.Status, res.Err)
+			}
+			return nil
+		}
+	}
+	// Warm-up: one call per path primes the vault and the worker link.
+	if _, err := direct.Call(context.Background(), "Place", "part"); err != nil {
+		log.Fatal(err)
+	}
+	if err := callAsync(worker)(); err != nil {
+		log.Fatal(err)
+	}
+
+	results := []durableResult{
+		measure("direct", func() error {
+			_, err := direct.Call(context.Background(), "Place", "part")
+			return err
+		}),
+		measure("durable", callAsync(direct)),
+		measure("durable-worker", callAsync(worker)),
+	}
+	fmt.Println()
+	overhead := (results[1].NsPerOp - results[0].NsPerOp) / results[0].NsPerOp * 100
+	fmt.Printf("durable journal overhead over direct: %.1f%% (target <10%%); worker-link path: %v/op\n\n",
+		overhead, time.Duration(results[2].NsPerOp).Round(time.Microsecond))
+
+	if out != "" {
+		blob, err := json.MarshalIndent(map[string]any{
+			"experiment":   "E16-durable",
+			"clients":      clients,
+			"results":      results,
+			"overhead_pct": overhead,
+		}, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
 }

@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	nrdemo [-out DIR] [-inproc] [-telemetry]
+//	nrdemo [-out DIR] [-inproc] [-telemetry] [-durable]
+//
+// With -durable the demo adds a crash-resilience scene: the dealer's
+// treasury submits a settlement as a durable job to a logistics partner
+// that dials out through a worker gateway, the partner is killed
+// mid-execution, and the job resumes — to exactly one evidence set —
+// once the partner re-enrols.
 //
 // With -telemetry the domain runs its interaction telemetry plane and the
 // demo finishes by printing the trace tree of one quoting invocation —
@@ -23,6 +29,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"nonrep"
@@ -61,6 +68,7 @@ func main() {
 	out := flag.String("out", "", "directory to export the evidence bundle to")
 	inproc := flag.Bool("inproc", false, "use the in-process transport instead of TCP")
 	telemetry := flag.Bool("telemetry", false, "enable the telemetry plane and print one invocation's trace tree")
+	durable := flag.Bool("durable", false, "run the durable-invocation scene: a worker partner is killed mid-call and the job resumes")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -171,6 +179,14 @@ func main() {
 	fmt.Printf("  supplier A's evidence: complete=%v via TTP substitute=%v\n",
 		report.Complete(), report.Substituted)
 
+	// Scene 4 (optional): a durable job survives its worker being killed.
+	if *durable {
+		fmt.Println("\n== scene 4: durable invocation across a worker crash ==")
+		if err := durableScene(ctx, domain); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	// Audit + export.
 	fmt.Println("\n== audit ==")
 	adj := domain.Adjudicator()
@@ -206,6 +222,81 @@ func main() {
 			fmt.Printf("    %-40s %d\n", name, totals[name])
 		}
 	}
+}
+
+// durableScene journals a settlement call in the treasury's vault,
+// kills the serving logistics partner mid-execution behind the worker
+// gateway, re-enrols it, and shows the job completing with exactly one
+// evidence set for the run.
+func durableScene(ctx context.Context, domain *nonrep.Domain) error {
+	const (
+		treasury  = nonrep.Party("urn:ve:treasury")
+		logistics = nonrep.Party("urn:ve:logistics")
+	)
+	vaultDir, err := os.MkdirTemp("", "nrdemo-durable-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(vaultDir)
+
+	gateway, err := nonrep.NewHost(domain)
+	if err != nil {
+		return err
+	}
+	client, err := domain.AddOrg(treasury,
+		nonrep.WithVault(vaultDir),
+		nonrep.WithDurableRetry(nonrep.JobRetryPolicy{
+			MaxAttempts:    20,
+			Backoff:        50 * time.Millisecond,
+			AttemptTimeout: 2 * time.Second,
+		}))
+	if err != nil {
+		return err
+	}
+
+	// First incarnation: enters the call and hangs until it is killed.
+	entered := make(chan struct{})
+	var once sync.Once
+	worker, err := domain.AddWorkerOrg(gateway, logistics)
+	if err != nil {
+		return err
+	}
+	worker.ServeExecutor(nonrep.ExecutorFunc(func(c context.Context, _ *nonrep.RequestSnapshot) ([]nonrep.Param, error) {
+		once.Do(func() { close(entered) })
+		<-c.Done()
+		return nil, c.Err()
+	}))
+
+	proxy := client.Proxy(logistics, nonrep.Service(string(logistics)+"/shipping"), nil)
+	job, err := proxy.CallAsync(ctx, "Settle", "invoice-2004")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  treasury journaled job %s in its vault\n", job.(*nonrep.Job).ID())
+	<-entered
+	if err := worker.Close(); err != nil {
+		return err
+	}
+	fmt.Println("  logistics partner killed mid-execution; its lease and in-flight work fall back to the gateway")
+
+	worker, err = domain.AddWorkerOrg(gateway, logistics)
+	if err != nil {
+		return err
+	}
+	worker.ServeExecutor(nonrep.ExecutorFunc(func(_ context.Context, req *nonrep.RequestSnapshot) ([]nonrep.Param, error) {
+		p, err := nonrep.ValueParam("settled", req.Operation)
+		return []nonrep.Param{p}, err
+	}))
+	fmt.Println("  logistics partner re-enrolled through the worker gateway")
+
+	res, err := job.Wait(ctx)
+	if err != nil {
+		return err
+	}
+	report := domain.Adjudicator().AuditRun(client.Vault().Records(), res.Run)
+	fmt.Printf("  job resumed from the journal: status=%s attempts=%d; run audit complete=%v faults=%d\n",
+		res.Status, job.(*nonrep.Job).Attempts(), report.Complete(), len(report.Faults))
+	return client.Close()
 }
 
 // printTrace renders one trace node and its children as an indented tree.

@@ -16,7 +16,13 @@
 // Usage:
 //
 //	ttpd -addr 127.0.0.1:9000 -party urn:ttp:main \
-//	     [-trust BUNDLE-DIR] [-peer urn:org:a=127.0.0.1:9001]...
+//	     [-trust BUNDLE-DIR] [-peer urn:org:a=127.0.0.1:9001]... \
+//	     [-gateway 127.0.0.1:9100]
+//
+// With -gateway the daemon additionally runs a worker-gateway host on the
+// given address: organisations behind NAT or egress-only network policy
+// dial out to it, hold a lease over long-poll links, and serve their
+// components through it without running a listener of their own.
 package main
 
 import (
@@ -67,6 +73,7 @@ func main() {
 	vaultDir := flag.String("vault", "", "persist evidence in a segmented vault at this directory")
 	replicaRoot := flag.String("replicas", "", "accept peers' sealed-segment replicas into this directory (default <vault>/replicas when -vault is set)")
 	telemetryAddr := flag.String("telemetry", "", "serve telemetry introspection (/metricsz, /tracez, /healthz) on this address")
+	gatewayAddr := flag.String("gateway", "", "run a worker gateway on this TCP address so NATed organisations can enrol as outbound workers")
 	peers := peerFlags{}
 	flag.Var(peers, "peer", "peer coordinator address as party=addr (repeatable)")
 	flag.Parse()
@@ -126,12 +133,13 @@ func main() {
 	for p, a := range peers {
 		directory.Register(p, a)
 	}
+	network := transport.NewTCPNetwork()
 	node, err := core.NewNode(core.NodeConfig{
 		Party:     id.Party(*party),
 		Signer:    key,
 		Creds:     creds,
 		Clock:     clk,
-		Network:   transport.NewTCPNetwork(),
+		Network:   network,
 		Addr:      *addr,
 		Directory: directory,
 		Log:       evidenceLog,
@@ -166,6 +174,35 @@ func main() {
 		auditServices = ", remote audit + replica host"
 	}
 
+	// A TTP machine is also neutral ground for connectivity: with -gateway
+	// it runs a worker-gateway host so organisations behind NAT or
+	// egress-only policy dial out to it and serve from there, instead of
+	// needing a listener of their own.
+	gatewayServices := ""
+	if *gatewayAddr != "" {
+		var gwOpts []protocol.Option
+		if telemetry != nil {
+			gwOpts = append(gwOpts, protocol.WithTelemetry(telemetry))
+		}
+		gwHost, err := protocol.NewHost(network, *gatewayAddr, gwOpts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer gwHost.Close()
+		gcfg := protocol.GatewayConfig{Clock: clk}
+		if telemetry != nil {
+			gcfg.Obs = telemetry.Scope(*party)
+		}
+		gw, err := gwHost.EnableWorkerGateway(gcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if telemetry != nil {
+			telemetry.SetHealth("worker-gateway:"+gwHost.Addr(), func() any { return gw.Status() })
+		}
+		gatewayServices = ", worker gateway on " + gwHost.Addr()
+	}
+
 	if telemetry != nil {
 		if v := evidenceVault; v != nil {
 			telemetry.SetHealth("vault:"+*party, func() any {
@@ -198,7 +235,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("ttpd: %s listening on %s\n", *party, node.Coordinator().Addr())
-	fmt.Printf("ttpd: services: inline relay, fair-exchange resolve/abort, electronic postmark%s\n", auditServices)
+	fmt.Printf("ttpd: services: inline relay, fair-exchange resolve/abort, electronic postmark%s%s\n", auditServices, gatewayServices)
 	fmt.Printf("ttpd: install this root certificate at peer organisations:\n%s\n", cert)
 
 	stop := make(chan os.Signal, 1)

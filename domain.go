@@ -15,6 +15,7 @@ import (
 	"nonrep/internal/container"
 	"nonrep/internal/core"
 	"nonrep/internal/credential"
+	"nonrep/internal/durable"
 	"nonrep/internal/invoke"
 	"nonrep/internal/obs"
 	"nonrep/internal/protocol"
@@ -232,14 +233,18 @@ func (d *Domain) Adjudicator() *Adjudicator { return core.NewAdjudicator(d.creds
 type OrgOption func(*orgConfig)
 
 type orgConfig struct {
-	addr        string
-	logPath     string
-	vaultDir    string
-	vaultOpts   []vault.Option
-	roles       []string
-	replicaRoot string
-	replicate   []Party
-	syncEvery   time.Duration
+	addr           string
+	logPath        string
+	vaultDir       string
+	vaultOpts      []vault.Option
+	roles          []string
+	replicaRoot    string
+	replicate      []Party
+	syncEvery      time.Duration
+	durable        bool
+	durableRetry   *durable.RetryPolicy
+	durableWorkers int
+	worker         *protocol.WorkerConfig
 }
 
 // WithAddr fixes the organisation's coordinator address (host:port under
@@ -436,6 +441,15 @@ func (d *Domain) addOrg(p Party, host *Host, opts ...OrgOption) (*Org, error) {
 	if host != nil {
 		nodeCfg.Host = host.inner
 	}
+	if cfg.worker != nil {
+		if host != nil {
+			if log != nil {
+				log.Close()
+			}
+			return nil, fmt.Errorf("nonrep: %s cannot be both hosted and a worker", p)
+		}
+		nodeCfg.Worker = cfg.worker
+	}
 	orgVault, _ := log.(*vault.Vault)
 	if len(cfg.replicate) > 0 && orgVault == nil {
 		if log != nil {
@@ -465,6 +479,33 @@ func (d *Domain) addOrg(p Party, host *Host, opts ...OrgOption) (*Org, error) {
 	// admitted to sharing groups (receive welcome transfers) before it
 	// first touches shared information itself.
 	org.ctl = sharing.NewController(node.Coordinator())
+	if cfg.durable {
+		policy := durable.DefaultRetryPolicy
+		if cfg.durableRetry != nil {
+			policy = *cfg.durableRetry
+		}
+		svc := node.Services()
+		org.journal = durable.NewJournal(p, svc.Issuer, node.Log(), d.clk)
+		// The runtime executes jobs through its own direct-protocol client;
+		// its journal shares the organisation's evidence store, so resumed
+		// runs see the tokens any earlier client already journaled there.
+		org.durable = durable.New(invoke.NewClient(node.Coordinator()), org.journal, durable.Config{
+			Retry:   policy,
+			Workers: cfg.durableWorkers,
+			Clock:   d.clk,
+			Obs:     svc.Obs,
+		})
+		// Resume whatever a previous process over the same store enqueued
+		// but never finished — the crash-recovery path.
+		if _, err := org.durable.Recover(); err != nil {
+			_ = org.durable.Close()
+			_ = node.Close()
+			if log != nil {
+				log.Close()
+			}
+			return nil, err
+		}
+	}
 	d.mu.Lock()
 	d.orgs[p] = org
 	d.mu.Unlock()
@@ -548,11 +589,16 @@ type Org struct {
 	auditCli *protocol.AuditClient
 	replicas *vault.ReplicaSet
 	rep      *vault.Replicator
+	durable  *durable.Runtime
+	journal  *durable.Journal
 
 	mu      sync.Mutex
 	cont    *container.Container
 	ctl     *sharing.Controller
 	servers []*invoke.Server
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // startAudit wires the organisation's remote-audit and replication
@@ -717,13 +763,24 @@ func (o *Org) ServeExecutor(exec Executor, opts ...ServerOption) *invoke.Server 
 	return srv
 }
 
-// Client creates an invocation client.
+// Client creates an invocation client. With WithDurable, the client's
+// fair-protocol aborts that fail to reach the TTP are journaled as
+// durable jobs and retried until the TTP answers (explicit
+// WithAbortJournal options still win — they are applied later).
 func (o *Org) Client(opts ...ClientOption) *invoke.Client {
+	if o.durable != nil {
+		opts = append([]ClientOption{invoke.WithAbortJournal(o.durable)}, opts...)
+	}
 	return invoke.NewClient(o.node.Coordinator(), opts...)
 }
 
-// Proxy creates a client-side dynamic proxy for a remote component.
+// Proxy creates a client-side dynamic proxy for a remote component. With
+// WithDurable the proxy additionally supports CallAsync — invocations
+// journaled as crash-resilient jobs.
 func (o *Org) Proxy(server Party, service Service, clientOpts []ClientOption, proxyOpts ...container.ProxyOption) *Proxy {
+	if o.durable != nil {
+		proxyOpts = append([]container.ProxyOption{container.WithAsync(asyncRuntime{o.durable})}, proxyOpts...)
+	}
 	return container.NewProxy(o.Client(clientOpts...), server, service, proxyOpts...)
 }
 
@@ -793,11 +850,39 @@ func (o *Org) Invoke(ctx context.Context, server Party, req Request, opts ...Cli
 	return o.Client(opts...).Invoke(ctx, server, req)
 }
 
+// Close stops the organisation — durable runtime, servers, replication,
+// audit service, coordinator and evidence store — and removes it from the
+// domain, releasing its vault lock and (for workers) its gateway lease.
+// Close is idempotent; an organisation enrolled again afterwards over the
+// same vault recovers its unfinished durable jobs.
+func (o *Org) Close() error {
+	p := o.Party()
+	o.domain.mu.Lock()
+	if o.domain.orgs[p] == o {
+		delete(o.domain.orgs, p)
+	}
+	o.domain.mu.Unlock()
+	return o.close()
+}
+
+// close is the idempotent teardown shared by Close and Domain.Close.
 func (o *Org) close() error {
+	o.closeOnce.Do(func() { o.closeErr = o.teardown() })
+	return o.closeErr
+}
+
+func (o *Org) teardown() error {
 	o.mu.Lock()
 	servers := o.servers
 	o.mu.Unlock()
 	var firstErr error
+	if o.durable != nil {
+		// Stop job execution before the coordinator goes away; jobs not
+		// yet terminal stay journaled for the next process's recovery.
+		if err := o.durable.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	for _, s := range servers {
 		if err := s.Close(); err != nil && firstErr == nil {
 			firstErr = err

@@ -46,6 +46,13 @@ type NodeConfig struct {
 	// shared with the host's other tenants. Retry and Coalesce are
 	// host-wide concerns and ignored for hosted nodes.
 	Host *protocol.Host
+	// Worker, when set, runs the interceptor as an outbound-only worker:
+	// instead of listening, the coordinator dials the configured gateway
+	// host and receives its traffic over a long-lived polled link —
+	// suitable for parties behind NAT or egress-only network policy.
+	// Requires Network (as the dialing side); mutually exclusive with
+	// Host, and Addr is ignored.
+	Worker *protocol.WorkerConfig
 	// Directory resolves parties to coordinator addresses; it is shared
 	// by the parties of a trust domain.
 	Directory *protocol.Directory
@@ -142,9 +149,20 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 	var co *protocol.Coordinator
 	var err error
-	if cfg.Host != nil {
+	switch {
+	case cfg.Worker != nil:
+		if cfg.Network == nil {
+			err = fmt.Errorf("core: worker node for %s needs a network to dial out on", cfg.Party)
+			break
+		}
+		var opts []protocol.Option
+		if cfg.Retry != nil {
+			opts = append(opts, protocol.WithRetryPolicy(*cfg.Retry))
+		}
+		co, err = protocol.ConnectWorker(cfg.Network, *cfg.Worker, svc, opts...)
+	case cfg.Host != nil:
 		co, err = cfg.Host.Add(svc)
-	} else {
+	default:
 		var opts []protocol.Option
 		if cfg.Retry != nil {
 			opts = append(opts, protocol.WithRetryPolicy(*cfg.Retry))

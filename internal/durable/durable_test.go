@@ -1,0 +1,481 @@
+package durable_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nonrep/internal/canon"
+	"nonrep/internal/clock"
+	"nonrep/internal/core"
+	"nonrep/internal/durable"
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/invoke"
+	"nonrep/internal/protocol"
+	"nonrep/internal/sig"
+	"nonrep/internal/store"
+	"nonrep/internal/testpki"
+	"nonrep/internal/transport"
+)
+
+const (
+	client = id.Party("urn:org:payer")
+	server = id.Party("urn:org:biller")
+	ttp    = id.Party("urn:ttp:notary")
+)
+
+// fixture is a minimal trust domain whose nodes the test assembles by
+// hand, so a "process" (node + vault + runtime) can be killed and
+// restarted over the same journal.
+type fixture struct {
+	t       *testing.T
+	realm   *testpki.Realm
+	network *transport.InprocNetwork
+	dir     *protocol.Directory
+	clk     *clock.Manual
+}
+
+func newFixture(t *testing.T, parties ...id.Party) *fixture {
+	t.Helper()
+	realm := testpki.MustRealm(parties...)
+	network := transport.NewInprocNetwork()
+	t.Cleanup(func() { _ = network.Close() })
+	return &fixture{t: t, realm: realm, network: network, dir: protocol.NewDirectory(), clk: realm.Clock}
+}
+
+// node starts a trusted interceptor for p at addr over the given log
+// (nil for in-memory).
+func (f *fixture) node(p id.Party, addr string, log store.Log) *core.Node {
+	f.t.Helper()
+	retry := testpki.FastRetry
+	n, err := core.NewNode(core.NodeConfig{
+		Party:     p,
+		Signer:    f.realm.Party(p).Signer,
+		Creds:     f.realm.Store,
+		Clock:     f.clk,
+		Network:   f.network,
+		Addr:      addr,
+		Directory: f.dir,
+		Log:       log,
+		Retry:     &retry,
+	})
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	return n
+}
+
+// runtime wires a durable runtime over a node with a deterministic retry
+// policy paced by the fixture's manual clock.
+func (f *fixture) runtime(n *core.Node, policy durable.RetryPolicy) (*durable.Runtime, *durable.Journal) {
+	policy.NoJitter = true
+	j := durable.NewJournal(n.Party(), n.Services().Issuer, n.Log(), f.clk)
+	rt := durable.New(invoke.NewClient(n.Coordinator()), j, durable.Config{Retry: policy, Clock: f.clk, Workers: 1})
+	return rt, j
+}
+
+func echoExec() (invoke.Executor, *atomic.Int64) {
+	var calls atomic.Int64
+	exec := invoke.ExecutorFunc(func(_ context.Context, req *evidence.RequestSnapshot) ([]evidence.Param, error) {
+		calls.Add(1)
+		out, err := evidence.ValueParam("echo", req.Operation)
+		if err != nil {
+			return nil, err
+		}
+		return []evidence.Param{out}, nil
+	})
+	return exec, &calls
+}
+
+func orderRequest() invoke.Request {
+	spec, err := evidence.ValueParam("spec", map[string]string{"item": "turbine-blade", "qty": "12"})
+	if err != nil {
+		panic(err)
+	}
+	return invoke.Request{
+		Service:   id.Service("urn:org:biller/orders"),
+		Operation: "PlaceOrder",
+		Params:    []evidence.Param{spec},
+		Txn:       id.NewTxn(),
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// advanceUntil repeatedly advances the manual clock by step until cond
+// holds, releasing retry timers however the runtime interleaves their
+// creation with our advances.
+func advanceUntil(t *testing.T, clk *clock.Manual, step time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		clk.Advance(step)
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func countKind(log store.Log, kind evidence.Kind) int {
+	n := 0
+	for _, r := range log.Records() {
+		if r.Token.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func terminal(jb *durable.Job) bool {
+	s := jb.State()
+	return s == durable.StateSucceeded || s == durable.StateFailed
+}
+
+func TestSubmitHappyPath(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t, client, server)
+	cn := f.node(client, "cli", nil)
+	defer cn.Close()
+	sn := f.node(server, "srv", nil)
+	defer sn.Close()
+	exec, calls := echoExec()
+	srv := invoke.NewServer(sn.Coordinator(), exec)
+	defer srv.Close()
+	rt, _ := f.runtime(cn, durable.RetryPolicy{})
+	defer rt.Close()
+
+	jb, err := rt.Submit(context.Background(), server, orderRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := jb.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != evidence.StatusOK {
+		t.Fatalf("status = %v (%s)", res.Status, res.Err)
+	}
+	if res.Run != jb.ID() {
+		t.Fatalf("run %s != job %s: a call job must run under its job identifier", res.Run, jb.ID())
+	}
+	if jb.State() != durable.StateSucceeded || jb.Attempts() != 1 {
+		t.Fatalf("state=%s attempts=%d", jb.State(), jb.Attempts())
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("executor ran %d times", calls.Load())
+	}
+
+	log := cn.Log()
+	if got := countKind(log, evidence.KindJobEnqueued); got != 1 {
+		t.Fatalf("job-enqueued records = %d", got)
+	}
+	if got := countKind(log, evidence.KindJobDone); got != 1 {
+		t.Fatalf("job-done records = %d", got)
+	}
+	if got := countKind(log, evidence.KindJobAttempt); got != 0 {
+		t.Fatalf("job-attempt records = %d", got)
+	}
+	// The run's evidence rides the same chain as the job records.
+	if got := len(log.ByRun(jb.ID())); got != 6 {
+		t.Fatalf("run records = %d, want 6 (4 evidence + enqueued + done)", got)
+	}
+	if err := log.VerifyChain(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Introspection surfaces.
+	if got, ok := rt.Job(jb.ID()); !ok || got != jb {
+		t.Fatal("Job() lookup failed")
+	}
+	infos := rt.Jobs()
+	if len(infos) != 1 || infos[0].State != durable.StateSucceeded || infos[0].Type != durable.JobCall {
+		t.Fatalf("Jobs() = %+v", infos)
+	}
+
+	// Nothing left pending for a future Recover.
+	j2 := durable.NewJournal(client, cn.Services().Issuer, log, f.clk)
+	specs, _, err := j2.Pending()
+	if err != nil || len(specs) != 0 {
+		t.Fatalf("Pending = %d specs, err %v", len(specs), err)
+	}
+}
+
+func TestRetryAfterTransientFailure(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t, client, server)
+	cn := f.node(client, "cli", nil)
+	defer cn.Close()
+	sn := f.node(server, "srv", nil)
+	defer sn.Close()
+	rt, _ := f.runtime(cn, durable.RetryPolicy{MaxAttempts: 5, Backoff: 50 * time.Millisecond})
+	defer rt.Close()
+
+	// No invoke server yet: the first attempt fails with an unclassified
+	// error, which must be treated as temporary.
+	jb, err := rt.Submit(context.Background(), server, orderRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return jb.Attempts() == 1 && countKind(cn.Log(), evidence.KindJobAttempt) == 1 })
+	if terminal(jb) {
+		t.Fatalf("job terminal after first failure: %+v", jb.Info())
+	}
+
+	// Bring the service up and release the backoff timer.
+	exec, calls := echoExec()
+	srv := invoke.NewServer(sn.Coordinator(), exec)
+	defer srv.Close()
+	advanceUntil(t, f.clk, 100*time.Millisecond, func() bool { return terminal(jb) })
+
+	res, err := jb.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != evidence.StatusOK {
+		t.Fatalf("status = %v (%s)", res.Status, res.Err)
+	}
+	if jb.Attempts() != 2 {
+		t.Fatalf("attempts = %d, want 2", jb.Attempts())
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("executor ran %d times", calls.Load())
+	}
+	if got := countKind(cn.Log(), evidence.KindJobDone); got != 1 {
+		t.Fatalf("job-done records = %d", got)
+	}
+}
+
+func TestPermanentFailureFailsWithoutRetry(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t, client, server)
+	cn := f.node(client, "cli", nil)
+	defer cn.Close()
+	rt, _ := f.runtime(cn, durable.RetryPolicy{MaxAttempts: 5, Backoff: 50 * time.Millisecond})
+	defer rt.Close()
+
+	// A directory entry pointing at an address nothing listens on is a
+	// permanent transport failure: no retries, immediate terminal fail.
+	ghost := id.Party("urn:org:ghost")
+	f.dir.Register(ghost, "nobody-home")
+	jb, err := rt.Submit(context.Background(), ghost, orderRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jb.Wait(context.Background()); err == nil {
+		t.Fatal("want error")
+	}
+	if jb.State() != durable.StateFailed || jb.Attempts() != 1 {
+		t.Fatalf("state=%s attempts=%d, want failed after one attempt", jb.State(), jb.Attempts())
+	}
+	if got := countKind(cn.Log(), evidence.KindJobDone); got != 1 {
+		t.Fatalf("job-done records = %d", got)
+	}
+	if info := jb.Info(); info.Error == "" {
+		t.Fatal("Info must carry the failure")
+	}
+}
+
+func TestQueueFullRejectsBeforeJournaling(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t, client, server)
+	cn := f.node(client, "cli", nil)
+	defer cn.Close()
+	sn := f.node(server, "srv", nil)
+	defer sn.Close()
+	var entered atomic.Int64
+	release := make(chan struct{})
+	exec := invoke.ExecutorFunc(func(ctx context.Context, _ *evidence.RequestSnapshot) ([]evidence.Param, error) {
+		entered.Add(1)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		out, err := evidence.ValueParam("echo", "done")
+		return []evidence.Param{out}, err
+	})
+	srv := invoke.NewServer(sn.Coordinator(), exec)
+	defer srv.Close()
+
+	j := durable.NewJournal(client, cn.Services().Issuer, cn.Log(), f.clk)
+	rt := durable.New(invoke.NewClient(cn.Coordinator()), j, durable.Config{Clock: f.clk, Workers: 1, Queue: 1})
+	defer rt.Close()
+
+	jb1, err := rt.Submit(context.Background(), server, orderRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return entered.Load() == 1 }) // worker busy
+	jb2, err := rt.Submit(context.Background(), server, orderRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Submit(context.Background(), server, orderRequest()); !errors.Is(err, durable.ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	// The rejected job must not exist in the journal — only the two
+	// admitted ones.
+	if got := countKind(cn.Log(), evidence.KindJobEnqueued); got != 2 {
+		t.Fatalf("job-enqueued records = %d, want 2 (rejection must precede the journal write)", got)
+	}
+	close(release)
+	for _, jb := range []*durable.Job{jb1, jb2} {
+		if res, err := jb.Wait(context.Background()); err != nil || res.Status != evidence.StatusOK {
+			t.Fatalf("job %s: %v %+v", jb.ID(), err, res)
+		}
+	}
+}
+
+func TestSubmitAfterCloseFails(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t, client, server)
+	cn := f.node(client, "cli", nil)
+	defer cn.Close()
+	rt, _ := f.runtime(cn, durable.RetryPolicy{})
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := rt.Submit(context.Background(), server, orderRequest()); !errors.Is(err, durable.ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestJournalAbortRetriedUntilTTPAnswers(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t, client, server, ttp)
+	cn := f.node(client, "cli", nil)
+	defer cn.Close()
+	tn := f.node(ttp, "ttp", nil)
+	defer tn.Close()
+	rt, _ := f.runtime(cn, durable.RetryPolicy{MaxAttempts: 5, Backoff: 50 * time.Millisecond})
+	defer rt.Close()
+
+	// A fair-protocol request snapshot and its NRO, as the invoke client
+	// would present them when journaling a failed abort.
+	req := orderRequest()
+	snap := evidence.RequestSnapshot{
+		Run:       id.NewRun(),
+		Txn:       req.Txn,
+		Client:    client,
+		Server:    server,
+		Service:   req.Service,
+		Operation: req.Operation,
+		Params:    req.Params,
+		Protocol:  invoke.ProtocolFair,
+	}
+	digest, err := snap.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nro, err := cn.Services().Issuer.Issue(evidence.KindNRO, snap.Run, 1, digest,
+		evidence.WithService(req.Service), evidence.WithTxn(req.Txn), evidence.WithRecipients(server))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The TTP is enrolled but not serving resolve traffic yet: the first
+	// attempt fails and must be retried, not dropped.
+	if err := rt.JournalAbort(context.Background(), ttp, snap, nro); err != nil {
+		t.Fatal(err)
+	}
+	infos := rt.Jobs()
+	if len(infos) != 1 || infos[0].Type != durable.JobAbort {
+		t.Fatalf("Jobs() = %+v", infos)
+	}
+	jb, ok := rt.Job(infos[0].Job)
+	if !ok {
+		t.Fatal("abort job not tracked")
+	}
+	waitFor(t, func() bool { return jb.Attempts() == 1 && countKind(cn.Log(), evidence.KindJobAttempt) == 1 })
+
+	invoke.NewResolveService(tn.Coordinator())
+	advanceUntil(t, f.clk, 100*time.Millisecond, func() bool { return terminal(jb) })
+	if _, err := jb.Wait(context.Background()); err != nil {
+		t.Fatalf("abort job: %v", err)
+	}
+	if jb.Attempts() != 2 {
+		t.Fatalf("attempts = %d, want 2", jb.Attempts())
+	}
+	// The TTP's abort decision is now evidenced in the client's log.
+	if got := countKind(cn.Log(), evidence.KindAbort); got == 0 {
+		t.Fatal("client log holds no TTP abort affidavit")
+	}
+	if err := cn.Log().VerifyChain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalPendingCountsAttempts(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t, client)
+	log := store.NewMemLog(f.clk)
+	j := durable.NewJournal(client, f.realm.Party(client).Issuer, log, f.clk)
+
+	s1 := &durable.JobSpec{Job: id.NewRun(), Type: durable.JobCall, Server: server, Operation: "A", Enqueued: f.clk.Now()}
+	s2 := &durable.JobSpec{Job: id.NewRun(), Type: durable.JobCall, Server: server, Operation: "B", Enqueued: f.clk.Now()}
+	for _, s := range []*durable.JobSpec{s1, s2} {
+		if err := j.Enqueue(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Attempt(s1.Job, 1, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Attempt(s1.Job, 2, "boom again"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Done(s2.Job, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	specs, attempts, err := j.Pending()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Job != s1.Job || specs[0].Operation != "A" {
+		t.Fatalf("Pending = %+v", specs)
+	}
+	if attempts[0] != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts[0])
+	}
+}
+
+func TestJournalRejectsTamperedSpec(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t, client)
+	log := store.NewMemLog(f.clk)
+	issuer := f.realm.Party(client).Issuer
+	j := durable.NewJournal(client, issuer, log, f.clk)
+
+	// A forged entry: the signed token covers a different payload than
+	// the spec stored in the note.
+	forged := &durable.JobSpec{Job: id.NewRun(), Type: durable.JobCall, Server: server, Operation: "Forged", Enqueued: f.clk.Now()}
+	raw, err := canon.Marshal(forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := issuer.Issue(evidence.KindJobEnqueued, forged.Job, 0, sig.Sum([]byte("something else entirely")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(store.Generated, tok, string(raw)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := j.Pending(); err == nil {
+		t.Fatal("Pending accepted a spec that does not match its signed digest")
+	}
+}

@@ -1,0 +1,78 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"nonrep/internal/invoke"
+	"nonrep/internal/transport"
+)
+
+func TestRetryPolicyFillDefaults(t *testing.T) {
+	t.Parallel()
+	p := RetryPolicy{}.fill()
+	if p.MaxAttempts != DefaultRetryPolicy.MaxAttempts {
+		t.Fatalf("MaxAttempts = %d", p.MaxAttempts)
+	}
+	if p.Backoff != DefaultRetryPolicy.Backoff {
+		t.Fatalf("Backoff = %v", p.Backoff)
+	}
+	if p.MaxBackoff != 60*DefaultRetryPolicy.Backoff {
+		t.Fatalf("MaxBackoff = %v", p.MaxBackoff)
+	}
+	if p.AttemptTimeout != DefaultRetryPolicy.AttemptTimeout {
+		t.Fatalf("AttemptTimeout = %v", p.AttemptTimeout)
+	}
+}
+
+func TestRetryPolicyDelayCappedExponential(t *testing.T) {
+	t.Parallel()
+	p := RetryPolicy{Backoff: 10 * time.Millisecond, MaxBackoff: 40 * time.Millisecond, NoJitter: true}.fill()
+	want := []time.Duration{10, 20, 40, 40, 40}
+	for i, w := range want {
+		if got := p.delay(i + 1); got != w*time.Millisecond {
+			t.Fatalf("delay(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestRetryPolicyDelayJitterBounds(t *testing.T) {
+	t.Parallel()
+	p := RetryPolicy{Backoff: 8 * time.Millisecond, MaxBackoff: 32 * time.Millisecond}.fill()
+	for retry := 1; retry <= 6; retry++ {
+		for i := 0; i < 100; i++ {
+			if d := p.delay(retry); d <= 0 || d > 32*time.Millisecond {
+				t.Fatalf("jittered delay(%d) = %v out of (0, 32ms]", retry, d)
+			}
+		}
+	}
+}
+
+type permNetErr struct{}
+
+func (permNetErr) Error() string   { return "definitively broken" }
+func (permNetErr) Temporary() bool { return false }
+
+func TestPermanentClassification(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("mystery"), false}, // unknown errors must retry
+		{fmt.Errorf("wrapped: %w", invoke.ErrEvidenceInvalid), true},
+		{fmt.Errorf("wrapped: %w", invoke.ErrAborted), true},
+		{fmt.Errorf("wrapped: %w", invoke.ErrAlreadyResolved), true},
+		{invoke.ErrAbortPending, true}, // the abort is its own job now
+		{fmt.Errorf("send: %w", transport.ErrUnknownAddress), true},
+		{permNetErr{}, true},
+	}
+	for _, c := range cases {
+		if got := permanent(c.err); got != c.want {
+			t.Fatalf("permanent(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

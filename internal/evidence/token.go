@@ -55,6 +55,18 @@ const (
 	KindAbort Kind = "nr-abort"
 	// KindPostmark is an EPM-style TTP postmark over submitted evidence.
 	KindPostmark Kind = "nr-postmark"
+
+	// KindJobEnqueued journals a durable invocation job in the issuing
+	// party's own vault before the exchange starts; its digest covers the
+	// canonical job spec (stored in the record note). The job journal
+	// rides the evidence log so job state survives crashes exactly as
+	// evidence does, and adjudication can see what was promised.
+	KindJobEnqueued Kind = "job-enqueued"
+	// KindJobAttempt journals one failed attempt of a durable job.
+	KindJobAttempt Kind = "job-attempt"
+	// KindJobDone journals a durable job's terminal outcome; a run with a
+	// job-enqueued record but no job-done record is resumed on reopen.
+	KindJobDone Kind = "job-done"
 )
 
 // Errors reported by token verification.

@@ -22,6 +22,12 @@ type Client struct {
 	ttp             id.Party
 	consumption     evidence.Consumption
 	withholdReceipt bool
+	// abortJournal persists aborts whose send to the TTP failed so they
+	// are retried durably (see WithAbortJournal); nil abandons them.
+	abortJournal AbortJournal
+	// crashHook is the resumable exchange's fault-injection point
+	// (SetCrashHook); nil in honest deployments.
+	crashHook func(point string) error
 }
 
 // ClientOption configures a Client.
@@ -155,7 +161,7 @@ func (c *Client) Invoke(ctx context.Context, server id.Party, req Request) (*Res
 		// protocol the client additionally aborts the run at the TTP so
 		// the server cannot later resolve it.
 		if c.proto == ProtocolFair && c.ttp != "" {
-			if abortErr := c.abort(ctx, snap, nro); abortErr != nil {
+			if abortErr := c.abortRun(ctx, snap, nro); abortErr != nil {
 				return nil, fmt.Errorf("invoke: submission failed (%v) and abort failed: %w", err, abortErr)
 			}
 			return nil, fmt.Errorf("%w: submission failed: %v", ErrAborted, err)
@@ -390,36 +396,23 @@ func (c *Client) attachStreams(ctx context.Context, result *Result, respSnap *ev
 	return nil
 }
 
-// abort asks the offline TTP to abort the run, logging its decision.
-func (c *Client) abort(ctx context.Context, snap evidence.RequestSnapshot, nro *evidence.Token) error {
+// abortRun aborts the run at the configured TTP. A failed abort send is
+// never silently abandoned any more: it is counted, and when an abort
+// journal is installed the abort becomes a durable job that keeps
+// retrying until the TTP records the run's fate — the caller then sees
+// ErrAbortPending instead of a dead end.
+func (c *Client) abortRun(ctx context.Context, snap evidence.RequestSnapshot, nro *evidence.Token) error {
+	err := c.Abort(ctx, c.ttp, snap, nro)
+	if err == nil {
+		return nil
+	}
 	svc := c.co.Services()
-	msg := &protocol.Message{
-		Protocol: ProtocolResolve,
-		Run:      snap.Run,
-		Step:     stepRequest,
-		Kind:     kindAbort,
-	}
-	if err := msg.SetBody(abortBody{Request: snap, NRO: nro}); err != nil {
-		return err
-	}
-	reply, err := c.co.DeliverRequest(ctx, c.ttp, msg)
-	if err != nil {
-		return err
-	}
-	var db decisionBody
-	if err := reply.Body(&db); err != nil {
-		return err
-	}
-	for _, tok := range reply.Tokens {
-		if err := svc.Verifier.Verify(tok); err != nil {
-			return fmt.Errorf("%w: %v", ErrEvidenceInvalid, err)
-		}
-		if err := svc.LogReceived(tok, "ttp decision"); err != nil {
-			return err
+	svc.Obs.Counter(obs.MAbortFailedTotal).Inc()
+	if c.abortJournal != nil {
+		if jerr := c.abortJournal.JournalAbort(ctx, c.ttp, snap, nro); jerr == nil {
+			svc.Obs.Counter(obs.MAbortJournaledTotal).Inc()
+			return fmt.Errorf("%w: run %s (abort send: %v)", ErrAbortPending, snap.Run, err)
 		}
 	}
-	if db.Resolved {
-		return fmt.Errorf("invoke: run %s already resolved by TTP", snap.Run)
-	}
-	return nil
+	return err
 }

@@ -38,6 +38,29 @@ const (
 	MWireBatchesTotal     = "nonrep_wire_batches_total"
 	MWireSubMessagesTotal = "nonrep_wire_submessages_total"
 	MWireLogicalTotal     = "nonrep_wire_logical_total"
+
+	// Durable invocations (the job journal and its retry loop).
+	MJobsEnqueuedTotal  = "nonrep_durable_jobs_enqueued_total"
+	MJobsCompletedTotal = "nonrep_durable_jobs_completed_total"
+	MJobsFailedTotal    = "nonrep_durable_jobs_failed_total"
+	MJobRetriesTotal    = "nonrep_durable_job_retries_total"
+	MJobsRecoveredTotal = "nonrep_durable_jobs_recovered_total"
+	MJobQueueDepth      = "nonrep_durable_queue_depth"
+	// MAbortJournaledTotal counts fair-protocol aborts whose send to the
+	// TTP failed and which were journaled for durable retry instead of
+	// being silently abandoned.
+	MAbortJournaledTotal = "nonrep_invoke_abort_journaled_total"
+	MAbortFailedTotal    = "nonrep_invoke_abort_failed_total"
+
+	// Outbound worker links and the host-side worker gateway.
+	MWorkerReconnectsTotal   = "nonrep_worker_reconnects_total"
+	MWorkerHeartbeatsTotal   = "nonrep_worker_heartbeats_total"
+	MWorkerBufferedResults   = "nonrep_worker_buffered_results"
+	MWorkerPollsTotal        = "nonrep_worker_polls_total"
+	MGatewayQueueDepth       = "nonrep_gateway_queue_depth"
+	MGatewayAdmissionRejects = "nonrep_gateway_admission_rejected_total"
+	MGatewayDispatchTotal    = "nonrep_gateway_dispatched_total"
+	MGatewayRequeuedTotal    = "nonrep_gateway_requeued_total"
 )
 
 // envelopeMetricPrefix prefixes the per-protocol-kind envelope counters.

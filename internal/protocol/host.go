@@ -78,6 +78,7 @@ type Host struct {
 
 	mu     sync.Mutex
 	closed bool
+	gw     *WorkerGateway
 }
 
 var _ transport.TenantResolver = (*Host)(nil)
@@ -200,7 +201,8 @@ func (h *Host) Remove(p id.Party) {
 	s.mu.Lock()
 	cur := *s.tenants.Load()
 	t, ok := cur[key]
-	if !ok {
+	if !ok || t.co == nil {
+		// Raw tenants (worker mailboxes) detach via removeRawTenant.
 		s.mu.Unlock()
 		return
 	}
@@ -220,21 +222,70 @@ func (h *Host) Remove(p id.Party) {
 // Coordinator returns the hosted coordinator of a party.
 func (h *Host) Coordinator(p id.Party) (*Coordinator, error) {
 	t, ok := (*h.shard(string(p)).tenants.Load())[string(p)]
-	if !ok {
+	if !ok || t.co == nil {
 		return nil, fmt.Errorf("%w: %q", transport.ErrUnknownTenant, p)
 	}
 	return t.co, nil
 }
 
-// Parties lists the hosted parties.
+// Parties lists the hosted parties. Raw tenants — the worker gateway's
+// control channel and its workers' mailboxes — are not hosted
+// coordinators and are excluded.
 func (h *Host) Parties() []id.Party {
 	var out []id.Party
 	for i := range h.shards {
-		for key := range *h.shards[i].tenants.Load() {
-			out = append(out, id.Party(key))
+		for key, t := range *h.shards[i].tenants.Load() {
+			if t.co != nil {
+				out = append(out, id.Party(key))
+			}
 		}
 	}
 	return out
+}
+
+// addRawTenant registers a bare handler under a tenant key — no
+// coordinator, no directory registration. The worker gateway uses it for
+// its control channel and for each connected worker's mailbox.
+func (h *Host) addRawTenant(key string, handler transport.Handler) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return ErrHostClosed
+	}
+	s := h.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := *s.tenants.Load()
+	if _, exists := cur[key]; exists {
+		return fmt.Errorf("%w: %s", ErrTenantEnrolled, key)
+	}
+	next := make(tenantMap, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[key] = &hostTenant{chain: handler}
+	s.tenants.Store(&next)
+	return nil
+}
+
+// removeRawTenant detaches a tenant registered with addRawTenant. It
+// refuses to touch hosted coordinators.
+func (h *Host) removeRawTenant(key string) {
+	s := h.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := *s.tenants.Load()
+	t, ok := cur[key]
+	if !ok || t.co != nil {
+		return
+	}
+	next := make(tenantMap, len(cur))
+	for k, v := range cur {
+		if k != key {
+			next[k] = v
+		}
+	}
+	s.tenants.Store(&next)
 }
 
 // Close detaches every tenant and closes the shared endpoint, flushing
@@ -246,7 +297,11 @@ func (h *Host) Close() error {
 		return nil
 	}
 	h.closed = true
+	gw := h.gw
 	h.mu.Unlock()
+	if gw != nil {
+		gw.close()
+	}
 	for _, p := range h.Parties() {
 		h.Remove(p)
 	}

@@ -2,7 +2,9 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -13,18 +15,76 @@ import (
 type RetryPolicy struct {
 	// Attempts is the maximum number of tries (not retries); minimum 1.
 	Attempts int
-	// Backoff is the delay between tries; it is multiplied by the
-	// attempt number (linear backoff).
+	// Backoff is the base delay before the first retry; subsequent
+	// retries double it (capped exponential backoff with full jitter).
 	Backoff time.Duration
+	// MaxBackoff caps the exponential growth. Zero means 64x Backoff.
+	MaxBackoff time.Duration
+	// NoJitter disables the full-jitter randomisation, making delays
+	// deterministic (the capped exponential value itself). Tests that
+	// assert timing use it; production senders keep jitter so retry
+	// storms from many senders decorrelate.
+	NoJitter bool
 }
 
 // DefaultRetryPolicy retries enough to mask the bounded transient failures
 // of trusted-interceptor assumption 2.
-var DefaultRetryPolicy = RetryPolicy{Attempts: 8, Backoff: 5 * time.Millisecond}
+var DefaultRetryPolicy = RetryPolicy{Attempts: 8, Backoff: 5 * time.Millisecond, MaxBackoff: 250 * time.Millisecond}
+
+// Delay computes the sleep before retry n (1-based): capped exponential
+// backoff with full jitter (a uniform draw from (0, cap]), the spread that
+// keeps simultaneous retriers from re-colliding every round.
+func (p RetryPolicy) Delay(retry int) time.Duration {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 64 * p.Backoff
+	}
+	d := p.Backoff
+	for i := 1; i < retry && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if p.NoJitter {
+		return d
+	}
+	return time.Duration(1 + rand.Int63n(int64(d)))
+}
+
+// temporary is the conventional interface errors implement to classify
+// themselves for retry purposes.
+type temporary interface{ Temporary() bool }
+
+// Permanent reports whether err is not worth retrying at the transport
+// layer: the destination does not exist, the endpoint is closed, the
+// tenant is unknown, or the error classifies itself via Temporary().
+// Unknown errors are treated as temporary — assumption 2 promises only a
+// bounded number of TRANSIENT failures, so the retrying layer must mask
+// anything it cannot prove permanent.
+func Permanent(err error) bool {
+	if err == nil {
+		return false
+	}
+	var t temporary
+	if errors.As(err, &t) {
+		return !t.Temporary()
+	}
+	return errors.Is(err, ErrUnknownAddress) ||
+		errors.Is(err, ErrClosed) ||
+		errors.Is(err, ErrUnknownTenant)
+}
 
 // Reliable wraps an endpoint with retransmission. Paired with Dedup on the
 // receiving side, it provides eventual delivery with exactly-once
 // processing over a network with a bounded number of transient failures.
+// Retries stop early for permanent errors (see Permanent) and when the
+// context deadline cannot accommodate the next backoff delay, so callers
+// with a budget are not left burning it on a destination that cannot
+// answer in time.
 type Reliable struct {
 	inner  Endpoint
 	policy RetryPolicy
@@ -54,11 +114,14 @@ func (r *Reliable) Send(ctx context.Context, to string, env *Envelope) error {
 		} else {
 			lastErr = err
 		}
-		if err := r.sleep(ctx, attempt); err != nil {
-			return err
+		if done, err := r.pause(ctx, attempt, lastErr); done {
+			if err != nil {
+				return err
+			}
+			break
 		}
 	}
-	return fmt.Errorf("transport: send to %s failed after %d attempts: %w", to, r.policy.Attempts, lastErr)
+	return fmt.Errorf("transport: send to %s gave up: %w", to, lastErr)
 }
 
 // Request implements Endpoint with retransmission. The envelope keeps its
@@ -74,24 +137,39 @@ func (r *Reliable) Request(ctx context.Context, to string, env *Envelope) (*Enve
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
-		if err := r.sleep(ctx, attempt); err != nil {
-			return nil, err
+		if done, err := r.pause(ctx, attempt, lastErr); done {
+			if err != nil {
+				return nil, err
+			}
+			break
 		}
 	}
-	return nil, fmt.Errorf("transport: request to %s failed after %d attempts: %w", to, r.policy.Attempts, lastErr)
+	return nil, fmt.Errorf("transport: request to %s gave up: %w", to, lastErr)
 }
 
-func (r *Reliable) sleep(ctx context.Context, attempt int) error {
-	if r.policy.Backoff <= 0 {
-		return nil
+// pause decides whether to retry after a failed attempt and sleeps the
+// backoff if so. It reports done=true when the retry loop should stop:
+// the attempt budget is spent, the failure is permanent, or the context
+// deadline cannot fit the next delay (retrying would only convert the
+// caller's specific error into a generic deadline exceeded).
+func (r *Reliable) pause(ctx context.Context, attempt int, cause error) (done bool, err error) {
+	if attempt >= r.policy.Attempts || Permanent(cause) {
+		return true, nil
 	}
-	t := time.NewTimer(time.Duration(attempt) * r.policy.Backoff)
+	d := r.policy.Delay(attempt)
+	if d <= 0 {
+		return false, nil
+	}
+	if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < d {
+		return true, nil
+	}
+	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:
-		return nil
+		return false, nil
 	case <-ctx.Done():
-		return ctx.Err()
+		return true, ctx.Err()
 	}
 }
 

@@ -170,6 +170,8 @@ type (
 	Request = invoke.Request
 	// Result is an invocation outcome with its evidence.
 	Result = invoke.Result
+	// RequestSnapshot is the verified request an Executor receives.
+	RequestSnapshot = evidence.RequestSnapshot
 	// Executor executes verified requests (implemented by Container).
 	Executor = invoke.Executor
 	// ExecutorFunc adapts a function to Executor.

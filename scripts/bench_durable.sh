@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Benchmark trajectory for durable invocations.
+#
+# Runs the E16 durable-invocation overhead study — the same vault-backed
+# non-repudiable invocation as a direct call, as a journaled job
+# (CallAsync + Wait), and as a journaled job served by a worker
+# organisation dialling out through the gateway — writing the
+# measurements to BENCH_durable.json so successive PRs can track the
+# journal overhead (target: <10% over direct) and the worker-link path.
+#
+# Usage: scripts/bench_durable.sh [output.json]
+#   N=<iters>   iterations per configuration (default 200)
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_durable.json}"
+
+go run ./cmd/nrbench -durable -n "${N:-200}" -out "$out"

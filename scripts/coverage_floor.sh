@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
 # Coverage floor gate for the evidence-critical packages: the vault (the
 # store disputes depend on), the protocol layer (coordinator, host,
-# remote audit + replication) and the invocation layer (the evidence
-# exchange itself, including streamed payloads) and the telemetry plane
-# (the observability surface operators trust). The build fails when any
+# remote audit + replication), the invocation layer (the evidence
+# exchange itself, including streamed payloads), the telemetry plane
+# (the observability surface operators trust) and the durable runtime
+# (the job journal crash recovery depends on). The build fails when any
 # package's statement coverage drops below its floor, so test erosion is
 # caught in the same PR that causes it.
 #
 # Floors are set a few points under the current measured coverage
-# (vault ~78%, protocol ~83%, invoke ~76%, obs ~94% at the time of
-# writing) to allow noise without allowing decay.
+# (vault ~78%, protocol ~83%, invoke ~76%, obs ~94%, durable ~88% at the
+# time of writing) to allow noise without allowing decay.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +18,7 @@ FLOOR_VAULT="${FLOOR_VAULT:-72}"
 FLOOR_PROTOCOL="${FLOOR_PROTOCOL:-75}"
 FLOOR_INVOKE="${FLOOR_INVOKE:-70}"
 FLOOR_OBS="${FLOOR_OBS:-75}"
+FLOOR_DURABLE="${FLOOR_DURABLE:-80}"
 
 check() {
   local pkg="$1" floor="$2" profile pct
@@ -35,4 +37,5 @@ check ./internal/vault/ "$FLOOR_VAULT"
 check ./internal/protocol/ "$FLOOR_PROTOCOL"
 check ./internal/invoke/ "$FLOOR_INVOKE"
 check ./internal/obs/ "$FLOOR_OBS"
+check ./internal/durable/ "$FLOOR_DURABLE"
 echo "coverage floors hold"
