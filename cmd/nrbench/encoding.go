@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/sig"
+	"nonrep/internal/store"
+	"nonrep/internal/testpki"
+	"nonrep/internal/transport"
+	"nonrep/internal/vault"
+)
+
+// encodingResult is one configuration's measurement in the E17 study,
+// serialised to BENCH_encoding.json for trend tracking across PRs.
+type encodingResult struct {
+	Name    string  `json:"name"`
+	Ops     int     `json:"ops"`
+	NsPerOp float64 `json:"ns_op"`
+	OpsSec  float64 `json:"ops_sec"`
+}
+
+// benchEncoding is E17: the record/envelope encoding A/B study. The
+// same workload runs once over canonical JSON and once over the binary
+// frame format at each layer the encoding touches — the vault's batched
+// append hot path (chain + encode + write, fsync off so encoding is
+// the variable), the sealed-segment audit scan, and the wire envelope
+// round trip — so the speedup attributable to the encoding alone is
+// visible per layer.
+func benchEncoding(n int, out string) {
+	const clients = 16
+	iters := clients * max(n, 32)
+	fmt.Println("## E17 — encoding A/B: canonical JSON vs binary frames")
+	fmt.Println()
+	fmt.Println("| layer | encoding | latency/op | throughput |")
+	fmt.Println("|---|---|---|---|")
+
+	realm := testpki.MustRealm("urn:org:bench")
+	run := id.NewRun()
+	tok, err := realm.Party("urn:org:bench").Issuer.Issue(evidence.KindNRO, run, 1, sig.Sum([]byte("bench")))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(layer, enc string, ops int, elapsed time.Duration) encodingResult {
+		res := encodingResult{
+			Name:    layer + "/" + enc,
+			Ops:     ops,
+			NsPerOp: float64(elapsed.Nanoseconds()) / float64(ops),
+		}
+		res.OpsSec = 1e9 / res.NsPerOp
+		fmt.Printf("| %s | %s | %v | %.0f/s |\n", layer, enc, time.Duration(res.NsPerOp).Round(time.Nanosecond), res.OpsSec)
+		return res
+	}
+
+	// Layer 1: batched append (the non-repudiation hot path's durability
+	// leg). 16 concurrent appenders drive the group committer; fsync is
+	// off so the measured work is chaining, encoding and the write.
+	appendBench := func(name string, opts ...vault.Option) encodingResult {
+		dir, err := os.MkdirTemp("", "nrbench-enc-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		v, err := vault.Open(dir, realm.Clock, append(opts, vault.WithoutSync(), vault.WithSegmentRecords(1<<16))...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer v.Close()
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for int(next.Add(1)) <= iters {
+					if _, err := v.Append(store.Generated, tok, "bench"); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		return report("vault-append", name, iters, time.Since(start))
+	}
+	appendJSON := appendBench("json", vault.WithJSONSegments())
+	appendBin := appendBench("binary")
+
+	// Layer 2: sealed-segment scan — the audit/DeepVerify read path.
+	scanBench := func(name string, opts ...vault.Option) encodingResult {
+		dir, err := os.MkdirTemp("", "nrbench-enc-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		v, err := vault.Open(dir, realm.Clock, append(opts, vault.WithoutSync(), vault.WithSegmentRecords(1<<16))...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer v.Close()
+		for i := 0; i < iters; i++ {
+			if _, err := v.Append(store.Generated, tok, "bench"); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := v.SealNow(); err != nil {
+			log.Fatal(err)
+		}
+		passes := max(1, 1<<20/iters)
+		start := time.Now()
+		for p := 0; p < passes; p++ {
+			recs, err := v.QueryAll(vault.Query{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(recs) != iters {
+				log.Fatalf("scan returned %d records, want %d", len(recs), iters)
+			}
+		}
+		return report("segment-scan", name, iters*passes, time.Since(start))
+	}
+	scanJSON := scanBench("json", vault.WithJSONSegments())
+	scanBin := scanBench("binary")
+
+	// Layer 3: wire envelope round trip — what every B2B exchange pays
+	// per envelope on top of the sockets.
+	env := &transport.Envelope{
+		ID: "m1", From: "a:1", To: "b:2", Kind: "b2b-batch", Tenant: "urn:org:bench",
+	}
+	for i := 0; i < 8; i++ {
+		env.Batch = append(env.Batch, transport.BatchItem{
+			Env:       &transport.Envelope{ID: id.Msg(fmt.Sprintf("s%d", i)), Kind: "b2b-deliver", Body: make([]byte, 512)},
+			WantReply: true,
+		})
+	}
+	envBench := func(name string, enc transport.WireEncoding) encodingResult {
+		rounds := iters * 4
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			frame, err := transport.MarshalEnvelope(env, enc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := transport.UnmarshalEnvelope(frame); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return report("envelope", name, rounds, time.Since(start))
+	}
+	envJSON := envBench("json", transport.WireJSON)
+	envBin := envBench("binary", transport.WireBinary)
+
+	speedup := func(jsonRes, binRes encodingResult) float64 { return jsonRes.NsPerOp / binRes.NsPerOp }
+	fmt.Println()
+	fmt.Printf("binary speedup — vault-append: %.2fx (target ≥1.5x), segment-scan: %.2fx, envelope: %.2fx\n\n",
+		speedup(appendJSON, appendBin), speedup(scanJSON, scanBin), speedup(envJSON, envBin))
+
+	if out != "" {
+		blob, err := json.MarshalIndent(map[string]any{
+			"experiment": "E17-encoding",
+			"clients":    clients,
+			"results": []encodingResult{
+				appendJSON, appendBin, scanJSON, scanBin, envJSON, envBin,
+			},
+			"speedup": map[string]float64{
+				"vault_append": speedup(appendJSON, appendBin),
+				"segment_scan": speedup(scanJSON, scanBin),
+				"envelope":     speedup(envJSON, envBin),
+			},
+		}, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+}

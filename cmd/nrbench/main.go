@@ -19,6 +19,7 @@
 //	nrbench -payload 33554432 [-n iterations] [-out BENCH_stream.json]
 //	nrbench -obs [-n iterations] [-out BENCH_obs.json]
 //	nrbench -durable [-n iterations] [-out BENCH_durable.json]
+//	nrbench -encoding [-n iterations] [-out BENCH_encoding.json]
 //
 // The -pipeline mode runs only E12 — the hot-path pipeline study (plain
 // executor vs unbatched non-repudiation vs the batched pipeline under 32
@@ -49,6 +50,11 @@
 // journaled job (CallAsync), and as a journaled job served by a worker
 // organisation dialling out through the gateway (target: <10% journal
 // overhead over direct).
+//
+// The -encoding mode runs only E17 — the encoding A/B study: the
+// vault's batched append path, the sealed-segment audit scan and the
+// wire envelope round trip, each over canonical JSON and over the
+// binary frame format (target: ≥1.5x on the batched append hot path).
 //
 // The JSON-emitting studies snapshot the obs metrics registry around the
 // measured interval and embed the counter deltas (envelopes by kind,
@@ -97,12 +103,17 @@ func main() {
 	payload := flag.Int("payload", 0, "run only the large-payload streaming study (E14) up to this many bytes")
 	obsStudy := flag.Bool("obs", false, "run only the telemetry-overhead study (E15)")
 	durableStudy := flag.Bool("durable", false, "run only the durable-invocation overhead study (E16)")
-	out := flag.String("out", "", "write pipeline/tenant/stream/obs/durable measurements as JSON to this path")
+	encodingStudy := flag.Bool("encoding", false, "run only the record/envelope encoding A/B study (E17)")
+	out := flag.String("out", "", "write pipeline/tenant/stream/obs/durable/encoding measurements as JSON to this path")
 	flag.Parse()
 	if *quick {
 		*n = 25
 	}
 
+	if *encodingStudy {
+		benchEncoding(*n, *out)
+		return
+	}
 	if *obsStudy {
 		benchObs(*n, *out)
 		return

@@ -277,6 +277,11 @@ var (
 	VaultMaxBatch = vault.WithMaxBatch
 	// VaultWithoutSync trades machine-crash durability for throughput.
 	VaultWithoutSync = vault.WithoutSync
+	// VaultJSONSegments writes canonical-JSON segments instead of the
+	// binary frame format — for vaults where a grep-able on-disk log
+	// matters more than speed. Existing segments keep their encoding
+	// either way; a vault may hold both side by side.
+	VaultJSONSegments = vault.WithJSONSegments
 )
 
 // WithReplication makes the organisation ship every sealed vault segment

@@ -1,0 +1,290 @@
+// Binary primitives for the machine-path encoding of records and
+// envelopes. Canonical JSON (canon.Marshal) remains the signed form and
+// the audit projection; the binary encoding is a transport and storage
+// format whose decode must reproduce, byte for byte, the canonical JSON
+// of the value it was encoded from. The primitives here are therefore
+// deliberately dumb: varint-framed fields, raw byte runs, and
+// text-framed timestamps (the exact RFC 3339 text the canonical form
+// would contain), with no schema of their own — each package owns the
+// field layout of its types.
+package canon
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+	"unicode/utf8"
+)
+
+// ErrBinary is the base error for malformed binary encodings; decoders
+// wrap it so callers can distinguish corrupt input from I/O failures.
+var ErrBinary = errors.New("canon: malformed binary encoding")
+
+// AppendUvarint appends v in unsigned varint encoding.
+func AppendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+// AppendVarint appends v in zig-zag signed varint encoding.
+func AppendVarint(b []byte, v int64) []byte { return binary.AppendVarint(b, v) }
+
+// AppendString appends a length-prefixed string.
+func AppendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendBytes appends a nil-aware length-prefixed byte run: canonical
+// JSON distinguishes a nil slice (null) from an empty one (""), so the
+// binary form must too. The presence byte is 0 for nil, 1 otherwise.
+func AppendBytes(b, p []byte) []byte {
+	if p == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// AppendBool appends a bool as one byte.
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendTime appends a timestamp as its length-prefixed RFC 3339 text —
+// the exact bytes the canonical JSON form contains — so a binary→JSON
+// projection reproduces the original canonical encoding (and hence the
+// original record hash) even for zoned or sub-nanosecond-truncated
+// values, which a unix-nanos encoding would silently re-zone.
+func AppendTime(b []byte, t time.Time) ([]byte, error) {
+	text, err := t.MarshalText()
+	if err != nil {
+		return nil, fmt.Errorf("canon: binary time: %w", err)
+	}
+	b = binary.AppendUvarint(b, uint64(len(text)))
+	return append(b, text...), nil
+}
+
+// BinReader decodes the primitives appended above with a sticky error:
+// callers chain field reads and check Err (or Done) once. Byte runs are
+// returned as sub-slices of the input by Bytes — zero-copy for callers
+// that own the buffer — or copied out by BytesCopy for decoded values
+// that outlive it (records decoded from an mmapped segment must not
+// alias pages that are later unmapped).
+type BinReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewBinReader returns a reader over data.
+func NewBinReader(data []byte) BinReader { return BinReader{buf: data} }
+
+// Err returns the first decode error.
+func (r *BinReader) Err() error { return r.err }
+
+// Len reports the bytes not yet consumed.
+func (r *BinReader) Len() int { return len(r.buf) - r.off }
+
+// Fail records an error (first one wins) and returns it.
+func (r *BinReader) Fail(err error) error {
+	if r.err == nil {
+		r.err = err
+	}
+	return r.err
+}
+
+func (r *BinReader) failf(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrBinary, fmt.Sprintf(format, args...))
+	}
+}
+
+// Done returns the sticky error, or an error if input remains: every
+// frame must be consumed exactly.
+func (r *BinReader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		r.failf("%d trailing bytes", len(r.buf)-r.off)
+	}
+	return r.err
+}
+
+// Uvarint decodes an unsigned varint.
+func (r *BinReader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.failf("truncated uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint decodes a zig-zag signed varint.
+func (r *BinReader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.failf("truncated varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int decodes a zig-zag varint that must fit an int.
+func (r *BinReader) Int() int {
+	v := r.Varint()
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		r.failf("integer %d out of range", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Byte decodes one raw byte.
+func (r *BinReader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.Len() < 1 {
+		r.failf("truncated byte at offset %d", r.off)
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// Bool decodes a one-byte bool; any value other than 0 or 1 is an error,
+// keeping the encoding canonical.
+func (r *BinReader) Bool() bool {
+	b := r.Byte()
+	if r.err == nil && b > 1 {
+		r.failf("bool byte %d", b)
+	}
+	return b == 1
+}
+
+// Raw returns the next n bytes as a sub-slice of the input.
+func (r *BinReader) Raw(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.Len() < n {
+		r.failf("truncated run of %d bytes at offset %d", n, r.off)
+		return nil
+	}
+	out := r.buf[r.off : r.off+n : r.off+n]
+	r.off += n
+	return out
+}
+
+// String decodes a length-prefixed string (the conversion copies).
+func (r *BinReader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(r.Len()) {
+		r.failf("string of %d bytes exceeds %d remaining", n, r.Len())
+		return ""
+	}
+	return string(r.Raw(int(n)))
+}
+
+// ValidString decodes a length-prefixed string and rejects invalid
+// UTF-8: canonical JSON cannot represent such a string, so a binary
+// value holding one has no canonical projection and must not decode.
+func (r *BinReader) ValidString() string {
+	s := r.String()
+	if r.err == nil && !utf8.ValidString(s) {
+		r.failf("string is not valid UTF-8")
+		return ""
+	}
+	return s
+}
+
+// Bytes decodes a nil-aware byte run as a sub-slice of the input.
+func (r *BinReader) Bytes() []byte {
+	switch r.Byte() {
+	case 0:
+		return nil
+	case 1:
+		n := r.Uvarint()
+		if r.err != nil {
+			return nil
+		}
+		if n > uint64(r.Len()) {
+			r.failf("byte run of %d exceeds %d remaining", n, r.Len())
+			return nil
+		}
+		return r.Raw(int(n))
+	default:
+		r.failf("byte-run presence marker")
+		return nil
+	}
+}
+
+// BytesCopy decodes a nil-aware byte run into fresh memory.
+func (r *BinReader) BytesCopy() []byte {
+	b := r.Bytes()
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// Time decodes a text-framed timestamp.
+func (r *BinReader) Time() time.Time {
+	text := r.Raw(int(r.Uvarint()))
+	if r.err != nil {
+		return time.Time{}
+	}
+	var t time.Time
+	if err := t.UnmarshalText(text); err != nil {
+		r.failf("timestamp %q: %v", text, err)
+		return time.Time{}
+	}
+	return t
+}
+
+// Digester is a reusable canonical-digest engine: one buffer and one
+// JSON encoder shared across many Sum256 calls, so a group of chained
+// records hashes with a single set of machinery per fsync group instead
+// of a pool round-trip per record. Not safe for concurrent use.
+type Digester struct {
+	e *encoder
+}
+
+// NewDigester creates a digester.
+func NewDigester() *Digester {
+	return &Digester{e: encoderPool.New().(*encoder)}
+}
+
+// Sum256 is canon.Sum256 on the digester's private machinery.
+func (d *Digester) Sum256(v any) ([sha256.Size]byte, error) {
+	d.e.buf.Reset()
+	if err := d.e.enc.Encode(v); err != nil {
+		return [sha256.Size]byte{}, fmt.Errorf("canon: marshal %T: %w", v, err)
+	}
+	b := d.e.buf.Bytes()
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
+	}
+	return sha256.Sum256(b), nil
+}

@@ -338,6 +338,92 @@ func TestQueueFullRejectsBeforeJournaling(t *testing.T) {
 	}
 }
 
+// TestQueueFullWaitsForDeadline saturates a width-1 runtime and submits
+// with a cancellable context: the submit must wait for a queue slot
+// rather than fail, be admitted when the worker drains the queue, and
+// only report ErrQueueFull once its context expires first.
+func TestQueueFullWaitsForDeadline(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t, client, server)
+	cn := f.node(client, "cli", nil)
+	defer cn.Close()
+	sn := f.node(server, "srv", nil)
+	defer sn.Close()
+	var entered atomic.Int64
+	release := make(chan struct{})
+	exec := invoke.ExecutorFunc(func(ctx context.Context, _ *evidence.RequestSnapshot) ([]evidence.Param, error) {
+		entered.Add(1)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		out, err := evidence.ValueParam("echo", "done")
+		return []evidence.Param{out}, err
+	})
+	srv := invoke.NewServer(sn.Coordinator(), exec)
+	defer srv.Close()
+
+	j := durable.NewJournal(client, cn.Services().Issuer, cn.Log(), f.clk)
+	rt := durable.New(invoke.NewClient(cn.Coordinator()), j, durable.Config{Clock: f.clk, Workers: 1, Queue: 1})
+	defer rt.Close()
+
+	jb1, err := rt.Submit(context.Background(), server, orderRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return entered.Load() == 1 }) // worker busy
+	jb2, err := rt.Submit(context.Background(), server, orderRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An expired context surfaces ErrQueueFull (with the cause) instead
+	// of blocking.
+	expired, cancelExpired := context.WithCancel(context.Background())
+	cancelExpired()
+	if _, err := rt.Submit(expired, server, orderRequest()); !errors.Is(err, durable.ErrQueueFull) {
+		t.Fatalf("expired-context submit = %v, want ErrQueueFull", err)
+	}
+
+	// A live context waits: the submit is admitted once the worker frees
+	// the queued slot, not rejected.
+	type res struct {
+		jb  *durable.Job
+		err error
+	}
+	admitted := make(chan res, 1)
+	go func() {
+		jb, err := rt.Submit(context.Background(), server, orderRequest())
+		_ = jb // background-context submits still reject immediately
+		admitted <- res{jb, err}
+	}()
+	if r := <-admitted; !errors.Is(r.err, durable.ErrQueueFull) {
+		t.Fatalf("background-context submit = %v, want immediate ErrQueueFull", r.err)
+	}
+	waiting := make(chan res, 1)
+	waitCtx, cancelWait := context.WithCancel(context.Background())
+	defer cancelWait()
+	go func() {
+		jb, err := rt.Submit(waitCtx, server, orderRequest())
+		waiting <- res{jb, err}
+	}()
+	select {
+	case r := <-waiting:
+		t.Fatalf("submit returned early: %v %v", r.jb, r.err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release) // worker drains; a slot frees
+	r := <-waiting
+	if r.err != nil {
+		t.Fatalf("waiting submit = %v, want admission after drain", r.err)
+	}
+	for _, jb := range []*durable.Job{jb1, jb2, r.jb} {
+		if res, err := jb.Wait(context.Background()); err != nil || res.Status != evidence.StatusOK {
+			t.Fatalf("job %s: %v %+v", jb.ID(), err, res)
+		}
+	}
+}
+
 func TestSubmitAfterCloseFails(t *testing.T) {
 	t.Parallel()
 	f := newFixture(t, client, server)

@@ -25,7 +25,10 @@ const (
 )
 
 // ErrQueueFull is returned by Submit when the runtime's dispatch queue
-// is saturated; the job was NOT journaled.
+// is saturated; the job was NOT journaled. A Submit whose context
+// carries a deadline or cancellation waits for a slot instead of
+// failing outright and sees ErrQueueFull only when the context expires
+// first.
 var ErrQueueFull = errors.New("durable: job queue full")
 
 // ErrClosed is returned by Submit after Close.
@@ -209,7 +212,7 @@ func (r *Runtime) Submit(ctx context.Context, server id.Party, req invoke.Reques
 		Txn:       req.Txn,
 		Enqueued:  r.clk.Now(),
 	}
-	return r.submit(spec)
+	return r.submit(ctx, spec)
 }
 
 // JournalAbort implements invoke.AbortJournal: an abort that could not
@@ -223,11 +226,11 @@ func (r *Runtime) JournalAbort(ctx context.Context, ttp id.Party, snap evidence.
 		NRO:      nro,
 		Enqueued: r.clk.Now(),
 	}
-	_, err := r.submit(spec)
+	_, err := r.submit(ctx, spec)
 	return err
 }
 
-func (r *Runtime) submit(spec *JobSpec) (*Job, error) {
+func (r *Runtime) submit(ctx context.Context, spec *JobSpec) (*Job, error) {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -237,7 +240,7 @@ func (r *Runtime) submit(spec *JobSpec) (*Job, error) {
 	// Reserve the queue slot before the journal write: admission control
 	// must happen before the durable append, or a rejected job would
 	// nonetheless exist in the journal and resurface at the next Recover.
-	if err := r.reserve(spec); err != nil {
+	if err := r.reserve(ctx, spec); err != nil {
 		return nil, err
 	}
 	if err := r.crash("pre-enqueue-append"); err != nil {
@@ -262,13 +265,28 @@ func (r *Runtime) submit(spec *JobSpec) (*Job, error) {
 	return jb, err
 }
 
-// reserve takes one queue slot without blocking.
-func (r *Runtime) reserve(spec *JobSpec) error {
+// reserve takes one queue slot. A context that can expire buys bounded
+// queueing: the caller waits for a slot until its deadline, so a
+// producer burst rides out momentary saturation instead of shedding
+// jobs. A context that cannot expire (context.Background()) keeps the
+// old contract — a saturated queue rejects immediately, and a
+// fire-and-forget submitter never hangs.
+func (r *Runtime) reserve(ctx context.Context, spec *JobSpec) error {
 	select {
 	case r.slots <- struct{}{}:
 		return nil
 	default:
+	}
+	if ctx == nil || ctx.Done() == nil {
 		return fmt.Errorf("%w: job %s", ErrQueueFull, spec.Job)
+	}
+	select {
+	case r.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("%w: job %s: %v", ErrQueueFull, spec.Job, context.Cause(ctx))
+	case <-r.stop:
+		return ErrClosed
 	}
 }
 
@@ -278,7 +296,7 @@ func (r *Runtime) release() { <-r.slots }
 // track reserves a slot, registers a job handle and queues it — the entry
 // point for jobs whose journal record already exists (Recover).
 func (r *Runtime) track(spec *JobSpec, priorAttempts int) (*Job, error) {
-	if err := r.reserve(spec); err != nil {
+	if err := r.reserve(context.Background(), spec); err != nil {
 		return nil, err
 	}
 	jb, err := r.enqueueTracked(spec, priorAttempts)

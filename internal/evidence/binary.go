@@ -1,0 +1,74 @@
+package evidence
+
+import (
+	"nonrep/internal/canon"
+	"nonrep/internal/id"
+	"nonrep/internal/sig"
+	"nonrep/internal/stamp"
+)
+
+// AppendBinary appends the binary encoding of the token, mirroring the
+// canonical JSON field order with the content digest as its raw 32
+// bytes. The signed form remains the canonical JSON of tokenTBS —
+// binary is a carrier, and DecodeBinary reproduces a token whose
+// TBSDigest (and hence signature validity) is unchanged.
+func (t *Token) AppendBinary(dst []byte) ([]byte, error) {
+	dst = canon.AppendString(dst, string(t.Kind))
+	dst = canon.AppendString(dst, string(t.Run))
+	dst = canon.AppendString(dst, string(t.Txn))
+	dst = canon.AppendVarint(dst, int64(t.Step))
+	dst = canon.AppendString(dst, string(t.Issuer))
+	dst = canon.AppendUvarint(dst, uint64(len(t.Recipients)))
+	for _, p := range t.Recipients {
+		dst = canon.AppendString(dst, string(p))
+	}
+	dst = canon.AppendString(dst, string(t.Service))
+	dst = append(dst, t.Digest[:]...)
+	dst, err := canon.AppendTime(dst, t.IssuedAt)
+	if err != nil {
+		return nil, err
+	}
+	dst = canon.AppendString(dst, string(t.Nonce))
+	dst = t.Signature.AppendBinary(dst)
+	if t.Timestamp == nil {
+		return append(dst, 0), nil
+	}
+	dst = append(dst, 1)
+	return t.Timestamp.AppendBinary(dst)
+}
+
+// DecodeBinary decodes a token from r into t. All variable-length data
+// is copied out of the reader's buffer: decoded tokens escape into
+// query results and protocol state that outlive the source buffer
+// (which may be an mmapped segment).
+func (t *Token) DecodeBinary(r *canon.BinReader) {
+	t.Kind = Kind(r.ValidString())
+	t.Run = id.Run(r.ValidString())
+	t.Txn = id.Txn(r.ValidString())
+	t.Step = r.Int()
+	t.Issuer = id.Party(r.ValidString())
+	if n := r.Uvarint(); n > 0 && r.Err() == nil {
+		if n > uint64(r.Len()) {
+			r.Fail(canon.ErrBinary)
+			return
+		}
+		t.Recipients = make([]id.Party, n)
+		for i := range t.Recipients {
+			t.Recipients[i] = id.Party(r.ValidString())
+		}
+	}
+	t.Service = id.Service(r.ValidString())
+	copy(t.Digest[:], r.Raw(sig.DigestSize))
+	t.IssuedAt = r.Time()
+	t.Nonce = r.ValidString()
+	t.Signature.DecodeBinary(r)
+	switch r.Byte() {
+	case 0:
+	case 1:
+		ts := new(stamp.Token)
+		ts.DecodeBinary(r)
+		t.Timestamp = ts
+	default:
+		r.Fail(canon.ErrBinary)
+	}
+}

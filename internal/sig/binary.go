@@ -1,0 +1,74 @@
+package sig
+
+import (
+	"math"
+
+	"nonrep/internal/canon"
+)
+
+// AppendBinary appends the binary encoding of the signature. The layout
+// mirrors the canonical JSON field order; Bytes keeps its nil/empty
+// distinction (json:"sig" has no omitempty, so nil projects to null and
+// empty to ""), while the omitempty-tagged slices are normalised to nil
+// when empty — canonical JSON cannot tell the two apart for them.
+func (s *Signature) AppendBinary(dst []byte) []byte {
+	dst = append(dst, byte(s.Algorithm))
+	dst = canon.AppendString(dst, s.KeyID)
+	dst = canon.AppendBytes(dst, s.Bytes)
+	dst = canon.AppendUvarint(dst, uint64(s.Period))
+	dst = canon.AppendBytes(dst, s.PublicHint)
+	dst = appendByteSlices(dst, s.Path)
+	dst = canon.AppendBytes(dst, s.BatchRoot)
+	dst = appendByteSlices(dst, s.BatchPath)
+	return canon.AppendUvarint(dst, uint64(s.BatchIndex))
+}
+
+// DecodeBinary decodes a signature from r into s. All byte runs are
+// copied: decoded signatures outlive the buffer they came from.
+func (s *Signature) DecodeBinary(r *canon.BinReader) {
+	s.Algorithm = Algorithm(r.Byte())
+	s.KeyID = r.ValidString()
+	s.Bytes = r.BytesCopy()
+	s.Period = decodeUint32(r)
+	s.PublicHint = r.BytesCopy()
+	s.Path = decodeByteSlices(r)
+	s.BatchRoot = r.BytesCopy()
+	s.BatchPath = decodeByteSlices(r)
+	s.BatchIndex = decodeUint32(r)
+}
+
+func decodeUint32(r *canon.BinReader) uint32 {
+	v := r.Uvarint()
+	if v > math.MaxUint32 {
+		r.Fail(canon.ErrBinary)
+		return 0
+	}
+	return uint32(v)
+}
+
+func appendByteSlices(dst []byte, items [][]byte) []byte {
+	dst = canon.AppendUvarint(dst, uint64(len(items)))
+	for _, item := range items {
+		dst = canon.AppendBytes(dst, item)
+	}
+	return dst
+}
+
+func decodeByteSlices(r *canon.BinReader) [][]byte {
+	n := r.Uvarint()
+	if n == 0 || r.Err() != nil {
+		return nil
+	}
+	// Each element needs at least its presence byte, bounding the count
+	// by the remaining input so a forged count cannot force a huge
+	// allocation before truncation is noticed.
+	if n > uint64(r.Len()) {
+		r.Fail(canon.ErrBinary)
+		return nil
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = r.BytesCopy()
+	}
+	return out
+}

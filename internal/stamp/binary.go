@@ -1,0 +1,30 @@
+package stamp
+
+import (
+	"nonrep/internal/canon"
+	"nonrep/internal/id"
+	"nonrep/internal/sig"
+)
+
+// AppendBinary appends the binary encoding of the time-stamp token,
+// mirroring the canonical JSON field order with the digest as its raw
+// 32 bytes.
+func (t *Token) AppendBinary(dst []byte) ([]byte, error) {
+	dst = append(dst, t.Digest[:]...)
+	dst, err := canon.AppendTime(dst, t.Time)
+	if err != nil {
+		return nil, err
+	}
+	dst = canon.AppendString(dst, string(t.TSA))
+	dst = canon.AppendUvarint(dst, t.Serial)
+	return t.Signature.AppendBinary(dst), nil
+}
+
+// DecodeBinary decodes a time-stamp token from r into t.
+func (t *Token) DecodeBinary(r *canon.BinReader) {
+	copy(t.Digest[:], r.Raw(sig.DigestSize))
+	t.Time = r.Time()
+	t.TSA = id.Party(r.ValidString())
+	t.Serial = r.Uvarint()
+	t.Signature.DecodeBinary(r)
+}

@@ -1,0 +1,355 @@
+// Binary record encoding — the machine path for segment files.
+//
+// A binary segment is a 4-byte header ("NRS" + format version) followed
+// by length-prefixed record frames: uvarint body length, then the
+// record body (varint-framed fields mirroring the canonical JSON field
+// order, digests as their raw 32 bytes). Canonical JSON remains the
+// signed form: Record.Hash is still the digest of the record's
+// canonical JSON with Hash zeroed, so a record decoded from a binary
+// frame re-projects to exactly the canonical bytes it was encoded from
+// and the hash chain is encoding-independent. Legacy JSON-lines
+// segments are recognised by their first byte ('{') and remain readable
+// forever.
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"nonrep/internal/canon"
+	"nonrep/internal/evidence"
+	"nonrep/internal/sig"
+)
+
+// Encoding identifies the on-disk or on-wire encoding of record data.
+type Encoding uint8
+
+// Segment encodings.
+const (
+	// EncUnknown marks data whose encoding is not yet determined (an
+	// empty file, for instance).
+	EncUnknown Encoding = iota
+	// EncJSON is canonical JSON lines, the legacy segment format and
+	// the audit projection.
+	EncJSON
+	// EncBinary is the length-prefixed binary frame format.
+	EncBinary
+)
+
+// String names the encoding.
+func (e Encoding) String() string {
+	switch e {
+	case EncJSON:
+		return "json"
+	case EncBinary:
+		return "binary"
+	default:
+		return "unknown"
+	}
+}
+
+// Binary segment format constants.
+const (
+	// SegmentVersion is the binary segment format version carried in the
+	// header's fourth byte.
+	SegmentVersion = 1
+	// SegmentHeaderLen is the length of the binary segment header.
+	SegmentHeaderLen = 4
+	// MaxRecordFrame bounds a single record frame; a declared length
+	// beyond it is corruption, not a large record.
+	MaxRecordFrame = 1 << 30
+)
+
+// SegmentHeader returns the 4-byte header that opens every binary
+// segment file.
+func SegmentHeader() [SegmentHeaderLen]byte {
+	return [SegmentHeaderLen]byte{'N', 'R', 'S', SegmentVersion}
+}
+
+// ErrSegmentVersion is returned when a binary segment header carries an
+// unsupported format version.
+var ErrSegmentVersion = errors.New("store: unsupported binary segment version")
+
+// DetectEncoding classifies segment data by its first byte: binary
+// segments open with 'N' (the "NRS" header), JSON segments with '{'.
+// Empty data is EncUnknown — the caller chooses. Detection is per FILE,
+// never per record: a binary frame body may well start with '{'.
+func DetectEncoding(data []byte) Encoding {
+	if len(data) == 0 {
+		return EncUnknown
+	}
+	if data[0] == 'N' {
+		return EncBinary
+	}
+	return EncJSON
+}
+
+// RecordEncoder appends binary record frames, reusing one scratch
+// buffer across calls so the group-commit hot path allocates nothing
+// per record. Not safe for concurrent use.
+type RecordEncoder struct {
+	scratch []byte
+}
+
+// AppendRecord appends rec as a length-prefixed binary frame.
+func (e *RecordEncoder) AppendRecord(dst []byte, rec *Record) ([]byte, error) {
+	body, err := appendRecordBody(e.scratch[:0], rec)
+	if err != nil {
+		return nil, err
+	}
+	e.scratch = body
+	dst = canon.AppendUvarint(dst, uint64(len(body)))
+	return append(dst, body...), nil
+}
+
+// AppendRecordBinary appends rec as a length-prefixed binary frame.
+func AppendRecordBinary(dst []byte, rec *Record) ([]byte, error) {
+	var e RecordEncoder
+	return e.AppendRecord(dst, rec)
+}
+
+func appendRecordBody(dst []byte, rec *Record) ([]byte, error) {
+	dst = canon.AppendUvarint(dst, rec.Seq)
+	dst = append(dst, rec.Prev[:]...)
+	dst, err := canon.AppendTime(dst, rec.At)
+	if err != nil {
+		return nil, err
+	}
+	dst = canon.AppendString(dst, string(rec.Direction))
+	dst = canon.AppendString(dst, rec.Note)
+	if rec.Token == nil {
+		dst = append(dst, 0)
+	} else {
+		dst = append(dst, 1)
+		dst, err = rec.Token.AppendBinary(dst)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return append(dst, rec.Hash[:]...), nil
+}
+
+// decodeRecordBody decodes one record body; all variable-length data is
+// copied, so decoded records never alias the input buffer (which may be
+// an mmapped segment that is later unmapped).
+func decodeRecordBody(body []byte) (*Record, error) {
+	r := canon.NewBinReader(body)
+	rec := new(Record)
+	rec.Seq = r.Uvarint()
+	copy(rec.Prev[:], r.Raw(sig.DigestSize))
+	rec.At = r.Time()
+	rec.Direction = Direction(r.ValidString())
+	rec.Note = r.ValidString()
+	switch r.Byte() {
+	case 0:
+	case 1:
+		tok := new(evidence.Token)
+		tok.DecodeBinary(&r)
+		rec.Token = tok
+	default:
+		r.Fail(canon.ErrBinary)
+	}
+	copy(rec.Hash[:], r.Raw(sig.DigestSize))
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("store: decode binary record: %w", err)
+	}
+	return rec, nil
+}
+
+// DecodeRecordFrame decodes the length-prefixed record frame at the
+// start of data, returning the record and the frame's total length.
+// A frame that runs past the end of data returns (nil, 0, nil): the
+// caller decides whether a short tail is a torn write or truncation.
+func DecodeRecordFrame(data []byte) (*Record, int64, error) {
+	n, w := uvarint(data)
+	if w == 0 {
+		return nil, 0, nil // truncated length prefix: possibly torn
+	}
+	if w < 0 || n > MaxRecordFrame {
+		return nil, 0, fmt.Errorf("store: %w: record frame length", canon.ErrBinary)
+	}
+	if uint64(len(data)-w) < n {
+		return nil, 0, nil // frame extends past the tail: possibly torn
+	}
+	rec, err := decodeRecordBody(data[w : uint64(w)+n])
+	if err != nil {
+		return nil, 0, err
+	}
+	return rec, int64(w) + int64(n), nil
+}
+
+// uvarint is binary.Uvarint with the (value, width) convention local to
+// this file: width 0 means truncated, negative means overflow.
+func uvarint(data []byte) (uint64, int) {
+	var v uint64
+	var s uint
+	for i, b := range data {
+		if i == 9 && b > 1 {
+			return 0, -1
+		}
+		if b < 0x80 {
+			return v | uint64(b)<<s, i + 1
+		}
+		v |= uint64(b&0x7f) << s
+		s += 7
+		if i == 9 {
+			return 0, -1
+		}
+	}
+	return 0, 0
+}
+
+// DecodeRecordData decodes exactly one record occupying all of data, in
+// the given encoding — the keyed-read path, handed a [offset, next
+// offset) sub-slice of a (possibly mmapped) segment.
+func DecodeRecordData(data []byte, enc Encoding) (*Record, error) {
+	switch enc {
+	case EncJSON:
+		rec := new(Record)
+		if err := canon.Unmarshal(bytes.TrimRight(data, "\r\n"), rec); err != nil {
+			return nil, err
+		}
+		return rec, nil
+	case EncBinary:
+		rec, frameLen, err := DecodeRecordFrame(data)
+		if err != nil {
+			return nil, err
+		}
+		if rec == nil || frameLen != int64(len(data)) {
+			return nil, fmt.Errorf("store: %w: record frame does not fill its slot", canon.ErrBinary)
+		}
+		return rec, nil
+	default:
+		return nil, fmt.Errorf("store: decode record: unknown encoding")
+	}
+}
+
+// DecodeSegmentData streams the well-formed record prefix of a segment
+// file's contents to fn along with each record's frame length, first
+// detecting the encoding. It returns the detected encoding, the byte
+// length of the well-formed prefix (header included for binary
+// segments), and whether a torn final frame — the footprint of a crash
+// mid-write — was dropped. The semantics mirror ReadJSONLines: writers
+// append and flush whole frames before acknowledging, so an incomplete
+// final frame was never acknowledged and is torn even if its bytes
+// parse so far, while a complete frame that fails to decode is
+// corruption and yields an error. Empty data reads as empty with
+// EncUnknown.
+func DecodeSegmentData(data []byte, fn func(*Record, int64) error) (Encoding, int64, bool, error) {
+	switch DetectEncoding(data) {
+	case EncUnknown:
+		return EncUnknown, 0, false, nil
+	case EncBinary:
+		prefix, torn, err := scanBinarySegment(data, fn)
+		return EncBinary, prefix, torn, err
+	default:
+		prefix, torn, err := scanJSONSegment(data, fn)
+		return EncJSON, prefix, torn, err
+	}
+}
+
+func scanBinarySegment(data []byte, fn func(*Record, int64) error) (int64, bool, error) {
+	header := SegmentHeader()
+	if len(data) < SegmentHeaderLen {
+		if bytes.HasPrefix(header[:], data) {
+			return 0, true, nil // torn header: segment created, crash before first flush
+		}
+		return 0, false, fmt.Errorf("store: %w: bad segment header", canon.ErrBinary)
+	}
+	if !bytes.Equal(data[:3], header[:3]) {
+		return 0, false, fmt.Errorf("store: %w: bad segment header", canon.ErrBinary)
+	}
+	if data[3] != SegmentVersion {
+		return 0, false, fmt.Errorf("%w %d", ErrSegmentVersion, data[3])
+	}
+	prefix := int64(SegmentHeaderLen)
+	for prefix < int64(len(data)) {
+		rec, frameLen, err := DecodeRecordFrame(data[prefix:])
+		if err != nil {
+			return prefix, false, err
+		}
+		if rec == nil {
+			return prefix, true, nil // incomplete final frame
+		}
+		if err := fn(rec, frameLen); err != nil {
+			return prefix, false, err
+		}
+		prefix += frameLen
+	}
+	return prefix, false, nil
+}
+
+// scanJSONSegment is ReadJSONLines over in-memory data, byte-for-byte
+// the same recovery semantics so mmapped reads of legacy segments agree
+// with the streaming reader that wrote their indexes.
+func scanJSONSegment(data []byte, fn func(*Record, int64) error) (int64, bool, error) {
+	var prefix int64
+	for int(prefix) < len(data) {
+		rest := data[prefix:]
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			return prefix, len(bytes.TrimSpace(rest)) > 0, nil
+		}
+		line := rest[: nl+1 : nl+1]
+		if body := bytes.TrimRight(line, "\r\n"); len(body) > 0 {
+			rec := new(Record)
+			if err := canon.Unmarshal(body, rec); err != nil {
+				return prefix, false, fmt.Errorf("store: corrupt segment line: %w", err)
+			}
+			if err := fn(rec, int64(len(line))); err != nil {
+				return prefix, false, err
+			}
+		}
+		prefix += int64(len(line))
+	}
+	return prefix, false, nil
+}
+
+// Chainer extends a record hash chain one record at a time, sharing one
+// digest engine across the group so a batched commit pays for encoder
+// machinery once per group rather than once per record. It is the
+// group-commit counterpart of NextRecord; the records it produces are
+// identical. Not safe for concurrent use.
+type Chainer struct {
+	seq  uint64
+	prev sig.Digest
+	dig  *canon.Digester
+}
+
+// NewChainer returns a chainer positioned after (lastSeq, lastHash).
+func NewChainer(lastSeq uint64, lastHash sig.Digest) *Chainer {
+	return &Chainer{seq: lastSeq, prev: lastHash, dig: canon.NewDigester()}
+}
+
+// Reset repositions the chainer after (lastSeq, lastHash).
+func (c *Chainer) Reset(lastSeq uint64, lastHash sig.Digest) {
+	c.seq, c.prev = lastSeq, lastHash
+}
+
+// Next builds and chains the next record, exactly as NextRecord does.
+func (c *Chainer) Next(at time.Time, dir Direction, tok *evidence.Token, note string) (*Record, error) {
+	if tok == nil {
+		return nil, errors.New("store: nil token")
+	}
+	rec := &Record{
+		Seq:       c.seq + 1,
+		Prev:      c.prev,
+		At:        at,
+		Direction: dir,
+		Note:      strings.ToValidUTF8(note, "�"),
+		Token:     tok,
+	}
+	h, err := c.dig.Sum256(rec)
+	if err != nil {
+		return nil, err
+	}
+	rec.Hash = h
+	c.seq, c.prev = rec.Seq, rec.Hash
+	return rec, nil
+}
+
+// Position reports the sequence number and hash of the last record.
+func (c *Chainer) Position() (uint64, sig.Digest) { return c.seq, c.prev }

@@ -23,7 +23,6 @@ import (
 	"fmt"
 	"sync"
 
-	"nonrep/internal/canon"
 	"nonrep/internal/id"
 	"nonrep/internal/obs"
 )
@@ -207,7 +206,7 @@ func (k *Chunker) sendChunked(ctx context.Context, to string, env *Envelope, wan
 			kind = KindChunkEnd
 			f.MsgID, f.Kind, f.WantReply = env.ID, env.Kind, wantReply
 		}
-		part := &Envelope{ID: id.NewMsg(), Kind: kind, Tenant: env.Tenant, Body: canon.MustMarshal(&f)}
+		part := &Envelope{ID: id.NewMsg(), Kind: kind, Tenant: env.Tenant, Body: marshalChunkFrame(&f)}
 		reply, err := k.inner.Request(ctx, to, part)
 		if err != nil {
 			return nil, fmt.Errorf("transport: chunk %d/%d of %s envelope: %w", seq+1, total, env.Kind, err)
@@ -229,7 +228,7 @@ func (k *Chunker) resolveReply(ctx context.Context, to, tenant string, reply *En
 		return reply, nil
 	}
 	var f chunkFrame
-	if err := canon.Unmarshal(reply.Body, &f); err != nil {
+	if err := unmarshalChunkFrame(reply.Body, &f); err != nil {
 		return nil, fmt.Errorf("transport: decode chunked reply header: %w", err)
 	}
 	if f.Total < 1 || f.Total > maxChunkCount || f.Size < 0 || f.Size > k.opts.MaxMessage || f.Seq != 0 {
@@ -241,7 +240,7 @@ func (k *Chunker) resolveReply(ctx context.Context, to, tenant string, reply *En
 	body := append([]byte(nil), f.Data...)
 	for seq := 1; seq < f.Total; seq++ {
 		ff := chunkFrame{Stream: f.Stream, Seq: seq}
-		fetch := &Envelope{ID: id.NewMsg(), Kind: KindChunkFetch, Tenant: tenant, Body: canon.MustMarshal(&ff)}
+		fetch := &Envelope{ID: id.NewMsg(), Kind: KindChunkFetch, Tenant: tenant, Body: marshalChunkFrame(&ff)}
 		r, err := k.inner.Request(ctx, to, fetch)
 		if err != nil {
 			return nil, fmt.Errorf("transport: fetch reply chunk %d/%d: %w", seq+1, f.Total, err)
@@ -250,7 +249,7 @@ func (k *Chunker) resolveReply(ctx context.Context, to, tenant string, reply *En
 			return nil, fmt.Errorf("transport: unexpected chunk fetch reply")
 		}
 		var df chunkFrame
-		if err := canon.Unmarshal(r.Body, &df); err != nil {
+		if err := unmarshalChunkFrame(r.Body, &df); err != nil {
 			return nil, err
 		}
 		if df.Stream != f.Stream || df.Seq != seq {
@@ -353,7 +352,7 @@ func (h *ChunkHandler) Handle(ctx context.Context, env *Envelope) (*Envelope, er
 // arrive, with the full-size buffer allocated only once every byte is in.
 func (h *ChunkHandler) absorb(env *Envelope) ([]byte, *chunkFrame, error) {
 	var f chunkFrame
-	if err := canon.Unmarshal(env.Body, &f); err != nil {
+	if err := unmarshalChunkFrame(env.Body, &f); err != nil {
 		return nil, nil, fmt.Errorf("transport: decode chunk frame: %w", err)
 	}
 	if f.Stream == "" {
@@ -494,7 +493,7 @@ func (h *ChunkHandler) stashReply(reply *Envelope) *Envelope {
 		Stream: stream, Seq: 0, Total: total, Size: int64(len(body)),
 		MsgID: reply.ID, Kind: reply.Kind, Data: slices[0],
 	}
-	return &Envelope{ID: id.NewMsg(), Kind: KindChunkReply, Body: canon.MustMarshal(&hdr)}
+	return &Envelope{ID: id.NewMsg(), Kind: KindChunkReply, Body: marshalChunkFrame(&hdr)}
 }
 
 // fetch serves one slice of a stashed chunked reply. Serving the final
@@ -502,7 +501,7 @@ func (h *ChunkHandler) stashReply(reply *Envelope) *Envelope {
 // deduplication layer's cached reply.
 func (h *ChunkHandler) fetch(env *Envelope) (*Envelope, error) {
 	var f chunkFrame
-	if err := canon.Unmarshal(env.Body, &f); err != nil {
+	if err := unmarshalChunkFrame(env.Body, &f); err != nil {
 		return nil, fmt.Errorf("transport: decode chunk fetch: %w", err)
 	}
 	h.mu.Lock()
@@ -521,5 +520,5 @@ func (h *ChunkHandler) fetch(env *Envelope) (*Envelope, error) {
 	}
 	h.mu.Unlock()
 	out := chunkFrame{Stream: f.Stream, Seq: f.Seq, Data: data}
-	return &Envelope{ID: id.NewMsg(), Kind: KindChunkData, Body: canon.MustMarshal(&out)}, nil
+	return &Envelope{ID: id.NewMsg(), Kind: KindChunkData, Body: marshalChunkFrame(&out)}, nil
 }

@@ -93,11 +93,12 @@ func (n *TCPNetwork) Dial() (Endpoint, error) {
 	if closed {
 		return nil, ErrClosed
 	}
-	return &tcpClient{addr: clientAddr()}, nil
+	return &tcpClient{addr: clientAddr(), enc: n.enc}, nil
 }
 
 type tcpClient struct {
 	addr string
+	enc  WireEncoding
 }
 
 var _ Endpoint = (*tcpClient)(nil)
@@ -125,10 +126,10 @@ func (e *tcpClient) exchange(ctx context.Context, to string, env *Envelope) (*En
 	}
 	env.From = e.addr
 	env.To = to
-	if err := writeFrame(conn, env); err != nil {
+	if err := writeFrame(conn, env, e.enc); err != nil {
 		return nil, err
 	}
-	reply, err := readFrame(conn)
+	reply, _, err := readFrame(conn)
 	if err != nil {
 		return nil, err
 	}

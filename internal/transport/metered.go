@@ -3,7 +3,6 @@ package transport
 import (
 	"context"
 
-	"nonrep/internal/canon"
 	"nonrep/internal/obs"
 )
 
@@ -100,7 +99,7 @@ func (m *Metered) Reset() {
 func payloadBytes(env *Envelope) int64 {
 	if isChunkKind(env.Kind) {
 		var f chunkFrame
-		if err := canon.Unmarshal(env.Body, &f); err == nil {
+		if err := unmarshalChunkFrame(env.Body, &f); err == nil {
 			return int64(len(f.Data))
 		}
 	}

@@ -8,8 +8,6 @@ import (
 	"io"
 	"net"
 	"sync"
-
-	"nonrep/internal/canon"
 )
 
 // maxFrame bounds a single wire frame (16 MiB).
@@ -22,6 +20,8 @@ const maxFrame = 16 << 20
 // tracks its listeners, so Close stops every endpoint registered through
 // it — including any that callers lost track of.
 type TCPNetwork struct {
+	enc WireEncoding
+
 	mu     sync.Mutex
 	eps    map[*tcpEndpoint]struct{}
 	closed bool
@@ -29,9 +29,24 @@ type TCPNetwork struct {
 
 var _ Network = (*TCPNetwork)(nil)
 
+// TCPOption configures a TCP network.
+type TCPOption func(*TCPNetwork)
+
+// WithWireEncoding selects the frame encoding this network's endpoints
+// write (binary by default). Inbound frames always auto-detect, and an
+// endpoint answers in the encoding the request arrived in, so networks
+// with different settings interoperate.
+func WithWireEncoding(enc WireEncoding) TCPOption {
+	return func(n *TCPNetwork) { n.enc = enc }
+}
+
 // NewTCPNetwork creates a TCP network.
-func NewTCPNetwork() *TCPNetwork {
-	return &TCPNetwork{eps: make(map[*tcpEndpoint]struct{})}
+func NewTCPNetwork(opts ...TCPOption) *TCPNetwork {
+	n := &TCPNetwork{eps: make(map[*tcpEndpoint]struct{})}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
 }
 
 // Register implements Network: it starts a listener on addr
@@ -47,7 +62,7 @@ func (n *TCPNetwork) Register(addr string, h Handler) (Endpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	ep := &tcpEndpoint{net: n, ln: ln, handler: h, done: make(chan struct{})}
+	ep := &tcpEndpoint{net: n, ln: ln, handler: h, enc: n.enc, done: make(chan struct{})}
 	// The accept loop is accounted for before the endpoint becomes
 	// visible to a concurrent network Close, whose ep.Close -> wg.Wait
 	// must always see the counter raised.
@@ -100,6 +115,7 @@ type tcpEndpoint struct {
 	net     *TCPNetwork
 	ln      net.Listener
 	handler Handler
+	enc     WireEncoding
 
 	closeOnce sync.Once
 	done      chan struct{}
@@ -131,11 +147,13 @@ func (e *tcpEndpoint) acceptLoop() {
 	}
 }
 
-// serve handles one inbound connection carrying one exchange.
+// serve handles one inbound connection carrying one exchange. The reply
+// goes out in the encoding the request arrived in, so a legacy JSON
+// peer negotiates JSON simply by speaking it.
 func (e *tcpEndpoint) serve(conn net.Conn) {
 	defer e.wg.Done()
 	defer conn.Close()
-	env, err := readFrame(conn)
+	env, enc, err := readFrame(conn)
 	if err != nil {
 		return
 	}
@@ -148,7 +166,7 @@ func (e *tcpEndpoint) serve(conn net.Conn) {
 	if reply == nil {
 		reply = &Envelope{ID: env.ID, Kind: "ack"}
 	}
-	_ = writeFrame(conn, reply)
+	_ = writeFrame(conn, reply, enc)
 }
 
 // Send implements Endpoint.
@@ -178,10 +196,10 @@ func (e *tcpEndpoint) exchange(ctx context.Context, to string, env *Envelope) (*
 	}
 	env.From = e.Addr()
 	env.To = to
-	if err := writeFrame(conn, env); err != nil {
+	if err := writeFrame(conn, env, e.enc); err != nil {
 		return nil, err
 	}
-	reply, err := readFrame(conn)
+	reply, _, err := readFrame(conn)
 	if err != nil {
 		return nil, err
 	}
@@ -205,9 +223,9 @@ func (e *tcpEndpoint) Close() error {
 	return err
 }
 
-// writeFrame writes a length-prefixed JSON envelope.
-func writeFrame(w io.Writer, env *Envelope) error {
-	body, err := canon.Marshal(env)
+// writeFrame writes a length-prefixed envelope in the given encoding.
+func writeFrame(w io.Writer, env *Envelope, enc WireEncoding) error {
+	body, err := MarshalEnvelope(env, enc)
 	if err != nil {
 		return err
 	}
@@ -231,15 +249,19 @@ func writeFrame(w io.Writer, env *Envelope) error {
 // read and grown chunk by chunk.
 const frameChunk = 64 << 10
 
-// readFrame reads a length-prefixed JSON envelope.
-func readFrame(r io.Reader) (*Envelope, error) {
+// readFrame reads a length-prefixed envelope, auto-detecting its
+// encoding and reporting which one arrived so the reply can mirror it.
+// A binary envelope's byte fields alias the frame buffer, which is
+// owned by the decoded envelope from here on — the zero-copy path from
+// socket read to chunk reassembly.
+func readFrame(r io.Reader) (*Envelope, WireEncoding, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("transport: read frame header: %w", err)
+		return nil, WireBinary, fmt.Errorf("transport: read frame header: %w", err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+		return nil, WireBinary, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
 	}
 	body := make([]byte, 0, min(int(n), frameChunk))
 	for remaining := int(n); remaining > 0; {
@@ -247,13 +269,17 @@ func readFrame(r io.Reader) (*Envelope, error) {
 		off := len(body)
 		body = append(body, make([]byte, k)...)
 		if _, err := io.ReadFull(r, body[off:]); err != nil {
-			return nil, fmt.Errorf("transport: read frame body: %w", err)
+			return nil, WireBinary, fmt.Errorf("transport: read frame body: %w", err)
 		}
 		remaining -= k
 	}
-	var env Envelope
-	if err := canon.Unmarshal(body, &env); err != nil {
-		return nil, err
+	enc := WireJSON
+	if len(body) > 0 && body[0] == envMagic {
+		enc = WireBinary
 	}
-	return &env, nil
+	env, err := UnmarshalEnvelope(body)
+	if err != nil {
+		return nil, enc, err
+	}
+	return env, enc, nil
 }

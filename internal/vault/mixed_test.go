@@ -1,0 +1,132 @@
+package vault_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nonrep/internal/id"
+	"nonrep/internal/store"
+	"nonrep/internal/testpki"
+	"nonrep/internal/vault"
+)
+
+// appendRun appends n records for a fresh run and returns it.
+func appendRun(t *testing.T, realm *testpki.Realm, v *vault.Vault, n int) id.Run {
+	t.Helper()
+	run := id.NewRun()
+	for i := 1; i <= n; i++ {
+		if _, err := v.Append(store.Generated, newToken(t, realm, run, i), "note"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return run
+}
+
+// TestVaultMixedEncodings grows one vault across three opens with
+// alternating segment encodings — JSON, binary, JSON — and holds the
+// result to every integrity surface: the files really are
+// mixed-encoding, queries see every record across the boundary,
+// DeepVerify walks the whole seal chain, replication ships and
+// re-verifies both kinds of segment, and a wiped primary restores from
+// the mixed replica.
+func TestVaultMixedEncodings(t *testing.T) {
+	t.Parallel()
+	realm := testpki.MustRealm(org)
+	dir := t.TempDir()
+
+	// Era 1: legacy JSON segments.
+	v := openVault(t, dir, vault.WithSegmentRecords(3), vault.WithJSONSegments())
+	runJSON := appendRun(t, realm, v, 4) // seals segment 1, leaves a JSON tail
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Era 2: default (binary). The non-empty JSON tail must be sealed as
+	// is, never rewritten, and the new tail opens binary.
+	v = openVault(t, dir, vault.WithSegmentRecords(3))
+	runBin := appendRun(t, realm, v, 4) // seals segment 3, leaves a binary tail
+	if err := v.SealNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Era 3: back to JSON for one more segment, with the binary history
+	// intact underneath.
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	v = openVault(t, dir, vault.WithSegmentRecords(3), vault.WithJSONSegments())
+	runJSON2 := appendRun(t, realm, v, 2)
+	if err := v.SealNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The directory must actually hold both encodings.
+	var jsonSegs, binSegs int
+	for _, e := range v.Manifest() {
+		data, err := os.ReadFile(filepath.Join(dir, segFileName(e.Segment)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch store.DetectEncoding(data) {
+		case store.EncJSON:
+			jsonSegs++
+		case store.EncBinary:
+			binSegs++
+		default:
+			t.Fatalf("segment %d: undetectable encoding", e.Segment)
+		}
+	}
+	if jsonSegs == 0 || binSegs == 0 {
+		t.Fatalf("want mixed segments, got %d JSON / %d binary", jsonSegs, binSegs)
+	}
+
+	// Integrity and query surfaces across the encoding boundary.
+	if err := v.DeepVerify(); err != nil {
+		t.Fatalf("DeepVerify over mixed encodings: %v", err)
+	}
+	if got := len(v.Records()); got != 10 {
+		t.Fatalf("Records = %d, want 10", got)
+	}
+	for _, rc := range []struct {
+		run  id.Run
+		want int
+	}{{runJSON, 4}, {runBin, 4}, {runJSON2, 2}} {
+		if got := len(v.ByRun(rc.run)); got != rc.want {
+			t.Fatalf("ByRun = %d records, want %d", got, rc.want)
+		}
+	}
+
+	// Replication ships both kinds of segment; the replica re-verifies
+	// each against the shared seal chain.
+	rs, err := vault.OpenReplicaSet(filepath.Join(t.TempDir(), "replicas"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipAll(t, v, rs)
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A wiped primary restores the mixed history from the replica and
+	// still deep-verifies and serves every record.
+	wiped := t.TempDir()
+	restored, err := vault.Open(wiped, realm.Clock, vault.WithRestoreFrom(rs.Dir(sourceOrg)))
+	if err != nil {
+		t.Fatalf("restore from mixed replica: %v", err)
+	}
+	defer restored.Close()
+	if err := restored.DeepVerify(); err != nil {
+		t.Fatalf("DeepVerify on restored mixed vault: %v", err)
+	}
+	if got := len(restored.Records()); got != 10 {
+		t.Fatalf("restored Records = %d, want 10", got)
+	}
+	if got := len(restored.ByRun(runBin)); got != 4 {
+		t.Fatalf("restored ByRun(binary era) = %d, want 4", got)
+	}
+}
+
+// segFileName mirrors the vault's segment naming for test inspection.
+func segFileName(n uint64) string { return fmt.Sprintf("seg-%08d.log", n) }

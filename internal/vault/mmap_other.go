@@ -1,0 +1,15 @@
+//go:build !unix
+
+package vault
+
+import "os"
+
+// mapFile reads a segment file whole on platforms without mmap support,
+// with the same contract as the unix mapping.
+func mapFile(path string) ([]byte, func(), error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
+}

@@ -1,12 +1,9 @@
 package vault
 
 import (
-	"bytes"
 	"fmt"
-	"os"
 	"time"
 
-	"nonrep/internal/canon"
 	"nonrep/internal/evidence"
 	"nonrep/internal/id"
 	"nonrep/internal/store"
@@ -232,7 +229,7 @@ func (it *Iterator) loadSegment(idx *segmentIndex) ([]*store.Record, error) {
 	path := segPath(it.dir, idx.Entry.Segment)
 	if !usedIndex {
 		var out []*store.Record
-		err := readSealedSegment(it.dir, idx.Entry, nil, func(rec *store.Record, _ int64) error {
+		_, err := readSealedSegment(it.dir, idx.Entry, nil, func(rec *store.Record, _ int64) error {
 			if it.q.matches(rec) {
 				out = append(out, rec)
 			}
@@ -244,18 +241,19 @@ func (it *Iterator) loadSegment(idx *segmentIndex) ([]*store.Record, error) {
 		return out, nil
 	}
 
-	f, err := os.Open(path)
+	// Keyed reads map the segment once and decode each nominated record
+	// from its indexed byte slot — no sequential scan, no per-record read
+	// syscall. The encoding is the file's own; offsets from a JSON-era
+	// index address JSON lines, binary-era offsets address binary frames.
+	data, release, err := mapFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("vault: open segment %d: %w", idx.Entry.Segment, err)
 	}
-	defer f.Close()
+	defer release()
+	enc := store.DetectEncoding(data)
 	size := idx.Size
-	if size == 0 {
-		fi, serr := f.Stat()
-		if serr != nil {
-			return nil, fmt.Errorf("vault: stat segment %d: %w", idx.Entry.Segment, serr)
-		}
-		size = fi.Size()
+	if size == 0 || size > int64(len(data)) {
+		size = int64(len(data))
 	}
 	var out []*store.Record
 	for _, seq := range seqs {
@@ -268,12 +266,11 @@ func (it *Iterator) loadSegment(idx *segmentIndex) ([]*store.Record, error) {
 		if j := int(i) + 1; j < len(idx.Offsets) {
 			end = idx.Offsets[j]
 		}
-		buf := make([]byte, end-start)
-		if _, err := f.ReadAt(buf, start); err != nil {
-			return nil, fmt.Errorf("vault: read segment %d record %d: %w", idx.Entry.Segment, seq, err)
+		if start < 0 || end < start || end > int64(len(data)) {
+			return nil, fmt.Errorf("%w: segment %d index offsets out of range", ErrSealBroken, idx.Entry.Segment)
 		}
-		rec := &store.Record{}
-		if err := canon.Unmarshal(bytes.TrimRight(buf, "\r\n"), rec); err != nil {
+		rec, err := store.DecodeRecordData(data[start:end], enc)
+		if err != nil {
 			return nil, fmt.Errorf("vault: decode segment %d record %d: %w", idx.Entry.Segment, seq, err)
 		}
 		// Authenticate before serving: the stored hash must match the

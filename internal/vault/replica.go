@@ -294,7 +294,10 @@ func verifyAndInstallSegment(dir string, e ManifestEntry, data, shippedIdx []byt
 		return err
 	}
 	seg := newSegment(e.Segment, e.FirstSeq)
-	if err := verifySealedSegmentFile(tmp, e, expectPrev, func(rec *store.Record, n int64) error {
+	// The shipped bytes keep their source encoding; offsets in the rebuilt
+	// index must account for a binary segment's header.
+	seg.setEncoding(store.DetectEncoding(data))
+	if _, err := verifySealedSegmentFile(tmp, e, expectPrev, func(rec *store.Record, n int64) error {
 		seg.add(rec, n)
 		return nil
 	}); err != nil {

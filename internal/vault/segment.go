@@ -3,6 +3,7 @@ package vault
 import (
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"time"
 
@@ -86,25 +87,42 @@ type segmentIndex struct {
 type segment struct {
 	number   uint64
 	firstSeq uint64
-	records  []*store.Record
-	offsets  []int64
-	hashes   []sig.Digest
-	size     int64
-	content  sig.Digest
-	runs     map[id.Run][]uint64
-	txns     map[id.Txn][]uint64
-	parties  map[id.Party][]uint64
-	kinds    map[evidence.Kind][]uint64
+	// enc is the segment file's record encoding; binary segments carry a
+	// 4-byte header, so their first record offset is SegmentHeaderLen.
+	enc     store.Encoding
+	records []*store.Record
+	offsets []int64
+	hashes  []sig.Digest
+	size    int64
+	content sig.Digest
+	runs    map[id.Run][]uint64
+	txns    map[id.Txn][]uint64
+	parties map[id.Party][]uint64
+	kinds   map[evidence.Kind][]uint64
 }
 
 func newSegment(number, firstSeq uint64) *segment {
 	return &segment{
 		number:   number,
 		firstSeq: firstSeq,
+		enc:      store.EncJSON,
 		runs:     make(map[id.Run][]uint64),
 		txns:     make(map[id.Txn][]uint64),
 		parties:  make(map[id.Party][]uint64),
 		kinds:    make(map[evidence.Kind][]uint64),
+	}
+}
+
+// setEncoding fixes the segment's file encoding before any record is
+// absorbed, re-basing the size so offsets account for the binary
+// header. It must not be called once records have been added.
+func (s *segment) setEncoding(enc store.Encoding) {
+	s.enc = enc
+	if len(s.records) == 0 {
+		s.size = 0
+		if enc == store.EncBinary {
+			s.size = store.SegmentHeaderLen
+		}
 	}
 }
 
@@ -144,22 +162,38 @@ func (s *segment) payload() indexPayload {
 // from that hash (cross-segment linkage, used by DeepVerify); otherwise
 // the chain is self-seeded, which the content digest still pins. This is
 // the single verification rule shared by index rebuild, full-scan
-// queries and deep verification.
-func readSealedSegment(dir string, e ManifestEntry, expectPrev *sig.Digest, fn func(rec *store.Record, lineLen int64) error) error {
+// queries and deep verification. The detected file encoding is
+// returned: the content digest runs over record hashes, so a seal
+// verifies identically whether the segment's bytes are JSON lines or
+// binary frames — mixed-encoding vaults (and replicas of them) share
+// one seal chain.
+func readSealedSegment(dir string, e ManifestEntry, expectPrev *sig.Digest, fn func(rec *store.Record, lineLen int64) error) (store.Encoding, error) {
 	return verifySealedSegmentFile(segPath(dir, e.Segment), e, expectPrev, fn)
 }
 
 // verifySealedSegmentFile is readSealedSegment against an explicit file
 // path — replication verifies a shipped segment while it still sits at a
-// temporary name, before renaming it into place.
-func verifySealedSegmentFile(path string, e ManifestEntry, expectPrev *sig.Digest, fn func(rec *store.Record, lineLen int64) error) error {
+// temporary name, before renaming it into place. The file is mapped,
+// not read: verification and full scans run straight off the page
+// cache.
+func verifySealedSegmentFile(path string, e ManifestEntry, expectPrev *sig.Digest, fn func(rec *store.Record, lineLen int64) error) (store.Encoding, error) {
+	data, release, err := mapFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return store.EncUnknown, fmt.Errorf("%w: segment %d: %v", ErrSealBroken, e.Segment, err)
+		}
+		// A missing sealed segment reads as empty and fails the count
+		// check below, the same verdict the streaming reader used to give.
+		data, release = nil, func() {}
+	}
+	defer release()
 	var cv *store.ChainVerifier
 	if expectPrev != nil {
 		cv = store.ResumeChain(e.FirstSeq-1, *expectPrev)
 	}
 	content := sig.Digest{}
 	count := uint64(0)
-	_, torn, err := store.ReadJSONLines(path, func(rec *store.Record, n int64) error {
+	enc, _, torn, err := store.DecodeSegmentData(data, func(rec *store.Record, n int64) error {
 		if cv == nil {
 			cv = store.ResumeChain(rec.Seq-1, rec.Prev)
 		}
@@ -172,22 +206,22 @@ func verifySealedSegmentFile(path string, e ManifestEntry, expectPrev *sig.Diges
 	})
 	if err != nil {
 		if errors.Is(err, ErrSealBroken) || errors.Is(err, store.ErrChainBroken) {
-			return err
+			return enc, err
 		}
 		// A sealed segment that cannot be read back is a broken seal.
-		return fmt.Errorf("%w: segment %d: %v", ErrSealBroken, e.Segment, err)
+		return enc, fmt.Errorf("%w: segment %d: %v", ErrSealBroken, e.Segment, err)
 	}
 	if torn {
-		return fmt.Errorf("%w: sealed segment %d has a torn tail", ErrSealBroken, e.Segment)
+		return enc, fmt.Errorf("%w: sealed segment %d has a torn tail", ErrSealBroken, e.Segment)
 	}
 	if count != e.LastSeq-e.FirstSeq+1 || content != e.Content {
-		return fmt.Errorf("%w: segment %d does not match its seal", ErrSealBroken, e.Segment)
+		return enc, fmt.Errorf("%w: segment %d does not match its seal", ErrSealBroken, e.Segment)
 	}
 	lastSeq, lastHash := cv.Position()
 	if lastSeq != e.LastSeq || lastHash != e.LastHash {
-		return fmt.Errorf("%w: segment %d does not match its seal", ErrSealBroken, e.Segment)
+		return enc, fmt.Errorf("%w: segment %d does not match its seal", ErrSealBroken, e.Segment)
 	}
-	return nil
+	return enc, nil
 }
 
 // intersectSeqs intersects two ascending sequence lists.

@@ -92,6 +92,15 @@ func WithReadOnly() Option {
 	return func(v *Vault) { v.readOnly = true }
 }
 
+// WithJSONSegments writes new segments as canonical JSON lines instead
+// of the binary frame format — the audit projection on disk. Reads
+// always auto-detect per file, so a vault may freely mix JSON and
+// binary segments across reopens with different settings; the seal
+// chain, queries, DeepVerify and replication are encoding-blind.
+func WithJSONSegments() Option {
+	return func(v *Vault) { v.writeEnc = store.EncJSON }
+}
+
 // WithoutSync disables the per-batch fsync, trading machine-crash
 // durability of the unsealed tail for throughput (process-crash
 // durability is kept — every batch is still flushed to the kernel, and
@@ -148,8 +157,16 @@ type Vault struct {
 	sync        bool
 	readOnly    bool
 	restoreFrom string
+	writeEnc    store.Encoding
 
 	lockF *os.File
+
+	// Committer-goroutine-only machinery, reused across batches: one
+	// chain digester, one record encoder and one write buffer per vault
+	// instead of per record.
+	chainer   *store.Chainer
+	recEnc    store.RecordEncoder
+	commitBuf []byte
 
 	// Telemetry instruments (nil and no-op without WithObserver).
 	appendNs    *obs.Histogram
@@ -218,6 +235,7 @@ func Open(dir string, clk clock.Clock, opts ...Option) (*Vault, error) {
 		segRecords: 4096,
 		maxBatch:   512,
 		sync:       true,
+		writeEnc:   store.EncBinary,
 		runSegs:    make(map[id.Run][]int),
 		txnSegs:    make(map[id.Txn][]int),
 		appendC:    make(chan *appendReq, 4096),
@@ -281,7 +299,12 @@ func Open(dir string, clk clock.Clock, opts ...Option) (*Vault, error) {
 		return nil, err
 	}
 	v.mu.Lock()
-	if len(v.active.records) >= v.segRecords {
+	// Seal an overfull tail — and a legacy tail whose encoding differs
+	// from the write encoding: sealing it (a legal operation on any
+	// non-empty segment) migrates the vault forward without ever
+	// rewriting existing evidence bytes, so the new tail starts in the
+	// write encoding while the sealed JSON history stays readable as is.
+	if len(v.active.records) >= v.segRecords || (len(v.active.records) > 0 && v.active.enc != v.writeEnc) {
 		if err := v.seal(); err != nil {
 			v.mu.Unlock()
 			if v.f != nil {
@@ -397,15 +420,27 @@ func (v *Vault) loadIndex(e *ManifestEntry) (*segmentIndex, error) {
 }
 
 // rebuildIndex reconstructs a sealed segment's index by re-reading its
-// records, verifying them against the seal on the way.
+// records, verifying them against the seal on the way. Records and
+// frame lengths are collected before the index segment is built: the
+// file's encoding (which fixes the first record's base offset) is only
+// known once the read is under way.
 func (v *Vault) rebuildIndex(e *ManifestEntry) (*segmentIndex, error) {
-	seg := newSegment(e.Segment, e.FirstSeq)
-	err := readSealedSegment(v.dir, *e, nil, func(rec *store.Record, n int64) error {
-		seg.add(rec, n)
+	type frame struct {
+		rec *store.Record
+		n   int64
+	}
+	var frames []frame
+	enc, err := readSealedSegment(v.dir, *e, nil, func(rec *store.Record, n int64) error {
+		frames = append(frames, frame{rec, n})
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	seg := newSegment(e.Segment, e.FirstSeq)
+	seg.setEncoding(enc)
+	for _, f := range frames {
+		seg.add(f.rec, f.n)
 	}
 	payload := seg.payload()
 	pd, err := payload.digest()
@@ -428,16 +463,29 @@ func (v *Vault) rebuildIndex(e *ManifestEntry) (*segmentIndex, error) {
 }
 
 // replayTail loads the unsealed tail segment into memory, verifying its
-// chain against the last seal and truncating a torn final write.
+// chain against the last seal and truncating a torn final write. The
+// tail's encoding is whatever is on disk; a fresh (empty) tail adopts
+// the write encoding, and an empty tail left in the wrong encoding —
+// say a bare binary header before a reopen with WithJSONSegments — is
+// restarted in the write encoding.
 func (v *Vault) replayTail() error {
 	tailNum := uint64(1)
 	if n := len(v.sealed); n > 0 {
 		tailNum = v.sealed[n-1].Entry.Segment + 1
 	}
-	seg := newSegment(tailNum, v.lastSeq+1)
-	cv := store.ResumeChain(v.lastSeq, v.lastHash)
 	path := segPath(v.dir, tailNum)
-	prefix, torn, err := store.ReadJSONLines(path, func(rec *store.Record, n int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("vault: read tail segment %d: %w", tailNum, err)
+	}
+	seg := newSegment(tailNum, v.lastSeq+1)
+	if enc := store.DetectEncoding(data); enc != store.EncUnknown {
+		seg.setEncoding(enc)
+	} else {
+		seg.setEncoding(v.writeEnc)
+	}
+	cv := store.ResumeChain(v.lastSeq, v.lastHash)
+	_, prefix, torn, err := store.DecodeSegmentData(data, func(rec *store.Record, n int64) error {
 		if err := cv.Check(rec); err != nil {
 			return fmt.Errorf("vault: replay tail segment %d: %w", tailNum, err)
 		}
@@ -451,6 +499,12 @@ func (v *Vault) replayTail() error {
 		if err := os.Truncate(path, prefix); err != nil {
 			return fmt.Errorf("vault: truncate torn tail of segment %d: %w", tailNum, err)
 		}
+	}
+	if len(seg.records) == 0 && seg.enc != v.writeEnc && !v.readOnly {
+		if err := os.Truncate(path, 0); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("vault: restart empty tail segment %d: %w", tailNum, err)
+		}
+		seg.setEncoding(v.writeEnc)
 	}
 	v.active = seg
 	v.lastSeq, v.lastHash = cv.Position()
@@ -466,6 +520,10 @@ func (v *Vault) openHandles() error {
 	if err != nil {
 		return fmt.Errorf("vault: open active segment: %w", err)
 	}
+	if err := writeSegmentHeader(f, v.active); err != nil {
+		f.Close()
+		return err
+	}
 	m, err := os.OpenFile(v.manifestPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
 	if err != nil {
 		f.Close()
@@ -473,6 +531,27 @@ func (v *Vault) openHandles() error {
 	}
 	v.f, v.manifestF = f, m
 	return v.syncDir()
+}
+
+// writeSegmentHeader stamps a fresh binary segment file with its format
+// header. JSON segments have no header, and a file that already holds
+// bytes keeps them (the header was written when the file was created).
+func writeSegmentHeader(f *os.File, seg *segment) error {
+	if seg.enc != store.EncBinary {
+		return nil
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("vault: stat segment %d: %w", seg.number, err)
+	}
+	if fi.Size() != 0 {
+		return nil
+	}
+	hdr := store.SegmentHeader()
+	if _, err := f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("vault: write segment %d header: %w", seg.number, err)
+	}
+	return nil
 }
 
 // syncDir fsyncs the vault directory so newly created files (segments,
@@ -528,12 +607,21 @@ func (v *Vault) commit(batch []*appendReq) {
 	v.mu.Lock()
 	failure := v.failure
 	seq, hash := v.lastSeq, v.lastHash
+	enc := v.active.enc
 	v.mu.Unlock()
 	if failure != nil {
 		for _, req := range batch {
 			req.resp <- appendResp{err: failure}
 		}
 		return
+	}
+	// One chain digester, one encoder and one write buffer serve the whole
+	// batch (and are reused across batches); per-record cost is the two
+	// hashes the chain demands plus a buffer append.
+	if v.chainer == nil {
+		v.chainer = store.NewChainer(seq, hash)
+	} else {
+		v.chainer.Reset(seq, hash)
 	}
 	type stagedAppend struct {
 		req  *appendReq
@@ -542,26 +630,47 @@ func (v *Vault) commit(batch []*appendReq) {
 	}
 	var staged []stagedAppend
 	var sealReqs []*appendReq
-	var buf []byte
+	buf := v.commitBuf[:0]
 	for _, req := range batch {
 		if req.seal {
 			sealReqs = append(sealReqs, req)
 			continue
 		}
-		rec, err := store.NextRecord(seq, hash, v.clk.Now(), req.dir, req.tok, req.note)
+		rec, err := v.chainer.Next(v.clk.Now(), req.dir, req.tok, req.note)
 		if err != nil {
 			req.resp <- appendResp{err: err}
 			continue
 		}
-		line, err := canon.Marshal(rec)
-		if err != nil {
-			req.resp <- appendResp{err: err}
-			continue
+		n0 := len(buf)
+		if enc == store.EncBinary {
+			out, eerr := v.recEnc.AppendRecord(buf, rec)
+			if eerr != nil {
+				v.chainer.Reset(seq, hash)
+				req.resp <- appendResp{err: eerr}
+				continue
+			}
+			buf = out
+		} else {
+			line, merr := canon.Marshal(rec)
+			if merr != nil {
+				// The chain advanced past a record that will not hit disk;
+				// rewind it so the next record chains from the last staged one.
+				v.chainer.Reset(seq, hash)
+				req.resp <- appendResp{err: merr}
+				continue
+			}
+			buf = append(buf, line...)
+			buf = append(buf, '\n')
 		}
-		buf = append(buf, line...)
-		buf = append(buf, '\n')
-		staged = append(staged, stagedAppend{req: req, rec: rec, line: int64(len(line) + 1)})
+		staged = append(staged, stagedAppend{req: req, rec: rec, line: int64(len(buf) - n0)})
 		seq, hash = rec.Seq, rec.Hash
+	}
+	// Recycle the batch buffer, unless an unusually large batch grew it
+	// past what steady state needs.
+	if cap(buf) <= 4<<20 {
+		v.commitBuf = buf[:0]
+	} else {
+		v.commitBuf = nil
 	}
 	if len(staged) == 0 && len(sealReqs) == 0 {
 		return
@@ -680,9 +789,14 @@ func (v *Vault) seal() error {
 	v.lastSeal = entry.Digest
 	v.pendingSeals = append(v.pendingSeals, entry)
 	v.active = newSegment(a.number+1, v.lastSeq+1)
+	v.active.setEncoding(v.writeEnc)
 	f, err := os.OpenFile(segPath(v.dir, v.active.number), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
 	if err != nil {
 		return fmt.Errorf("vault: open next segment: %w", err)
+	}
+	if err := writeSegmentHeader(f, v.active); err != nil {
+		f.Close()
+		return err
 	}
 	v.f = f
 	// Persist the directory entries for the index, the manifest line's
@@ -895,7 +1009,7 @@ func (v *Vault) DeepVerify() error {
 		}
 		// Deep verification pins the cross-segment linkage: the segment's
 		// first record must chain from the previous segment's last hash.
-		if err := readSealedSegment(v.dir, e, &prevHash, func(*store.Record, int64) error { return nil }); err != nil {
+		if _, err := readSealedSegment(v.dir, e, &prevHash, func(*store.Record, int64) error { return nil }); err != nil {
 			return err
 		}
 		prevHash, lastSeq = e.LastHash, e.LastSeq

@@ -388,9 +388,15 @@ func TestVaultTamperedRecordNotServed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	patched := []byte(strings.Replace(string(data), `"note":"note"`, `"note":"evil"`, 1))
+	// The note travels as a length-prefixed string in binary frames
+	// ("\x04note"); swap it for an equal-length value so only the record
+	// content changes, never the frame structure.
+	patched := []byte(strings.Replace(string(data), "\x04note", "\x04evil", 1))
 	if len(patched) != len(data) {
 		t.Fatal("test setup: patch changed file length")
+	}
+	if string(patched) == string(data) {
+		t.Fatal("test setup: patch did not apply")
 	}
 	if err := os.WriteFile(sealed, patched, 0o600); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Benchmark trajectory for the record/envelope encoding.
+#
+# Runs the E17 encoding A/B study — the vault's batched append hot
+# path, the sealed-segment audit scan and the wire envelope round trip,
+# each once over canonical JSON and once over the binary frame format —
+# writing the measurements to BENCH_encoding.json so successive PRs can
+# track the speedup the binary path buys (target: ≥1.5x on the batched
+# append hot path).
+#
+# Usage: scripts/bench_encoding.sh [output.json]
+#   N=<iters>   iterations per configuration (default 200)
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_encoding.json}"
+
+go run ./cmd/nrbench -encoding -n "${N:-200}" -out "$out"

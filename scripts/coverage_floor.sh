@@ -9,8 +9,10 @@
 # caught in the same PR that causes it.
 #
 # Floors are set a few points under the current measured coverage
-# (vault ~78%, protocol ~83%, invoke ~76%, obs ~94%, durable ~88% at the
-# time of writing) to allow noise without allowing decay.
+# (vault ~78%, protocol ~83%, invoke ~76%, obs ~94%, durable ~88%,
+# store ~85% at the time of writing) to allow noise without allowing
+# decay. The store floor guards the binary record codec — the bytes
+# every other guarantee rests on.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +21,7 @@ FLOOR_PROTOCOL="${FLOOR_PROTOCOL:-75}"
 FLOOR_INVOKE="${FLOOR_INVOKE:-70}"
 FLOOR_OBS="${FLOOR_OBS:-75}"
 FLOOR_DURABLE="${FLOOR_DURABLE:-80}"
+FLOOR_STORE="${FLOOR_STORE:-75}"
 
 check() {
   local pkg="$1" floor="$2" profile pct
@@ -38,4 +41,5 @@ check ./internal/protocol/ "$FLOOR_PROTOCOL"
 check ./internal/invoke/ "$FLOOR_INVOKE"
 check ./internal/obs/ "$FLOOR_OBS"
 check ./internal/durable/ "$FLOOR_DURABLE"
+check ./internal/store/ "$FLOOR_STORE"
 echo "coverage floors hold"
