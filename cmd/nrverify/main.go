@@ -17,11 +17,20 @@
 // the remote peer's replica store instead (the disaster/uncooperative
 // path).
 //
+// With -remote and -follow it subscribes to the organisation's live
+// evidence feed instead of auditing a snapshot: the full chain is
+// backfilled and then every group commit streams in as it lands, each
+// record verified onto the hash chain on receipt (and each token
+// signature-checked when -bundle supplies certificates). The publisher
+// must allow anonymous subscriptions (WithOpenSubscriptions) — follow
+// mode holds no domain credentials, like the rest of this tool.
+//
 // Usage:
 //
 //	nrverify -bundle DIR [-run RUN-ID]
 //	nrverify -vault DIR [-bundle DIR] [-run RUN-ID] [-txn TXN-ID] [-deep]
 //	nrverify -remote ADDR [-bundle DIR] [-run RUN-ID] [-source PARTY] [-page N]
+//	nrverify -remote ADDR -follow [-bundle DIR] [-for DURATION]
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 	"nonrep/internal/clock"
 	"nonrep/internal/core"
 	"nonrep/internal/credential"
+	"nonrep/internal/evidence"
 	"nonrep/internal/id"
 	"nonrep/internal/protocol"
 	"nonrep/internal/store"
@@ -53,8 +63,13 @@ func main() {
 	runFilter := flag.String("run", "", "only report on this run identifier")
 	txnFilter := flag.String("txn", "", "only report on this transaction identifier (vault mode)")
 	deep := flag.Bool("deep", false, "re-verify every sealed segment against its seal (vault mode)")
+	follow := flag.Bool("follow", false, "subscribe to the remote organisation's live evidence feed (remote mode)")
+	forDur := flag.Duration("for", 0, "stop following after this long (0 = until interrupted)")
 	flag.Parse()
 	if *remote != "" {
+		if *follow {
+			os.Exit(followRemote(*remote, *dir, *forDur))
+		}
 		os.Exit(auditRemote(*remote, *dir, *source, *runFilter, *page))
 	}
 	if *vaultDir != "" {
@@ -400,6 +415,112 @@ func auditRemote(addr, bundleDir, source, runFilter string, page int) int {
 		return 1
 	}
 	fmt.Println("\nverdict: all evidence verifies")
+	return 0
+}
+
+// followRemote subscribes to a live organisation's evidence feed over
+// TCP and prints every record as its group commit lands. The feed client
+// verifies the hash chain on receipt — a gap, duplicate or forgery ends
+// the stream with an error — and with a bundle every token's signature
+// and attribution are checked too. Runs until interrupted (or -for
+// elapses); a publisher eviction reports the resume position.
+func followRemote(addr, bundleDir string, forDur time.Duration) int {
+	clk := clock.Real{}
+	net := transport.NewTCPNetwork()
+	defer net.Close()
+	svc := &protocol.Services{
+		Party:     "urn:nonrep:nrverify",
+		Clock:     clk,
+		Directory: protocol.NewDirectory(),
+	}
+	co, err := protocol.New(net, "127.0.0.1:0", svc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nrverify:", err)
+		return 2
+	}
+	defer co.Close()
+
+	var verifier *evidence.Verifier
+	if bundleDir != "" {
+		b, err := bundle.Read(bundleDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nrverify:", err)
+			return 2
+		}
+		creds, err := b.CredentialStore(clk)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nrverify:", err)
+			return 2
+		}
+		verifier = &evidence.Verifier{Keys: creds}
+	}
+
+	ctx := context.Background()
+	if forDur > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, forDur)
+		defer cancel()
+	}
+	client := protocol.NewSubClient(co)
+	feed, err := client.SubscribeAddr(ctx, addr, protocol.WatchConfig{Seals: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nrverify:", err)
+		return 2
+	}
+	defer feed.Close()
+	fmt.Printf("following live evidence feed at %s (chain verified on receipt)\n", addr)
+
+	records, faults := 0, 0
+	timeout := make(<-chan time.Time)
+	if forDur > 0 {
+		timeout = time.After(forDur)
+	}
+	for {
+		select {
+		case ev, ok := <-feed.Events():
+			if !ok {
+				err := feed.Err()
+				seq, _ := feed.Position()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "nrverify: feed ended at record %d: %v\n", seq, err)
+					if faults > 0 {
+						fmt.Println("\nverdict: evidence FAULTY")
+						return 1
+					}
+					fmt.Fprintln(os.Stderr, "nrverify: could not keep following (no verdict)")
+					return 2
+				}
+				return followVerdict(records, faults)
+			}
+			if ev.Seal != nil {
+				fmt.Printf("  seal: segment %d (records %d..%d)\n", ev.Seal.Segment, ev.Seal.FirstSeq, ev.Seal.LastSeq)
+				continue
+			}
+			for _, rec := range ev.Records {
+				records++
+				line := fmt.Sprintf("  seq %-8d %-12s run=%s kind=%s issuer=%s",
+					rec.Seq, rec.Direction, rec.Token.Run, rec.Token.Kind, rec.Token.Issuer)
+				if verifier != nil {
+					if err := verifier.Verify(rec.Token); err != nil {
+						faults++
+						line += fmt.Sprintf("  TOKEN FAULT: %v", err)
+					}
+				}
+				fmt.Println(line)
+			}
+		case <-timeout:
+			return followVerdict(records, faults)
+		}
+	}
+}
+
+func followVerdict(records, faults int) int {
+	fmt.Printf("\nfollowed %d records, %d token faults\n", records, faults)
+	if faults > 0 {
+		fmt.Println("verdict: evidence FAULTY")
+		return 1
+	}
+	fmt.Println("verdict: streamed evidence verifies (chain-continuous)")
 	return 0
 }
 

@@ -172,6 +172,15 @@ func main() {
 		}
 		protocol.NewAuditService(node.Coordinator(), evidenceVault, replicas)
 		auditServices = ", remote audit + replica host"
+		// The TTP's own vault is open to live subscription without a
+		// token: a TTP's evidence (postmarks, substitute receipts, abort
+		// affidavits) is exactly what monitors and adjudication tooling
+		// (nrverify -follow) need to watch as it happens, and a TTP — like
+		// the open audit plane above — serves any comer.
+		if evidenceVault != nil {
+			protocol.NewSubService(node.Coordinator(), evidenceVault, protocol.WithAnonymousSubscribe())
+			auditServices += ", live subscriptions"
+		}
 	}
 
 	// A TTP machine is also neutral ground for connectivity: with -gateway

@@ -245,6 +245,16 @@ type orgConfig struct {
 	durableRetry   *durable.RetryPolicy
 	durableWorkers int
 	worker         *protocol.WorkerConfig
+	openSubs       bool
+}
+
+// WithOpenSubscriptions lets the organisation's vault feed be subscribed
+// to without a sub-open token — the trust stance of adjudication
+// tooling (nrverify -follow, a TTP's monitor) that holds no domain
+// credentials. Leave unset for peer organisations: their subscribers
+// authorize with tokens that land in the publisher's vault as evidence.
+func WithOpenSubscriptions() OrgOption {
+	return func(c *orgConfig) { c.openSubs = true }
 }
 
 // WithAddr fixes the organisation's coordinator address (host:port under
@@ -480,6 +490,7 @@ func (d *Domain) addOrg(p Party, host *Host, opts ...OrgOption) (*Org, error) {
 		}
 		return nil, err
 	}
+	org.startSub(cfg, orgVault)
 	// Register the sharing controller eagerly so the organisation can be
 	// admitted to sharing groups (receive welcome transfers) before it
 	// first touches shared information itself.
@@ -592,6 +603,8 @@ type Org struct {
 
 	audit    *protocol.AuditService
 	auditCli *protocol.AuditClient
+	sub      *protocol.SubService
+	subCli   *protocol.SubClient
 	replicas *vault.ReplicaSet
 	rep      *vault.Replicator
 	durable  *durable.Runtime
@@ -646,6 +659,21 @@ func (o *Org) startAudit(cfg orgConfig, v *vault.Vault) error {
 	}
 	o.registerHealth(v)
 	return nil
+}
+
+// startSub wires the live-subscription plane: every organisation can
+// subscribe to peers' evidence feeds (the client); vault-backed ones
+// also serve their own (the service).
+func (o *Org) startSub(cfg orgConfig, v *vault.Vault) {
+	o.subCli = protocol.NewSubClient(o.node.Coordinator())
+	if v == nil {
+		return
+	}
+	var opts []protocol.SubOption
+	if cfg.openSubs {
+		opts = append(opts, protocol.WithAnonymousSubscribe())
+	}
+	o.sub = protocol.NewSubService(o.node.Coordinator(), v, opts...)
 }
 
 // registerHealth publishes the organisation's liveness sources — vault
@@ -730,6 +758,41 @@ func (o *Org) RemoteAudit(ctx context.Context, peer Party, source Party) (*LogRe
 	// so callers distinguish "audited and faulty" from "could not audit".
 	report := o.domain.Adjudicator().AuditStream(it)
 	return report, it.Err()
+}
+
+// Subscribe opens a live, chain-verified feed over a peer organisation's
+// vault: the publisher backfills from the requested resume position and
+// then pushes every group commit as it lands. The sub-open is authorized
+// with a token that the publisher appends to its own vault — the
+// subscription itself becomes adjudicable evidence.
+func (o *Org) Subscribe(ctx context.Context, publisher Party, cfg WatchConfig) (*Feed, error) {
+	return o.subCli.Subscribe(ctx, publisher, cfg)
+}
+
+// Provenance fetches from a peer the provenance graph of one run — its
+// tokens, the parties they bind, and runs derived through shared
+// business transactions — grounded in the peer's vault indexes.
+func (o *Org) Provenance(ctx context.Context, peer Party, run Run) (*ProvGraph, error) {
+	return o.subCli.Provenance(ctx, peer, run)
+}
+
+// Subscribers reports how many live subscriptions the organisation's
+// vault feed currently serves (zero when the organisation has no vault).
+func (o *Org) Subscribers() int {
+	if o.sub == nil {
+		return 0
+	}
+	return o.sub.Subscribers()
+}
+
+// Watch subscribes one enrolled organisation to another's live evidence
+// feed — Org.Subscribe, resolved through the domain.
+func (d *Domain) Watch(ctx context.Context, subscriber, publisher Party, cfg WatchConfig) (*Feed, error) {
+	org, err := d.Org(subscriber)
+	if err != nil {
+		return nil, err
+	}
+	return org.Subscribe(ctx, publisher, cfg)
 }
 
 // Container returns (creating on first use) the organisation's component
@@ -900,6 +963,13 @@ func (o *Org) teardown() error {
 	}
 	if o.audit != nil {
 		if err := o.audit.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if o.sub != nil {
+		// End live feeds and cancel the vault hooks before the vault
+		// itself closes below.
+		if err := o.sub.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

@@ -115,6 +115,11 @@ func TestDurableCallAsyncWorkerCrashResume(t *testing.T) {
 		t.Fatalf("restarted worker executed %d times", n)
 	}
 	run := res.Run
+	// Outcome records ride group commits; barrier before auditing the
+	// journal of the still-running runtime.
+	if err := client.Durable().Sync(); err != nil {
+		t.Fatal(err)
+	}
 
 	// Exactly-once by evidence: however the crash and retries interleaved,
 	// the client's vault holds one token of each kind for the run, plus its

@@ -7,6 +7,12 @@
 // finite-state contract (offered → quoted → accepted → delivered) is
 // model-checked, then enforced at the supplier: any update that would
 // take the negotiation out of contract is vetoed, non-repudiably.
+//
+// A third organisation — an auditor — monitors the contract live: it
+// subscribes to the supplier's evidence vault and watches the
+// chain-verified feed for veto decisions, observing each violation
+// within one group commit of the supplier recording it, without polling
+// and without the supplier granting it anything beyond the feed.
 package main
 
 import (
@@ -14,6 +20,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
+	"os"
+	"strings"
+	"time"
 
 	"nonrep"
 )
@@ -21,6 +30,7 @@ import (
 const (
 	buyer    = nonrep.Party("urn:org:buyer")
 	supplier = nonrep.Party("urn:org:supplier")
+	auditor  = nonrep.Party("urn:org:auditor")
 )
 
 // Negotiation is the shared information: its Phase is the contract event
@@ -72,10 +82,42 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := domain.AddOrg(supplier)
+	// The supplier keeps its evidence in a vault so the auditor can
+	// subscribe to it.
+	vaultDir, err := os.MkdirTemp("", "contractmonitoring-vault-*")
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer os.RemoveAll(vaultDir)
+	s, err := domain.AddOrg(supplier, nonrep.WithVault(vaultDir))
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := domain.AddOrg(auditor)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The auditor opens a live feed over the supplier's vault before the
+	// negotiation starts: every record the supplier commits — proposals,
+	// decisions, outcomes — streams to it chain-verified, and a decision
+	// with accept=false is a contract violation caught as it happens.
+	feed, err := a.Subscribe(ctx, supplier, nonrep.WatchConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer feed.Close()
+	violations := make(chan *nonrep.Record, 16)
+	go func() {
+		defer close(violations)
+		for ev := range feed.Events() {
+			for _, rec := range ev.Records {
+				if strings.Contains(rec.Note, "accept=false") {
+					violations <- rec
+				}
+			}
+		}
+	}()
 	group := []nonrep.Party{buyer, supplier}
 	initial := encode(Negotiation{Phase: "offered", Terms: "100 gearboxes"})
 	if err := b.Share("negotiation", initial, group); err != nil {
@@ -141,4 +183,25 @@ func main() {
 	}
 	fmt.Printf("negotiation history: %d agreed versions, chain verified: %v\n",
 		len(history), nonrep.VerifyHistory(history) == nil)
+
+	// The buyer's out-of-contract proposal was vetoed with a signed
+	// decision the supplier committed to its vault, and the auditor's
+	// live feed carried that veto evidence within one group commit of it
+	// landing. (The supplier's own out-of-contract delivery died in
+	// self-validation, before an evidence round — a proposer does not
+	// trouble the group with what it would itself veto — so the only
+	// violation on the evidence trail is the buyer's.)
+	select {
+	case rec := <-violations:
+		fmt.Printf("auditor: violation observed live — record %d: %s\n", rec.Seq, rec.Note)
+	case <-time.After(5 * time.Second):
+		log.Fatal("auditor: timed out waiting for violation evidence")
+	}
+	head, _ := s.Vault().LastPosition()
+	seq, _ := feed.Position()
+	for wait := time.Now().Add(2 * time.Second); seq < head && time.Now().Before(wait); seq, _ = feed.Position() {
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("auditor: feed chain-verified through record %d (vault head %d), %d live subscriber(s)\n",
+		seq, head, s.Subscribers())
 }

@@ -151,6 +151,11 @@ func runCrashCase(t *testing.T, f *fixture, sn *core.Node, calls *atomic.Int64, 
 	if res.Status != evidence.StatusOK {
 		t.Fatalf("status = %v (%s)", res.Status, res.Err)
 	}
+	// Outcome records ride group commits; barrier before auditing the
+	// journal of the still-running runtime.
+	if err := rt2.Sync(); err != nil {
+		t.Fatal(err)
+	}
 	run := rjb.ID()
 
 	// Exactly-once execution: however late the crash hit, the server's

@@ -105,6 +105,36 @@ func (j *Journal) append(kind evidence.Kind, job id.Run, step int, body any) err
 	return err
 }
 
+// appendAsync journals one job record without waiting for its fsync: on
+// a vault it enqueues the record to ride the next group commit (usually
+// the one already carrying the run's evidence tokens), eliminating a
+// dedicated fsync per bracket record. Elsewhere it falls back to a
+// synchronous append. Callers needing the durability barrier (process
+// shutdown) call Sync.
+func (j *Journal) appendAsync(kind evidence.Kind, job id.Run, step int, body any) error {
+	raw, err := canon.Marshal(body)
+	if err != nil {
+		return err
+	}
+	tok, err := j.issuer.Issue(kind, job, step, sig.Sum(raw))
+	if err != nil {
+		return err
+	}
+	if j.v != nil {
+		return j.v.AppendAsync(store.Generated, tok, string(raw))
+	}
+	_, err = j.log.Append(store.Generated, tok, string(raw))
+	return err
+}
+
+// Sync waits until every appendAsync record is committed and durable.
+func (j *Journal) Sync() error {
+	if j.v != nil {
+		return j.v.Sync()
+	}
+	return nil
+}
+
 // Enqueue journals a job before its first execution.
 func (j *Journal) Enqueue(spec *JobSpec) error {
 	digest, raw, err := spec.digest()
@@ -119,14 +149,21 @@ func (j *Journal) Enqueue(spec *JobSpec) error {
 	return err
 }
 
-// Attempt journals one failed attempt.
+// Attempt journals one failed attempt. The record rides the next group
+// commit: a crash that loses it loses only an attempt count, and the
+// retry that follows re-journals one.
 func (j *Journal) Attempt(job id.Run, attempt int, cause string) error {
-	return j.append(evidence.KindJobAttempt, job, attempt, attemptNote{Job: job, Attempt: attempt, Cause: cause})
+	return j.appendAsync(evidence.KindJobAttempt, job, attempt, attemptNote{Job: job, Attempt: attempt, Cause: cause})
 }
 
-// Done journals a job's terminal outcome (failure empty on success).
+// Done journals a job's terminal outcome (failure empty on success). The
+// record rides the next group commit rather than forcing its own fsync:
+// the run's own evidence tokens make recovery exactly-once, so a crash
+// that loses an un-synced job-done merely re-runs a job whose journaled
+// tokens say every step already happened. Runtime.Close syncs the
+// journal, so a clean shutdown never loses outcomes.
 func (j *Journal) Done(job id.Run, attempts int, failure string) error {
-	return j.append(evidence.KindJobDone, job, 0, doneNote{Job: job, Attempts: attempts, Failure: failure})
+	return j.appendAsync(evidence.KindJobDone, job, 0, doneNote{Job: job, Attempts: attempts, Failure: failure})
 }
 
 // records of one kind, via the vault index when available.

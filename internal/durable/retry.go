@@ -69,9 +69,15 @@ func (p RetryPolicy) fill() RetryPolicy {
 func (p RetryPolicy) delay(retry int) time.Duration {
 	d := p.Backoff
 	for i := 1; i < retry && d < p.MaxBackoff; i++ {
+		if d > p.MaxBackoff/2 {
+			// Doubling again would overflow or overshoot; either way the
+			// cap is the answer.
+			d = p.MaxBackoff
+			break
+		}
 		d *= 2
 	}
-	if d > p.MaxBackoff {
+	if d > p.MaxBackoff || d <= 0 {
 		d = p.MaxBackoff
 	}
 	if p.NoJitter || d <= 0 {

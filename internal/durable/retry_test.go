@@ -3,6 +3,7 @@ package durable
 import (
 	"errors"
 	"fmt"
+	"math"
 	"testing"
 	"time"
 
@@ -46,6 +47,35 @@ func TestRetryPolicyDelayJitterBounds(t *testing.T) {
 			if d := p.delay(retry); d <= 0 || d > 32*time.Millisecond {
 				t.Fatalf("jittered delay(%d) = %v out of (0, 32ms]", retry, d)
 			}
+		}
+	}
+}
+
+func TestRetryPolicyDelayOverflowClamps(t *testing.T) {
+	t.Parallel()
+	// A base delay past half of int64 overflows when doubled; the old
+	// code wrapped negative, hit the d <= 0 branch, and returned the
+	// negative duration — an immediate-fire hot retry loop.
+	p := RetryPolicy{
+		Backoff:    time.Duration(math.MaxInt64/2 + 1),
+		MaxBackoff: time.Duration(math.MaxInt64),
+		NoJitter:   true,
+	}.fill()
+	for retry := 1; retry <= 8; retry++ {
+		d := p.delay(retry)
+		if d <= 0 {
+			t.Fatalf("delay(%d) = %v, overflowed non-positive", retry, d)
+		}
+		if d > p.MaxBackoff {
+			t.Fatalf("delay(%d) = %v above cap %v", retry, d, p.MaxBackoff)
+		}
+	}
+	// Same shape with jitter enabled: the jitter draw must see a
+	// positive bound, not panic or go negative.
+	p.NoJitter = false
+	for retry := 1; retry <= 8; retry++ {
+		if d := p.delay(retry); d <= 0 {
+			t.Fatalf("jittered delay(%d) = %v non-positive", retry, d)
 		}
 	}
 }

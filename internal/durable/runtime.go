@@ -380,8 +380,16 @@ func (r *Runtime) Close() error {
 	r.mu.Unlock()
 	close(r.stop)
 	r.wg.Wait()
-	return nil
+	// Outcome records ride group commits (Journal.Done); barrier them so
+	// a clean shutdown leaves no journaled job looking unfinished.
+	return r.j.Sync()
 }
+
+// Sync barriers the journal: every attempt and outcome journaled before
+// the call is committed and durable when it returns. Jobs' terminal
+// records ride group commits rather than forcing their own fsync, so a
+// caller auditing the journal of a still-running runtime syncs first.
+func (r *Runtime) Sync() error { return r.j.Sync() }
 
 func (r *Runtime) worker() {
 	defer r.wg.Done()

@@ -67,6 +67,13 @@ const (
 	// KindJobDone journals a durable job's terminal outcome; a run with a
 	// job-enqueued record but no job-done record is resumed on reopen.
 	KindJobDone Kind = "job-done"
+
+	// KindSubOpen authorises a live evidence subscription: its digest
+	// covers the canonical subscribe request (resume position, delivery
+	// address), and the publisher appends the token to its vault as
+	// received evidence, so who watched whose evidence from when is
+	// itself adjudicable.
+	KindSubOpen Kind = "sub-open"
 )
 
 // Errors reported by token verification.

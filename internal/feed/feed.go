@@ -1,0 +1,482 @@
+// Package feed turns a vault into a live evidence source: a Hub attaches
+// to the vault's commit and seal hooks and fans every durable batch out
+// to subscribers as a hash-chain-continuous stream. The paper's evidence
+// store is pull-only — an adjudicator or contract monitor polls queries
+// and a violation sits unnoticed until the next poll; the hub closes that
+// gap by pushing each record within one group-commit interval of its
+// append.
+//
+// The design follows the vault's own asymmetry between writers and
+// readers:
+//
+//   - The commit path never blocks on a subscriber. Publishing is one
+//     non-blocking send per subscriber into a bounded outbox; a
+//     subscriber that cannot keep up is evicted (it can resume later
+//     from its last verified position), so the slowest reader costs the
+//     writers nothing.
+//
+//   - Continuity is verified, not assumed. A subscription names the chain
+//     position it resumes from (sequence number + record hash); the hub
+//     checks that position against the vault, backfills the gap from the
+//     vault's indexes, and chain-verifies every record before delivery.
+//     A subscriber therefore sees exactly the vault's chain — no gap, no
+//     duplicate, no reordering — or an error.
+//
+// Registration happens before the backfill snapshot is read, so records
+// committed while the backfill runs are buffered in the outbox and
+// deduplicated by sequence number when the live phase starts.
+package feed
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"nonrep/internal/obs"
+	"nonrep/internal/sig"
+	"nonrep/internal/store"
+	"nonrep/internal/vault"
+)
+
+// ErrSlowConsumer reports an eviction: the subscriber's outbox was full
+// when a batch arrived, and blocking the vault's commit path on it is not
+// an option.
+var ErrSlowConsumer = errors.New("feed: subscriber evicted, outbox overflow")
+
+// ErrClosed reports that the hub was closed under the subscriber —
+// typically the organisation detaching from its host.
+var ErrClosed = errors.New("feed: hub closed")
+
+// ErrResumeMismatch reports a resume position that does not match the
+// vault's chain: the claimed (sequence, hash) pair names a record the
+// vault does not have. The subscriber is either talking to the wrong
+// vault or holding a diverged copy; backfilling it would paper over a
+// fork.
+var ErrResumeMismatch = errors.New("feed: resume position does not match the vault chain")
+
+// DefaultOutbox is the default per-subscriber outbox capacity, in events
+// (committed batches or seals), not records.
+const DefaultOutbox = 256
+
+// maxCoalesce bounds how many records one delivery may merge when the
+// subscriber is running behind the commit rate.
+const maxCoalesce = 4096
+
+// backfillPage bounds how many records one backfill query materialises.
+const backfillPage = 512
+
+// Event is one push unit: either a batch of committed records in chain
+// order, or a seal notification (for subscriptions that asked for them).
+type Event struct {
+	Records []*store.Record
+	Seal    *vault.ManifestEntry
+}
+
+// Sink consumes events for one subscriber, on that subscriber's own
+// goroutine — it may block (the outbox absorbs bursts) and its error
+// evicts the subscription.
+type Sink func(Event) error
+
+// Config shapes one subscription.
+type Config struct {
+	// AfterSeq/AfterHash name the chain position already held: streaming
+	// starts at AfterSeq+1. Zero values start from genesis.
+	AfterSeq  uint64
+	AfterHash sig.Digest
+	// Seals requests seal notifications interleaved (in order) with the
+	// record stream.
+	Seals bool
+	// Outbox overrides the outbox capacity (default DefaultOutbox).
+	Outbox int
+	// Sink receives the feed. Required.
+	Sink Sink
+}
+
+// Hub fans a vault's committed records out to subscribers. One hub per
+// vault; subscriptions come and go.
+type Hub struct {
+	v *vault.Vault
+
+	mu           sync.Mutex
+	subs         map[uint64]*Sub
+	nextID       uint64
+	closed       bool
+	cancelCommit func()
+	cancelSeal   func()
+
+	subscribers *obs.Gauge
+	pushedRecs  *obs.Counter
+	pushedSeals *obs.Counter
+	evicted     *obs.Counter
+	outboxDepth *obs.Histogram
+	backfilled  *obs.Counter
+}
+
+// NewHub attaches a hub to v. The scope homes the hub's instruments
+// (subscriber gauge, push/eviction counters, outbox-depth lag histogram);
+// nil leaves it uninstrumented.
+func NewHub(v *vault.Vault, scope *obs.Scope) *Hub {
+	h := &Hub{
+		v:           v,
+		subs:        make(map[uint64]*Sub),
+		subscribers: scope.Gauge(obs.MSubSubscribers),
+		pushedRecs:  scope.Counter(obs.MSubPushedRecords),
+		pushedSeals: scope.Counter(obs.MSubPushedSeals),
+		evicted:     scope.Counter(obs.MSubEvictedTotal),
+		outboxDepth: scope.Histogram(obs.MSubOutboxDepth),
+		backfilled:  scope.Counter(obs.MSubBackfillTotal),
+	}
+	h.cancelCommit = v.OnCommit(func(recs []*store.Record) {
+		h.publish(Event{Records: recs})
+	})
+	h.cancelSeal = v.OnSeal(func(e vault.ManifestEntry) {
+		entry := e
+		h.publish(Event{Seal: &entry})
+	})
+	return h
+}
+
+// Subscribers reports the current subscription count.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// Subscribe verifies the resume position against the vault and starts a
+// subscription: backfill from the vault's indexes up to the live window,
+// then every committed batch as it lands, every record chain-verified
+// before it reaches the sink.
+func (h *Hub) Subscribe(cfg Config) (*Sub, error) {
+	if cfg.Sink == nil {
+		return nil, errors.New("feed: subscription needs a sink")
+	}
+	if err := h.verifyResume(cfg.AfterSeq, cfg.AfterHash); err != nil {
+		return nil, err
+	}
+	size := cfg.Outbox
+	if size <= 0 {
+		size = DefaultOutbox
+	}
+	s := &Sub{
+		hub:    h,
+		cfg:    cfg,
+		outbox: make(chan Event, size),
+		quit:   make(chan struct{}),
+		exited: make(chan struct{}),
+	}
+	s.lastSeq, s.lastHash = cfg.AfterSeq, cfg.AfterHash
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, ErrClosed
+	}
+	h.nextID++
+	s.id = h.nextID
+	h.subs[s.id] = s
+	h.mu.Unlock()
+	h.subscribers.Add(1)
+	go s.run()
+	return s, nil
+}
+
+// verifyResume checks that the vault's chain actually passes through the
+// claimed position. Position zero is the genesis and always valid.
+func (h *Hub) verifyResume(afterSeq uint64, afterHash sig.Digest) error {
+	if afterSeq == 0 {
+		if afterHash != (sig.Digest{}) {
+			return fmt.Errorf("%w: nonzero hash at sequence 0", ErrResumeMismatch)
+		}
+		return nil
+	}
+	recs, err := h.v.QueryAll(vault.Query{AfterSeq: afterSeq - 1, Limit: 1})
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 || recs[0].Seq != afterSeq {
+		return fmt.Errorf("%w: vault has no record %d", ErrResumeMismatch, afterSeq)
+	}
+	if recs[0].Hash != afterHash {
+		return fmt.Errorf("%w: hash diverges at record %d", ErrResumeMismatch, afterSeq)
+	}
+	return nil
+}
+
+// publish fans one event out; it runs on the vault's committer goroutine
+// and must not block. A full outbox evicts its subscriber.
+func (h *Hub) publish(ev Event) {
+	h.mu.Lock()
+	for id, s := range h.subs {
+		if ev.Seal != nil && !s.cfg.Seals {
+			continue
+		}
+		select {
+		case s.outbox <- ev:
+			if ev.Seal != nil {
+				h.pushedSeals.Inc()
+			} else {
+				h.pushedRecs.Add(int64(len(ev.Records)))
+			}
+			h.outboxDepth.Observe(int64(len(s.outbox)))
+		default:
+			h.evictLocked(id, s, ErrSlowConsumer)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// evictLocked removes a subscription (hub mutex held) and wakes its
+// goroutine with err.
+func (h *Hub) evictLocked(id uint64, s *Sub, err error) {
+	delete(h.subs, id)
+	s.fail(err)
+	h.subscribers.Add(-1)
+	if !errors.Is(err, ErrClosed) {
+		h.evicted.Inc()
+	}
+}
+
+// remove detaches a subscription that is ending on its own (clean close
+// or a failure detected on the subscriber goroutine).
+func (h *Hub) remove(s *Sub) {
+	h.mu.Lock()
+	if _, ok := h.subs[s.id]; ok {
+		delete(h.subs, s.id)
+		h.subscribers.Add(-1)
+	}
+	h.mu.Unlock()
+}
+
+// Close cancels the vault hooks and evicts every subscriber with
+// ErrClosed. The vault itself is untouched.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	cc, cs := h.cancelCommit, h.cancelSeal
+	for id, s := range h.subs {
+		h.evictLocked(id, s, ErrClosed)
+	}
+	h.mu.Unlock()
+	// Hook cancellation takes the vault mutex; the committer may at this
+	// moment hold it while calling publish, which takes h.mu — so cancel
+	// outside h.mu to keep the lock order single-directional.
+	if cc != nil {
+		cc()
+	}
+	if cs != nil {
+		cs()
+	}
+}
+
+// Sub is one live subscription. Events are verified and delivered to the
+// sink on a dedicated goroutine; Done closes when the subscription ends
+// and Err reports why (nil after a clean Close).
+type Sub struct {
+	hub    *Hub
+	cfg    Config
+	id     uint64
+	outbox chan Event
+	quit   chan struct{}
+	exited chan struct{}
+
+	failOnce sync.Once
+	errMu    sync.Mutex
+	err      error
+
+	posMu    sync.Mutex
+	lastSeq  uint64
+	lastHash sig.Digest
+}
+
+// Done closes when the subscription has fully stopped (sink no longer
+// running).
+func (s *Sub) Done() <-chan struct{} { return s.exited }
+
+// Err reports why the subscription ended; nil while live or after a
+// clean Close.
+func (s *Sub) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// Position returns the chain position of the last record delivered and
+// verified — the pair a resumed subscription passes as AfterSeq/AfterHash.
+func (s *Sub) Position() (uint64, sig.Digest) {
+	s.posMu.Lock()
+	defer s.posMu.Unlock()
+	return s.lastSeq, s.lastHash
+}
+
+// Close ends the subscription cleanly.
+func (s *Sub) Close() {
+	s.hub.remove(s)
+	s.failOnce.Do(func() { close(s.quit) })
+	<-s.exited
+}
+
+// fail records err and wakes the subscriber goroutine. Safe under the
+// hub mutex: the quit channel is closed at most once and nothing blocks.
+func (s *Sub) fail(err error) {
+	s.failOnce.Do(func() {
+		s.errMu.Lock()
+		s.err = err
+		s.errMu.Unlock()
+		close(s.quit)
+	})
+}
+
+// run is the subscriber goroutine: backfill to the live window, then
+// drain the outbox, verifying the chain throughout.
+func (s *Sub) run() {
+	defer close(s.exited)
+	cv := store.ResumeChain(s.cfg.AfterSeq, s.cfg.AfterHash)
+	if !s.backfill(cv, 0) {
+		return
+	}
+	var carry *Event
+	for {
+		var ev Event
+		if carry != nil {
+			ev, carry = *carry, nil
+		} else {
+			select {
+			case <-s.quit:
+				return
+			case ev = <-s.outbox:
+			}
+		}
+		if ev.Seal == nil {
+			// A subscriber running behind the commit rate catches up in
+			// fewer, larger deliveries: merge whatever record batches have
+			// queued behind this one, so the per-delivery costs downstream
+			// (envelopes, acknowledgements) amortise over the backlog.
+			ev, carry = s.coalesce(ev)
+		}
+		if ev.Seal != nil {
+			if err := s.cfg.Sink(ev); err != nil {
+				s.hub.remove(s)
+				s.fail(err)
+				return
+			}
+			continue
+		}
+		next, _ := cv.Position()
+		next++
+		recs := ev.Records
+		for len(recs) > 0 && recs[0].Seq < next {
+			// Already served by the backfill overlap.
+			recs = recs[1:]
+		}
+		if len(recs) == 0 {
+			continue
+		}
+		if recs[0].Seq > next {
+			// A gap in the live stream (e.g. a batch published while
+			// this subscriber was being registered): fill it from the
+			// vault before taking the live records.
+			if !s.backfill(cv, recs[0].Seq-1) {
+				return
+			}
+		}
+		if !s.deliver(cv, recs) {
+			return
+		}
+	}
+}
+
+// coalesce greedily merges queued record events behind ev into one
+// larger batch, stopping at maxCoalesce records or at a seal event —
+// which is returned as the carry so stream order is preserved. The
+// hub-shared record slices are never appended to in place.
+func (s *Sub) coalesce(ev Event) (Event, *Event) {
+	var merged []*store.Record
+	for len(ev.Records)+len(merged) < maxCoalesce {
+		select {
+		case more := <-s.outbox:
+			if more.Seal != nil {
+				if merged != nil {
+					ev.Records = merged
+				}
+				return ev, &more
+			}
+			if merged == nil {
+				merged = append(make([]*store.Record, 0, len(ev.Records)+len(more.Records)), ev.Records...)
+			}
+			merged = append(merged, more.Records...)
+		default:
+			if merged != nil {
+				ev.Records = merged
+			}
+			return ev, nil
+		}
+	}
+	if merged != nil {
+		ev.Records = merged
+	}
+	return ev, nil
+}
+
+// backfill streams vault records from the verifier's position up to
+// through (0 = until the vault has no more), delivering as it goes.
+// Returns false when the subscription ended.
+func (s *Sub) backfill(cv *store.ChainVerifier, through uint64) bool {
+	for {
+		select {
+		case <-s.quit:
+			return false
+		default:
+		}
+		next, _ := cv.Position()
+		next++
+		if through > 0 && next > through {
+			return true
+		}
+		q := vault.Query{AfterSeq: next - 1, Limit: backfillPage}
+		if through > 0 && through-next+1 < backfillPage {
+			q.Limit = int(through - next + 1)
+		}
+		recs, err := s.hub.v.QueryAll(q)
+		if err != nil {
+			s.hub.remove(s)
+			s.fail(err)
+			return false
+		}
+		if len(recs) == 0 {
+			return true
+		}
+		s.hub.backfilled.Add(int64(len(recs)))
+		if !s.deliver(cv, recs) {
+			return false
+		}
+		if len(recs) < q.Limit || (through > 0 && recs[len(recs)-1].Seq >= through) {
+			return true
+		}
+	}
+}
+
+// deliver chain-verifies one batch and hands it to the sink. Returns
+// false when the subscription ended (verification or sink error).
+func (s *Sub) deliver(cv *store.ChainVerifier, recs []*store.Record) bool {
+	for _, rec := range recs {
+		if err := cv.Check(rec); err != nil {
+			s.hub.remove(s)
+			s.fail(fmt.Errorf("feed: live stream: %w", err))
+			return false
+		}
+	}
+	if err := s.cfg.Sink(Event{Records: recs}); err != nil {
+		s.hub.remove(s)
+		s.fail(err)
+		return false
+	}
+	last := recs[len(recs)-1]
+	s.posMu.Lock()
+	s.lastSeq, s.lastHash = last.Seq, last.Hash
+	s.posMu.Unlock()
+	return true
+}

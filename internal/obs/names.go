@@ -61,6 +61,14 @@ const (
 	MGatewayAdmissionRejects = "nonrep_gateway_admission_rejected_total"
 	MGatewayDispatchTotal    = "nonrep_gateway_dispatched_total"
 	MGatewayRequeuedTotal    = "nonrep_gateway_requeued_total"
+
+	// Live evidence subscriptions (the feed hub and its outboxes).
+	MSubSubscribers   = "nonrep_sub_subscribers"
+	MSubPushedRecords = "nonrep_sub_pushed_records_total"
+	MSubPushedSeals   = "nonrep_sub_pushed_seals_total"
+	MSubEvictedTotal  = "nonrep_sub_evicted_total"
+	MSubOutboxDepth   = "nonrep_sub_outbox_depth"
+	MSubBackfillTotal = "nonrep_sub_backfill_records_total"
 )
 
 // envelopeMetricPrefix prefixes the per-protocol-kind envelope counters.

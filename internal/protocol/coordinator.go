@@ -7,7 +7,6 @@ import (
 	"strconv"
 	"sync"
 
-	"nonrep/internal/canon"
 	"nonrep/internal/clock"
 	"nonrep/internal/evidence"
 	"nonrep/internal/id"
@@ -214,7 +213,7 @@ func (c *Coordinator) envCounter(kind string) *obs.Counter {
 func (c *Coordinator) handle(ctx context.Context, env *transport.Envelope) (*transport.Envelope, error) {
 	c.envCounter(env.Kind).Inc()
 	var msg Message
-	if err := canon.Unmarshal(env.Body, &msg); err != nil {
+	if err := unmarshalMessage(env.Body, &msg); err != nil {
 		return nil, err
 	}
 	h, err := c.handler(msg.Protocol)
@@ -242,7 +241,7 @@ func (c *Coordinator) handle(ctx context.Context, env *transport.Envelope) (*tra
 		if err != nil {
 			return nil, err
 		}
-		body, err := canon.Marshal(reply)
+		body, err := marshalMessage(reply)
 		if err != nil {
 			return nil, err
 		}
@@ -295,7 +294,7 @@ func (c *Coordinator) DeliverAddr(ctx context.Context, addr string, msg *Message
 	ctx, span := c.transportSpan(ctx, "transport.deliver", msg)
 	defer span.End()
 	c.stampOutgoing(ctx, msg)
-	body, err := canon.Marshal(msg)
+	body, err := marshalMessage(msg)
 	if err != nil {
 		return err
 	}
@@ -318,7 +317,7 @@ func (c *Coordinator) DeliverRequestAddr(ctx context.Context, addr string, msg *
 	ctx, span := c.transportSpan(ctx, "transport.request", msg)
 	defer span.End()
 	c.stampOutgoing(ctx, msg)
-	body, err := canon.Marshal(msg)
+	body, err := marshalMessage(msg)
 	if err != nil {
 		return nil, err
 	}
@@ -327,7 +326,7 @@ func (c *Coordinator) DeliverRequestAddr(ctx context.Context, addr string, msg *
 		return nil, err
 	}
 	var reply Message
-	if err := canon.Unmarshal(replyEnv.Body, &reply); err != nil {
+	if err := unmarshalMessage(replyEnv.Body, &reply); err != nil {
 		return nil, err
 	}
 	return &reply, nil
@@ -346,5 +345,28 @@ func (c *Coordinator) Close() error {
 	if _, hosted := c.ep.(*hostedEndpoint); !hosted {
 		c.svc.Directory.Unregister(c.svc.Party, c.ep.Addr())
 	}
+	c.detachHandlers()
 	return c.ep.Close()
+}
+
+// detachable is implemented by handlers holding live per-tenant state —
+// subscriptions, vault hooks — that must be torn down when the tenant
+// detaches. Plain request/response handlers need not implement it.
+type detachable interface{ Detach() }
+
+// detachHandlers tears down every detachable handler. It runs on
+// Coordinator.Close and Host.Remove so a re-enrolled successor never
+// inherits (or keeps feeding) a predecessor's subscriptions.
+func (c *Coordinator) detachHandlers() {
+	c.mu.RLock()
+	hs := make([]Handler, 0, len(c.handlers))
+	for _, h := range c.handlers {
+		hs = append(hs, h)
+	}
+	c.mu.RUnlock()
+	for _, h := range hs {
+		if d, ok := h.(detachable); ok {
+			d.Detach()
+		}
+	}
 }

@@ -217,6 +217,10 @@ func (h *Host) Remove(p id.Party) {
 	// the comment there for why this ordering is race-free.
 	t.co.svc.Directory.Unregister(p, t.co.ep.Addr())
 	s.mu.Unlock()
+	// Detach outside the shard mutex: teardown closes feed hubs whose
+	// delivery goroutines may be mid-push through this host, and a
+	// re-enrolment racing in only needs the map swap above to be safe.
+	t.co.detachHandlers()
 }
 
 // Coordinator returns the hosted coordinator of a party.

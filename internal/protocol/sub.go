@@ -1,0 +1,1229 @@
+// Live evidence subscriptions over the coordinator: the push complement
+// of the pull-only audit plane. A subscriber opens a token-authorized
+// subscription against a publisher's vault (sub-open) and the publisher
+// streams every committed record back as it lands (sub-records), plus
+// seal notifications and — on request — whole sealed-segment packages
+// (sub-seal, fanned out through the transport chunk layer like any
+// oversized payload). The feed is hash-chain-continuous end to end: the
+// subscriber names the chain position it resumes from, the publisher
+// backfills the gap from its vault indexes, and the subscriber re-derives
+// the chain over everything it receives — a gap, duplicate or forgery
+// fails loudly instead of streaming on.
+//
+// Authorization is evidence, not configuration: the sub-open token's
+// digest covers the canonical subscribe request, and the publisher
+// appends the token to its vault as received evidence before serving a
+// single record — who watched whose evidence from when is adjudicable
+// with the same machinery as the interactions themselves. The service
+// registers as an ordinary protocol handler, so hosted tenants get the
+// subscription plane through the same tenant demux as everything else.
+package protocol
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nonrep/internal/canon"
+	"nonrep/internal/evidence"
+	"nonrep/internal/feed"
+	"nonrep/internal/id"
+	"nonrep/internal/sig"
+	"nonrep/internal/store"
+	"nonrep/internal/vault"
+)
+
+// SubProtocol is the publisher-side subscription service protocol.
+const SubProtocol = "nonrep/sub"
+
+// SubFeedProtocol is the subscriber-side push protocol: the publisher
+// delivers feed events to it as acknowledged requests, addressed by
+// subscription id.
+const SubFeedProtocol = "nonrep/sub-feed"
+
+// Subscription-protocol message kinds.
+const (
+	// KindSubOpen opens (or resumes) a subscription.
+	KindSubOpen = "sub-open"
+	// KindSubClose ends a subscription.
+	KindSubClose = "sub-close"
+	// KindSubProv requests the provenance graph of one run.
+	KindSubProv = "sub-prov"
+	// KindSubRecords pushes one chain-ordered batch of committed records.
+	KindSubRecords = "sub-records"
+	// KindSubSeal pushes a seal notification (optionally with the sealed
+	// segment package).
+	KindSubSeal = "sub-seal"
+	// KindSubEvict tells a subscriber it was evicted and why.
+	KindSubEvict = "sub-evict"
+	// KindSubAck acknowledges one push. Pushes are request/response
+	// rather than one-way so the publisher observes delivery failure (a
+	// detached or re-enrolled subscriber refuses the push) and evicts the
+	// dead subscription instead of feeding into the void — and so pushes
+	// to one subscriber are strictly ordered.
+	KindSubAck = "sub-ack"
+)
+
+// Subscription-plane errors.
+var (
+	// ErrSubUnauthorized is returned when a sub-open carries no valid
+	// authorization token and the publisher does not allow anonymous
+	// subscriptions.
+	ErrSubUnauthorized = errors.New("protocol: subscription not authorized")
+	// ErrSubUnknown is returned for operations naming a subscription the
+	// receiver does not hold — including pushes arriving for a detached
+	// tenant's subscription, which is what keeps a re-enrolled party from
+	// receiving its predecessor's feed.
+	ErrSubUnknown = errors.New("protocol: unknown subscription")
+	// ErrSubEvicted surfaces on a Feed whose publisher evicted it (slow
+	// consumer or publisher shutdown). Resume from Position.
+	ErrSubEvicted = errors.New("protocol: subscription evicted by publisher")
+	// ErrFeedOverflow surfaces on a Feed whose local consumer stopped
+	// draining Events; mirrors the publisher-side eviction semantics.
+	ErrFeedOverflow = errors.New("protocol: feed buffer overflow, events not drained")
+	// ErrFeedDetached surfaces on Feeds of a subscriber whose coordinator
+	// detached (tenant removal or close).
+	ErrFeedDetached = errors.New("protocol: subscriber detached")
+)
+
+// DefaultFeedBuffer is the subscriber-side event buffer (events, not
+// records).
+const DefaultFeedBuffer = 1024
+
+// maxFeedStash bounds how many records the subscriber-side reorder
+// buffer holds before declaring the stream broken.
+const maxFeedStash = 65536
+
+// defaultPushTimeout bounds one push delivery on the publisher side.
+const defaultPushTimeout = 15 * time.Second
+
+// serverOutbox is the per-subscription outbox the service asks of the
+// hub, deeper than the feed default: an event is one pointer-sized batch
+// reference, so the headroom is cheap, and the delivery goroutine drains
+// it in coalesced gulps — eviction is reserved for consumers that are
+// genuinely stuck, not merely bursty.
+const serverOutbox = 2048
+
+// subOpenReq is the canonical body the sub-open token's digest covers.
+type subOpenReq struct {
+	Subscriber id.Party   `json:"subscriber"`
+	SubID      string     `json:"sub_id"`
+	Addr       string     `json:"addr"`
+	AfterSeq   uint64     `json:"after_seq,omitempty"`
+	AfterHash  sig.Digest `json:"after_hash,omitempty"`
+	Seals      bool       `json:"seals,omitempty"`
+	Segments   bool       `json:"segments,omitempty"`
+}
+
+type subOpenResp struct {
+	SubID string `json:"sub_id"`
+	// HeadSeq is the vault's chain head at open: everything at or below
+	// it reaches the subscriber via backfill, everything above as live
+	// pushes.
+	HeadSeq uint64 `json:"head_seq"`
+}
+
+type subCloseReq struct {
+	SubID string `json:"sub_id"`
+}
+
+type subCloseResp struct {
+	Closed bool `json:"closed"`
+}
+
+type subProvReq struct {
+	Run id.Run `json:"run"`
+}
+
+type subProvResp struct {
+	Graph *vault.ProvGraph `json:"graph"`
+}
+
+// subRecordsPush carries one chain-ordered batch as concatenated binary
+// record frames (the segment-file encoding) rather than JSON records:
+// the receiving coordinator skips over the payload instead of tokenising
+// every record, and a client fanning one push out to many local feeds
+// decodes and hash-verifies the batch exactly once. On the wire the
+// push body itself is a binary frame (below), so the record frames reach
+// the client as a borrowed sub-slice of the envelope body — no base64
+// detour; the JSON form remains decodable for peers that predate it.
+type subRecordsPush struct {
+	SubID  string `json:"sub_id"`
+	First  uint64 `json:"first"`
+	Count  int    `json:"count"`
+	Frames []byte `json:"frames"`
+}
+
+// Binary push-body magic byte (outside UTF-8's first-byte range, so it
+// cannot open a canonical-JSON body) and format version.
+const (
+	subPushMagic   = 0xF5
+	subPushVersion = 0x01
+)
+
+// marshalRecordsPush encodes a record push as a binary protocol body.
+func marshalRecordsPush(p *subRecordsPush) []byte {
+	dst := make([]byte, 0, 24+len(p.SubID)+len(p.Frames))
+	dst = append(dst, subPushMagic, subPushVersion)
+	dst = canon.AppendString(dst, p.SubID)
+	dst = canon.AppendUvarint(dst, p.First)
+	dst = canon.AppendUvarint(dst, uint64(p.Count))
+	dst = canon.AppendBytes(dst, p.Frames)
+	return dst
+}
+
+// unmarshalRecordsPush decodes a record push, auto-detecting the binary
+// body; a JSON body decodes through the message's canonical path.
+func unmarshalRecordsPush(msg *Message, p *subRecordsPush) error {
+	data := msg.Payload
+	if len(data) == 0 || data[0] != subPushMagic {
+		return msg.Body(p)
+	}
+	r := canon.NewBinReader(data)
+	r.Byte() // magic, checked above
+	if v := r.Byte(); r.Err() == nil && v != subPushVersion {
+		return fmt.Errorf("protocol: unknown binary push version 0x%02x", v)
+	}
+	p.SubID = r.ValidString()
+	p.First = r.Uvarint()
+	p.Count = int(r.Uvarint())
+	p.Frames = r.Bytes()
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("protocol: decode binary push: %w", err)
+	}
+	return nil
+}
+
+type subSealPush struct {
+	SubID   string                `json:"sub_id"`
+	Entry   vault.ManifestEntry   `json:"entry"`
+	Package *vault.SegmentPackage `json:"package,omitempty"`
+}
+
+type subEvictPush struct {
+	SubID  string `json:"sub_id"`
+	Reason string `json:"reason"`
+}
+
+// SubOption configures a SubService.
+type SubOption func(*SubService)
+
+// WithAnonymousSubscribe permits subscriptions without a sub-open token
+// — the same trust stance as the (unauthenticated) remote audit plane,
+// for adjudication tooling like nrverify -follow that holds no domain
+// credentials. Domain organisations stay strict by default.
+func WithAnonymousSubscribe() SubOption {
+	return func(s *SubService) { s.anon = true }
+}
+
+// WithPushTimeout bounds one push delivery (default 15s); past it the
+// subscriber counts as slow and is evicted.
+func WithPushTimeout(d time.Duration) SubOption {
+	return func(s *SubService) {
+		if d > 0 {
+			s.pushTimeout = d
+		}
+	}
+}
+
+// SubService serves live subscriptions over one organisation's vault: it
+// owns the feed hub attached to the vault's commit/seal hooks and one
+// delivery goroutine per subscriber. Register it once per coordinator;
+// Detach (or Close) tears every subscription and vault hook down — the
+// coordinator and host call it on tenant detach.
+type SubService struct {
+	co          *Coordinator
+	v           *vault.Vault
+	hub         *feed.Hub
+	anon        bool
+	pushTimeout time.Duration
+
+	mu     sync.Mutex
+	closed bool
+	subs   map[string]*serverSub
+}
+
+type serverSub struct {
+	id   string
+	addr string
+	run  id.Run
+	sub  *feed.Sub
+}
+
+// NewSubService registers the subscription protocol on co, serving v's
+// live feed. The hub's instruments (subscriber gauge, push/eviction
+// counters, outbox lag) home in the coordinator's telemetry scope.
+func NewSubService(co *Coordinator, v *vault.Vault, opts ...SubOption) *SubService {
+	s := &SubService{
+		co:          co,
+		v:           v,
+		pushTimeout: defaultPushTimeout,
+		subs:        make(map[string]*serverSub),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.hub = feed.NewHub(v, co.Services().Obs)
+	co.Register(s)
+	return s
+}
+
+// Protocol implements Handler.
+func (s *SubService) Protocol() string { return SubProtocol }
+
+// Process implements Handler; every subscription exchange is
+// request/response (pushes travel the other way, on SubFeedProtocol).
+func (s *SubService) Process(ctx context.Context, msg *Message) error {
+	return fmt.Errorf("protocol: subscription message %q requires a request/response delivery", msg.Kind)
+}
+
+// ProcessRequest implements Handler.
+func (s *SubService) ProcessRequest(ctx context.Context, msg *Message) (*Message, error) {
+	switch msg.Kind {
+	case KindSubOpen:
+		return s.handleOpen(msg)
+	case KindSubClose:
+		return s.handleClose(msg)
+	case KindSubProv:
+		return s.handleProv(msg)
+	default:
+		return nil, fmt.Errorf("protocol: unknown subscription message kind %q", msg.Kind)
+	}
+}
+
+// Subscribers reports the live subscription count.
+func (s *SubService) Subscribers() int { return s.hub.Subscribers() }
+
+// Detach tears down every subscription and cancels the vault hooks. It
+// is idempotent and is invoked by the coordinator/host when the tenant
+// detaches, so a re-enrolled successor starts with a clean plane and the
+// predecessor's subscribers stop receiving.
+func (s *SubService) Detach() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.subs = make(map[string]*serverSub)
+	s.mu.Unlock()
+	s.hub.Close()
+}
+
+// Close is Detach under the conventional name for org teardown paths.
+func (s *SubService) Close() error {
+	s.Detach()
+	return nil
+}
+
+func (s *SubService) reply(msg *Message, kind string, body any) (*Message, error) {
+	out := &Message{Protocol: SubProtocol, Run: msg.Run, Step: msg.Step + 1, Kind: kind}
+	if err := out.SetBody(body); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (s *SubService) handleOpen(msg *Message) (*Message, error) {
+	if s.v == nil {
+		return nil, fmt.Errorf("%w at %s", ErrNoVault, s.co.Party())
+	}
+	var req subOpenReq
+	if err := msg.Body(&req); err != nil {
+		return nil, err
+	}
+	if req.SubID == "" || req.Addr == "" {
+		return nil, errors.New("protocol: sub-open needs a subscription id and a delivery address")
+	}
+	raw, err := canon.Marshal(&req)
+	if err != nil {
+		return nil, err
+	}
+	if !s.anon {
+		ver := s.co.Services().Verifier
+		if ver == nil {
+			return nil, fmt.Errorf("%w: %s has no verifier", ErrSubUnauthorized, s.co.Party())
+		}
+		if len(msg.Tokens) == 0 {
+			return nil, fmt.Errorf("%w: sub-open carries no token", ErrSubUnauthorized)
+		}
+		tok := msg.Tokens[0]
+		// The token signs the canonical request, so the resume position
+		// and delivery address the publisher acts on are exactly what the
+		// subscriber authorized.
+		if err := ver.VerifyContent(tok, sig.Sum(raw)); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSubUnauthorized, err)
+		}
+		if err := ver.Expect(tok, evidence.KindSubOpen, msg.Run, req.Subscriber); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSubUnauthorized, err)
+		}
+		// Journal the authorization before serving a record: the
+		// subscription itself becomes vault evidence (and, landing below
+		// the feed's start window, reaches the subscriber too).
+		if _, err := s.v.Append(store.Received, tok, string(raw)); err != nil {
+			return nil, err
+		}
+	}
+
+	ss := &serverSub{id: req.SubID, addr: req.Addr, run: msg.Run}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrHostClosed
+	}
+	if _, dup := s.subs[req.SubID]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("protocol: subscription %q already open", req.SubID)
+	}
+	s.subs[req.SubID] = ss
+	s.mu.Unlock()
+
+	sub, err := s.hub.Subscribe(feed.Config{
+		AfterSeq:  req.AfterSeq,
+		AfterHash: req.AfterHash,
+		Seals:     req.Seals || req.Segments,
+		Outbox:    serverOutbox,
+		Sink:      s.sink(ss, req.Segments),
+	})
+	if err != nil {
+		s.mu.Lock()
+		if cur, ok := s.subs[req.SubID]; ok && cur == ss {
+			delete(s.subs, req.SubID)
+		}
+		s.mu.Unlock()
+		return nil, err
+	}
+	ss.sub = sub
+	go s.watch(ss)
+	head, _ := s.v.LastPosition()
+	return s.reply(msg, "sub-open-reply", &subOpenResp{SubID: req.SubID, HeadSeq: head})
+}
+
+// sink builds the delivery function for one subscriber: each feed event
+// becomes one acknowledged push on the feed protocol. It runs on the
+// subscription's own goroutine, so a slow or dead subscriber fills its
+// outbox and is evicted without touching the vault's commit path.
+func (s *SubService) sink(ss *serverSub, segments bool) feed.Sink {
+	var enc store.RecordEncoder
+	return func(ev feed.Event) error {
+		ctx, cancel := context.WithTimeout(context.Background(), s.pushTimeout)
+		defer cancel()
+		if ev.Seal != nil {
+			body := &subSealPush{SubID: ss.id, Entry: *ev.Seal}
+			if segments {
+				// Sealed files are immutable; a read failure loses only
+				// the package, the entry still flows.
+				if pkg, perr := s.v.Package(ev.Seal.Segment); perr == nil {
+					body.Package = pkg
+				}
+			}
+			return s.push(ctx, ss, KindSubSeal, body)
+		}
+		var frames []byte
+		for _, rec := range ev.Records {
+			var err error
+			if frames, err = enc.AppendRecord(frames, rec); err != nil {
+				return err
+			}
+		}
+		return s.pushRaw(ctx, ss, KindSubRecords, marshalRecordsPush(&subRecordsPush{
+			SubID:  ss.id,
+			First:  ev.Records[0].Seq,
+			Count:  len(ev.Records),
+			Frames: frames,
+		}))
+	}
+}
+
+func (s *SubService) push(ctx context.Context, ss *serverSub, kind string, body any) error {
+	m := &Message{Protocol: SubFeedProtocol, Run: ss.run, Step: 1, Kind: kind}
+	if err := m.SetBody(body); err != nil {
+		return err
+	}
+	_, err := s.co.DeliverRequestAddr(ctx, ss.addr, m)
+	return err
+}
+
+// pushRaw is push with an already-encoded payload.
+func (s *SubService) pushRaw(ctx context.Context, ss *serverSub, kind string, payload []byte) error {
+	m := &Message{Protocol: SubFeedProtocol, Run: ss.run, Step: 1, Kind: kind, Payload: payload}
+	_, err := s.co.DeliverRequestAddr(ctx, ss.addr, m)
+	return err
+}
+
+// watch deregisters a subscription when it ends and sends the subscriber
+// a best-effort eviction notice when it ended in error.
+func (s *SubService) watch(ss *serverSub) {
+	<-ss.sub.Done()
+	s.mu.Lock()
+	if cur, ok := s.subs[ss.id]; ok && cur == ss {
+		delete(s.subs, ss.id)
+	}
+	closed := s.closed
+	s.mu.Unlock()
+	err := ss.sub.Err()
+	if err == nil || closed || errors.Is(err, feed.ErrClosed) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.pushTimeout)
+	defer cancel()
+	_ = s.push(ctx, ss, KindSubEvict, &subEvictPush{SubID: ss.id, Reason: err.Error()})
+}
+
+func (s *SubService) handleClose(msg *Message) (*Message, error) {
+	var req subCloseReq
+	if err := msg.Body(&req); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	ss, ok := s.subs[req.SubID]
+	if ok {
+		delete(s.subs, req.SubID)
+	}
+	s.mu.Unlock()
+	if ok {
+		ss.sub.Close()
+	}
+	return s.reply(msg, "sub-close-reply", &subCloseResp{Closed: ok})
+}
+
+func (s *SubService) handleProv(msg *Message) (*Message, error) {
+	if s.v == nil {
+		return nil, fmt.Errorf("%w at %s", ErrNoVault, s.co.Party())
+	}
+	var req subProvReq
+	if err := msg.Body(&req); err != nil {
+		return nil, err
+	}
+	graph, err := s.v.Provenance(req.Run)
+	if err != nil {
+		return nil, err
+	}
+	return s.reply(msg, "sub-prov-reply", &subProvResp{Graph: graph})
+}
+
+// WatchConfig shapes one subscription from the subscriber's side.
+type WatchConfig struct {
+	// AfterSeq/AfterHash resume from an already-verified chain position
+	// (zero values start from genesis).
+	AfterSeq  uint64
+	AfterHash sig.Digest
+	// Seals requests seal notifications in the feed.
+	Seals bool
+	// Segments requests whole sealed-segment packages with each seal.
+	Segments bool
+	// Buffer overrides the local event buffer (default DefaultFeedBuffer).
+	Buffer int
+	// Shared multiplexes this watch with other Shared watches of the same
+	// publisher address (and same Seals/Segments options) over one wire
+	// subscription — the shared-informer pattern, for high fan-out where
+	// many local consumers want the same live tail. The first Shared
+	// watch's AfterSeq/AfterHash seed the stream; a later Shared watch
+	// joins at the stream's current verified position (its AfterSeq is
+	// ignored). A consumer that needs history from an exact position
+	// opens a dedicated watch instead. Resume of a shared feed returns a
+	// dedicated feed, so its no-gap contract holds.
+	Shared bool
+}
+
+// SubClient subscribes to remote vault feeds through a coordinator. It
+// registers as the coordinator's feed-protocol handler; pushes are
+// dispatched to the Feed that opened the subscription, by subscription
+// id — a push for an id this client never opened (say, a predecessor
+// tenant's) is refused.
+type SubClient struct {
+	co     *Coordinator
+	issuer evidence.TokenIssuer
+
+	mu    sync.Mutex
+	feeds map[string]*Feed
+
+	// Verified-batch cache: a pushed batch is decoded from its frames and
+	// hash-verified once, then every local feed the push fans out to
+	// splices it with a linkage check only.
+	bmu     sync.Mutex
+	batches map[batchKey][]*store.Record
+	border  []batchKey
+
+	// Shared upstreams: Shared watches multiplexed over one wire
+	// subscription per (address, options) key.
+	shmu   sync.Mutex
+	shared map[string]*sharedUpstream
+}
+
+// batchCacheSize bounds the verified-batch cache (batches, not records).
+const batchCacheSize = 128
+
+// batchKey identifies one pushed batch by its claimed chain range and
+// encoded size. Two distinct batches colliding on a key cannot corrupt a
+// feed: the cached copy was hash-verified, and every feed still checks
+// its linkage onto its own verified position.
+type batchKey struct {
+	first uint64
+	count int
+	size  int
+}
+
+// NewSubClient registers the feed protocol on co. With a Services.Issuer
+// present, sub-opens are token-authorized; without one they are sent
+// anonymously (only publishers allowing anonymous subscribe accept
+// them).
+func NewSubClient(co *Coordinator) *SubClient {
+	c := &SubClient{
+		co:      co,
+		issuer:  co.Services().Issuer,
+		feeds:   make(map[string]*Feed),
+		batches: make(map[batchKey][]*store.Record),
+		shared:  make(map[string]*sharedUpstream),
+	}
+	co.Register(c)
+	return c
+}
+
+// decodeFrames decodes and verifies one pushed batch, memoised across
+// the feeds of this client: hashes and internal chain continuity are
+// checked here exactly once; the first record's Prev link is checked by
+// each feed against its own position when the batch is spliced on.
+func (c *SubClient) decodeFrames(first uint64, count int, frames []byte) ([]*store.Record, error) {
+	key := batchKey{first: first, count: count, size: len(frames)}
+	c.bmu.Lock()
+	recs, ok := c.batches[key]
+	c.bmu.Unlock()
+	if ok {
+		return recs, nil
+	}
+	recs = make([]*store.Record, 0, count)
+	data := frames
+	for len(data) > 0 {
+		rec, n, err := store.DecodeRecordFrame(data)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: feed push: %w", err)
+		}
+		if rec == nil {
+			return nil, errors.New("protocol: feed push with truncated record frame")
+		}
+		recs = append(recs, rec)
+		data = data[n:]
+	}
+	if len(recs) == 0 || len(recs) != count || recs[0].Seq != first {
+		return nil, errors.New("protocol: feed push frame header mismatch")
+	}
+	cv := store.ResumeChain(recs[0].Seq-1, recs[0].Prev)
+	for _, rec := range recs {
+		if err := cv.Check(rec); err != nil {
+			return nil, fmt.Errorf("protocol: feed chain: %w", err)
+		}
+	}
+	c.bmu.Lock()
+	if _, dup := c.batches[key]; !dup {
+		c.batches[key] = recs
+		c.border = append(c.border, key)
+		if len(c.border) > batchCacheSize {
+			delete(c.batches, c.border[0])
+			c.border = c.border[1:]
+		}
+	}
+	c.bmu.Unlock()
+	return recs, nil
+}
+
+// Protocol implements Handler.
+func (c *SubClient) Protocol() string { return SubFeedProtocol }
+
+// Process implements Handler; pushes are request/response so the
+// publisher observes delivery failure.
+func (c *SubClient) Process(ctx context.Context, msg *Message) error {
+	return fmt.Errorf("protocol: feed message %q requires a request/response delivery", msg.Kind)
+}
+
+// ProcessRequest implements Handler: dispatch one push to its feed and
+// acknowledge it.
+func (c *SubClient) ProcessRequest(ctx context.Context, msg *Message) (*Message, error) {
+	var subID string
+	switch msg.Kind {
+	case KindSubRecords:
+		var p subRecordsPush
+		if err := unmarshalRecordsPush(msg, &p); err != nil {
+			return nil, err
+		}
+		f := c.feedFor(p.SubID)
+		if f == nil {
+			return nil, fmt.Errorf("%w: %q", ErrSubUnknown, p.SubID)
+		}
+		recs, err := c.decodeFrames(p.First, p.Count, p.Frames)
+		if err != nil {
+			return nil, err
+		}
+		if err := f.acceptRecords(recs); err != nil {
+			return nil, err
+		}
+		subID = p.SubID
+	case KindSubSeal:
+		var p subSealPush
+		if err := msg.Body(&p); err != nil {
+			return nil, err
+		}
+		f := c.feedFor(p.SubID)
+		if f == nil {
+			return nil, fmt.Errorf("%w: %q", ErrSubUnknown, p.SubID)
+		}
+		if err := f.acceptSeal(&p.Entry, p.Package); err != nil {
+			return nil, err
+		}
+		subID = p.SubID
+	case KindSubEvict:
+		var p subEvictPush
+		if err := msg.Body(&p); err != nil {
+			return nil, err
+		}
+		if f := c.feedFor(p.SubID); f != nil {
+			c.remove(f)
+			f.fail(fmt.Errorf("%w: %s", ErrSubEvicted, p.Reason))
+		}
+		subID = p.SubID
+	default:
+		return nil, fmt.Errorf("protocol: unknown feed message kind %q", msg.Kind)
+	}
+	out := &Message{Protocol: SubFeedProtocol, Run: msg.Run, Step: msg.Step + 1, Kind: KindSubAck}
+	if err := out.SetBody(&subCloseReq{SubID: subID}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (c *SubClient) feedFor(subID string) *Feed {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.feeds[subID]
+}
+
+func (c *SubClient) remove(f *Feed) {
+	c.mu.Lock()
+	if cur, ok := c.feeds[f.subID]; ok && cur == f {
+		delete(c.feeds, f.subID)
+	}
+	c.mu.Unlock()
+}
+
+// Detach fails every open feed locally. The coordinator/host invokes it
+// on tenant detach, so a removed tenant's feeds end instead of lingering
+// against a successor.
+func (c *SubClient) Detach() {
+	c.mu.Lock()
+	feeds := make([]*Feed, 0, len(c.feeds))
+	for _, f := range c.feeds {
+		feeds = append(feeds, f)
+	}
+	c.feeds = make(map[string]*Feed)
+	c.mu.Unlock()
+	for _, f := range feeds {
+		f.fail(ErrFeedDetached)
+	}
+}
+
+// Subscribe opens a live feed over a publisher's vault, resolved through
+// the directory.
+func (c *SubClient) Subscribe(ctx context.Context, publisher id.Party, cfg WatchConfig) (*Feed, error) {
+	addr, err := c.co.Services().Directory.Resolve(publisher)
+	if err != nil {
+		return nil, err
+	}
+	return c.SubscribeAddr(ctx, addr, cfg)
+}
+
+// SubscribeAddr is Subscribe against an explicit coordinator address
+// (possibly tenant-qualified), for subscribers outside the domain
+// directory such as cmd/nrverify -follow.
+func (c *SubClient) SubscribeAddr(ctx context.Context, addr string, cfg WatchConfig) (*Feed, error) {
+	if cfg.Shared {
+		return c.subscribeShared(ctx, addr, cfg)
+	}
+	run := id.NewRun()
+	subID := "sub-" + string(run)
+	req := &subOpenReq{
+		Subscriber: c.co.Party(),
+		SubID:      subID,
+		Addr:       c.co.Addr(),
+		AfterSeq:   cfg.AfterSeq,
+		AfterHash:  cfg.AfterHash,
+		Seals:      cfg.Seals,
+		Segments:   cfg.Segments,
+	}
+	msg := &Message{Protocol: SubProtocol, Run: run, Step: 1, Kind: KindSubOpen}
+	if err := msg.SetBody(req); err != nil {
+		return nil, err
+	}
+	if c.issuer != nil {
+		raw, err := canon.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		tok, err := c.issuer.Issue(evidence.KindSubOpen, run, 1, sig.Sum(raw))
+		if err != nil {
+			return nil, err
+		}
+		msg.Tokens = []*evidence.Token{tok}
+	}
+	buffer := cfg.Buffer
+	if buffer <= 0 {
+		buffer = DefaultFeedBuffer
+	}
+	f := &Feed{
+		client: c,
+		subID:  subID,
+		addr:   addr,
+		cfg:    cfg,
+		cv:     store.ResumeChain(cfg.AfterSeq, cfg.AfterHash),
+		stash:  make(map[uint64][]*store.Record),
+		events: make(chan FeedEvent, buffer),
+		done:   make(chan struct{}),
+	}
+	// Register before the request goes out: the publisher may start
+	// pushing before its open reply is processed here.
+	c.mu.Lock()
+	c.feeds[subID] = f
+	c.mu.Unlock()
+	reply, err := c.co.DeliverRequestAddr(ctx, addr, msg)
+	if err != nil {
+		c.remove(f)
+		f.fail(nil)
+		return nil, err
+	}
+	var resp subOpenResp
+	if err := reply.Body(&resp); err != nil {
+		c.remove(f)
+		f.fail(nil)
+		return nil, err
+	}
+	return f, nil
+}
+
+// sharedUpstream multiplexes one wire subscription to many local member
+// feeds: the upstream feed is decoded and chain-verified once (by the
+// ordinary dedicated-feed machinery) and a pump goroutine fans each
+// verified event out to the members with a non-blocking send each — a
+// member that stops draining fails alone with ErrFeedOverflow; the
+// upstream, and the publisher, never notice.
+type sharedUpstream struct {
+	client *SubClient
+	key    string
+	up     *Feed
+
+	mu      sync.Mutex
+	seq     uint64
+	hash    sig.Digest
+	members map[*Feed]struct{}
+}
+
+func sharedKey(addr string, cfg WatchConfig) string {
+	return fmt.Sprintf("%s|%t|%t", addr, cfg.Seals, cfg.Segments)
+}
+
+// subscribeShared joins (or creates) the shared upstream for addr.
+func (c *SubClient) subscribeShared(ctx context.Context, addr string, cfg WatchConfig) (*Feed, error) {
+	key := sharedKey(addr, cfg)
+	c.shmu.Lock()
+	su := c.shared[key]
+	c.shmu.Unlock()
+	if su != nil {
+		if f := su.join(cfg); f != nil {
+			return f, nil
+		}
+		// The upstream ended under us; fall through and open a fresh one.
+	}
+	upCfg := cfg
+	upCfg.Shared = false
+	up, err := c.SubscribeAddr(ctx, addr, upCfg)
+	if err != nil {
+		return nil, err
+	}
+	su = &sharedUpstream{client: c, key: key, up: up, members: make(map[*Feed]struct{})}
+	su.seq, su.hash = up.Position()
+	c.shmu.Lock()
+	if cur := c.shared[key]; cur != nil {
+		// Lost a subscribe race: join the winner, drop our upstream.
+		c.shmu.Unlock()
+		if f := cur.join(cfg); f != nil {
+			up.Close()
+			return f, nil
+		}
+		c.shmu.Lock()
+	}
+	c.shared[key] = su
+	c.shmu.Unlock()
+	f := su.join(cfg)
+	go su.run()
+	return f, nil
+}
+
+// join adds one member feed at the stream's current position; nil when
+// the upstream has already ended.
+func (su *sharedUpstream) join(cfg WatchConfig) *Feed {
+	buffer := cfg.Buffer
+	if buffer <= 0 {
+		buffer = DefaultFeedBuffer
+	}
+	su.mu.Lock()
+	defer su.mu.Unlock()
+	if su.members == nil {
+		return nil
+	}
+	f := &Feed{
+		client: su.client,
+		subID:  su.up.subID,
+		addr:   su.up.addr,
+		cfg:    cfg,
+		shared: su,
+		cv:     store.ResumeChain(su.seq, su.hash),
+		events: make(chan FeedEvent, buffer),
+		done:   make(chan struct{}),
+	}
+	su.members[f] = struct{}{}
+	return f
+}
+
+// leave removes one member; the last member out closes the upstream.
+func (su *sharedUpstream) leave(f *Feed) {
+	su.mu.Lock()
+	if su.members == nil {
+		su.mu.Unlock()
+		return
+	}
+	delete(su.members, f)
+	last := len(su.members) == 0
+	if last {
+		su.members = nil
+	}
+	su.mu.Unlock()
+	if last {
+		su.client.dropShared(su)
+		su.up.Close()
+	}
+}
+
+func (c *SubClient) dropShared(su *sharedUpstream) {
+	c.shmu.Lock()
+	if c.shared[su.key] == su {
+		delete(c.shared, su.key)
+	}
+	c.shmu.Unlock()
+}
+
+// pumpCoalesce bounds how many records the pump merges into one member
+// delivery when events queue behind it.
+const pumpCoalesce = 4096
+
+// coalesce merges queued record events behind ev into one larger member
+// delivery, stopping at a seal event (returned as carry, preserving
+// stream order) or the record cap. Fewer, larger deliveries mean fewer
+// wakeups per member — with 64 members that is the pump's whole cost.
+func (su *sharedUpstream) coalesce(ev FeedEvent) (FeedEvent, *FeedEvent) {
+	var merged []*store.Record
+	for len(ev.Records)+len(merged) < pumpCoalesce {
+		select {
+		case more, ok := <-su.up.Events():
+			if !ok {
+				if merged != nil {
+					ev.Records = merged
+				}
+				return ev, nil
+			}
+			if more.Seal != nil {
+				if merged != nil {
+					ev.Records = merged
+				}
+				return ev, &more
+			}
+			if merged == nil {
+				merged = append(make([]*store.Record, 0, len(ev.Records)+len(more.Records)), ev.Records...)
+			}
+			merged = append(merged, more.Records...)
+		default:
+			if merged != nil {
+				ev.Records = merged
+			}
+			return ev, nil
+		}
+	}
+	if merged != nil {
+		ev.Records = merged
+	}
+	return ev, nil
+}
+
+// run pumps upstream events to the members until the upstream ends, then
+// fails the remaining members with the upstream's error.
+func (su *sharedUpstream) run() {
+	var carry *FeedEvent
+	for {
+		var ev FeedEvent
+		if carry != nil {
+			ev, carry = *carry, nil
+		} else {
+			var ok bool
+			if ev, ok = <-su.up.Events(); !ok {
+				break
+			}
+		}
+		if ev.Seal == nil {
+			ev, carry = su.coalesce(ev)
+		}
+		var last *store.Record
+		if len(ev.Records) > 0 {
+			last = ev.Records[len(ev.Records)-1]
+		}
+		su.mu.Lock()
+		if last != nil {
+			su.seq, su.hash = last.Seq, last.Hash
+		}
+		for m := range su.members {
+			m.mu.Lock()
+			if m.failed {
+				m.mu.Unlock()
+				delete(su.members, m)
+				continue
+			}
+			if m.emitLocked(ev) != nil {
+				delete(su.members, m)
+			} else if last != nil {
+				m.cv = store.ResumeChain(last.Seq, last.Hash)
+			}
+			m.mu.Unlock()
+		}
+		su.mu.Unlock()
+	}
+	su.client.dropShared(su)
+	err := su.up.Err()
+	su.mu.Lock()
+	members := su.members
+	su.members = nil
+	su.mu.Unlock()
+	for m := range members {
+		m.fail(err)
+	}
+}
+
+// Provenance fetches the provenance graph of one run from a publisher.
+func (c *SubClient) Provenance(ctx context.Context, publisher id.Party, run id.Run) (*vault.ProvGraph, error) {
+	addr, err := c.co.Services().Directory.Resolve(publisher)
+	if err != nil {
+		return nil, err
+	}
+	return c.ProvenanceAddr(ctx, addr, run)
+}
+
+// ProvenanceAddr is Provenance against an explicit coordinator address.
+func (c *SubClient) ProvenanceAddr(ctx context.Context, addr string, run id.Run) (*vault.ProvGraph, error) {
+	msg := &Message{Protocol: SubProtocol, Run: id.NewRun(), Step: 1, Kind: KindSubProv}
+	if err := msg.SetBody(&subProvReq{Run: run}); err != nil {
+		return nil, err
+	}
+	reply, err := c.co.DeliverRequestAddr(ctx, addr, msg)
+	if err != nil {
+		return nil, err
+	}
+	var resp subProvResp
+	if err := reply.Body(&resp); err != nil {
+		return nil, err
+	}
+	return resp.Graph, nil
+}
+
+// FeedEvent is one verified feed delivery: a chain-continuous batch of
+// records, or a seal notification (with its segment package when the
+// subscription asked for segments).
+type FeedEvent struct {
+	Records []*store.Record
+	Seal    *vault.ManifestEntry
+	Package *vault.SegmentPackage
+}
+
+// Feed is one open subscription on the subscriber side. Consume Events
+// (closed when the feed ends); Err reports why it ended (nil after a
+// clean Close). Every record batch emitted has been chain-verified
+// against the position the subscription was opened from.
+type Feed struct {
+	client *SubClient
+	subID  string
+	addr   string
+	cfg    WatchConfig
+	shared *sharedUpstream
+	events chan FeedEvent
+	done   chan struct{}
+
+	mu     sync.Mutex
+	cv     *store.ChainVerifier
+	stash  map[uint64][]*store.Record
+	stashN int
+	failed bool
+	err    error
+}
+
+// Events returns the feed's event stream. The channel closes when the
+// feed ends; check Err afterwards.
+func (f *Feed) Events() <-chan FeedEvent { return f.events }
+
+// Done closes when the feed ends.
+func (f *Feed) Done() <-chan struct{} { return f.done }
+
+// Err reports why the feed ended (nil while live or after a clean
+// Close).
+func (f *Feed) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// Position returns the last verified chain position — the pair a
+// resumed subscription passes as AfterSeq/AfterHash.
+func (f *Feed) Position() (uint64, sig.Digest) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cv.Position()
+}
+
+// Close ends the feed: the publisher is told (best effort) and the local
+// stream ends cleanly. Closing a shared feed only detaches this member;
+// the wire subscription closes with its last member.
+func (f *Feed) Close() {
+	if f.shared != nil {
+		f.shared.leave(f)
+		f.fail(nil)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	msg := &Message{Protocol: SubProtocol, Run: id.NewRun(), Step: 1, Kind: KindSubClose}
+	if err := msg.SetBody(&subCloseReq{SubID: f.subID}); err == nil {
+		_, _ = f.client.co.DeliverRequestAddr(ctx, f.addr, msg)
+	}
+	f.client.remove(f)
+	f.fail(nil)
+}
+
+// Resume opens a new subscription continuing exactly where this feed
+// verifiably stopped. A shared feed resumes as a dedicated one, so the
+// no-gap contract holds even though the shared stream has moved on.
+func (f *Feed) Resume(ctx context.Context) (*Feed, error) {
+	seq, hash := f.Position()
+	cfg := f.cfg
+	cfg.AfterSeq, cfg.AfterHash = seq, hash
+	cfg.Shared = false
+	return f.client.SubscribeAddr(ctx, f.addr, cfg)
+}
+
+// fail ends the feed with err (nil = clean close): the event channel is
+// closed and Done released, exactly once.
+func (f *Feed) fail(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failLocked(err)
+}
+
+func (f *Feed) failLocked(err error) {
+	if f.failed {
+		return
+	}
+	f.failed = true
+	f.err = err
+	f.stash, f.stashN = nil, 0
+	close(f.events)
+	close(f.done)
+}
+
+// emitLocked delivers one event to the consumer (mu held). A full buffer
+// means the local consumer stopped draining; the feed fails rather than
+// stalling the coordinator's receive path.
+func (f *Feed) emitLocked(ev FeedEvent) error {
+	select {
+	case f.events <- ev:
+		return nil
+	default:
+		f.failLocked(ErrFeedOverflow)
+		return ErrFeedOverflow
+	}
+}
+
+// acceptRecords verifies one pushed batch and emits it. Batches may
+// arrive out of order (the receive chain is concurrent); a batch from
+// the future is stashed until the chain reaches it, duplicates of
+// already-verified records are dropped.
+func (f *Feed) acceptRecords(recs []*store.Record) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failed {
+		return f.err
+	}
+	if err := f.applyLocked(recs); err != nil {
+		return err
+	}
+	// Whatever stashed batches the chain has now reached.
+	for {
+		seq, _ := f.cv.Position()
+		next, ok := f.stash[seq+1]
+		if !ok {
+			return nil
+		}
+		delete(f.stash, seq+1)
+		f.stashN -= len(next)
+		if err := f.applyLocked(next); err != nil {
+			return err
+		}
+	}
+}
+
+func (f *Feed) applyLocked(recs []*store.Record) error {
+	seq, _ := f.cv.Position()
+	next := seq + 1
+	for len(recs) > 0 && recs[0] != nil && recs[0].Seq < next {
+		recs = recs[1:]
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	if recs[0] == nil {
+		err := fmt.Errorf("protocol: feed push with nil record")
+		f.failLocked(err)
+		return err
+	}
+	if recs[0].Seq > next {
+		f.stash[recs[0].Seq] = recs
+		f.stashN += len(recs)
+		if f.stashN > maxFeedStash {
+			err := fmt.Errorf("protocol: feed gap at record %d never filled", next)
+			f.failLocked(err)
+			return err
+		}
+		return nil
+	}
+	for _, rec := range recs {
+		if rec == nil {
+			err := fmt.Errorf("protocol: feed push with nil record")
+			f.failLocked(err)
+			return err
+		}
+		// Record hashes and in-batch continuity were verified once when
+		// the push was decoded (decodeFrames); each feed only splices the
+		// batch onto its own verified position.
+		if err := f.cv.Advance(rec); err != nil {
+			// A gap or duplicate inside one batch: the stream is broken,
+			// not reorderable.
+			err = fmt.Errorf("protocol: feed chain: %w", err)
+			f.failLocked(err)
+			return err
+		}
+	}
+	return f.emitLocked(FeedEvent{Records: recs})
+}
+
+// acceptSeal emits one seal notification.
+func (f *Feed) acceptSeal(entry *vault.ManifestEntry, pkg *vault.SegmentPackage) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failed {
+		return f.err
+	}
+	return f.emitLocked(FeedEvent{Seal: entry, Package: pkg})
+}

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"nonrep/internal/canon"
 	"nonrep/internal/clock"
 	"nonrep/internal/evidence"
 	"nonrep/internal/id"
@@ -203,10 +204,14 @@ func verifyChain(records []*Record) error {
 // ChainVerifier incrementally re-derives a hash chain, one record at a
 // time, so logs too large to load at once can be verified as a stream.
 // The zero value starts at the head of a chain; ResumeChain positions a
-// verifier after an already-trusted prefix.
+// verifier after an already-trusted prefix. Like the Chainer it mirrors,
+// a verifier keeps one warm digest engine across records, so verifying a
+// stream pays for encoder machinery once, not once per record. Not safe
+// for concurrent use.
 type ChainVerifier struct {
 	prev sig.Digest
 	seq  uint64
+	dig  *canon.Digester
 }
 
 // ResumeChain returns a verifier expecting the record that follows the
@@ -221,7 +226,12 @@ func (v *ChainVerifier) Check(rec *Record) error {
 	if rec.Prev != v.prev {
 		return fmt.Errorf("%w: record %d prev link", ErrChainBroken, v.seq+1)
 	}
-	h, err := rec.computeHash()
+	if v.dig == nil {
+		v.dig = canon.NewDigester()
+	}
+	clone := *rec
+	clone.Hash = sig.Digest{}
+	h, err := v.dig.Sum256(&clone)
 	if err != nil {
 		return err
 	}
@@ -230,6 +240,22 @@ func (v *ChainVerifier) Check(rec *Record) error {
 	}
 	if rec.Seq != v.seq+1 {
 		return fmt.Errorf("%w: record %d sequence %d", ErrChainBroken, v.seq+1, rec.Seq)
+	}
+	v.prev, v.seq = rec.Hash, rec.Seq
+	return nil
+}
+
+// Advance checks rec's linkage (sequence and prev-hash) against the
+// verifier's position and moves past it, taking rec.Hash on trust. It is
+// for callers that have already verified the record's hash out of band —
+// say against a batch another verifier fully checked — and only need to
+// splice the batch onto their own chain position.
+func (v *ChainVerifier) Advance(rec *Record) error {
+	if rec.Seq != v.seq+1 {
+		return fmt.Errorf("%w: record %d sequence %d", ErrChainBroken, v.seq+1, rec.Seq)
+	}
+	if rec.Prev != v.prev {
+		return fmt.Errorf("%w: record %d prev link", ErrChainBroken, v.seq+1)
 	}
 	v.prev, v.seq = rec.Hash, rec.Seq
 	return nil

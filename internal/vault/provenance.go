@@ -1,0 +1,106 @@
+// Provenance queries: the vault's evidence, viewed as a graph. Every
+// record carries a signed token naming who issued what to whom under
+// which run and transaction, so the vault already holds a non-repudiable
+// provenance graph — run → tokens → parties → derived runs — it just
+// never exposed it as one. Provenance walks the existing run and
+// transaction indexes (no new storage) and returns the neighbourhood of
+// one run: the evidence a clinical-decision-support-style consumer needs
+// to answer "what produced this result, and what else did its
+// transaction touch", grounded in adjudicable tokens rather than
+// side-channel logs.
+package vault
+
+import (
+	"sort"
+	"time"
+
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+)
+
+// ProvToken is one edge of the provenance graph: a token as recorded in
+// the vault, trimmed to its graph-relevant fields plus the record
+// sequence anchoring it in the chain.
+type ProvToken struct {
+	Seq        uint64        `json:"seq"`
+	Kind       evidence.Kind `json:"kind"`
+	Step       int           `json:"step"`
+	Issuer     id.Party      `json:"issuer"`
+	Recipients []id.Party    `json:"recipients,omitempty"`
+	Service    id.Service    `json:"service,omitempty"`
+	At         time.Time     `json:"at"`
+}
+
+// ProvGraph is the provenance neighbourhood of one run.
+type ProvGraph struct {
+	Run id.Run `json:"run"`
+	// Txns are the business transactions the run's evidence is linked to.
+	Txns []id.Txn `json:"txns,omitempty"`
+	// Tokens are the run's evidence edges in chain order.
+	Tokens []ProvToken `json:"tokens,omitempty"`
+	// Parties are every issuer and recipient appearing in the run's
+	// evidence, sorted.
+	Parties []id.Party `json:"parties,omitempty"`
+	// Derived are other runs sharing any of the run's transactions —
+	// sibling invocations of the same business exchange, in the order
+	// their evidence first appears.
+	Derived []id.Run `json:"derived,omitempty"`
+}
+
+// Provenance builds the provenance graph of one run from the vault's run
+// and transaction indexes: the run's tokens, the parties they bind, and
+// the runs derived through shared transactions. Cost is O(run's records
+// + linked transactions' records), independent of log size.
+func (v *Vault) Provenance(run id.Run) (*ProvGraph, error) {
+	g := &ProvGraph{Run: run}
+	recs, err := v.QueryAll(Query{Run: run})
+	if err != nil {
+		return nil, err
+	}
+	parties := make(map[id.Party]bool)
+	txns := make(map[id.Txn]bool)
+	for _, rec := range recs {
+		tok := rec.Token
+		if tok == nil {
+			continue
+		}
+		g.Tokens = append(g.Tokens, ProvToken{
+			Seq:        rec.Seq,
+			Kind:       tok.Kind,
+			Step:       tok.Step,
+			Issuer:     tok.Issuer,
+			Recipients: tok.Recipients,
+			Service:    tok.Service,
+			At:         rec.At,
+		})
+		parties[tok.Issuer] = true
+		for _, p := range tok.Recipients {
+			parties[p] = true
+		}
+		if tok.Txn != (id.Txn("")) && !txns[tok.Txn] {
+			txns[tok.Txn] = true
+			g.Txns = append(g.Txns, tok.Txn)
+		}
+	}
+	for p := range parties {
+		g.Parties = append(g.Parties, p)
+	}
+	sort.Slice(g.Parties, func(i, j int) bool { return g.Parties[i] < g.Parties[j] })
+	seenRun := map[id.Run]bool{run: true}
+	for _, txn := range g.Txns {
+		linked, err := v.QueryAll(Query{Txn: txn})
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range linked {
+			if rec.Token == nil {
+				continue
+			}
+			if r := rec.Token.Run; !seenRun[r] {
+				seenRun[r] = true
+				g.Derived = append(g.Derived, r)
+			}
+		}
+	}
+	return g, nil
+}

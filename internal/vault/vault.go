@@ -117,7 +117,7 @@ func WithoutSync() Option {
 // must not block for long — replication uses the hook only to nudge its
 // shipping loop.
 func WithSealHook(fn func(ManifestEntry)) Option {
-	return func(v *Vault) { v.sealHooks = append(v.sealHooks, fn) }
+	return func(v *Vault) { v.addSealHook(fn) }
 }
 
 // WithRestoreFrom rebuilds a lost vault from a replica: when the vault at
@@ -190,10 +190,15 @@ type Vault struct {
 	lastHash  sig.Digest
 	lastSeal  sig.Digest
 	failure   error
-	// sealHooks are notified after each durable seal; pendingSeals holds
-	// entries sealed under mu until the unlocked notify pass.
-	sealHooks    []func(ManifestEntry)
-	pendingSeals []ManifestEntry
+	// sealHooks are notified after each durable seal and commitHooks
+	// after each durable group commit; pendingSeals/pendingCommits hold
+	// what happened under mu until the unlocked notify pass. Hooks carry
+	// registration ids so OnSeal/OnCommit can hand back a cancel.
+	sealHooks      []sealHook
+	commitHooks    []commitHook
+	nextHookID     uint64
+	pendingSeals   []ManifestEntry
+	pendingCommits [][]*store.Record
 
 	appendC   chan *appendReq
 	quit      chan struct{}
@@ -212,7 +217,10 @@ type appendReq struct {
 	// segment is sealed. Routing seals through the committer keeps the
 	// active file handle single-writer.
 	seal bool
-	resp chan appendResp
+	// flush marks a Sync barrier: no record is appended, the response
+	// arrives once every append enqueued before it is durable.
+	flush bool
+	resp  chan appendResp
 }
 
 type appendResp struct {
@@ -323,12 +331,66 @@ func Open(dir string, clk clock.Clock, opts ...Option) (*Vault, error) {
 	return v, nil
 }
 
+type sealHook struct {
+	id uint64
+	fn func(ManifestEntry)
+}
+
+type commitHook struct {
+	id uint64
+	fn func([]*store.Record)
+}
+
+// addSealHook registers fn without locking — used while applying Options
+// during Open, before the vault is shared.
+func (v *Vault) addSealHook(fn func(ManifestEntry)) {
+	v.nextHookID++
+	v.sealHooks = append(v.sealHooks, sealHook{id: v.nextHookID, fn: fn})
+}
+
 // OnSeal registers fn to be notified of future seals, like WithSealHook
-// but after the vault is open — the replicator attaches itself here.
-func (v *Vault) OnSeal(fn func(ManifestEntry)) {
+// but after the vault is open — the replicator attaches itself here. The
+// returned cancel unregisters the hook; a detached tenant must not keep
+// receiving its former vault's seals.
+func (v *Vault) OnSeal(fn func(ManifestEntry)) (cancel func()) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	v.sealHooks = append(v.sealHooks, fn)
+	v.addSealHook(fn)
+	id := v.nextHookID
+	return func() {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		for i, h := range v.sealHooks {
+			if h.id == id {
+				v.sealHooks = append(v.sealHooks[:i], v.sealHooks[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// OnCommit is the push analogue of OnSeal one level down: fn is called
+// with each group-committed batch of records, in commit order, after the
+// batch is durable. Hooks run outside the vault lock on the committer
+// goroutine, so they must not block — the live subscription plane fans a
+// batch out to per-subscriber outboxes and returns. The returned cancel
+// unregisters the hook.
+func (v *Vault) OnCommit(fn func([]*store.Record)) (cancel func()) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.nextHookID++
+	id := v.nextHookID
+	v.commitHooks = append(v.commitHooks, commitHook{id: id, fn: fn})
+	return func() {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		for i, h := range v.commitHooks {
+			if h.id == id {
+				v.commitHooks = append(v.commitHooks[:i], v.commitHooks[i+1:]...)
+				return
+			}
+		}
+	}
 }
 
 // notifySeals delivers entries sealed since the last pass to the seal
@@ -337,14 +399,39 @@ func (v *Vault) notifySeals() {
 	v.mu.Lock()
 	entries := v.pendingSeals
 	v.pendingSeals = nil
-	hooks := make([]func(ManifestEntry), len(v.sealHooks))
+	hooks := make([]sealHook, len(v.sealHooks))
 	copy(hooks, v.sealHooks)
 	v.mu.Unlock()
 	for _, e := range entries {
-		for _, fn := range hooks {
-			fn(e)
+		for _, h := range hooks {
+			h.fn(e)
 		}
 	}
+}
+
+// notifyCommits delivers batches committed since the last pass to the
+// commit hooks, outside the vault lock.
+func (v *Vault) notifyCommits() {
+	v.mu.Lock()
+	batches := v.pendingCommits
+	v.pendingCommits = nil
+	hooks := make([]commitHook, len(v.commitHooks))
+	copy(hooks, v.commitHooks)
+	v.mu.Unlock()
+	for _, recs := range batches {
+		for _, h := range hooks {
+			h.fn(recs)
+		}
+	}
+}
+
+// LastPosition returns the chain position of the newest durable record:
+// its sequence number and hash, (0, zero digest) for an empty vault. A
+// subscriber resumes its feed from exactly this pair.
+func (v *Vault) LastPosition() (uint64, sig.Digest) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.lastSeq, v.lastHash
 }
 
 // unlock releases the vault's exclusive lock.
@@ -629,11 +716,15 @@ func (v *Vault) commit(batch []*appendReq) {
 		line int64
 	}
 	var staged []stagedAppend
-	var sealReqs []*appendReq
+	var sealReqs, flushReqs []*appendReq
 	buf := v.commitBuf[:0]
 	for _, req := range batch {
 		if req.seal {
 			sealReqs = append(sealReqs, req)
+			continue
+		}
+		if req.flush {
+			flushReqs = append(flushReqs, req)
 			continue
 		}
 		rec, err := v.chainer.Next(v.clk.Now(), req.dir, req.tok, req.note)
@@ -673,6 +764,11 @@ func (v *Vault) commit(batch []*appendReq) {
 		v.commitBuf = nil
 	}
 	if len(staged) == 0 && len(sealReqs) == 0 {
+		// Nothing to write; a flush barrier behind an empty batch is
+		// already satisfied.
+		for _, req := range flushReqs {
+			req.resp <- appendResp{}
+		}
 		return
 	}
 	if len(staged) > 0 {
@@ -686,6 +782,9 @@ func (v *Vault) commit(batch []*appendReq) {
 			for _, req := range sealReqs {
 				req.resp <- appendResp{err: err}
 			}
+			for _, req := range flushReqs {
+				req.resp <- appendResp{err: err}
+			}
 			return
 		}
 	}
@@ -694,6 +793,13 @@ func (v *Vault) commit(batch []*appendReq) {
 		v.active.add(s.rec, s.line)
 	}
 	v.lastSeq, v.lastHash = seq, hash
+	if len(staged) > 0 && len(v.commitHooks) > 0 {
+		recs := make([]*store.Record, len(staged))
+		for i, s := range staged {
+			recs[i] = s.rec
+		}
+		v.pendingCommits = append(v.pendingCommits, recs)
+	}
 	var sealErr error
 	if len(v.active.records) >= v.segRecords || (len(sealReqs) > 0 && len(v.active.records) > 0) {
 		if sealErr = v.seal(); sealErr != nil {
@@ -706,12 +812,18 @@ func (v *Vault) commit(batch []*appendReq) {
 		v.records.Add(int64(len(staged)))
 		v.commitNs.Since(commitStart)
 	}
+	// Records first, then the seal that may contain them: a subscriber
+	// must never learn of a seal before the records it asserts.
+	v.notifyCommits()
 	v.notifySeals()
 	for _, s := range staged {
 		s.req.resp <- appendResp{rec: s.rec}
 	}
 	for _, req := range sealReqs {
 		req.resp <- appendResp{err: sealErr}
+	}
+	for _, req := range flushReqs {
+		req.resp <- appendResp{}
 	}
 }
 
@@ -857,6 +969,59 @@ func (v *Vault) Append(dir store.Direction, tok *evidence.Token, note string) (*
 			return resp.rec, resp.err
 		default:
 			return nil, ErrClosed
+		}
+	}
+}
+
+// AppendAsync enqueues a record without waiting for durability: the
+// record rides the committer's next group commit, sharing that batch's
+// single write+fsync instead of adding one of its own to the caller's
+// critical path. Enqueue order is commit order. An error is reported only
+// if the vault is already closed, read-only, or poisoned; a caller that
+// must observe durability (or the commit error) calls Sync. The durable
+// job journal folds its job-done brackets into the adjacent evidence
+// commit this way.
+func (v *Vault) AppendAsync(dir store.Direction, tok *evidence.Token, note string) error {
+	if v.readOnly {
+		return ErrReadOnly
+	}
+	v.mu.Lock()
+	failure := v.failure
+	v.mu.Unlock()
+	if failure != nil {
+		return failure
+	}
+	req := &appendReq{dir: dir, tok: tok, note: note, resp: make(chan appendResp, 1)}
+	select {
+	case v.appendC <- req:
+		return nil
+	case <-v.done:
+		return ErrClosed
+	}
+}
+
+// Sync blocks until every append enqueued before the call — including
+// AppendAsync ones — is durable, and reports the vault's failure state if
+// committing any of them poisoned it.
+func (v *Vault) Sync() error {
+	if v.readOnly {
+		return nil
+	}
+	req := &appendReq{flush: true, resp: make(chan appendResp, 1)}
+	select {
+	case v.appendC <- req:
+	case <-v.done:
+		return ErrClosed
+	}
+	select {
+	case resp := <-req.resp:
+		return resp.err
+	case <-v.done:
+		select {
+		case resp := <-req.resp:
+			return resp.err
+		default:
+			return ErrClosed
 		}
 	}
 }
@@ -1053,6 +1218,11 @@ func (v *Vault) Close() error {
 			close(v.quit)
 			<-v.done
 		}
+		// Final notify pass: anything still pending when the committer
+		// stopped must reach the hooks, or a replicator/subscriber would
+		// miss the last segment until the next catch-up.
+		v.notifyCommits()
+		v.notifySeals()
 		v.mu.Lock()
 		defer v.mu.Unlock()
 		if v.f != nil {

@@ -594,3 +594,105 @@ func TestVaultQueryEngine(t *testing.T) {
 		t.Fatalf("Query{unknown run} = %d records, want 0", len(none))
 	}
 }
+
+// TestVaultOnCommitDeliversBatches: every committed record reaches the
+// commit hooks, in chain order, after it is durable — the contract the
+// live subscription plane is built on — and a cancelled hook stops
+// receiving.
+func TestVaultOnCommitDeliversBatches(t *testing.T) {
+	t.Parallel()
+	realm := testpki.MustRealm(org)
+	v, err := vault.Open(t.TempDir(), realm.Clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	var mu sync.Mutex
+	var seen []uint64
+	cancel := v.OnCommit(func(recs []*store.Record) {
+		mu.Lock()
+		for _, r := range recs {
+			seen = append(seen, r.Seq)
+		}
+		mu.Unlock()
+	})
+	run := id.NewRun()
+	for i := 1; i <= 10; i++ {
+		if _, err := v.Append(store.Generated, newToken(t, realm, run, i), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Append blocks until the batch is durable, and hooks fire before the
+	// waiters wake, so all 10 must be visible now.
+	mu.Lock()
+	got := append([]uint64(nil), seen...)
+	mu.Unlock()
+	if len(got) != 10 {
+		t.Fatalf("commit hook saw %d records, want 10", len(got))
+	}
+	for i, seq := range got {
+		if seq != uint64(i+1) {
+			t.Fatalf("commit hook order: position %d has seq %d", i, seq)
+		}
+	}
+	cancel()
+	if _, err := v.Append(store.Generated, newToken(t, realm, run, 11), ""); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	after := len(seen)
+	mu.Unlock()
+	if after != 10 {
+		t.Fatalf("cancelled hook still receiving: saw %d records", after)
+	}
+}
+
+// TestVaultAppendAsyncSync: async appends ride a later group commit in
+// enqueue order, and Sync is a durability barrier for everything
+// enqueued before it.
+func TestVaultAppendAsyncSync(t *testing.T) {
+	t.Parallel()
+	realm := testpki.MustRealm(org)
+	dir := t.TempDir()
+	v, err := vault.Open(dir, realm.Clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := id.NewRun()
+	for i := 1; i <= 5; i++ {
+		if err := v.AppendAsync(store.Generated, newToken(t, realm, run, i), "async"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := v.QueryAll(vault.Query{Run: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("after Sync: %d records visible, want 5", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Token.Step != i+1 {
+			t.Fatalf("async order: position %d has step %d", i, rec.Token.Step)
+		}
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the acknowledged barrier means the records are on disk.
+	v2 := openVault(t, dir)
+	defer v2.Close()
+	recs, err = v2.QueryAll(vault.Query{Run: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("after reopen: %d records, want 5", len(recs))
+	}
+	if err := v2.DeepVerify(); err != nil {
+		t.Fatal(err)
+	}
+}

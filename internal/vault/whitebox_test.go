@@ -4,10 +4,44 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 
 	"nonrep/internal/canon"
+	"nonrep/internal/clock"
+	"nonrep/internal/store"
 )
+
+// TestCloseFlushesPendingSealNotifications: a seal still sitting in
+// pendingSeals when the committer stops must reach the OnSeal hooks
+// during Close — the old Close tore the vault down without a final
+// notify pass, so the replicator missed the last segment until the next
+// status catch-up.
+func TestCloseFlushesPendingSealNotifications(t *testing.T) {
+	t.Parallel()
+	v, err := Open(t.TempDir(), clock.Real{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sealed, committed atomic.Int64
+	v.OnSeal(func(ManifestEntry) { sealed.Add(1) })
+	v.OnCommit(func(recs []*store.Record) { committed.Add(int64(len(recs))) })
+	// Seed an undelivered notification of each kind, as if the committer
+	// had published but stopped before its notify pass.
+	v.mu.Lock()
+	v.pendingSeals = append(v.pendingSeals, ManifestEntry{Segment: 1, FirstSeq: 1, LastSeq: 1})
+	v.pendingCommits = append(v.pendingCommits, []*store.Record{{Seq: 1}})
+	v.mu.Unlock()
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sealed.Load(); got != 1 {
+		t.Fatalf("seal hook calls after Close = %d, want 1", got)
+	}
+	if got := committed.Load(); got != 1 {
+		t.Fatalf("commit hook records after Close = %d, want 1", got)
+	}
+}
 
 // TestReplicaDoctoredManifestNumbering: manifest entry digests are
 // unsigned self-hashes, so an attacker with disk access can write a

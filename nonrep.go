@@ -339,6 +339,38 @@ type (
 	RemoteRecords = protocol.RemoteIterator
 )
 
+// Live-subscription vocabulary (Org.Subscribe, Domain.Watch): a
+// token-authorized, hash-chain-continuous push feed over a peer
+// organisation's vault.
+type (
+	// WatchConfig shapes one subscription: resume position, seal and
+	// segment interest, local buffering.
+	WatchConfig = protocol.WatchConfig
+	// Feed is one open subscription; consume Events, resume from
+	// Position after a failure.
+	Feed = protocol.Feed
+	// FeedEvent is one verified delivery: a chain-continuous record
+	// batch, or a seal (with its segment package when subscribed with
+	// Segments).
+	FeedEvent = protocol.FeedEvent
+	// ProvGraph is the provenance neighbourhood of one run: run → tokens
+	// → parties → derived runs (Org.Provenance).
+	ProvGraph = vault.ProvGraph
+	// ProvToken is one provenance edge, anchored at its vault sequence.
+	ProvToken = vault.ProvToken
+)
+
+// Feed-ending errors (Feed.Err after the event channel closes).
+var (
+	// ErrSubEvicted: the publisher evicted this subscriber (slow consumer
+	// or shutdown); reopen from Feed.Position.
+	ErrSubEvicted = protocol.ErrSubEvicted
+	// ErrFeedOverflow: the local consumer stopped draining Feed.Events.
+	ErrFeedOverflow = protocol.ErrFeedOverflow
+	// ErrFeedDetached: the subscribing organisation was detached.
+	ErrFeedDetached = protocol.ErrFeedDetached
+)
+
 // Telemetry vocabulary (enable with WithTelemetry; see Domain.Telemetry).
 type (
 	// Telemetry is a domain's telemetry plane: per-tenant metrics

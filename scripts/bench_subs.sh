@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Benchmark trajectory for live evidence subscriptions.
+#
+# Runs the E18 subscription fan-out study — the same vault-backed
+# non-repudiable invocation workload with no subscribers, with one
+# shared subscription stream, and with SUBS dedicated and SUBS shared
+# (multiplexed) feeds attached to the publisher's vault — writing the
+# measurements to BENCH_subs.json so successive PRs can track the
+# publisher's push-plane overhead (target: <5% marginal cost per
+# stream; the co-located fan-out arms bound the worst case on one
+# machine) and the drain lag of the slowest feed.
+#
+# Usage: scripts/bench_subs.sh [output.json]
+#   N=<iters>    iterations per configuration (default 1000)
+#   SUBS=<n>     subscriber count (default 64)
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_subs.json}"
+
+go run ./cmd/nrbench -subs "${SUBS:-64}" -n "${N:-1000}" -out "$out"

@@ -10,9 +10,10 @@
 #
 # Floors are set a few points under the current measured coverage
 # (vault ~78%, protocol ~83%, invoke ~76%, obs ~94%, durable ~88%,
-# store ~85% at the time of writing) to allow noise without allowing
-# decay. The store floor guards the binary record codec — the bytes
-# every other guarantee rests on.
+# store ~85%, feed ~83% at the time of writing) to allow noise without
+# allowing decay. The store floor guards the binary record codec — the
+# bytes every other guarantee rests on; the feed floor guards the
+# subscription hub live feeds fan out through.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,6 +23,7 @@ FLOOR_INVOKE="${FLOOR_INVOKE:-70}"
 FLOOR_OBS="${FLOOR_OBS:-75}"
 FLOOR_DURABLE="${FLOOR_DURABLE:-80}"
 FLOOR_STORE="${FLOOR_STORE:-75}"
+FLOOR_FEED="${FLOOR_FEED:-75}"
 
 check() {
   local pkg="$1" floor="$2" profile pct
@@ -42,4 +44,5 @@ check ./internal/invoke/ "$FLOOR_INVOKE"
 check ./internal/obs/ "$FLOOR_OBS"
 check ./internal/durable/ "$FLOOR_DURABLE"
 check ./internal/store/ "$FLOOR_STORE"
+check ./internal/feed/ "$FLOOR_FEED"
 echo "coverage floors hold"
