@@ -21,6 +21,7 @@
 //	nrbench -durable [-n iterations] [-out BENCH_durable.json]
 //	nrbench -encoding [-n iterations] [-out BENCH_encoding.json]
 //	nrbench -subs 64 [-n iterations] [-out BENCH_subs.json]
+//	nrbench -georep [-n iterations] [-out BENCH_georep.json]
 //
 // The -pipeline mode runs only E12 — the hot-path pipeline study (plain
 // executor vs unbatched non-repudiation vs the batched pipeline under 32
@@ -63,6 +64,15 @@
 // organisation's vault, measuring the publisher's overhead (target: <5%
 // at 64 subscribers) and the fan-out delivery lag.
 //
+// The -georep mode runs only E19 — the geo-replication durability
+// study: the same concurrent vault-backed invocation workload with
+// plain local durability, with preallocated active segments, with
+// asynchronous (trailing) replication to two peer regions, and under a
+// synchronous 2-of-3 quorum where every append returns only once both
+// peers durably hold the record (targets: async within 10% of
+// baseline; sync overhead reported honestly — it buys region-loss
+// survival with the in-process ack round trip on the commit path).
+//
 // The JSON-emitting studies snapshot the obs metrics registry around the
 // measured interval and embed the counter deltas (envelopes by kind,
 // batches, tokens, wire traffic) under "obs" keys, so the perf
@@ -80,6 +90,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -112,12 +123,28 @@ func main() {
 	durableStudy := flag.Bool("durable", false, "run only the durable-invocation overhead study (E16)")
 	encodingStudy := flag.Bool("encoding", false, "run only the record/envelope encoding A/B study (E17)")
 	subsStudy := flag.Int("subs", 0, "run only the live-subscription fan-out study (E18) with this many subscribers")
+	georepStudy := flag.Bool("georep", false, "run only the geo-replication durability study (E19)")
 	out := flag.String("out", "", "write pipeline/tenant/stream/obs/durable/encoding/subs measurements as JSON to this path")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the study to this path")
 	flag.Parse()
 	if *quick {
 		*n = 25
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
+	if *georepStudy {
+		benchGeorep(*n, *out)
+		return
+	}
 	if *subsStudy > 0 {
 		benchSubs(*n, *subsStudy, *out)
 		return
@@ -1503,6 +1530,178 @@ func benchSubs(n, subs int, out string) {
 			"records_delivered_dedic": dedOut.delivered,
 			"evicted_dedicated":       dedOut.dead,
 			"evicted_shared":          shOut.dead,
+		}, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+}
+
+// georepResult is one configuration's measurement in the E19 study,
+// serialised to BENCH_georep.json for trend tracking across PRs.
+type georepResult struct {
+	Name    string  `json:"name"`
+	Ops     int     `json:"ops"`
+	NsPerOp float64 `json:"ns_op"`
+}
+
+// benchGeorep is E19: the geo-replication durability study. The same
+// concurrent non-repudiable invocation workload runs four ways —
+// plain local vault durability, the same vault with preallocated
+// active segments, asynchronous trailing replication to two peer
+// regions, and a synchronous 2-of-3 quorum where every evidence
+// append returns only after both peers durably hold the record.
+// Async replication rides off the commit path and should stay within
+// 10% of baseline; the sync arm pays the replica ack round trip per
+// append and its overhead is reported honestly as the price of
+// region-loss survival. The prealloc delta isolates what segment-file
+// reservation buys the fsync path underneath all four arms.
+//
+// Like E15/E18, the arms are interleaved over independent repetitions
+// (fresh domain, fresh vault each) and the best repetition per arm is
+// reported: on this one machine the replica regions' entire receive
+// path — verification, chain checks, their own fsyncs — shares the
+// source's cores and disk, so colocated scheduling noise would
+// otherwise be booked against replication.
+func benchGeorep(n int, out string) {
+	const clients = 16
+	const reps = 3
+	const preallocBytes = 4 << 20
+	iters := clients * max(n/8, 4)
+	fmt.Printf("## E19 — geo-replication: quorum-acked appends vs local durability (16 clients, best of %d)\n", reps)
+	fmt.Println()
+	fmt.Println("| configuration | latency/op |")
+	fmt.Println("|---|---|")
+
+	exec := invoke.ExecutorFunc(func(_ context.Context, req *evidence.RequestSnapshot) ([]evidence.Param, error) {
+		p, err := evidence.ValueParam("echo", req.Operation)
+		return []evidence.Param{p}, err
+	})
+
+	// arm builds a fresh domain per configuration — identical vault
+	// parameters, only the studied dimension varies — runs the workload
+	// and tears everything down.
+	arm := func(name string, withPeers bool, vopts []nonrep.VaultOption, extra ...nonrep.OrgOption) georepResult {
+		vaultDir, err := os.MkdirTemp("", "nrbench-georep-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(vaultDir)
+		domain, err := nonrep.NewDomain()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer domain.Close()
+		if withPeers {
+			for _, p := range []nonrep.Party{"urn:org:geo-r1", "urn:org:geo-r2"} {
+				rdir, err := os.MkdirTemp("", "nrbench-georep-replica-*")
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer os.RemoveAll(rdir)
+				if _, err := domain.AddOrg(p, nonrep.WithReplicaStore(rdir)); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		opts := append([]nonrep.OrgOption{
+			nonrep.WithVault(vaultDir, append([]nonrep.VaultOption{nonrep.VaultSegmentRecords(512)}, vopts...)...),
+		}, extra...)
+		cli, err := domain.AddOrg("urn:org:geo-client", opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := domain.AddOrg("urn:org:geo-server")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.ServeExecutor(exec)
+		proxy := cli.Proxy("urn:org:geo-server", "urn:org:geo-server/orders", nil)
+
+		// Warm-up primes the vault, the coordinators and (when present)
+		// the replica pumps before the clock starts.
+		if _, err := proxy.Call(context.Background(), "Place", "part"); err != nil {
+			log.Fatalf("%s warm-up: %v", name, err)
+		}
+
+		var next atomic.Int64
+		var firstErr atomic.Pointer[error]
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if int(next.Add(1)) > iters {
+						return
+					}
+					if _, err := proxy.Call(context.Background(), "Place", "part"); err != nil {
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if err := firstErr.Load(); err != nil {
+			log.Fatalf("%s: %v", name, *err)
+		}
+		return georepResult{Name: name, Ops: iters, NsPerOp: float64(elapsed.Nanoseconds()) / float64(iters)}
+	}
+
+	type armSpec struct {
+		name      string
+		withPeers bool
+		vopts     []nonrep.VaultOption
+		extra     []nonrep.OrgOption
+	}
+	peers := []nonrep.Party{"urn:org:geo-r1", "urn:org:geo-r2"}
+	specs := []armSpec{
+		{name: "baseline"},
+		{name: "prealloc", vopts: []nonrep.VaultOption{nonrep.VaultPreallocate(preallocBytes)}},
+		{name: "georep-async", withPeers: true,
+			extra: []nonrep.OrgOption{nonrep.WithQuorum(0, peers...)}},
+		{name: "georep-sync-2of3", withPeers: true,
+			extra: []nonrep.OrgOption{nonrep.WithQuorum(2, peers...), nonrep.WithQuorumTimeout(time.Minute)}},
+	}
+	results := make([]georepResult, len(specs))
+	for rep := 0; rep < reps; rep++ {
+		for i, s := range specs {
+			r := arm(s.name, s.withPeers, s.vopts, s.extra...)
+			if rep == 0 || r.NsPerOp < results[i].NsPerOp {
+				results[i] = r
+			}
+		}
+	}
+	for _, r := range results {
+		fmt.Printf("| %s | %v |\n", r.Name, time.Duration(r.NsPerOp).Round(time.Microsecond))
+	}
+	fmt.Println()
+	pct := func(r georepResult) float64 {
+		return (r.NsPerOp - results[0].NsPerOp) / results[0].NsPerOp * 100
+	}
+	preallocDelta, asyncOverhead, syncOverhead := pct(results[1]), pct(results[2]), pct(results[3])
+	fmt.Printf("segment preallocation delta: %+.1f%%\n", preallocDelta)
+	fmt.Printf("async replication overhead: %.1f%% (target <10%% with replicas on their own hardware)\n", asyncOverhead)
+	fmt.Printf("sync 2-of-3 quorum overhead: %.1f%% (the ack round trip every append now waits for)\n", syncOverhead)
+	fmt.Printf("colocation caveat: both replica regions run in-process here (%d CPU), so their\n", runtime.NumCPU())
+	fmt.Println("verify/chain-check/fsync receive path is booked against the source's workload.")
+	fmt.Println()
+
+	if out != "" {
+		blob, err := json.MarshalIndent(map[string]any{
+			"experiment":         "E19-georep",
+			"clients":            clients,
+			"results":            results,
+			"prealloc_delta_pct": preallocDelta,
+			"async_overhead_pct": asyncOverhead,
+			"sync_overhead_pct":  syncOverhead,
 		}, "", "  ")
 		if err != nil {
 			log.Fatal(err)

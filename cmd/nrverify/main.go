@@ -25,11 +25,20 @@
 // must allow anonymous subscriptions (WithOpenSubscriptions) — follow
 // mode holds no domain credentials, like the rest of this tool.
 //
+// With -prov it prints the provenance graph of a run instead of a
+// verdict: the run's tokens as signed edges, the parties they bind, the
+// linked business transactions, and — multi-hop — the runs derived
+// through shared transactions, walked breadth-first to -hops degrees of
+// separation. Works against a local vault (-vault) or a live
+// organisation (-remote).
+//
 // Usage:
 //
 //	nrverify -bundle DIR [-run RUN-ID]
 //	nrverify -vault DIR [-bundle DIR] [-run RUN-ID] [-txn TXN-ID] [-deep]
+//	nrverify -vault DIR -prov RUN-ID [-hops N]
 //	nrverify -remote ADDR [-bundle DIR] [-run RUN-ID] [-source PARTY] [-page N]
+//	nrverify -remote ADDR -prov RUN-ID [-hops N]
 //	nrverify -remote ADDR -follow [-bundle DIR] [-for DURATION]
 package main
 
@@ -65,14 +74,22 @@ func main() {
 	deep := flag.Bool("deep", false, "re-verify every sealed segment against its seal (vault mode)")
 	follow := flag.Bool("follow", false, "subscribe to the remote organisation's live evidence feed (remote mode)")
 	forDur := flag.Duration("for", 0, "stop following after this long (0 = until interrupted)")
+	prov := flag.String("prov", "", "print the provenance graph of this run (vault or remote mode)")
+	hops := flag.Int("hops", 2, "degrees of derived-run separation to walk with -prov")
 	flag.Parse()
 	if *remote != "" {
+		if *prov != "" {
+			os.Exit(provRemote(*remote, id.Run(*prov), *hops))
+		}
 		if *follow {
 			os.Exit(followRemote(*remote, *dir, *forDur))
 		}
 		os.Exit(auditRemote(*remote, *dir, *source, *runFilter, *page))
 	}
 	if *vaultDir != "" {
+		if *prov != "" {
+			os.Exit(provVault(*vaultDir, id.Run(*prov), *hops))
+		}
 		os.Exit(auditVault(*vaultDir, *dir, *runFilter, *txnFilter, *deep))
 	}
 	if *dir == "" {
@@ -521,6 +538,109 @@ func followVerdict(records, faults int) int {
 		return 1
 	}
 	fmt.Println("verdict: streamed evidence verifies (chain-continuous)")
+	return 0
+}
+
+// provVault prints the provenance graph of a run from a local vault,
+// walking derived runs through the shared-transaction edges.
+func provVault(dir string, run id.Run, hops int) int {
+	v, err := vault.Open(dir, clock.Real{}, vault.WithReadOnly())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nrverify:", err)
+		return 2
+	}
+	defer v.Close()
+	return provWalk(run, hops, v.Provenance)
+}
+
+// provRemote prints the provenance graph of a run served by a live
+// organisation's subscription service.
+func provRemote(addr string, run id.Run, hops int) int {
+	net := transport.NewTCPNetwork()
+	defer net.Close()
+	svc := &protocol.Services{
+		Party:     "urn:nonrep:nrverify",
+		Clock:     clock.Real{},
+		Directory: protocol.NewDirectory(),
+	}
+	co, err := protocol.New(net, "127.0.0.1:0", svc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nrverify:", err)
+		return 2
+	}
+	defer co.Close()
+	client := protocol.NewSubClient(co)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	return provWalk(run, hops, func(r id.Run) (*vault.ProvGraph, error) {
+		return client.ProvenanceAddr(ctx, addr, r)
+	})
+}
+
+// provWalk prints the provenance neighbourhood of root and walks its
+// derived runs breadth-first to the requested degrees of separation,
+// printing each visited run's graph exactly once.
+func provWalk(root id.Run, hops int, fetch func(id.Run) (*vault.ProvGraph, error)) int {
+	type hop struct {
+		run   id.Run
+		depth int
+	}
+	queue := []hop{{run: root, depth: 0}}
+	visited := map[id.Run]bool{root: true}
+	printed := 0
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		g, err := fetch(cur.run)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nrverify: provenance of %s: %v\n", cur.run, err)
+			return 2
+		}
+		if len(g.Tokens) == 0 && cur.run == root {
+			fmt.Fprintf(os.Stderr, "nrverify: no evidence for run %s\n", root)
+			return 2
+		}
+		printed++
+		indent := strings.Repeat("  ", cur.depth)
+		fmt.Printf("%srun %s (hop %d)\n", indent, g.Run, cur.depth)
+		if len(g.Txns) > 0 {
+			fmt.Printf("%s  txns:", indent)
+			for _, txn := range g.Txns {
+				fmt.Printf(" %s", txn)
+			}
+			fmt.Println()
+		}
+		for _, tok := range g.Tokens {
+			to := ""
+			if len(tok.Recipients) > 0 {
+				parts := make([]string, len(tok.Recipients))
+				for i, r := range tok.Recipients {
+					parts[i] = string(r)
+				}
+				to = " -> " + strings.Join(parts, ",")
+			}
+			fmt.Printf("%s  seq %-8d %-14s step %-3d %s%s\n", indent, tok.Seq, tok.Kind, tok.Step, tok.Issuer, to)
+		}
+		if len(g.Parties) > 0 {
+			fmt.Printf("%s  parties:", indent)
+			for _, p := range g.Parties {
+				fmt.Printf(" %s", p)
+			}
+			fmt.Println()
+		}
+		for _, derived := range g.Derived {
+			if visited[derived] {
+				continue
+			}
+			visited[derived] = true
+			if cur.depth+1 > hops {
+				fmt.Printf("%s  derived (beyond -hops): %s\n", indent, derived)
+				continue
+			}
+			queue = append(queue, hop{run: derived, depth: cur.depth + 1})
+		}
+	}
+	fmt.Printf("\nprovenance: %d runs within %d hops of %s\n", printed, hops, root)
 	return 0
 }
 

@@ -17,15 +17,23 @@
 //
 //	ttpd -addr 127.0.0.1:9000 -party urn:ttp:main \
 //	     [-trust BUNDLE-DIR] [-peer urn:org:a=127.0.0.1:9001]... \
-//	     [-gateway 127.0.0.1:9100]
+//	     [-gateway 127.0.0.1:9100] [-archive DIR]
 //
 // With -gateway the daemon additionally runs a worker-gateway host on the
 // given address: organisations behind NAT or egress-only network policy
 // dial out to it, hold a lease over long-poll links, and serve their
 // components through it without running a listener of their own.
+//
+// With -archive the daemon tiers sealed evidence segments — its own
+// vault's and those of every hosted peer replica — into a filesystem
+// object store at the given directory, the archival tier of the
+// geo-replicated evidence plane. Archived segments are framed,
+// content-verified objects; a source organisation that lost its region
+// rebuilds from them with nrverify or RestoreVaultFromArchive.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,11 +43,14 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
+	"nonrep/internal/blob"
 	"nonrep/internal/bundle"
 	"nonrep/internal/clock"
 	"nonrep/internal/core"
 	"nonrep/internal/credential"
+	"nonrep/internal/georep"
 	"nonrep/internal/id"
 	"nonrep/internal/invoke"
 	"nonrep/internal/obs"
@@ -74,6 +85,7 @@ func main() {
 	replicaRoot := flag.String("replicas", "", "accept peers' sealed-segment replicas into this directory (default <vault>/replicas when -vault is set)")
 	telemetryAddr := flag.String("telemetry", "", "serve telemetry introspection (/metricsz, /tracez, /healthz) on this address")
 	gatewayAddr := flag.String("gateway", "", "run a worker gateway on this TCP address so NATed organisations can enrol as outbound workers")
+	archiveDir := flag.String("archive", "", "tier sealed segments (own vault and hosted replicas) into a filesystem object store at this directory")
 	peers := peerFlags{}
 	flag.Var(peers, "peer", "peer coordinator address as party=addr (repeatable)")
 	flag.Parse()
@@ -160,8 +172,8 @@ func main() {
 	// and serves adjudications from those replicas when a source
 	// organisation is lost or uncooperative (nrverify -remote -source).
 	auditServices := ""
+	var replicas *vault.ReplicaSet
 	if evidenceVault != nil || *replicaRoot != "" {
-		var replicas *vault.ReplicaSet
 		if *replicaRoot != "" {
 			replicas, err = vault.OpenReplicaSet(*replicaRoot)
 			if err != nil {
@@ -181,6 +193,34 @@ func main() {
 			protocol.NewSubService(node.Coordinator(), evidenceVault, protocol.WithAnonymousSubscribe())
 			auditServices += ", live subscriptions"
 		}
+	}
+
+	// And neutral ground for survivability's last line: with -archive the
+	// TTP runs the archival tier, sweeping sealed segments — its own
+	// vault's and every hosted replica's — into a content-verified object
+	// store that adjudication and region rebuilds can draw on when both a
+	// source and its replicas are gone.
+	if *archiveDir != "" {
+		archStore, err := blob.OpenFS(*archiveDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		arch := georep.NewArchive(archStore)
+		stopArchive := make(chan struct{})
+		defer close(stopArchive)
+		go func() {
+			tick := time.NewTicker(15 * time.Second)
+			defer tick.Stop()
+			for {
+				archiveSweep(arch, clk, evidenceVault, *party, replicas)
+				select {
+				case <-stopArchive:
+					return
+				case <-tick.C:
+				}
+			}
+		}()
+		auditServices += ", archive tier at " + *archiveDir
 	}
 
 	// A TTP machine is also neutral ground for connectivity: with -gateway
@@ -251,4 +291,54 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	fmt.Printf("ttpd: shutting down; evidence log holds %d records\n", node.Log().Len())
+}
+
+// archiveSweep tiers every sealed segment not yet in the archive — from
+// the TTP's own vault and from each hosted replica (a replica directory
+// is a valid read-only vault) — into the object store. Failures are
+// logged and retried on the next sweep; Put refuses anything that does
+// not extend the source's verified seal chain.
+func archiveSweep(arch *georep.Archive, clk clock.Clock, own *vault.Vault, ownParty string, replicas *vault.ReplicaSet) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if own != nil {
+		archiveVault(ctx, arch, ownParty, own)
+	}
+	if replicas == nil {
+		return
+	}
+	sources, err := replicas.Sources()
+	if err != nil {
+		log.Printf("archive: list replica sources: %v", err)
+		return
+	}
+	for _, src := range sources {
+		rv, err := vault.Open(replicas.Dir(src), clk, vault.WithReadOnly())
+		if err != nil {
+			log.Printf("archive: open replica of %s: %v", src, err)
+			continue
+		}
+		archiveVault(ctx, arch, src, rv)
+		_ = rv.Close()
+	}
+}
+
+// archiveVault puts v's sealed segments missing from source's archive
+// chain, in order, stopping at the first failure.
+func archiveVault(ctx context.Context, arch *georep.Archive, source string, v *vault.Vault) {
+	for _, e := range v.Manifest() {
+		if arch.Has(ctx, source, e.Segment) {
+			continue
+		}
+		pkg, err := v.Package(e.Segment)
+		if err != nil {
+			log.Printf("archive: package %s segment %d: %v", source, e.Segment, err)
+			return
+		}
+		if err := arch.Put(ctx, source, pkg); err != nil {
+			log.Printf("archive: put %s segment %d: %v", source, e.Segment, err)
+			return
+		}
+		log.Printf("archive: %s segment %d tiered", source, e.Segment)
+	}
 }

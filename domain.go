@@ -10,12 +10,14 @@ import (
 	"time"
 
 	"nonrep/internal/access"
+	"nonrep/internal/blob"
 	"nonrep/internal/bundle"
 	"nonrep/internal/clock"
 	"nonrep/internal/container"
 	"nonrep/internal/core"
 	"nonrep/internal/credential"
 	"nonrep/internal/durable"
+	"nonrep/internal/georep"
 	"nonrep/internal/invoke"
 	"nonrep/internal/obs"
 	"nonrep/internal/protocol"
@@ -240,6 +242,10 @@ type orgConfig struct {
 	roles          []string
 	replicaRoot    string
 	replicate      []Party
+	geoPeers       []Party
+	quorum         int
+	ackTimeout     time.Duration
+	archive        blob.Store
 	syncEvery      time.Duration
 	durable        bool
 	durableRetry   *durable.RetryPolicy
@@ -285,6 +291,10 @@ var (
 	VaultSegmentRecords = vault.WithSegmentRecords
 	// VaultMaxBatch caps appends absorbed by one group commit.
 	VaultMaxBatch = vault.WithMaxBatch
+	// VaultPreallocate reserves the given number of bytes for each
+	// active segment file up front, so steady-state group commits skip
+	// block-allocation metadata writes; sealing trims the reservation.
+	VaultPreallocate = vault.WithPreallocate
 	// VaultWithoutSync trades machine-crash durability for throughput.
 	VaultWithoutSync = vault.WithoutSync
 	// VaultJSONSegments writes canonical-JSON segments instead of the
@@ -321,6 +331,41 @@ func WithReplicaStore(dir string) OrgOption {
 // with WithClock drive catch-up deterministically.
 func WithReplicationInterval(d time.Duration) OrgOption {
 	return func(c *orgConfig) { c.syncEvery = d }
+}
+
+// WithQuorum enrols the organisation under a geo-replication durability
+// policy over the named peer replicas. With n > 0 the policy is
+// synchronous N-of-M: every evidence append returns only once n of the
+// peers durably hold the record (in their replica tails, chain-verified
+// and fsynced), so an invocation that completed is adjudicable even if
+// this organisation's region is lost a moment later. With n == 0 the
+// peers are replicated to asynchronously — unsealed records trail the
+// source by one push — without gating appends. Requires WithVault.
+// Sealed segments additionally ship whole (the seg-ship path), so peer
+// replicas compact their tails as history seals.
+func WithQuorum(n int, peers ...Party) OrgOption {
+	return func(c *orgConfig) {
+		c.quorum = n
+		c.geoPeers = append(c.geoPeers, peers...)
+	}
+}
+
+// WithQuorumTimeout bounds how long a sync-quorum append waits for
+// acknowledgement before returning ErrQuorumUnmet (default 30s). The
+// record stays locally durable and keeps replicating either way.
+func WithQuorumTimeout(d time.Duration) OrgOption {
+	return func(c *orgConfig) { c.ackTimeout = d }
+}
+
+// WithArchive tiers every sealed vault segment into the given object
+// store — the archival tier behind the replicas. Archived segments are
+// framed, content-verified objects; a region that lost both its vault
+// and its replicas restores from the archive alone
+// (RestoreVaultFromArchive), and replicas may prune archived history
+// (replica retention) without losing adjudicability. Requires
+// WithVault.
+func WithArchive(store blob.Store) OrgOption {
+	return func(c *orgConfig) { c.archive = store }
 }
 
 // WithCertRoles embeds role names in the organisation's certificate; peers
@@ -439,6 +484,33 @@ func (d *Domain) addOrg(p Party, host *Host, opts ...OrgOption) (*Org, error) {
 			return nil, err
 		}
 	}
+	orgVault, _ := log.(*vault.Vault)
+	if orgVault == nil {
+		var need string
+		switch {
+		case len(cfg.replicate) > 0:
+			need = "WithReplication"
+		case len(cfg.geoPeers) > 0:
+			need = "WithQuorum"
+		case cfg.archive != nil:
+			need = "WithArchive"
+		}
+		if need != "" {
+			if log != nil {
+				log.Close()
+			}
+			return nil, fmt.Errorf("nonrep: %s for %s requires WithVault", need, p)
+		}
+	}
+	// Under a sync quorum policy the node's evidence log is the gated
+	// wrapper: appends return only once the quorum of peer replicas
+	// acknowledges. The policy engine attaches after the node exists —
+	// its pushes travel through the node's own coordinator.
+	var gated *georep.GatedLog
+	if cfg.quorum > 0 && len(cfg.geoPeers) > 0 {
+		gated = georep.NewGatedLog(orgVault)
+		log = gated
+	}
 	nodeCfg := core.NodeConfig{
 		Party:        p,
 		Signer:       signer,
@@ -465,13 +537,6 @@ func (d *Domain) addOrg(p Party, host *Host, opts ...OrgOption) (*Org, error) {
 		}
 		nodeCfg.Worker = cfg.worker
 	}
-	orgVault, _ := log.(*vault.Vault)
-	if len(cfg.replicate) > 0 && orgVault == nil {
-		if log != nil {
-			log.Close()
-		}
-		return nil, fmt.Errorf("nonrep: WithReplication for %s requires WithVault", p)
-	}
 	node, err := core.NewNode(nodeCfg)
 	if err != nil {
 		// Release the log we opened: a leaked vault would keep its
@@ -482,7 +547,7 @@ func (d *Domain) addOrg(p Party, host *Host, opts ...OrgOption) (*Org, error) {
 		}
 		return nil, err
 	}
-	org := &Org{domain: d, node: node, cert: cert, acl: access.NewManager()}
+	org := &Org{domain: d, node: node, cert: cert, acl: access.NewManager(), gated: gated}
 	if err := org.startAudit(cfg, orgVault); err != nil {
 		_ = node.Close()
 		if log != nil {
@@ -490,6 +555,7 @@ func (d *Domain) addOrg(p Party, host *Host, opts ...OrgOption) (*Org, error) {
 		}
 		return nil, err
 	}
+	org.startGeo(cfg, orgVault)
 	org.startSub(cfg, orgVault)
 	// Register the sharing controller eagerly so the organisation can be
 	// admitted to sharing groups (receive welcome transfers) before it
@@ -605,8 +671,13 @@ type Org struct {
 	auditCli *protocol.AuditClient
 	sub      *protocol.SubService
 	subCli   *protocol.SubClient
+	geoSvc   *protocol.GeoService
+	geoCli   *protocol.GeoClient
 	replicas *vault.ReplicaSet
 	rep      *vault.Replicator
+	geo      *georep.Engine
+	gated    *georep.GatedLog
+	archive  *georep.Archive
 	durable  *durable.Runtime
 	journal  *durable.Journal
 
@@ -643,7 +714,10 @@ func (o *Org) startAudit(cfg orgConfig, v *vault.Vault) error {
 		}
 	}
 	o.replicas = rs
-	o.audit = protocol.NewAuditService(o.node.Coordinator(), v, rs)
+	// Domain organisations always hold verifiable credentials, so their
+	// replica stores accept only authenticated seg-ship: every shipment
+	// must carry a token signed by the source organisation itself.
+	o.audit = protocol.NewAuditService(o.node.Coordinator(), v, rs, protocol.WithShipAuth())
 	if len(cfg.replicate) > 0 {
 		var repOpts []vault.ReplicatorOption
 		if cfg.syncEvery > 0 {
@@ -659,6 +733,45 @@ func (o *Org) startAudit(cfg orgConfig, v *vault.Vault) error {
 	}
 	o.registerHealth(v)
 	return nil
+}
+
+// startGeo wires the geo-replication plane: a geo service whenever the
+// organisation hosts replicas (receiving quorum tail pushes), and a
+// policy engine when WithQuorum names peers or WithArchive supplies an
+// object store. Under a sync policy (quorum > 0) the engine attaches to
+// the gated log built in addOrg, and appends start gating on quorum
+// acknowledgement from this point on.
+func (o *Org) startGeo(cfg orgConfig, v *vault.Vault) {
+	o.geoCli = protocol.NewGeoClient(o.node.Coordinator())
+	if o.replicas != nil {
+		o.geoSvc = protocol.NewGeoService(o.node.Coordinator(), o.replicas)
+	}
+	if len(cfg.geoPeers) == 0 && cfg.archive == nil {
+		return
+	}
+	mode := georep.ModeAsync
+	if cfg.quorum > 0 {
+		mode = georep.ModeSync
+	}
+	policy := georep.Policy{Mode: mode, Quorum: cfg.quorum, AckTimeout: cfg.ackTimeout}
+	var opts []georep.EngineOption
+	if cfg.archive != nil {
+		o.archive = georep.NewArchive(cfg.archive)
+		opts = append(opts, georep.WithArchive(o.archive))
+	}
+	if cfg.syncEvery > 0 {
+		opts = append(opts, georep.WithRetryInterval(cfg.syncEvery))
+	}
+	o.geo = georep.NewEngine(v, string(o.node.Party()), policy, o.domain.clk, opts...)
+	for _, peer := range cfg.geoPeers {
+		o.geo.AddTarget(string(peer), o.geoCli.Target(peer, o.auditCli))
+	}
+	if o.gated != nil {
+		o.gated.Attach(o.geo)
+	}
+	if tel := o.domain.tel; tel != nil {
+		tel.SetHealth("georep:"+string(o.node.Party()), func() any { return o.geo.Status() })
+	}
 }
 
 // startSub wires the live-subscription plane: every organisation can
@@ -723,11 +836,39 @@ func (o *Org) Log() store.Log { return o.node.Log() }
 // Vault returns the organisation's evidence vault, or nil when the
 // organisation was not enrolled with WithVault. The vault exposes the
 // audit query engine (Query, QueryAll, DeepVerify, Stats) beyond the
-// plain Log interface.
+// plain Log interface. Under a sync quorum policy the node's log is the
+// quorum-gated wrapper; this unwraps to the vault beneath it.
 func (o *Org) Vault() *vault.Vault {
-	v, _ := o.node.Log().(*vault.Vault)
-	return v
+	log := o.node.Log()
+	if v, ok := log.(*vault.Vault); ok {
+		return v
+	}
+	if uw, ok := log.(interface{ Unwrap() *vault.Vault }); ok {
+		return uw.Unwrap()
+	}
+	return nil
 }
+
+// Durability reports the organisation's geo-replication state: policy
+// mode, quorum arithmetic, per-replica acknowledgement watermarks and
+// archival progress. Without WithQuorum or WithArchive it returns the
+// zero Status (mode "", no targets).
+func (o *Org) Durability() georep.Status {
+	if o.geo == nil {
+		return georep.Status{}
+	}
+	return o.geo.Status()
+}
+
+// Georep returns the organisation's geo-replication policy engine, or
+// nil without WithQuorum/WithArchive. Flush gives tests and planned
+// shutdowns a deterministic "every replica and the archive are caught
+// up" point.
+func (o *Org) Georep() *georep.Engine { return o.geo }
+
+// Archive returns the organisation's evidence archive over the object
+// store supplied with WithArchive, or nil without one.
+func (o *Org) Archive() *georep.Archive { return o.archive }
 
 // Replicas returns the organisation's replica store — its verified copies
 // of peer organisations' sealed segments — or nil when the organisation
@@ -958,6 +1099,13 @@ func (o *Org) teardown() error {
 	}
 	if o.rep != nil {
 		if err := o.rep.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if o.geo != nil {
+		// Stop the push pumps (and unblock any quorum waiters) before the
+		// coordinator they push through goes away.
+		if err := o.geo.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

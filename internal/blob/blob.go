@@ -1,0 +1,85 @@
+// Package blob is the pluggable object-store abstraction behind the
+// evidence plane's archival tier: a flat namespace of immutable objects
+// addressed by slash-separated keys, with atomic single-shot puts and a
+// crash-safe multipart upload for objects too large to stage in one
+// write. Two backends ship — a local-filesystem store (FS) whose
+// completed objects appear atomically via rename, and an in-process
+// S3-style fake (Mem) with the same interface plus fault injection for
+// tests. The georep archiver stores content-addressed sealed-segment
+// objects through this interface, so swapping the durable backend never
+// touches replication logic.
+package blob
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrNotExist is returned by Get when no object has the given key.
+var ErrNotExist = errors.New("blob: object does not exist")
+
+// Store is a minimal object store: immutable objects under string keys.
+// Put replaces atomically — a reader never observes a partial object.
+// Implementations are safe for concurrent use.
+type Store interface {
+	// Put durably stores data under key, replacing any existing object
+	// atomically.
+	Put(ctx context.Context, key string, data []byte) error
+	// Get returns the object's bytes, or ErrNotExist.
+	Get(ctx context.Context, key string) ([]byte, error)
+	// List returns the keys with the given prefix, sorted.
+	List(ctx context.Context, prefix string) ([]string, error)
+	// Delete removes an object; deleting a missing object is not an
+	// error.
+	Delete(ctx context.Context, key string) error
+	// Upload starts a crash-safe multipart put: parts are staged
+	// invisibly and the object appears under key, complete and atomic,
+	// only when Commit succeeds. An upload abandoned by a crash leaves
+	// no visible object.
+	Upload(ctx context.Context, key string) (Upload, error)
+}
+
+// Upload is one in-flight multipart put.
+type Upload interface {
+	// Write stages the next part in order.
+	Write(ctx context.Context, part []byte) error
+	// Commit makes the assembled object durable and visible atomically.
+	Commit(ctx context.Context) error
+	// Abort discards the staged parts. Abort after Commit is a no-op.
+	Abort() error
+}
+
+// ValidKey reports whether key is usable: one or more non-empty
+// slash-separated segments of [A-Za-z0-9._-], no "." or ".." segments,
+// no leading/trailing slash. The restriction keeps keys portable across
+// backends and makes the filesystem backend immune to path traversal.
+func ValidKey(key string) error {
+	if key == "" {
+		return errors.New("blob: empty key")
+	}
+	start := 0
+	for i := 0; i <= len(key); i++ {
+		if i < len(key) && key[i] != '/' {
+			c := key[i]
+			ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '.' || c == '_' || c == '-'
+			if !ok {
+				return fmt.Errorf("blob: key %q has invalid character %q", key, c)
+			}
+			continue
+		}
+		seg := key[start:i]
+		if seg == "" || seg == "." || seg == ".." {
+			return fmt.Errorf("blob: key %q has invalid segment %q", key, seg)
+		}
+		start = i + 1
+	}
+	return nil
+}
+
+// sortKeys sorts a key list in place and returns it.
+func sortKeys(keys []string) []string {
+	sort.Strings(keys)
+	return keys
+}

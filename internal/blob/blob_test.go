@@ -1,0 +1,211 @@
+package blob
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// both runs a subtest against each backend behind the shared interface.
+func both(t *testing.T, fn func(t *testing.T, s Store)) {
+	t.Helper()
+	t.Run("fs", func(t *testing.T) {
+		s, err := OpenFS(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(t, s)
+	})
+	t.Run("mem", func(t *testing.T) {
+		fn(t, NewMem())
+	})
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	both(t, func(t *testing.T, s Store) {
+		ctx := context.Background()
+		if err := s.Put(ctx, "a/b/obj1", []byte("one")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(ctx, "a/obj2", []byte("two")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(ctx, "c.obj", []byte("three")); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Get(ctx, "a/b/obj1")
+		if err != nil || string(got) != "one" {
+			t.Fatalf("Get = %q, %v", got, err)
+		}
+		// Overwrite replaces.
+		if err := s.Put(ctx, "a/b/obj1", []byte("one'")); err != nil {
+			t.Fatal(err)
+		}
+		if got, _ = s.Get(ctx, "a/b/obj1"); string(got) != "one'" {
+			t.Fatalf("after overwrite Get = %q", got)
+		}
+		keys, err := s.List(ctx, "a/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(keys) != 2 || keys[0] != "a/b/obj1" || keys[1] != "a/obj2" {
+			t.Fatalf("List(a/) = %v", keys)
+		}
+		if keys, _ = s.List(ctx, ""); len(keys) != 3 {
+			t.Fatalf("List() = %v", keys)
+		}
+		if err := s.Delete(ctx, "a/obj2"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Delete(ctx, "a/obj2"); err != nil {
+			t.Fatalf("second delete: %v", err)
+		}
+		if _, err := s.Get(ctx, "a/obj2"); !errors.Is(err, ErrNotExist) {
+			t.Fatalf("Get deleted = %v, want ErrNotExist", err)
+		}
+	})
+}
+
+func TestBlobMultipart(t *testing.T) {
+	both(t, func(t *testing.T, s Store) {
+		ctx := context.Background()
+		up, err := s.Upload(ctx, "big/object")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bytes.Repeat([]byte("part"), 300)
+		for i := 0; i < len(want); i += 100 {
+			if err := up.Write(ctx, want[i:i+100]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Invisible until commit.
+		if _, err := s.Get(ctx, "big/object"); !errors.Is(err, ErrNotExist) {
+			t.Fatalf("uncommitted upload visible: %v", err)
+		}
+		if err := up.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Get(ctx, "big/object")
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("after commit: %d bytes, %v", len(got), err)
+		}
+		// Aborted upload leaves nothing.
+		up2, err := s.Upload(ctx, "big/aborted")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := up2.Write(ctx, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := up2.Abort(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get(ctx, "big/aborted"); !errors.Is(err, ErrNotExist) {
+			t.Fatalf("aborted upload visible: %v", err)
+		}
+		if err := up2.Write(ctx, []byte("x")); err == nil {
+			t.Fatal("write after abort succeeded")
+		}
+	})
+}
+
+// TestBlobFSCrashedUpload models a crash mid-multipart: the staging file
+// is simply abandoned. A reopened store must not surface the object, and
+// the staging area must never appear in listings.
+func TestBlobFSCrashedUpload(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	up, err := s.Upload(ctx, "seg/crashed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := up.Write(ctx, []byte("half a segment")); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash": drop the upload handle without Commit/Abort and reopen.
+	s2, err := OpenFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Get(ctx, "seg/crashed"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("crashed upload visible: %v", err)
+	}
+	if err := s2.Put(ctx, "seg/ok", []byte("done")); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s2.List(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != "seg/ok" {
+		t.Fatalf("List after crash = %v", keys)
+	}
+	// The stranded staging file exists on disk but outside the namespace.
+	stranded, _ := os.ReadDir(filepath.Join(dir, stagingDir))
+	if len(stranded) != 1 {
+		t.Fatalf("expected one stranded staging file, got %d", len(stranded))
+	}
+}
+
+func TestBlobKeyValidation(t *testing.T) {
+	bad := []string{"", "/abs", "trail/", "a//b", "..", "a/../b", ".", "sp ace", "semi;colon", "dot/./seg"}
+	for _, k := range bad {
+		if err := ValidKey(k); err == nil {
+			t.Errorf("ValidKey(%q) accepted", k)
+		}
+	}
+	good := []string{"a", "a/b/c", "seg-00000001.log", "orgs/abc_def/MANIFEST", "x.y-z_0"}
+	for _, k := range good {
+		if err := ValidKey(k); err != nil {
+			t.Errorf("ValidKey(%q) = %v", k, err)
+		}
+	}
+	s := NewMem()
+	if err := s.Put(context.Background(), "../escape", []byte("x")); err == nil {
+		t.Fatal("Put with traversal key accepted")
+	}
+}
+
+func TestBlobMemFaults(t *testing.T) {
+	s := NewMem()
+	ctx := context.Background()
+	boom := errors.New("regional outage")
+	s.SetFault(func(op Op, key string) error {
+		if op == OpPut || op == OpPart {
+			return boom
+		}
+		return nil
+	})
+	if err := s.Put(ctx, "k", []byte("v")); !errors.Is(err, boom) {
+		t.Fatalf("Put under fault = %v", err)
+	}
+	up, err := s.Upload(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := up.Write(ctx, []byte("v")); !errors.Is(err, boom) {
+		t.Fatalf("part under fault = %v", err)
+	}
+	s.SetFault(nil)
+	if err := s.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Corrupt("k", func(b []byte) []byte { b[0] ^= 0xff; return b }) {
+		t.Fatal("Corrupt missed the object")
+	}
+	got, _ := s.Get(ctx, "k")
+	if string(got) == "v" {
+		t.Fatal("Corrupt did not change the bytes")
+	}
+	if s.Corrupt("missing", func(b []byte) []byte { return b }) {
+		t.Fatal("Corrupt invented an object")
+	}
+}

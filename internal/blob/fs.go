@@ -1,0 +1,249 @@
+package blob
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// stagingDir holds in-flight puts and multipart uploads inside an FS
+// store's root. Nothing under it is ever visible to Get or List, so a
+// crash mid-upload strands at most some invisible staging files.
+const stagingDir = ".staging"
+
+// FS is a local-filesystem Store rooted at one directory. Object keys
+// map to file paths under the root; completed objects appear via
+// rename, so readers never observe partial writes, and every put fsyncs
+// the object and its directory before reporting success.
+type FS struct {
+	root string
+}
+
+// OpenFS opens (creating if necessary) a filesystem store rooted at dir.
+func OpenFS(dir string) (*FS, error) {
+	if err := os.MkdirAll(filepath.Join(dir, stagingDir), 0o700); err != nil {
+		return nil, fmt.Errorf("blob: create store root %s: %w", dir, err)
+	}
+	return &FS{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *FS) Root() string { return s.root }
+
+func (s *FS) path(key string) string {
+	return filepath.Join(s.root, filepath.FromSlash(key))
+}
+
+// stagePath returns a fresh unique staging file path.
+func (s *FS) stagePath() string {
+	var b [8]byte
+	rand.Read(b[:])
+	return filepath.Join(s.root, stagingDir, hex.EncodeToString(b[:]))
+}
+
+// install renames a durably-written staging file to the object's final
+// path, creating parent directories and syncing them so the object
+// survives power loss.
+func (s *FS) install(stage, key string) error {
+	final := s.path(key)
+	if dir := filepath.Dir(final); dir != s.root {
+		if err := os.MkdirAll(dir, 0o700); err != nil {
+			os.Remove(stage)
+			return fmt.Errorf("blob: create key dir: %w", err)
+		}
+	}
+	if err := os.Rename(stage, final); err != nil {
+		os.Remove(stage)
+		return fmt.Errorf("blob: install object %s: %w", key, err)
+	}
+	return syncDir(filepath.Dir(final))
+}
+
+// Put implements Store.
+func (s *FS) Put(ctx context.Context, key string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := ValidKey(key); err != nil {
+		return err
+	}
+	stage := s.stagePath()
+	if err := writeSyncFile(stage, data); err != nil {
+		os.Remove(stage)
+		return err
+	}
+	return s.install(stage, key)
+}
+
+// Get implements Store.
+func (s *FS) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := ValidKey(key); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, key)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("blob: read %s: %w", key, err)
+	}
+	return data, nil
+}
+
+// List implements Store.
+func (s *FS) List(ctx context.Context, prefix string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var keys []string
+	err := filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path == filepath.Join(s.root, stagingDir) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		rel, rerr := filepath.Rel(s.root, path)
+		if rerr != nil {
+			return rerr
+		}
+		key := filepath.ToSlash(rel)
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("blob: list %s: %w", prefix, err)
+	}
+	return sortKeys(keys), nil
+}
+
+// Delete implements Store.
+func (s *FS) Delete(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := ValidKey(key); err != nil {
+		return err
+	}
+	if err := os.Remove(s.path(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("blob: delete %s: %w", key, err)
+	}
+	return nil
+}
+
+// Upload implements Store. Parts are appended to one staging file, each
+// fsynced as written, and Commit renames the assembled file into place —
+// the object is either absent or complete, never partial, across any
+// crash.
+func (s *FS) Upload(ctx context.Context, key string) (Upload, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := ValidKey(key); err != nil {
+		return nil, err
+	}
+	stage := s.stagePath()
+	f, err := os.OpenFile(stage, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("blob: stage upload: %w", err)
+	}
+	return &fsUpload{store: s, key: key, stage: stage, f: f}, nil
+}
+
+type fsUpload struct {
+	store *FS
+	key   string
+	stage string
+	f     *os.File
+	done  bool
+}
+
+func (u *fsUpload) Write(ctx context.Context, part []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if u.done {
+		return fmt.Errorf("blob: upload for %s already finished", u.key)
+	}
+	if _, err := u.f.Write(part); err != nil {
+		return fmt.Errorf("blob: stage part for %s: %w", u.key, err)
+	}
+	if err := u.f.Sync(); err != nil {
+		return fmt.Errorf("blob: sync part for %s: %w", u.key, err)
+	}
+	return nil
+}
+
+func (u *fsUpload) Commit(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if u.done {
+		return nil
+	}
+	u.done = true
+	if err := u.f.Sync(); err != nil {
+		u.f.Close()
+		os.Remove(u.stage)
+		return fmt.Errorf("blob: sync upload for %s: %w", u.key, err)
+	}
+	if err := u.f.Close(); err != nil {
+		os.Remove(u.stage)
+		return fmt.Errorf("blob: close upload for %s: %w", u.key, err)
+	}
+	return u.store.install(u.stage, u.key)
+}
+
+func (u *fsUpload) Abort() error {
+	if u.done {
+		return nil
+	}
+	u.done = true
+	u.f.Close()
+	os.Remove(u.stage)
+	return nil
+}
+
+// writeSyncFile writes data to path and fsyncs it.
+func writeSyncFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("blob: write %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("blob: write %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("blob: sync %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so freshly renamed files survive power
+// loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("blob: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("blob: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

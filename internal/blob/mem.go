@@ -1,0 +1,197 @@
+package blob
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Op names one store operation, for fault injection.
+type Op string
+
+// Operations observable by a Mem store's fault hook.
+const (
+	OpPut    Op = "put"
+	OpGet    Op = "get"
+	OpList   Op = "list"
+	OpDelete Op = "delete"
+	OpUpload Op = "upload"
+	OpPart   Op = "part"
+	OpCommit Op = "commit"
+)
+
+// Mem is an in-process S3-style fake: the same visibility semantics as
+// a remote object store (atomic puts, multipart uploads invisible until
+// completed) without any I/O, plus a fault hook so tests can fail or
+// delay any operation deterministically. It is safe for concurrent use.
+type Mem struct {
+	mu      sync.Mutex
+	objects map[string][]byte
+	fault   func(op Op, key string) error
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{objects: make(map[string][]byte)}
+}
+
+// SetFault installs (or, with nil, removes) a hook consulted before
+// every operation; a non-nil return aborts the operation with that
+// error. Tests use it to model backend outages, slow regions and
+// per-part upload failures.
+func (s *Mem) SetFault(fn func(op Op, key string) error) {
+	s.mu.Lock()
+	s.fault = fn
+	s.mu.Unlock()
+}
+
+// Corrupt flips the stored bytes of an object through fn, bypassing the
+// Store interface — the archive-corruption failure mode tests exercise.
+// It reports whether the object existed.
+func (s *Mem) Corrupt(key string, fn func([]byte) []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.objects[key]
+	if !ok {
+		return false
+	}
+	s.objects[key] = fn(append([]byte(nil), data...))
+	return true
+}
+
+// Len reports the number of stored objects.
+func (s *Mem) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}
+
+func (s *Mem) check(ctx context.Context, op Op, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s.fault != nil {
+		if err := s.fault(op, key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Put implements Store.
+func (s *Mem) Put(ctx context.Context, key string, data []byte) error {
+	if err := ValidKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx, OpPut, key); err != nil {
+		return err
+	}
+	s.objects[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get implements Store.
+func (s *Mem) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := ValidKey(key); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx, OpGet, key); err != nil {
+		return nil, err
+	}
+	data, ok := s.objects[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, key)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// List implements Store.
+func (s *Mem) List(ctx context.Context, prefix string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx, OpList, prefix); err != nil {
+		return nil, err
+	}
+	var keys []string
+	for k := range s.objects {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	return sortKeys(keys), nil
+}
+
+// Delete implements Store.
+func (s *Mem) Delete(ctx context.Context, key string) error {
+	if err := ValidKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx, OpDelete, key); err != nil {
+		return err
+	}
+	delete(s.objects, key)
+	return nil
+}
+
+// Upload implements Store.
+func (s *Mem) Upload(ctx context.Context, key string) (Upload, error) {
+	if err := ValidKey(key); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx, OpUpload, key); err != nil {
+		return nil, err
+	}
+	return &memUpload{store: s, key: key}, nil
+}
+
+type memUpload struct {
+	store *Mem
+	key   string
+	buf   []byte
+	done  bool
+}
+
+func (u *memUpload) Write(ctx context.Context, part []byte) error {
+	u.store.mu.Lock()
+	defer u.store.mu.Unlock()
+	if err := u.store.check(ctx, OpPart, u.key); err != nil {
+		return err
+	}
+	if u.done {
+		return fmt.Errorf("blob: upload for %s already finished", u.key)
+	}
+	u.buf = append(u.buf, part...)
+	return nil
+}
+
+func (u *memUpload) Commit(ctx context.Context) error {
+	u.store.mu.Lock()
+	defer u.store.mu.Unlock()
+	if err := u.store.check(ctx, OpCommit, u.key); err != nil {
+		return err
+	}
+	if u.done {
+		return nil
+	}
+	u.done = true
+	u.store.objects[u.key] = u.buf
+	u.buf = nil
+	return nil
+}
+
+func (u *memUpload) Abort() error {
+	u.store.mu.Lock()
+	defer u.store.mu.Unlock()
+	u.done = true
+	u.buf = nil
+	return nil
+}

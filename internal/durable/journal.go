@@ -84,10 +84,18 @@ type Journal struct {
 }
 
 // NewJournal builds a journal over the organisation's evidence log. When
-// the log is a *vault.Vault the pending-job and run-state scans use its
-// kind and run indexes instead of reading the whole log.
+// the log is a *vault.Vault — directly, or through a wrapper exposing
+// Unwrap (a quorum-gated log) — the pending-job and run-state scans use
+// its kind and run indexes instead of reading the whole log. Appends
+// still go through the log itself, so a gated log's durability policy
+// covers journal writes too.
 func NewJournal(party id.Party, issuer evidence.TokenIssuer, log store.Log, clk clock.Clock) *Journal {
 	v, _ := log.(*vault.Vault)
+	if v == nil {
+		if uw, ok := log.(interface{ Unwrap() *vault.Vault }); ok {
+			v = uw.Unwrap()
+		}
+	}
 	return &Journal{party: party, issuer: issuer, log: log, v: v, clk: clk}
 }
 

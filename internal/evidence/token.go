@@ -74,6 +74,17 @@ const (
 	// received evidence, so who watched whose evidence from when is
 	// itself adjudicable.
 	KindSubOpen Kind = "sub-open"
+
+	// KindSegShip authenticates a sealed-segment shipment: its digest
+	// covers the canonical shipment claim (source, segment number, seal
+	// digest), and its issuer must be the source organisation itself —
+	// binding every replica write to the source's signing key so nobody
+	// can seed a bogus replica store.
+	KindSegShip Kind = "seg-ship"
+	// KindGeoAppend authenticates a quorum tail push (unsealed records
+	// replicated ahead of their seal): digest over the canonical push
+	// claim, issuer bound to the source organisation.
+	KindGeoAppend Kind = "geo-append"
 )
 
 // Errors reported by token verification.

@@ -1,0 +1,280 @@
+package georep_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"nonrep/internal/blob"
+	"nonrep/internal/georep"
+	"nonrep/internal/vault"
+)
+
+// archiveAll tiers every sealed segment of v into a.
+func archiveAll(t testing.TB, a *georep.Archive, v *vault.Vault) {
+	t.Helper()
+	for _, e := range v.Manifest() {
+		pkg, err := v.Package(e.Segment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Put(context.Background(), string(srcOrg), pkg); err != nil {
+			t.Fatalf("archive segment %d: %v", e.Segment, err)
+		}
+	}
+}
+
+// TestArchiveRoundTrip archives a vault's sealed history and reads it
+// back: manifest chain, per-segment fetch, idempotent re-archival,
+// source registry.
+func TestArchiveRoundTrip(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	realm, v := newSourceVault(t, 4)
+	appendRecords(t, realm, v, 13) // 3 sealed segments + tail
+	mem := blob.NewMem()
+	a := georep.NewArchive(mem)
+	archiveAll(t, a, v)
+
+	entries, err := a.Manifest(ctx, string(srcOrg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(v.Manifest()) {
+		t.Fatalf("archived manifest = %d entries, want %d", len(entries), len(v.Manifest()))
+	}
+	for i, e := range v.Manifest() {
+		if entries[i].Digest != e.Digest {
+			t.Fatalf("archived entry %d digest differs from the vault's", i)
+		}
+	}
+	for _, e := range entries {
+		if !a.Has(ctx, string(srcOrg), e.Segment) {
+			t.Fatalf("Has(%d) = false after archival", e.Segment)
+		}
+		pkg, err := a.Fetch(ctx, string(srcOrg), e.Segment)
+		if err != nil {
+			t.Fatalf("Fetch(%d): %v", e.Segment, err)
+		}
+		if pkg.Entry.Digest != e.Digest {
+			t.Fatalf("fetched segment %d does not match the manifest", e.Segment)
+		}
+	}
+	if a.Has(ctx, string(srcOrg), 99) || a.Has(ctx, string(srcOrg), 0) {
+		t.Fatal("Has reports unarchived segments")
+	}
+
+	// Re-archival of held history is idempotent.
+	before := mem.Len()
+	archiveAll(t, a, v)
+	if mem.Len() != before {
+		t.Fatalf("idempotent re-archival grew the store: %d -> %d objects", before, mem.Len())
+	}
+
+	sources, err := a.Sources(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sources) != 1 || sources[0] != string(srcOrg) {
+		t.Fatalf("Sources = %v, want [%s]", sources, srcOrg)
+	}
+}
+
+// TestArchivePutChainChecks exercises the writes the archive must
+// refuse: gaps, forged genesis, and history conflicting with the
+// archived seal chain.
+func TestArchivePutChainChecks(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	realm, v := newSourceVault(t, 4)
+	appendRecords(t, realm, v, 13)
+	a := georep.NewArchive(blob.NewMem())
+
+	pkg := func(seg uint64) *vault.SegmentPackage {
+		p, err := v.Package(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Archiving segment 2 before 1 is a gap.
+	if err := a.Put(ctx, string(srcOrg), pkg(2)); err == nil || !strings.Contains(err.Error(), "gap") {
+		t.Fatalf("gap archival: err = %v, want gap refusal", err)
+	}
+	if err := a.Put(ctx, string(srcOrg), pkg(1)); err != nil {
+		t.Fatal(err)
+	}
+	// A different org's chain cannot masquerade as segment 2: its Prev
+	// does not chain from the archived manifest.
+	realm2, v2 := newSourceVault(t, 4)
+	appendRecords(t, realm2, v2, 9)
+	p2, err := v2.Package(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put(ctx, string(srcOrg), p2); err == nil || !strings.Contains(err.Error(), "chain") {
+		t.Fatalf("foreign segment archival: err = %v, want chain refusal", err)
+	}
+	// Nor can it rewrite archived history.
+	alt, err := v2.Package(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put(ctx, string(srcOrg), alt); err == nil || !strings.Contains(err.Error(), "conflict") {
+		t.Fatalf("history rewrite: err = %v, want conflict refusal", err)
+	}
+	// A foreign genesis under its own source name is fine.
+	if err := a.Put(ctx, "urn:org:other", alt); err != nil {
+		t.Fatalf("foreign source genesis: %v", err)
+	}
+}
+
+// TestArchiveCorruptionDetected flips bytes in stored objects: every
+// read path must fail with ErrArchiveCorrupt instead of returning data.
+func TestArchiveCorruptionDetected(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	realm, v := newSourceVault(t, 4)
+	appendRecords(t, realm, v, 9)
+	mem := blob.NewMem()
+	a := georep.NewArchive(mem)
+	archiveAll(t, a, v)
+
+	keys, err := mem.List(ctx, "orgs/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segKey, manKey string
+	for _, k := range keys {
+		switch {
+		case strings.Contains(k, "/seg/seg-00000001"):
+			segKey = k
+		case strings.HasSuffix(k, "/MANIFEST"):
+			manKey = k
+		}
+	}
+	if segKey == "" || manKey == "" {
+		t.Fatalf("archive layout unexpected: %v", keys)
+	}
+
+	if !mem.Corrupt(segKey, func(b []byte) []byte { b[len(b)/2] ^= 0xff; return b }) {
+		t.Fatal("segment object missing")
+	}
+	if _, err := a.Fetch(ctx, string(srcOrg), 1); !errors.Is(err, georep.ErrArchiveCorrupt) {
+		t.Fatalf("Fetch over corrupt object: err = %v, want ErrArchiveCorrupt", err)
+	}
+	// Segment 2 is untouched and still serves.
+	if _, err := a.Fetch(ctx, string(srcOrg), 2); err != nil {
+		t.Fatalf("Fetch(2) after sibling corruption: %v", err)
+	}
+
+	if !mem.Corrupt(manKey, func(b []byte) []byte { return b[:len(b)-2] }) {
+		t.Fatal("manifest object missing")
+	}
+	if _, err := a.Manifest(ctx, string(srcOrg)); !errors.Is(err, georep.ErrArchiveCorrupt) {
+		t.Fatalf("Manifest over truncated object: err = %v, want ErrArchiveCorrupt", err)
+	}
+}
+
+// TestArchiveRestoreInto rebuilds a wiped vault directory from the
+// archive alone, then completes a partially-populated one incrementally.
+func TestArchiveRestoreInto(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	realm, v := newSourceVault(t, 4)
+	appendRecords(t, realm, v, 12)
+	if err := v.SealNow(); err != nil {
+		t.Fatal(err)
+	}
+	a := georep.NewArchive(blob.NewMem())
+	archiveAll(t, a, v)
+	want := v.Len()
+
+	// Full restore into an empty directory.
+	dir := t.TempDir()
+	n, err := a.RestoreInto(ctx, dir, string(srcOrg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(v.Manifest()) {
+		t.Fatalf("restored %d segments, want %d", n, len(v.Manifest()))
+	}
+	restored, err := vault.Open(dir, realm.Clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Len(); got != want {
+		t.Fatalf("restored Len = %d, want %d", got, want)
+	}
+	if err := restored.DeepVerify(); err != nil {
+		t.Fatalf("restored DeepVerify: %v", err)
+	}
+	if err := restored.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incremental: a second restore over the same directory fetches
+	// nothing new.
+	n, err = a.RestoreInto(ctx, dir, string(srcOrg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("incremental restore re-fetched %d segments, want 0", n)
+	}
+
+	// An unknown source has nothing to restore.
+	if _, err := a.RestoreInto(ctx, t.TempDir(), "urn:org:ghost"); err == nil {
+		t.Fatal("RestoreInto for an unarchived source succeeded")
+	}
+}
+
+// TestDecodeRejectsMalformed feeds structurally broken bytes to both
+// archive decoders.
+func TestDecodeRejectsMalformed(t *testing.T) {
+	t.Parallel()
+	realm, v := newSourceVault(t, 4)
+	appendRecords(t, realm, v, 5)
+	pkg, err := v.Package(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := georep.EncodeObject(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := georep.EncodeManifest(v.Manifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, data := range map[string][]byte{
+		"empty":          nil,
+		"bad magic":      []byte("XXXX" + string(obj[4:])),
+		"truncated":      obj[:len(obj)-1],
+		"trailing bytes": append(append([]byte{}, obj...), 0),
+	} {
+		if _, err := georep.DecodeObject(data); !errors.Is(err, georep.ErrArchiveCorrupt) {
+			t.Errorf("DecodeObject(%s): err = %v, want ErrArchiveCorrupt", name, err)
+		}
+	}
+	for name, data := range map[string][]byte{
+		"empty":     nil,
+		"bad magic": []byte("XXXX" + string(man[4:])),
+		"truncated": man[:len(man)-1],
+	} {
+		if _, err := georep.DecodeManifest(data); !errors.Is(err, georep.ErrArchiveCorrupt) {
+			t.Errorf("DecodeManifest(%s): err = %v, want ErrArchiveCorrupt", name, err)
+		}
+	}
+
+	// Round trips still hold for the valid bytes.
+	if p, err := georep.DecodeObject(obj); err != nil || p.Entry.Digest != pkg.Entry.Digest {
+		t.Fatalf("DecodeObject round trip: %v", err)
+	}
+	if es, err := georep.DecodeManifest(man); err != nil || len(es) != len(v.Manifest()) {
+		t.Fatalf("DecodeManifest round trip: %v", err)
+	}
+}

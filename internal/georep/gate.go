@@ -1,0 +1,54 @@
+package georep
+
+import (
+	"context"
+	"sync/atomic"
+
+	"nonrep/internal/evidence"
+	"nonrep/internal/store"
+	"nonrep/internal/vault"
+)
+
+// GatedLog makes a vault's Append observe the replication durability
+// policy: under a sync policy, Append returns only once the quorum of
+// replicas acknowledges the record. It embeds the vault, so everything
+// else — queries, verification, the Log interface — passes straight
+// through, and code that needs the raw vault unwraps it with Vault().
+//
+// The engine attaches after construction (Attach): the log must exist
+// before the protocol node that will carry the engine's pushes does,
+// and until an engine is attached appends gate on nothing.
+type GatedLog struct {
+	*vault.Vault
+	eng atomic.Pointer[Engine]
+}
+
+// NewGatedLog wraps v. Attach an engine to start gating.
+func NewGatedLog(v *vault.Vault) *GatedLog {
+	return &GatedLog{Vault: v}
+}
+
+// Attach sets the engine whose policy gates appends.
+func (g *GatedLog) Attach(e *Engine) { g.eng.Store(e) }
+
+// Unwrap returns the underlying vault — for code that type-switches a
+// store.Log looking for vault capabilities.
+func (g *GatedLog) Unwrap() *vault.Vault { return g.Vault }
+
+// Append appends to the vault and then, under a sync policy, waits for
+// quorum acknowledgement. On ErrQuorumUnmet the record is returned
+// alongside the error: it is locally durable and keeps replicating,
+// but quorum durability was not confirmed within the policy's
+// AckTimeout.
+func (g *GatedLog) Append(dir store.Direction, tok *evidence.Token, note string) (*store.Record, error) {
+	rec, err := g.Vault.Append(dir, tok, note)
+	if err != nil {
+		return nil, err
+	}
+	if e := g.eng.Load(); e != nil {
+		if werr := e.WaitQuorum(context.Background(), rec.Seq); werr != nil {
+			return rec, werr
+		}
+	}
+	return rec, nil
+}

@@ -1,0 +1,46 @@
+package georep_test
+
+import (
+	"fmt"
+	"testing"
+
+	"nonrep/internal/evidence"
+	"nonrep/internal/id"
+	"nonrep/internal/sig"
+	"nonrep/internal/store"
+	"nonrep/internal/testpki"
+	"nonrep/internal/vault"
+)
+
+const srcOrg = id.Party("urn:org:src")
+
+// newSourceVault opens a small-segment vault owned by srcOrg.
+func newSourceVault(t testing.TB, segRecords int) (*testpki.Realm, *vault.Vault) {
+	t.Helper()
+	realm := testpki.MustRealm(srcOrg)
+	v, err := vault.Open(t.TempDir(), realm.Clock, vault.WithSegmentRecords(segRecords))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = v.Close() })
+	return realm, v
+}
+
+// appendRecords appends n signed records of one run to v.
+func appendRecords(t testing.TB, realm *testpki.Realm, v *vault.Vault, n int) []*store.Record {
+	t.Helper()
+	run := id.NewRun()
+	out := make([]*store.Record, 0, n)
+	for i := 1; i <= n; i++ {
+		tok, err := realm.Party(srcOrg).Issuer.Issue(evidence.KindNRO, run, i, sig.Sum([]byte(fmt.Sprintf("content-%d", i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := v.Append(store.Generated, tok, "sent")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package georep
+
+import (
+	"context"
+	"fmt"
+
+	"nonrep/internal/vault"
+)
+
+// RestoreInto rebuilds — or incrementally completes — a vault directory
+// from the archive tier, fetching only the sealed segments the
+// directory is missing. It is the blob-tier analogue of restoring from
+// a replica directory: the archived manifest is chain-verified, every
+// fetched segment is verified against it, and a local history that
+// diverges from the archive is refused rather than overwritten. The
+// restored directory opens as a normal vault (vault.Open) and passes
+// DeepVerify. Returns the number of segments installed.
+func (a *Archive) RestoreInto(ctx context.Context, dir, source string) (int, error) {
+	entries, err := a.Manifest(ctx, source)
+	if err != nil {
+		return 0, err
+	}
+	if len(entries) == 0 {
+		return 0, fmt.Errorf("georep: nothing archived for %s", source)
+	}
+	return vault.RestoreInto(dir, entries, func(e vault.ManifestEntry) (*vault.SegmentPackage, error) {
+		return a.Fetch(ctx, source, e.Segment)
+	})
+}
+
+// RestoreReplicaSegment re-installs one pruned segment of a replica
+// from the archive — the read path when an adjudication needs records
+// whose local bytes retention dropped.
+func (a *Archive) RestoreReplicaSegment(ctx context.Context, rs *vault.ReplicaSet, source string, segment uint64) error {
+	pkg, err := a.Fetch(ctx, source, segment)
+	if err != nil {
+		return err
+	}
+	return rs.RestoreSegment(source, pkg)
+}

@@ -1,0 +1,98 @@
+package georep
+
+import (
+	"sync"
+
+	"nonrep/internal/protocol"
+	"nonrep/internal/vault"
+)
+
+// Standby maintains a remote standby replica of a publisher's vault by
+// consuming a live evidence feed: record batches land in the replica's
+// unsealed tail (ReceiveTail), sealed-segment packages install through
+// the same verified path shipped segments use (Receive). Because every
+// feed event is already chain-verified by the subscriber and
+// re-verified by the replica store, a standby built this way is exactly
+// as trustworthy as one fed by seg-ship — it is the pull-based
+// alternative for a region that subscribes to a publisher rather than
+// being pushed to.
+//
+// Open the feed with StandbyWatch so it resumes from the replica's
+// verified position, then hand it to NewStandby.
+type Standby struct {
+	rs     *vault.ReplicaSet
+	source string
+	feed   *protocol.Feed
+
+	once sync.Once
+	done chan struct{}
+	err  error
+}
+
+// StandbyWatch builds the watch configuration a standby of source
+// should subscribe with: resume from the replica's acknowledged
+// position, with seals and segment packages in the feed.
+func StandbyWatch(rs *vault.ReplicaSet, source string) (protocol.WatchConfig, error) {
+	seq, hash, err := rs.AckedPosition(source)
+	if err != nil {
+		return protocol.WatchConfig{}, err
+	}
+	return protocol.WatchConfig{AfterSeq: seq, AfterHash: hash, Seals: true, Segments: true}, nil
+}
+
+// NewStandby starts applying feed into rs as source's replica. The
+// standby runs until the feed ends or an event is refused; Done/Err
+// report which.
+func NewStandby(rs *vault.ReplicaSet, source string, feed *protocol.Feed) *Standby {
+	s := &Standby{rs: rs, source: source, feed: feed, done: make(chan struct{})}
+	go s.run()
+	return s
+}
+
+func (s *Standby) run() {
+	defer close(s.done)
+	for ev := range s.feed.Events() {
+		if err := s.apply(ev); err != nil {
+			s.err = err
+			s.feed.Close()
+			return
+		}
+	}
+	s.err = s.feed.Err()
+}
+
+// apply lands one feed event in the replica. Segment packages install
+// first so a batch that rode along with its own seal rebases cleanly.
+func (s *Standby) apply(ev protocol.FeedEvent) error {
+	if ev.Package != nil {
+		if err := s.rs.Receive(s.source, ev.Package); err != nil {
+			return err
+		}
+	}
+	if len(ev.Records) > 0 {
+		if _, err := s.rs.ReceiveTail(s.source, ev.Records); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Done closes when the standby stops consuming.
+func (s *Standby) Done() <-chan struct{} { return s.done }
+
+// Err reports why the standby stopped (nil after a clean Close).
+func (s *Standby) Err() error {
+	select {
+	case <-s.done:
+		return s.err
+	default:
+		return nil
+	}
+}
+
+// Close ends the subscription and waits for the consumer to drain.
+func (s *Standby) Close() error {
+	s.once.Do(func() { s.feed.Close() })
+	<-s.done
+	return s.err
+}

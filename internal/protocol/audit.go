@@ -18,9 +18,11 @@ import (
 	"sync"
 	"time"
 
+	"nonrep/internal/canon"
 	"nonrep/internal/clock"
 	"nonrep/internal/evidence"
 	"nonrep/internal/id"
+	"nonrep/internal/sig"
 	"nonrep/internal/store"
 	"nonrep/internal/vault"
 )
@@ -115,6 +117,26 @@ type segShipReq struct {
 	Package *vault.SegmentPackage `json:"package"`
 }
 
+// shipClaim is the canonical content a KindSegShip token signs: the
+// seal digest pins the shipped segment's exact bytes (Receive verifies
+// that), so signing the claim authenticates the whole package without
+// hashing megabytes of segment data a second time. The token's issuer
+// must be the source organisation itself — shipping someone's evidence
+// requires their key.
+type shipClaim struct {
+	Source  string     `json:"source"`
+	Segment uint64     `json:"segment"`
+	Seal    sig.Digest `json:"seal"`
+}
+
+func (c *shipClaim) digest() (sig.Digest, error) {
+	raw, err := canon.Marshal(c)
+	if err != nil {
+		return sig.Digest{}, err
+	}
+	return sig.Sum(raw), nil
+}
+
 type segShipResp struct {
 	LastSegment uint64 `json:"last_segment"`
 }
@@ -129,6 +151,7 @@ type AuditService struct {
 	vault    *vault.Vault
 	replicas *vault.ReplicaSet
 	clk      clock.Clock
+	shipAuth bool
 
 	// cached holds one read-only open per replica source, versioned by
 	// the replicated segment count: paged audits re-query per page, and
@@ -144,13 +167,30 @@ type cachedReplica struct {
 	segments uint64
 }
 
+// AuditOption configures an AuditService.
+type AuditOption func(*AuditService)
+
+// WithShipAuth makes seg-ship acceptance require a verified KindSegShip
+// token issued by the source organisation: unsigned shipments, tokens
+// signed with a foreign key, and shipments claiming a different source
+// than the token's issuer are all refused, so nobody can seed a bogus
+// replica store. Without the option, a presented token is still
+// verified (and a bad one refused), but unauthenticated shipments are
+// accepted for backward compatibility with closed deployments.
+func WithShipAuth() AuditOption {
+	return func(s *AuditService) { s.shipAuth = true }
+}
+
 // NewAuditService registers the audit protocol on co, serving v (may be
 // nil for an organisation without a vault) and the replica store rs (may
 // be nil for an organisation that accepts no replicas).
-func NewAuditService(co *Coordinator, v *vault.Vault, rs *vault.ReplicaSet) *AuditService {
+func NewAuditService(co *Coordinator, v *vault.Vault, rs *vault.ReplicaSet, opts ...AuditOption) *AuditService {
 	s := &AuditService{co: co, vault: v, replicas: rs, clk: co.Services().Clock, cached: make(map[string]*cachedReplica)}
 	if s.clk == nil {
 		s.clk = clock.Real{}
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	co.Register(s)
 	return s
@@ -308,6 +348,9 @@ func (s *AuditService) handleSegShip(msg *Message) (*Message, error) {
 	if s.replicas == nil {
 		return nil, fmt.Errorf("protocol: %s accepts no replicas", s.co.Party())
 	}
+	if err := s.verifyShip(msg, &req); err != nil {
+		return nil, err
+	}
 	// Receive applies the full seal-chain verification rule; a tampered
 	// or conflicting package is refused here and the refusal travels back
 	// to the shipper as the request error.
@@ -319,6 +362,43 @@ func (s *AuditService) handleSegShip(msg *Message) (*Message, error) {
 		return nil, err
 	}
 	return s.reply(msg, "seg-ship-reply", &segShipResp{LastSegment: last})
+}
+
+// verifyShip authenticates a shipment against the source's signing key.
+// The token's digest must cover the canonical ship claim (source,
+// segment, seal digest), its signature must verify, and its issuer must
+// be the claimed source — a shipment replayed under a different source
+// name, or signed by any key but the source's, is refused. A replayed
+// stale claim (an old segment's genuine token) passes here but lands in
+// Receive's idempotence/conflict handling: the seal digest in the claim
+// pins exactly one accepted history position.
+func (s *AuditService) verifyShip(msg *Message, req *segShipReq) error {
+	var tok *evidence.Token
+	if len(msg.Tokens) > 0 {
+		tok = msg.Tokens[0]
+	}
+	ver := s.co.Services().Verifier
+	if tok == nil || ver == nil {
+		if s.shipAuth {
+			return fmt.Errorf("protocol: %s accepts only authenticated seg-ship", s.co.Party())
+		}
+		return nil
+	}
+	if req.Package == nil {
+		return errors.New("protocol: seg-ship without a package")
+	}
+	claim := shipClaim{Source: req.Source, Segment: req.Package.Entry.Segment, Seal: req.Package.Entry.Digest}
+	d, err := claim.digest()
+	if err != nil {
+		return err
+	}
+	if err := ver.VerifyContent(tok, d); err != nil {
+		return fmt.Errorf("protocol: seg-ship token: %w", err)
+	}
+	if err := ver.Expect(tok, evidence.KindSegShip, msg.Run, id.Party(req.Source)); err != nil {
+		return fmt.Errorf("protocol: seg-ship token: %w", err)
+	}
+	return nil
 }
 
 // AuditClient drives remote audits and replication shipping through a
@@ -423,9 +503,32 @@ func (c *AuditClient) ReplicaStatus(ctx context.Context, peer id.Party, source s
 }
 
 // ShipSegment delivers one sealed segment package for source to a peer's
-// replica store.
+// replica store. When the coordinator has a token issuer, the shipment
+// is authenticated: a KindSegShip token over the canonical ship claim
+// rides the message, binding the shipment to this organisation's
+// signing key (receivers running WithShipAuth accept nothing less).
 func (c *AuditClient) ShipSegment(ctx context.Context, peer id.Party, source string, pkg *vault.SegmentPackage) error {
-	_, err := c.request(ctx, peer, KindSegShip, &segShipReq{Source: source, Package: pkg})
+	addr, err := c.co.Services().Directory.Resolve(peer)
+	if err != nil {
+		return err
+	}
+	msg := &Message{Protocol: AuditProtocol, Run: id.NewRun(), Step: 1, Kind: KindSegShip}
+	if err := msg.SetBody(&segShipReq{Source: source, Package: pkg}); err != nil {
+		return err
+	}
+	if iss := c.co.Services().Issuer; iss != nil && pkg != nil {
+		claim := shipClaim{Source: source, Segment: pkg.Entry.Segment, Seal: pkg.Entry.Digest}
+		d, derr := claim.digest()
+		if derr != nil {
+			return derr
+		}
+		tok, terr := iss.Issue(evidence.KindSegShip, msg.Run, 1, d)
+		if terr != nil {
+			return terr
+		}
+		msg.Tokens = []*evidence.Token{tok}
+	}
+	_, err = c.co.DeliverRequestAddr(ctx, addr, msg)
 	return err
 }
 

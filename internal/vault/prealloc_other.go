@@ -1,0 +1,12 @@
+//go:build !linux
+
+package vault
+
+import "os"
+
+// preallocate is a no-op on platforms without fallocate. The truncate
+// trick used by some logs (grow the file, then write positionally) is
+// unavailable here: the active segment is written with O_APPEND, so
+// extending the logical size would strand appends after a run of
+// zeros. These platforms simply allocate as the log grows.
+func preallocate(_ *os.File, _ int64) {}

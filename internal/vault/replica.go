@@ -10,7 +10,6 @@
 package vault
 
 import (
-	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -46,6 +45,25 @@ type SegmentPackage struct {
 	Index []byte        `json:"index,omitempty"`
 }
 
+// Verify checks the package in isolation: the entry seals its own
+// digest and the data bytes reproduce the entry's record chain and
+// content digest. It does not check linkage into a particular seal
+// chain — installation paths do that against their manifest. Archive
+// reads use it to tell a corrupted object from a healthy one before
+// anything downstream trusts the bytes.
+func (pkg *SegmentPackage) Verify() error {
+	if err := pkg.Entry.VerifySeal(); err != nil {
+		return err
+	}
+	if _, err := verifySealedSegmentData(pkg.Data, pkg.Entry, nil, func(*store.Record, int64) error { return nil }); err != nil {
+		return err
+	}
+	if len(pkg.Index) > 0 && !validIndexBytes(pkg.Index, pkg.Entry) {
+		return fmt.Errorf("%w: segment %d index bytes do not match the sealed index digest", ErrSealBroken, pkg.Entry.Segment)
+	}
+	return nil
+}
+
 // ReplicaSet stores verified replicas of peer organisations' sealed
 // segments under one root directory, one subdirectory per source. It is
 // safe for concurrent use.
@@ -56,10 +74,12 @@ type ReplicaSet struct {
 	sources map[string]*replicaState
 }
 
-// replicaState is the loaded seal chain of one source's replica.
+// replicaState is the loaded seal chain of one source's replica, plus
+// (lazily) its unsealed tail — see ReceiveTail.
 type replicaState struct {
 	dir     string
 	entries []ManifestEntry
+	tail    *replicaTail
 }
 
 func (s *replicaState) last() (ManifestEntry, bool) {
@@ -255,6 +275,13 @@ func (rs *ReplicaSet) Receive(source string, pkg *SegmentPackage) error {
 			return err
 		}
 	}
+	// The install is about to replace the tail file at this segment
+	// number; load the tail first so quorum-pushed records the seal does
+	// not yet cover can be re-based onto the next tail file instead of
+	// being lost.
+	if err := rs.loadTail(st); err != nil {
+		return err
+	}
 	if err := verifyAndInstallSegment(st.dir, e, pkg.Data, pkg.Index, expectPrev); err != nil {
 		return err
 	}
@@ -269,7 +296,7 @@ func (rs *ReplicaSet) Receive(source string, pkg *SegmentPackage) error {
 		return err
 	}
 	st.entries = append(st.entries, e)
-	return nil
+	return rs.rebaseTail(st, e)
 }
 
 // verifyAndInstallSegment is the single verify-and-install rule shared by
@@ -353,98 +380,6 @@ func (rs *ReplicaSet) Manifest(source string) ([]ManifestEntry, error) {
 	out := make([]ManifestEntry, len(st.entries))
 	copy(out, st.entries)
 	return out, nil
-}
-
-// restoreFromReplica rebuilds an empty vault directory from a replica
-// directory (the WithRestoreFrom open path). Every replica segment is
-// re-verified against the seal chain — including the cross-segment record
-// linkage — as it is copied, so a tampered replica fails the restore
-// instead of producing a vault that cannot pass DeepVerify.
-func (v *Vault) restoreFromReplica() error {
-	// Refuse to restore over existing history: a vault with sealed
-	// segments or tail records is not "lost", and merging is not a
-	// recovery operation.
-	hasLocal := false
-	_, _, err := store.ReadJSONLines(v.manifestPath(), func(e *ManifestEntry, _ int64) error {
-		hasLocal = true
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	if hasLocal {
-		return nil
-	}
-	if fi, err := os.Stat(segPath(v.dir, 1)); err == nil && fi.Size() > 0 {
-		// No manifest but segment-1 records exist. Two cases: a genuine
-		// unsealed tail (this vault is not "lost" — refuse), or stranded
-		// files from a restore that crashed before its manifest-last
-		// write (retry must succeed, or one crash would brick the
-		// disaster-recovery path). Stranded restore files are byte
-		// copies of the replica's segment, which a live tail essentially
-		// never is — and if it were, overwriting with identical bytes
-		// loses nothing.
-		local, rerr := os.ReadFile(segPath(v.dir, 1))
-		if rerr != nil {
-			return fmt.Errorf("vault: inspect existing segment before restore: %w", rerr)
-		}
-		replica, rerr := os.ReadFile(segPath(v.restoreFrom, 1))
-		if rerr != nil || !bytes.Equal(local, replica) {
-			return fmt.Errorf("vault: refusing to restore %s over existing tail records", v.dir)
-		}
-	}
-
-	var entries []ManifestEntry
-	if _, _, err := store.ReadJSONLines(filepath.Join(v.restoreFrom, manifestName), func(e *ManifestEntry, _ int64) error {
-		entries = append(entries, *e)
-		return nil
-	}); err != nil {
-		return err
-	}
-	var prevSeal sig.Digest
-	var prevHash sig.Digest
-	var manifest []byte
-	for i, e := range entries {
-		d, derr := e.computeDigest()
-		if derr != nil {
-			return derr
-		}
-		if d != e.Digest || e.Prev != prevSeal || e.Segment != uint64(i+1) {
-			return fmt.Errorf("%w: restore source manifest entry %d", ErrSealBroken, i+1)
-		}
-		data, rerr := os.ReadFile(segPath(v.restoreFrom, e.Segment))
-		if rerr != nil {
-			return fmt.Errorf("vault: restore segment %d: %w", e.Segment, rerr)
-		}
-		// The index is a rebuildable convenience; a missing or stale
-		// source copy is rebuilt by the install.
-		idxShipped, _ := os.ReadFile(idxPath(v.restoreFrom, e.Segment))
-		expectPrev := &prevHash
-		if i == 0 {
-			expectPrev = nil
-		}
-		if err := verifyAndInstallSegment(v.dir, e, data, idxShipped, expectPrev); err != nil {
-			return err
-		}
-		line, merr := canon.Marshal(&e)
-		if merr != nil {
-			return merr
-		}
-		manifest = append(manifest, line...)
-		manifest = append(manifest, '\n')
-		prevSeal, prevHash = e.Digest, e.LastHash
-	}
-	if len(manifest) == 0 {
-		return nil
-	}
-	// The manifest is written last: it asserts the segments it names are
-	// durable and verified, so a crash mid-restore leaves an empty vault
-	// (plus unreferenced files) rather than a manifest naming missing
-	// segments.
-	if err := writeFileSync(v.manifestPath(), manifest); err != nil {
-		return err
-	}
-	return syncDirPath(v.dir)
 }
 
 // writeFileSync writes data to path and fsyncs it.

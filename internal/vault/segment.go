@@ -54,6 +54,21 @@ func (e *ManifestEntry) computeDigest() (sig.Digest, error) {
 	return sig.SumCanonical(&clone)
 }
 
+// VerifySeal checks that the entry's digest seals its own canonical
+// encoding — the first integrity gate for entries arriving from outside
+// the local trust boundary (archive objects, shipped packages). It does
+// not check chain linkage; that needs the neighbouring entries.
+func (e *ManifestEntry) VerifySeal() error {
+	d, err := e.computeDigest()
+	if err != nil {
+		return err
+	}
+	if d != e.Digest {
+		return fmt.Errorf("%w: manifest entry %d digest mismatch", ErrSealBroken, e.Segment)
+	}
+	return nil
+}
+
 // indexPayload is the authenticated body of a segment index: byte offsets
 // for direct record access plus posting lists by run, transaction, party
 // and kind. Its canonical digest is pinned in the manifest entry (Index),
@@ -187,6 +202,13 @@ func verifySealedSegmentFile(path string, e ManifestEntry, expectPrev *sig.Diges
 		data, release = nil, func() {}
 	}
 	defer release()
+	return verifySealedSegmentData(data, e, expectPrev, fn)
+}
+
+// verifySealedSegmentData is the in-memory core of sealed-segment
+// verification, shared by the file path above and by package-level
+// checks on segment bytes that never touch disk (archive fetches).
+func verifySealedSegmentData(data []byte, e ManifestEntry, expectPrev *sig.Digest, fn func(rec *store.Record, lineLen int64) error) (store.Encoding, error) {
 	var cv *store.ChainVerifier
 	if expectPrev != nil {
 		cv = store.ResumeChain(e.FirstSeq-1, *expectPrev)

@@ -47,13 +47,16 @@
 package nonrep
 
 import (
+	"context"
 	"io"
 
 	"nonrep/internal/access"
+	"nonrep/internal/blob"
 	"nonrep/internal/container"
 	"nonrep/internal/contract"
 	"nonrep/internal/core"
 	"nonrep/internal/evidence"
+	"nonrep/internal/georep"
 	"nonrep/internal/id"
 	"nonrep/internal/invoke"
 	"nonrep/internal/obs"
@@ -413,3 +416,50 @@ var (
 	// before opening — the disaster-recovery path.
 	VaultRestoreFrom = vault.WithRestoreFrom
 )
+
+// Geo-replicated evidence (WithQuorum, WithArchive; Org.Durability).
+type (
+	// BlobStore is a pluggable object store for the archival tier:
+	// OpenBlobFS for a local filesystem, NewMemBlob for the in-process
+	// fake, or any compatible implementation.
+	BlobStore = blob.Store
+	// DurabilityStatus is an organisation's geo-replication state —
+	// policy mode, quorum arithmetic, per-replica acknowledgement
+	// watermarks and archival progress (Org.Durability).
+	DurabilityStatus = georep.Status
+	// DurabilityTarget is one peer replica's health within a
+	// DurabilityStatus.
+	DurabilityTarget = georep.TargetStatus
+	// EvidenceArchive reads and writes the object-store archival tier
+	// (Org.Archive, or NewEvidenceArchive over a BlobStore directly).
+	EvidenceArchive = georep.Archive
+)
+
+var (
+	// OpenBlobFS opens a local-filesystem object store rooted at a
+	// directory — the archival tier for single-machine deployments.
+	OpenBlobFS = blob.OpenFS
+	// NewMemBlob creates an in-process object store with fault and
+	// corruption injection — the S3-style fake tests run against.
+	NewMemBlob = blob.NewMem
+	// NewEvidenceArchive wraps an object store as an evidence archive
+	// outside any Domain — restore tooling uses it on a bare store.
+	NewEvidenceArchive = georep.NewArchive
+	// ErrQuorumUnmet: a sync-quorum append was not acknowledged by
+	// enough replicas within the policy timeout. The record is locally
+	// durable and keeps replicating; match with errors.Is.
+	ErrQuorumUnmet = georep.ErrQuorumUnmet
+	// ErrArchiveCorrupt: an archive object's bytes fail verification —
+	// structure, entry seal or content digest; match with errors.Is.
+	ErrArchiveCorrupt = georep.ErrArchiveCorrupt
+)
+
+// RestoreVaultFromArchive rebuilds — or incrementally completes — a
+// vault directory for source from the archival tier, fetching only the
+// segments the directory is missing and refusing divergent local
+// history. The region-loss recovery path when no replica survives:
+// afterwards OpenVault opens the directory normally and DeepVerify
+// passes. Returns the number of segments installed.
+func RestoreVaultFromArchive(ctx context.Context, store BlobStore, dir string, source Party) (int, error) {
+	return georep.NewArchive(store).RestoreInto(ctx, dir, string(source))
+}

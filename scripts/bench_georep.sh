@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Benchmark trajectory for the geo-replicated evidence plane.
+#
+# Runs the E19 geo-replication durability study — the same concurrent
+# vault-backed non-repudiable invocation workload with plain local
+# durability, with preallocated active segments, with asynchronous
+# trailing replication to two peer regions, and under a synchronous
+# 2-of-3 quorum gating every evidence append — writing the measurements
+# to BENCH_georep.json so successive PRs can track the async overhead
+# (target: <10% over baseline), the honest sync 2-of-3 cost, and the
+# segment-preallocation delta.
+#
+# Usage: scripts/bench_georep.sh [output.json]
+#   N=<iters>   iterations per configuration (default 200)
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_georep.json}"
+
+go run ./cmd/nrbench -georep -n "${N:-200}" -out "$out"
